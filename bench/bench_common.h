@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared machinery for the per-table/per-figure bench harnesses.
+ *
+ * Accuracy harnesses run the statistical-replica pipeline (DESIGN.md §1):
+ * a reduced transformer with family-calibrated outlier statistics executes
+ * every GEMM under each scheme; the measured aggregate error maps to the
+ * paper's reporting units through the two-anchor proxy of
+ * model/perplexity.h. Anchor rows (INT8/INT4 per-tensor) therefore
+ * reproduce the paper by construction and are marked as such in
+ * EXPERIMENTS.md; every other row is a prediction of the pipeline.
+ */
+
+#ifndef TENDER_BENCH_BENCH_COMMON_H
+#define TENDER_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/tender_scheme.h"
+#include "model/perplexity.h"
+#include "model/quant_executor.h"
+#include "quant/granularity.h"
+#include "util/table.h"
+
+namespace tender {
+namespace bench {
+
+/** Replica shrink factor and evaluation sequence length used by all
+ *  accuracy harnesses (printed in every harness header). */
+constexpr int kReplicaDivisor = 32;
+constexpr int kSeqLen = 128;
+
+/** Seeds: dataset identity enters through the eval batch seed. */
+inline uint64_t
+datasetSeed(const std::string &dataset)
+{
+    return dataset == "wiki" ? 1000 : 2000;
+}
+
+/** Build the replica model for a paper model name. */
+inline SyntheticModel
+makeReplica(const std::string &model_name, uint64_t seed = 1)
+{
+    return SyntheticModel(replicaOf(modelByName(model_name),
+                                    kReplicaDivisor), seed);
+}
+
+/** Aggregate error of one scheme on one model/dataset. */
+inline double
+schemeError(SyntheticModel &model, const GemmScheme &scheme,
+            const std::string &dataset, const ExecOptions &opts = {},
+            int seq_len = kSeqLen)
+{
+    const Matrix input = model.sampleInput(seq_len, datasetSeed(dataset));
+    return aggregateError(runQuantized(model, input, scheme, opts).records);
+}
+
+/** Per-tensor INT8/INT4 anchor errors for the proxy mapping. */
+struct AnchorErrors
+{
+    double e8 = 0.0;
+    double e4 = 0.0;
+};
+
+inline AnchorErrors
+measureAnchors(SyntheticModel &model, const std::string &dataset,
+               const ExecOptions &opts = {}, int seq_len = kSeqLen)
+{
+    AnchorErrors a;
+    a.e8 = schemeError(model, UniformScheme(8, Granularity::PerTensor),
+                       dataset, opts, seq_len);
+    a.e4 = schemeError(model, UniformScheme(4, Granularity::PerTensor),
+                       dataset, opts, seq_len);
+    return a;
+}
+
+/** Proxy-perplexity mapping for one model/dataset pair. */
+inline PplModel
+makePplModel(const std::string &model_name, const std::string &dataset,
+             const AnchorErrors &anchors)
+{
+    double p8 = 0, p4 = 0;
+    paperAnchorPerplexities(model_name, dataset, p8, p4);
+    return anchorPplModel(paperBasePerplexity(model_name, dataset),
+                          anchors.e8, p8, anchors.e4, p4);
+}
+
+/** Tender configuration used across accuracy harnesses (paper defaults,
+ *  row chunk shrunk with the replica). */
+inline TenderConfig
+tenderAccuracyConfig(int bits, int num_groups = 8)
+{
+    TenderConfig cfg;
+    cfg.bits = bits;
+    cfg.numGroups = num_groups;
+    cfg.rowChunk = 32; // 256 scaled by the replica's 1/8 token budget
+    return cfg;
+}
+
+/** Harness banner: what replica the numbers come from. */
+inline void
+printBanner(const std::string &what)
+{
+    std::printf("== %s ==\n", what.c_str());
+    std::printf("substrate: synthetic statistical replica "
+                "(divisor %d, seq %d); anchor rows marked [anchor] "
+                "reproduce the paper by construction -- see DESIGN.md\n\n",
+                kReplicaDivisor, kSeqLen);
+}
+
+} // namespace bench
+} // namespace tender
+
+#endif // TENDER_BENCH_BENCH_COMMON_H

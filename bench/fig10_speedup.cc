@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 10: end-to-end speedup of the four accelerators on six LLMs,
+ * normalized to ANT (batch 1, prefill 2048, iso-area PE arrays, shared
+ * HBM2 stack).
+ *
+ * Paper geomeans: Tender 2.63x over ANT, 1.84x over OLAccel, 1.48x over
+ * OliVe.
+ */
+
+#include <cstdio>
+
+#include "sim/baselines.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace tender;
+
+int
+main()
+{
+    std::printf("== Fig. 10: speedup over ANT (prefill 2048, batch 1) ==\n");
+    std::printf("cycle-level simulator, true model dimensions, iso-area "
+                "arrays (see bench/table5_area_power)\n\n");
+
+    const auto models = speedupModels();
+    const auto accels = speedupAccelerators();
+    const DramConfig dram = defaultDramConfig();
+
+    TablePrinter table;
+    std::vector<std::string> header = {"Accelerator"};
+    for (const auto &m : models)
+        header.push_back(m.name);
+    header.push_back("Geomean");
+    table.setHeader(header);
+
+    // cycles[accel][model]
+    std::vector<std::vector<double>> cycles(accels.size());
+    for (size_t a = 0; a < accels.size(); ++a) {
+        for (const auto &m : models) {
+            AcceleratorSim sim(accels[a], dram);
+            cycles[a].push_back(
+                double(sim.run(prefillWorkload(m, 2048)).cycles));
+        }
+    }
+
+    for (size_t a = 0; a < accels.size(); ++a) {
+        std::vector<std::string> row = {accels[a].name};
+        std::vector<double> speedups;
+        for (size_t mi = 0; mi < models.size(); ++mi) {
+            const double s = cycles[0][mi] / cycles[a][mi];
+            speedups.push_back(s);
+            row.push_back(TablePrinter::mult(s));
+        }
+        row.push_back(TablePrinter::mult(geomean(speedups)));
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("\nTender relative to each baseline (geomean):\n");
+    for (size_t a = 0; a + 1 < accels.size(); ++a) {
+        std::vector<double> rel;
+        for (size_t mi = 0; mi < models.size(); ++mi)
+            rel.push_back(cycles[a][mi] / cycles.back()[mi]);
+        std::printf("  Tender vs %-8s %s   (paper: %s)\n",
+                    accels[a].name.c_str(),
+                    TablePrinter::mult(geomean(rel)).c_str(),
+                    a == 0 ? "2.63x" : (a == 1 ? "1.84x" : "1.48x"));
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fig. 11: energy efficiency of the four accelerators, normalized to ANT
+ * (same runs as Fig. 10 with the 28 nm event-energy model applied to the
+ * simulator's activity counters).
+ *
+ * Paper geomeans: Tender 1.84x over ANT, 1.53x over OLAccel, 1.24x over
+ * OliVe.
+ */
+
+#include <cstdio>
+
+#include "sim/baselines.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace tender;
+
+int
+main()
+{
+    std::printf("== Fig. 11: energy efficiency over ANT ==\n");
+    std::printf("event energies at 28 nm; HBM2 energy per FG-DRAM "
+                "(see arch/energy_model.h)\n\n");
+
+    const auto models = speedupModels();
+    const auto accels = speedupAccelerators();
+    const DramConfig dram = defaultDramConfig();
+
+    TablePrinter table;
+    std::vector<std::string> header = {"Accelerator"};
+    for (const auto &m : models)
+        header.push_back(m.name);
+    header.push_back("Geomean");
+    table.setHeader(header);
+
+    // energyUj[accel][model]
+    std::vector<std::vector<double>> energy(accels.size());
+    for (size_t a = 0; a < accels.size(); ++a) {
+        const EnergyParams params =
+            energyParamsFor(accels[a].name.c_str());
+        for (const auto &m : models) {
+            AcceleratorSim sim(accels[a], dram);
+            SimResult r = sim.run(prefillWorkload(m, 2048));
+            energy[a].push_back(computeEnergy(r.counters, params).totalUj);
+        }
+    }
+
+    for (size_t a = 0; a < accels.size(); ++a) {
+        std::vector<std::string> row = {accels[a].name};
+        std::vector<double> eff;
+        for (size_t mi = 0; mi < models.size(); ++mi) {
+            const double e = energy[0][mi] / energy[a][mi];
+            eff.push_back(e);
+            row.push_back(TablePrinter::mult(e));
+        }
+        row.push_back(TablePrinter::mult(geomean(eff)));
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("\nTender relative to each baseline (geomean):\n");
+    for (size_t a = 0; a + 1 < accels.size(); ++a) {
+        std::vector<double> rel;
+        for (size_t mi = 0; mi < models.size(); ++mi)
+            rel.push_back(energy[a][mi] / energy.back()[mi]);
+        std::printf("  Tender vs %-8s %s   (paper: %s)\n",
+                    accels[a].name.c_str(),
+                    TablePrinter::mult(geomean(rel)).c_str(),
+                    a == 0 ? "1.84x" : (a == 1 ? "1.53x" : "1.24x"));
+    }
+
+    // Per-component breakdown for one model, Tender vs ANT.
+    std::printf("\nEnergy breakdown, OPT-6.7B [uJ]:\n");
+    TablePrinter bd;
+    bd.setHeader({"Accelerator", "compute", "VPU", "SRAM", "FIFO", "DRAM",
+                  "decode", "total"});
+    for (const auto &cfg : accels) {
+        AcceleratorSim sim(cfg, dram);
+        SimResult r = sim.run(prefillWorkload(models[0], 2048));
+        EnergyBreakdown e =
+            computeEnergy(r.counters, energyParamsFor(cfg.name.c_str()));
+        bd.addRow({cfg.name, TablePrinter::num(e.computeUj, 0),
+                   TablePrinter::num(e.vpuUj, 0),
+                   TablePrinter::num(e.sramUj, 0),
+                   TablePrinter::num(e.fifoUj, 0),
+                   TablePrinter::num(e.dramUj, 0),
+                   TablePrinter::num(e.decodeUj, 0),
+                   TablePrinter::num(e.totalUj, 0)});
+    }
+    bd.print();
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the library's hot kernels:
+ * quantizers at each granularity, Tender decomposition and GEMM, the MSA
+ * functional model, and the DRAM timing model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/msa_functional.h"
+#include "core/tender_gemm.h"
+#include "quant/granularity.h"
+#include "sim/dram.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace tender {
+namespace {
+
+Matrix
+benchMatrix(int rows, int cols, uint64_t seed = 1)
+{
+    Rng rng(seed);
+    Matrix m = randomGaussian(rows, cols, rng, 0.f, 0.5f);
+    for (int c = 0; c < cols; c += 16)
+        for (int r = 0; r < rows; ++r)
+            m(r, c) *= 40.f;
+    return m;
+}
+
+void
+BM_QuantizePerGranularity(benchmark::State &state)
+{
+    const auto g = Granularity(state.range(0));
+    Matrix m = benchMatrix(256, 256);
+    for (auto _ : state) {
+        QuantizedMatrix qm = quantize(m, 8, g);
+        benchmark::DoNotOptimize(qm.codes.data().data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(m.size()));
+}
+BENCHMARK(BM_QuantizePerGranularity)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_Fp32Gemm(benchmark::State &state)
+{
+    const int n = int(state.range(0));
+    Matrix a = benchMatrix(n, n, 1);
+    Matrix b = benchMatrix(n, n, 2);
+    for (auto _ : state) {
+        Matrix c = gemm(a, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_Fp32Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_TenderDecompose(benchmark::State &state)
+{
+    Matrix m = benchMatrix(256, int(state.range(0)));
+    TenderConfig cfg;
+    for (auto _ : state) {
+        ChunkMeta meta = decomposeChunk(m, cfg);
+        benchmark::DoNotOptimize(meta.order.data());
+    }
+}
+BENCHMARK(BM_TenderDecompose)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_TenderMatmul(benchmark::State &state)
+{
+    const int n = int(state.range(0));
+    Matrix x = benchMatrix(n, n, 3);
+    Matrix w = benchMatrix(n, n, 4);
+    TenderConfig cfg;
+    cfg.rowChunk = 64;
+    for (auto _ : state) {
+        Matrix y = tenderMatmul(x, w, cfg);
+        benchmark::DoNotOptimize(y.data().data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_TenderMatmul)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_MsaFunctionalTile(benchmark::State &state)
+{
+    const int k = int(state.range(0));
+    Rng rng(5);
+    IntMatrix a(64, k), b(k, 64);
+    for (auto &v : a.data())
+        v = int32_t(rng.randint(-7, 7));
+    for (auto &v : b.data())
+        v = int32_t(rng.randint(-7, 7));
+    std::vector<int> sizes = {k / 16, k / 16, k - 2 * (k / 16)};
+    MsaConfig cfg;
+    for (auto _ : state) {
+        MsaTileResult r = msaComputeTile(a, b, sizes, cfg);
+        benchmark::DoNotOptimize(r.acc.data().data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 64 * 64 * k);
+}
+BENCHMARK(BM_MsaFunctionalTile)->Arg(64)->Arg(256);
+
+void
+BM_DramStream(benchmark::State &state)
+{
+    DramConfig cfg;
+    const uint64_t bytes = uint64_t(state.range(0)) << 10;
+    for (auto _ : state) {
+        DramModel dram(cfg);
+        benchmark::DoNotOptimize(dram.streamTransfer(0, bytes, false, 0));
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(bytes));
+}
+BENCHMARK(BM_DramStream)->Arg(64)->Arg(1024)->Arg(16384);
+
+} // namespace
+} // namespace tender
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table I: perplexity of activation quantization at per-tensor, per-row,
+ * and per-column granularity, INT8 and INT4, for OPT-6.7B/13B and
+ * Llama-2-7B/13B on WikiText-2.
+ *
+ * Expected shape (paper): per-column is near-FP16 at INT8 and usable at
+ * INT4; per-tensor/per-row collapse, catastrophically at INT4.
+ */
+
+#include "bench_common.h"
+
+using namespace tender;
+using namespace tender::bench;
+
+int
+main()
+{
+    printBanner("Table I: quantization granularity vs perplexity (Wiki)");
+
+    const std::vector<std::string> models = {"OPT-6.7B", "OPT-13B",
+                                             "Llama-2-7B", "Llama-2-13B"};
+    TablePrinter table;
+    std::vector<std::string> header = {"Scheme"};
+    for (const auto &m : models)
+        header.push_back(m);
+    table.setHeader(header);
+
+    // Measure everything first: anchors then predictions.
+    std::vector<PplModel> ppl_models;
+    std::vector<AnchorErrors> anchors;
+    std::vector<SyntheticModel> replicas;
+    replicas.reserve(models.size());
+    for (const auto &name : models)
+        replicas.push_back(makeReplica(name));
+    for (size_t i = 0; i < models.size(); ++i) {
+        anchors.push_back(measureAnchors(replicas[i], "wiki"));
+        ppl_models.push_back(makePplModel(models[i], "wiki", anchors[i]));
+    }
+
+    std::vector<std::string> base_row = {"FP16"};
+    for (size_t i = 0; i < models.size(); ++i)
+        base_row.push_back(TablePrinter::num(ppl_models[i].basePpl));
+    table.addRow(base_row);
+    table.addSeparator();
+
+    for (int bits : {8, 4}) {
+        for (Granularity g : {Granularity::PerTensor, Granularity::PerRow,
+                              Granularity::PerColumn}) {
+            const bool is_anchor = g == Granularity::PerTensor;
+            std::vector<std::string> row = {
+                "INT" + std::to_string(bits) + " " + granularityName(g) +
+                (is_anchor ? " [anchor]" : "")};
+            for (size_t i = 0; i < models.size(); ++i) {
+                double err;
+                if (is_anchor) {
+                    err = bits == 8 ? anchors[i].e8 : anchors[i].e4;
+                } else {
+                    err = schemeError(replicas[i],
+                                      UniformScheme(bits, g), "wiki");
+                }
+                row.push_back(TablePrinter::num(ppl_models[i].eval(err)));
+            }
+            table.addRow(row);
+        }
+        if (bits == 8)
+            table.addSeparator();
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Table III: sequence-length sensitivity on OPT-6.7B (2048/256/32 in the
+ * paper; the replica scales the token budget by 1/8 to 256/64/32 while
+ * preserving the chunking-to-sequence ratios).
+ *
+ * "Tender (all)" additionally quantizes the activation-activation matrix
+ * multiplications (Q K^T and S V, per head). Expected shape: Tender stays
+ * at the FP16 baseline across lengths; Tender (all) costs only slightly
+ * more; baselines degrade, badly at INT4.
+ */
+
+#include "quant/ant.h"
+#include "quant/olive.h"
+#include "quant/smoothquant.h"
+
+#include "bench_common.h"
+
+using namespace tender;
+using namespace tender::bench;
+
+namespace {
+
+/** Paper FP16 perplexities per sequence length (Table III). */
+double
+basePpl(int paper_seq, const std::string &dataset)
+{
+    const bool wiki = dataset == "wiki";
+    switch (paper_seq) {
+      case 2048: return wiki ? 10.86 : 13.09;
+      case 256: return wiki ? 19.18 : 22.00;
+      case 32: return wiki ? 78.97 : 103.42;
+    }
+    TENDER_FATAL("unexpected sequence length");
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Table III: sequence-length sensitivity (OPT-6.7B)");
+
+    // Paper lengths and their replica-scaled counterparts.
+    const std::vector<std::pair<int, int>> seqs = {
+        {2048, 256}, {256, 64}, {32, 32}};
+    const std::vector<std::string> datasets = {"wiki", "ptb"};
+
+    TablePrinter table;
+    std::vector<std::string> header = {"Precision", "Scheme"};
+    for (const auto &[paper_seq, replica_seq] : seqs) {
+        (void)replica_seq;
+        for (const auto &d : datasets)
+            header.push_back(std::to_string(paper_seq) +
+                             (d == "wiki" ? " W" : " P"));
+    }
+    table.setHeader(header);
+
+    SyntheticModel replica = makeReplica("OPT-6.7B");
+
+    // Per (seq, dataset): anchors measured at that length; base from the
+    // paper's FP16 row so length-induced base drift is honoured.
+    struct Cell
+    {
+        PplModel ppl;
+        AnchorErrors anchors;
+        int replicaSeq;
+        std::string dataset;
+    };
+    std::vector<Cell> cells;
+    for (const auto &[paper_seq, replica_seq] : seqs) {
+        for (const auto &d : datasets) {
+            Cell c;
+            c.replicaSeq = replica_seq;
+            c.dataset = d;
+            c.anchors = measureAnchors(replica, d, {}, replica_seq);
+            double p8 = 0, p4 = 0;
+            paperAnchorPerplexities("OPT-6.7B", d, p8, p4);
+            // Scale the anchor perplexities with the base drift.
+            const double drift = basePpl(paper_seq, d) / basePpl(2048, d);
+            c.ppl = anchorPplModel(basePpl(paper_seq, d), c.anchors.e8,
+                                   p8 * drift, c.anchors.e4, p4 * drift);
+            cells.push_back(c);
+        }
+    }
+
+    std::vector<std::string> base_row = {"FP16", "Base"};
+    for (const auto &c : cells)
+        base_row.push_back(TablePrinter::num(c.ppl.basePpl));
+    table.addRow(base_row);
+    table.addSeparator();
+
+    for (int bits : {8, 4}) {
+        struct Entry
+        {
+            std::string name;
+            std::unique_ptr<GemmScheme> scheme;
+            bool actAct;
+        };
+        std::vector<Entry> entries;
+        entries.push_back({"SmoothQuant",
+                           std::make_unique<SmoothQuantScheme>(bits),
+                           false});
+        entries.push_back({"ANT", std::make_unique<AntScheme>(bits),
+                           false});
+        entries.push_back({"OliVe", std::make_unique<OliveScheme>(bits),
+                           false});
+        entries.push_back({"Tender (all)",
+                           std::make_unique<TenderScheme>(
+                               tenderAccuracyConfig(bits)), true});
+        entries.push_back({"Tender",
+                           std::make_unique<TenderScheme>(
+                               tenderAccuracyConfig(bits)), false});
+        for (auto &e : entries) {
+            std::vector<std::string> row = {"INT" + std::to_string(bits),
+                                            e.name};
+            for (const auto &c : cells) {
+                ExecOptions opts;
+                opts.quantizeActAct = e.actAct;
+                const double err = schemeError(replica, *e.scheme,
+                                               c.dataset, opts,
+                                               c.replicaSeq);
+                row.push_back(TablePrinter::num(c.ppl.eval(err)));
+            }
+            table.addRow(row);
+        }
+        if (bits == 8)
+            table.addSeparator();
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Table IV: BERT-Large GLUE accuracy under INT8/INT4 PTQ for ANT, OliVe,
+ * and Tender. All matrix multiplications in the block are quantized
+ * (including attention), per the paper's methodology.
+ *
+ * The accuracy proxy is anchored per task on the ANT INT4 row (the
+ * largest published drop); ANT INT4 therefore reproduces the paper by
+ * construction and the remaining rows are predictions.
+ */
+
+#include "quant/ant.h"
+#include "quant/olive.h"
+
+#include "bench_common.h"
+
+using namespace tender;
+using namespace tender::bench;
+
+namespace {
+
+struct Task
+{
+    const char *name;
+    double base;       // FP32 (paper)
+    double floor;      // collapsed-model score the metric decays toward
+    double antInt4;    // anchor (paper)
+};
+
+// FP32 and ANT-INT4 rows from Table IV. The decay floor is the score of a
+// fully collapsed model, which can sit *below* the majority-class chance
+// (a collapsed model may fixate on the minority class — the published
+// MRPC 21.09 does exactly that).
+const Task kTasks[] = {
+    {"CoLA", 60.20, 0.0, 53.77},   {"SST-2", 93.12, 49.0, 90.60},
+    {"MRPC", 91.58, 19.0, 21.09},  {"STS-B", 89.94, 0.0, 85.93},
+    {"QQP", 91.40, 37.0, 83.62},   {"QNLI", 92.33, 49.5, 60.86},
+};
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Table IV: BERT-Large GLUE accuracy (all GEMMs quantized)");
+
+    SyntheticModel replica = makeReplica("BERT-Large");
+    ExecOptions opts;
+    opts.quantizeActAct = true;
+
+    // Measured errors per scheme.
+    auto err_of = [&](const GemmScheme &s) {
+        return schemeError(replica, s, "wiki", opts);
+    };
+    const double e_ant8 = err_of(AntScheme(8));
+    const double e_ant4 = err_of(AntScheme(4));
+    const double e_olive8 = err_of(OliveScheme(8));
+    const double e_olive4 = err_of(OliveScheme(4));
+    const double e_tender8 =
+        err_of(TenderScheme(tenderAccuracyConfig(8)));
+    const double e_tender4 =
+        err_of(TenderScheme(tenderAccuracyConfig(4)));
+
+    TablePrinter table;
+    std::vector<std::string> header = {"Precision", "Scheme"};
+    for (const Task &t : kTasks)
+        header.push_back(t.name);
+    table.setHeader(header);
+
+    std::vector<std::string> base_row = {"FP32", "Base"};
+    for (const Task &t : kTasks)
+        base_row.push_back(TablePrinter::num(t.base));
+    table.addRow(base_row);
+    table.addSeparator();
+
+    auto acc_model = [&](const Task &t) {
+        const double anchored =
+            std::max(t.antInt4, t.floor + 0.02 * (t.base - t.floor));
+        return anchorAccuracyModel(t.base, t.floor, e_ant4, anchored);
+    };
+
+    struct Row
+    {
+        const char *precision;
+        const char *scheme;
+        double err;
+        bool anchor;
+    };
+    const Row rows[] = {
+        {"INT8", "ANT", e_ant8, false},
+        {"INT8", "OliVe", e_olive8, false},
+        {"INT8", "Tender", e_tender8, false},
+        {"INT4", "ANT [anchor]", e_ant4, true},
+        {"INT4", "OliVe", e_olive4, false},
+        {"INT4", "Tender", e_tender4, false},
+    };
+    int printed = 0;
+    for (const Row &r : rows) {
+        std::vector<std::string> cells = {r.precision, r.scheme};
+        for (const Task &t : kTasks)
+            cells.push_back(TablePrinter::num(acc_model(t).eval(r.err)));
+        table.addRow(cells);
+        if (++printed == 3)
+            table.addSeparator();
+    }
+    table.print();
+    return 0;
+}

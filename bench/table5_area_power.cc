@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table V: area and power of the Tender accelerator at 28 nm / 1 GHz,
+ * from the analytical component model, plus the iso-area PE provisioning
+ * derived from it for the baseline accelerators (Section V-A).
+ */
+
+#include <cstdio>
+
+#include "arch/area_model.h"
+#include "util/table.h"
+
+using namespace tender;
+
+int
+main()
+{
+    std::printf("== Table V: area and power characteristics of Tender ==\n");
+    std::printf("analytical 28 nm component model standing in for the "
+                "paper's Design Compiler flow (DESIGN.md)\n\n");
+
+    TablePrinter table;
+    table.setHeader({"Component", "Setup", "Area [mm2]", "Power [W]"});
+    for (const ComponentCost &c : tenderComponents())
+        table.addRow({c.component, c.setup, TablePrinter::num(c.areaMm2),
+                      TablePrinter::num(c.powerW)});
+    table.addSeparator();
+    table.addRow({"Total", "", TablePrinter::num(tenderTotalAreaMm2()),
+                  TablePrinter::num(tenderTotalPowerW())});
+    table.print();
+
+    std::printf("\nIso-area PE provisioning (PE-area factor relative to a "
+                "Tender PE):\n");
+    TablePrinter iso;
+    iso.setHeader({"Accelerator", "PE area factor", "Array (iso-area)"});
+    for (const char *a : {"Tender", "ANT", "OliVe", "OLAccel"}) {
+        const int dim = isoAreaArrayDim(a);
+        iso.addRow({a, TablePrinter::num(peAreaFactor(a)),
+                    std::to_string(dim) + "x" + std::to_string(dim)});
+    }
+    iso.print();
+    return 0;
+}

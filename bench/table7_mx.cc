@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table VII: zero-shot task accuracy of Tender-INT4 vs the SMX4 and MXFP4
+ * microscaling formats on OPT-6.7B and LLaMA-7B.
+ *
+ * The accuracy proxy is anchored per (model, task) on the SMX4 row (the
+ * published collapse); MXFP4 and Tender are predictions. Expected shape:
+ * SMX4 near chance, MXFP4 in between, Tender closest to FP32.
+ */
+
+#include "quant/mx.h"
+
+#include "bench_common.h"
+
+using namespace tender;
+using namespace tender::bench;
+
+namespace {
+
+struct Task
+{
+    const char *name;
+    double chance;
+    double baseOpt;  // FP32, OPT-6.7B (paper)
+    double smxOpt;   // SMX4 anchor, OPT-6.7B (paper)
+    double mxOpt;    // MXFP4 anchor, OPT-6.7B (paper)
+    double baseLlama;
+    double smxLlama;
+    double mxLlama;
+};
+
+const Task kTasks[] = {
+    {"Hellaswag", 25.0, 67.16, 26.94, 54.13, 76.20, 25.89, 67.51},
+    {"WIC", 50.0, 48.12, 49.84, 51.72, 49.06, 50.00, 46.24},
+    {"Anli-r2", 33.3, 34.40, 33.40, 33.90, 36.10, 33.40, 35.30},
+    {"Winogrande", 50.0, 65.43, 50.12, 52.88, 70.01, 50.59, 62.35},
+    {"ARC easy", 25.0, 60.02, 29.76, 44.57, 72.85, 27.78, 63.68},
+    {"ARC challenge", 25.0, 34.73, 23.46, 29.18, 44.71, 26.88, 35.49},
+    {"Lambada", 0.0, 67.69, 0.02, 43.74, 73.61, 0.02, 56.65},
+    {"College CS", 25.0, 34.00, 25.00, 25.00, 26.00, 23.00, 22.00},
+    {"Int. law", 25.0, 37.19, 23.97, 32.23, 46.28, 29.75, 33.06},
+    {"Jurisprudence", 25.0, 21.30, 25.93, 25.00, 36.11, 26.85, 26.85},
+};
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Table VII: Tender vs SMX4/MXFP4 zero-shot accuracy");
+
+    const std::vector<std::string> models = {"OPT-6.7B", "LLaMA-7B"};
+    ExecOptions opts;
+    opts.quantizeActAct = true; // all matmuls quantized, as in [48]
+
+    for (const auto &model_name : models) {
+        SyntheticModel replica = makeReplica(model_name);
+        const double e_smx =
+            schemeError(replica, Smx4Scheme(), "wiki", opts);
+        const double e_mx =
+            schemeError(replica, Mxfp4Scheme(), "wiki", opts);
+        const double e_tender =
+            schemeError(replica, TenderScheme(tenderAccuracyConfig(4)),
+                        "wiki", opts);
+
+        TablePrinter table(model_name);
+        table.setHeader({"Task", "FP32", "SMX4 [anchor]",
+                         "MXFP4 [anchor]", "Tender"});
+        for (const Task &t : kTasks) {
+            const bool is_opt = model_name == "OPT-6.7B";
+            const double base = is_opt ? t.baseOpt : t.baseLlama;
+            const double smx = is_opt ? t.smxOpt : t.smxLlama;
+            const double mx = is_opt ? t.mxOpt : t.mxLlama;
+            // Some tasks sit at or below chance already (WIC, small MMLU
+            // splits); the decay model needs base > chance, so clamp the
+            // span to a sliver when the published numbers invert.
+            const double chance = std::min(t.chance, base - 0.5);
+            const double smx_c =
+                std::max(smx, chance + 0.01 * (base - chance));
+            const double mx_c =
+                std::max(mx, chance + 0.01 * (base - chance));
+            // Both published format rows anchor the mapping; Tender is
+            // the prediction.
+            AccuracyModel acc = anchorAccuracyModel2(
+                base, chance, e_mx, mx_c, e_smx, smx_c);
+            table.addRow({t.name, TablePrinter::num(base),
+                          TablePrinter::num(acc.eval(e_smx)),
+                          TablePrinter::num(acc.eval(e_mx)),
+                          TablePrinter::num(acc.eval(e_tender))});
+        }
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

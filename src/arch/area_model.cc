@@ -1,0 +1,82 @@
+#include "arch/area_model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tender {
+
+std::vector<ComponentCost>
+tenderComponents()
+{
+    // Table V of the paper, reproduced by the analytical model.
+    return {
+        {"Systolic Array", "64x64 PEs", 2.00, 1.09},
+        {"Vector Processing Unit", "64 FPUs", 0.08, 0.02},
+        {"Input/Weight FIFOs", "64x2", 0.05, 0.34},
+        {"Index Buffer", "2x(16KB)", 0.23, 0.01},
+        {"Scratchpad Memory", "2x(256KB)", 1.15, 0.13},
+        {"Output Buffer", "64KB", 0.47, 0.01},
+    };
+}
+
+double
+tenderTotalAreaMm2()
+{
+    double total = 0.0;
+    for (const ComponentCost &c : tenderComponents())
+        total += c.areaMm2;
+    return total;
+}
+
+double
+tenderTotalPowerW()
+{
+    double total = 0.0;
+    for (const ComponentCost &c : tenderComponents())
+        total += c.powerW;
+    return total;
+}
+
+double
+tenderPeAreaUm2()
+{
+    // 2.00 mm^2 for 64x64 PEs (MAC + 32-bit accumulator + 1-bit shifter).
+    return 2.00e6 / (64.0 * 64.0);
+}
+
+double
+peAreaFactor(const std::string &accelerator)
+{
+    if (accelerator == "Tender")
+        return 1.00;
+    if (accelerator == "OliVe") {
+        // Outlier-victim decoder + exponent handling in the PE datapath.
+        return 1.17;
+    }
+    if (accelerator == "ANT") {
+        // Edge decoder + exponent-shift in PEs; slightly lighter than
+        // OliVe's outlier datapath.
+        return 1.10;
+    }
+    if (accelerator == "OLAccel") {
+        // Dedicated 16x4 mixed-precision outlier PEs plus dual-datapath
+        // coordination logic amortized over the normal PEs.
+        return 1.36;
+    }
+    TENDER_FATAL("unknown accelerator: " << accelerator);
+}
+
+int
+isoAreaArrayDim(const std::string &accelerator)
+{
+    const double budget = 64.0 * 64.0; // Tender PE-area units
+    const double factor = peAreaFactor(accelerator);
+    int dim = int(std::floor(std::sqrt(budget / factor)));
+    // Arrays are built in even dimensions so 8-bit 2x2 ganging tiles them.
+    dim -= dim % 2;
+    TENDER_CHECK(dim >= 2);
+    return dim;
+}
+
+} // namespace tender

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Area and power model of the Tender accelerator and the iso-area
+ * provisioning of the baseline accelerators (Section V-A/V-C).
+ *
+ * Substitutes for the paper's Synopsys Design Compiler flow at 28 nm: the
+ * component constants are chosen to land on the published Table V totals
+ * (3.98 mm^2, 1.60 W at 1 GHz), and the same PE-area budget is then used
+ * to size the baselines' arrays, exactly as the paper's iso-area
+ * methodology prescribes ("we synthesize the MAC units and accumulators of
+ * each accelerator and configure the number of PEs accordingly").
+ *
+ * Baseline PE-area factors (area per 4-bit-MAC-equivalent relative to a
+ * Tender PE) encode each design's published hardware burden:
+ *  - OLAccel: dedicated mixed-precision outlier PEs (16x4) plus the
+ *    control/coordination logic for the dual datapath -> largest factor.
+ *  - OliVe: outlier-victim decoder at the array edge plus the
+ *    exponent+integer PE datapath for abfloat values.
+ *  - ANT: edge decoder converting adaptive datatypes to exponent+integer
+ *    form; PEs shift multiplication results by the exponent sum.
+ *  - Tender: a 1-bit shifter and 1-bit control per PE (near-free).
+ */
+
+#ifndef TENDER_ARCH_AREA_MODEL_H
+#define TENDER_ARCH_AREA_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace tender {
+
+/** One row of Table V. */
+struct ComponentCost
+{
+    std::string component;
+    std::string setup;
+    double areaMm2 = 0.0;
+    double powerW = 0.0;
+};
+
+/** The Tender configuration of Table V (64x64 PEs, 64 FPUs, ...). */
+std::vector<ComponentCost> tenderComponents();
+
+double tenderTotalAreaMm2();
+double tenderTotalPowerW();
+
+/** Area of one Tender PE (4-bit MAC + 32-bit accumulator + shifter),
+ *  derived from the Table V systolic-array entry. */
+double tenderPeAreaUm2();
+
+/** Relative area per 4-bit-MAC-equivalent for a baseline accelerator. */
+double peAreaFactor(const std::string &accelerator);
+
+/** Iso-area square array dimension for a baseline: the largest D with
+ *  D^2 * factor * peArea <= 64^2 * peArea. */
+int isoAreaArrayDim(const std::string &accelerator);
+
+} // namespace tender
+
+#endif // TENDER_ARCH_AREA_MODEL_H

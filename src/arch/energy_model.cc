@@ -1,0 +1,52 @@
+#include "arch/energy_model.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace tender {
+
+EnergyBreakdown
+computeEnergy(const ActivityCounters &c, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    const double pj_to_uj = 1e-6;
+    e.computeUj = (double(c.macInt4) * p.macInt4 +
+                   double(c.macInt8) * p.macInt8) * p.peEnergyScale *
+        pj_to_uj;
+    e.computeUj += double(c.rescaleShifts) * p.rescaleShift * pj_to_uj;
+    e.vpuUj = double(c.vpuFlops) * p.vpuFlop * pj_to_uj;
+    e.sramUj = (double(c.sramBytes) * p.sramPerByte +
+                double(c.indexBytes) * p.indexPerByte) * pj_to_uj;
+    e.fifoUj = double(c.fifoBytes) * p.fifoPerByte * pj_to_uj;
+    e.dramUj = (double(c.dramBytes) * p.dramPerByte +
+                double(c.dramActivates) * p.dramActivate) * pj_to_uj;
+    e.decodeUj = double(c.decodedElems) * p.decodePerElem * pj_to_uj;
+    e.totalUj = e.computeUj + e.vpuUj + e.sramUj + e.fifoUj + e.dramUj +
+        e.decodeUj;
+    return e;
+}
+
+EnergyParams
+energyParamsFor(const char *accelerator)
+{
+    EnergyParams p;
+    if (std::strcmp(accelerator, "Tender") == 0) {
+        p.peEnergyScale = 1.0;
+    } else if (std::strcmp(accelerator, "OliVe") == 0) {
+        // Exponent+integer PE datapath: shift of every product by the
+        // exponent sum.
+        p.peEnergyScale = 1.45;
+    } else if (std::strcmp(accelerator, "ANT") == 0) {
+        // Exponent shifting of multiplication results in each PE.
+        p.peEnergyScale = 1.10;
+    } else if (std::strcmp(accelerator, "OLAccel") == 0) {
+        // Mixed-precision outlier path and its coordination registers.
+        p.peEnergyScale = 1.40;
+    } else {
+        TENDER_FATAL("unknown accelerator: " << accelerator);
+    }
+    return p;
+}
+
+} // namespace tender

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Energy accounting (Fig. 11). Event counters collected by the simulator
+ * are folded with per-event energy constants at 28 nm; HBM2 energy follows
+ * the FG-DRAM energy model the paper uses (row activation energy plus
+ * per-bit transfer energy).
+ */
+
+#ifndef TENDER_ARCH_ENERGY_MODEL_H
+#define TENDER_ARCH_ENERGY_MODEL_H
+
+#include <cstdint>
+
+namespace tender {
+
+/** Activity counters a simulation produces (accelerator-agnostic). */
+struct ActivityCounters
+{
+    uint64_t macInt4 = 0;       ///< 4-bit MAC operations
+    uint64_t macInt8 = 0;       ///< 8-bit MAC operations (2x2 PE gangs)
+    uint64_t vpuFlops = 0;      ///< FP ops in the VPU
+    uint64_t sramBytes = 0;     ///< scratchpad + output-buffer traffic
+    uint64_t fifoBytes = 0;     ///< skew-FIFO register traffic
+    uint64_t indexBytes = 0;    ///< index-buffer reads
+    uint64_t dramBytes = 0;     ///< off-chip data transferred
+    uint64_t dramActivates = 0; ///< row activations
+    uint64_t decodedElems = 0;  ///< elements through an edge decoder
+    uint64_t rescaleShifts = 0; ///< Tender 1-bit accumulator shifts
+
+    void
+    add(const ActivityCounters &o)
+    {
+        macInt4 += o.macInt4;
+        macInt8 += o.macInt8;
+        vpuFlops += o.vpuFlops;
+        sramBytes += o.sramBytes;
+        fifoBytes += o.fifoBytes;
+        indexBytes += o.indexBytes;
+        dramBytes += o.dramBytes;
+        dramActivates += o.dramActivates;
+        decodedElems += o.decodedElems;
+        rescaleShifts += o.rescaleShifts;
+    }
+
+    void
+    scale(uint64_t factor)
+    {
+        macInt4 *= factor;
+        macInt8 *= factor;
+        vpuFlops *= factor;
+        sramBytes *= factor;
+        fifoBytes *= factor;
+        indexBytes *= factor;
+        dramBytes *= factor;
+        dramActivates *= factor;
+        decodedElems *= factor;
+        rescaleShifts *= factor;
+    }
+};
+
+/** Per-event energies in pJ (28 nm class). */
+struct EnergyParams
+{
+    double macInt4 = 0.08;
+    double macInt8 = 0.30;       ///< ~4x multiplier area, shared accum
+    double vpuFlop = 1.10;       ///< FP16-class FPU op
+    double sramPerByte = 0.60;   ///< large SRAM banks
+    double fifoPerByte = 0.25;   ///< register FIFO stage
+    double indexPerByte = 0.30;
+    double dramPerByte = 31.2;   ///< 3.9 pJ/bit HBM2 (FG-DRAM)
+    double dramActivate = 909.0; ///< row activation
+    double decodePerElem = 0.05; ///< ANT/OliVe edge decoders
+    double rescaleShift = 0.002; ///< 1-bit shifter event
+
+    /** Per-accelerator PE energy multiplier (mixed-precision datapaths and
+     *  exponent handling burn more per MAC). */
+    double peEnergyScale = 1.0;
+};
+
+/** Energy breakdown in micro-joules. */
+struct EnergyBreakdown
+{
+    double computeUj = 0.0;
+    double vpuUj = 0.0;
+    double sramUj = 0.0;
+    double fifoUj = 0.0;
+    double dramUj = 0.0;
+    double decodeUj = 0.0;
+    double totalUj = 0.0;
+};
+
+EnergyBreakdown computeEnergy(const ActivityCounters &counters,
+                              const EnergyParams &params);
+
+/** Per-accelerator energy parameterization. */
+EnergyParams energyParamsFor(const char *accelerator);
+
+} // namespace tender
+
+#endif // TENDER_ARCH_ENERGY_MODEL_H

@@ -1,0 +1,37 @@
+#include "core/calibrate.h"
+
+#include "util/check.h"
+
+namespace tender {
+
+void
+TenderCalibrator::observe(const Matrix &x)
+{
+    const auto ranges = chunkRanges(x.rows(), config_.rowChunk);
+    for (size_t i = 0; i < ranges.size(); ++i) {
+        const ChannelStats stats =
+            computeChannelStats(x.rowSlice(ranges[i].first,
+                                           ranges[i].second));
+        if (i < chunk_stats_.size()) {
+            mergeChannelStats(chunk_stats_[i], stats);
+        } else {
+            // Longer batch than any seen before: start a fresh envelope for
+            // the new trailing chunks.
+            chunk_stats_.push_back(stats);
+        }
+    }
+    ++batches_;
+}
+
+std::vector<ChunkMeta>
+TenderCalibrator::finalize() const
+{
+    TENDER_REQUIRE(batches_ > 0, "calibrate with at least one batch");
+    std::vector<ChunkMeta> metas;
+    metas.reserve(chunk_stats_.size());
+    for (const ChannelStats &stats : chunk_stats_)
+        metas.push_back(buildChunkMeta(stats, config_));
+    return metas;
+}
+
+} // namespace tender

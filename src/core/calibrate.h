@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Offline calibration (Section III-B "Optimization" and Section V-A).
+ *
+ * The paper pre-computes channel biases, scale factors, and group indices
+ * from a small calibration set before runtime; at inference only the
+ * metadata is applied. TenderCalibrator accumulates per-chunk channel
+ * min/max envelopes across calibration batches and freezes them into
+ * ChunkMeta. Values outside the calibrated envelope saturate at runtime.
+ */
+
+#ifndef TENDER_CORE_CALIBRATE_H
+#define TENDER_CORE_CALIBRATE_H
+
+#include <vector>
+
+#include "core/decompose.h"
+
+namespace tender {
+
+class TenderCalibrator
+{
+  public:
+    explicit TenderCalibrator(TenderConfig config) : config_(config) {}
+
+    /** Fold one calibration batch (same layer/operand across batches). */
+    void observe(const Matrix &x);
+
+    /** Freeze the accumulated envelopes into per-chunk metadata. */
+    std::vector<ChunkMeta> finalize() const;
+
+    int batches() const { return batches_; }
+    int chunks() const { return int(chunk_stats_.size()); }
+    const TenderConfig &config() const { return config_; }
+
+  private:
+    TenderConfig config_;
+    std::vector<ChannelStats> chunk_stats_;
+    int batches_ = 0;
+};
+
+} // namespace tender
+
+#endif // TENDER_CORE_CALIBRATE_H

@@ -1,0 +1,59 @@
+#include "core/channel_stats.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace tender {
+
+namespace {
+
+void
+finalize(ChannelStats &s)
+{
+    const int d = int(s.minv.size());
+    s.bias.resize(size_t(d));
+    s.cmax.resize(size_t(d));
+    s.tmax = 0.f;
+    for (int c = 0; c < d; ++c) {
+        s.bias[size_t(c)] = 0.5f * (s.maxv[size_t(c)] + s.minv[size_t(c)]);
+        s.cmax[size_t(c)] = 0.5f * (s.maxv[size_t(c)] - s.minv[size_t(c)]);
+        TENDER_CHECK(s.cmax[size_t(c)] >= 0.f);
+        s.tmax = std::max(s.tmax, s.cmax[size_t(c)]);
+    }
+}
+
+} // namespace
+
+ChannelStats
+computeChannelStats(const Matrix &chunk)
+{
+    TENDER_CHECK(chunk.rows() > 0 && chunk.cols() > 0);
+    ChannelStats s;
+    const int d = chunk.cols();
+    s.minv.assign(size_t(d), std::numeric_limits<float>::infinity());
+    s.maxv.assign(size_t(d), -std::numeric_limits<float>::infinity());
+    for (int r = 0; r < chunk.rows(); ++r) {
+        const float *row = chunk.rowPtr(r);
+        for (int c = 0; c < d; ++c) {
+            s.minv[size_t(c)] = std::min(s.minv[size_t(c)], row[c]);
+            s.maxv[size_t(c)] = std::max(s.maxv[size_t(c)], row[c]);
+        }
+    }
+    finalize(s);
+    return s;
+}
+
+void
+mergeChannelStats(ChannelStats &into, const ChannelStats &other)
+{
+    TENDER_CHECK(into.channels() == other.channels());
+    for (size_t c = 0; c < into.minv.size(); ++c) {
+        into.minv[c] = std::min(into.minv[c], other.minv[c]);
+        into.maxv[c] = std::max(into.maxv[c], other.maxv[c]);
+    }
+    finalize(into);
+}
+
+} // namespace tender

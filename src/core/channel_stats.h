@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Per-channel statistics of an activation chunk: min/max, the channel bias
+ * (Section III-B step 1), and the post-bias channel absolute maximum
+ * (CMax) that drives the power-of-two classification.
+ */
+
+#ifndef TENDER_CORE_CHANNEL_STATS_H
+#define TENDER_CORE_CHANNEL_STATS_H
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace tender {
+
+/** Channel-wise statistics for one row chunk of an activation tensor. */
+struct ChannelStats
+{
+    std::vector<float> minv;  ///< per-channel minimum
+    std::vector<float> maxv;  ///< per-channel maximum
+    std::vector<float> bias;  ///< (max + min) / 2 — symmetrization offset
+    std::vector<float> cmax;  ///< post-bias |.|max: (max - min) / 2
+    float tmax = 0.f;         ///< max over cmax — the tensor absmax
+
+    int channels() const { return int(cmax.size()); }
+};
+
+/** Compute stats for all channels (columns) of chunk. */
+ChannelStats computeChannelStats(const Matrix &chunk);
+
+/**
+ * Merge stats from another batch of the same shape (calibration): extends
+ * min/max envelopes and recomputes bias/cmax/tmax.
+ */
+void mergeChannelStats(ChannelStats &into, const ChannelStats &other);
+
+} // namespace tender
+
+#endif // TENDER_CORE_CHANNEL_STATS_H

@@ -1,0 +1,109 @@
+#include "core/msa_functional.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace tender {
+
+namespace {
+
+/** One slot of the skewed input stream: data (channel index) or bubble. */
+struct StreamSlot
+{
+    bool rescale = false;
+    int channel = -1;
+};
+
+} // namespace
+
+MsaTileResult
+msaComputeTile(const IntMatrix &a, const IntMatrix &b,
+               const std::vector<int> &group_sizes, const MsaConfig &config)
+{
+    const int m = a.rows();
+    const int k = a.cols();
+    const int n = b.cols();
+    TENDER_CHECK(b.rows() == k);
+    TENDER_REQUIRE(m <= config.rows && n <= config.cols,
+                   "tile exceeds the physical array");
+    TENDER_CHECK(std::accumulate(group_sizes.begin(), group_sizes.end(), 0)
+                 == k);
+
+    // Build the stream: channels in order with a rescale bubble after every
+    // group but the last. The Execution Controller generates exactly this
+    // sequence from the Index Buffer metadata.
+    std::vector<StreamSlot> stream;
+    stream.reserve(size_t(k) + group_sizes.size());
+    int64_t bubbles = 0;
+    int chan = 0;
+    for (size_t g = 0; g < group_sizes.size(); ++g) {
+        for (int i = 0; i < group_sizes[g]; ++i) {
+            StreamSlot s;
+            s.channel = chan++;
+            stream.push_back(s);
+        }
+        if (g + 1 < group_sizes.size()) {
+            StreamSlot s;
+            s.rescale = true;
+            stream.push_back(s);
+            ++bubbles;
+        }
+    }
+    const int len = int(stream.size());
+
+    // Cycle-stepped evaluation. The activation slot injected at stream
+    // position p enters PE row r at cycle p + r (FIFO skew) and reaches
+    // column c at cycle p + r + c; the weight stream is skewed identically
+    // down the columns, so both operands of channel p meet in PE(r, c) at
+    // cycle p + r + c. The loop below evaluates every PE at every cycle,
+    // which is exactly the RTL's dataflow with the pipeline registers
+    // folded into the arrival-time arithmetic.
+    MatrixT<int64_t> acc(m, n, 0);
+    const int64_t total_cycles = int64_t(len) + m - 1 + n - 1;
+    constexpr int64_t kAccMax = std::numeric_limits<int32_t>::max();
+    for (int64_t t = 0; t < total_cycles; ++t) {
+        for (int r = 0; r < m; ++r) {
+            const int64_t base = t - r;
+            if (base < 0)
+                continue;
+            const int c_lo = int(std::max<int64_t>(0, base - (len - 1)));
+            const int c_hi = int(std::min<int64_t>(n - 1, base));
+            for (int c = c_lo; c <= c_hi; ++c) {
+                const int p = int(base) - c;
+                const StreamSlot &slot = stream[size_t(p)];
+                int64_t &cell = acc(r, c);
+                if (slot.rescale) {
+                    cell *= config.alpha;
+                } else {
+                    cell += int64_t(a(r, slot.channel)) *
+                        int64_t(b(slot.channel, c));
+                }
+                if (config.checkOverflow)
+                    TENDER_CHECK_MSG(std::abs(cell) <= kAccMax,
+                                     "MSA 32-bit accumulator overflow at PE("
+                                     << r << "," << c << ")");
+            }
+        }
+    }
+
+    MsaTileResult result;
+    result.acc = std::move(acc);
+    result.computeCycles = total_cycles;
+    result.drainCycles = m; // row-by-row shift-out through the output bus
+    result.bubbles = bubbles;
+    return result;
+}
+
+int64_t
+msaTileCycles(int m, int n, int k, int num_groups)
+{
+    TENDER_CHECK(m >= 1 && n >= 1 && k >= 0 && num_groups >= 1);
+    const int64_t stream = int64_t(k) + num_groups - 1;
+    return stream + m - 1 + n - 1;
+}
+
+} // namespace tender

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Functional (value- and cycle-accurate) model of the Multi-Scale Systolic
+ * Array (Section IV-B).
+ *
+ * The MSA is an output-stationary 2-D PE mesh. Activations stream in from
+ * the left (one row of PEs per output row, skewed one cycle per row) and
+ * weights from the top (skewed one cycle per column). Each PE multiplies
+ * the two values passing through it and accumulates into a 32-bit register.
+ * Between channel groups a 1-cycle bubble carries the rescale signal along
+ * the input wavefront; a PE seeing it shifts its accumulator left by one
+ * bit (times alpha in general) instead of accumulating.
+ *
+ * This model plays the role of the paper's RTL implementation: it is the
+ * ground truth that (a) the software shift-accumulate GEMM is bit-exact
+ * against, and (b) the analytic cycle formula used by the performance
+ * simulator is validated against.
+ */
+
+#ifndef TENDER_CORE_MSA_FUNCTIONAL_H
+#define TENDER_CORE_MSA_FUNCTIONAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace tender {
+
+/** Physical array configuration. */
+struct MsaConfig
+{
+    int rows = 64;   ///< PE rows (output rows per tile)
+    int cols = 64;   ///< PE columns (output columns per tile)
+    int alpha = 2;   ///< rescale factor applied on the rescale signal
+    bool checkOverflow = true; ///< assert 32-bit accumulator safety
+};
+
+/** Result of streaming one output tile through the array. */
+struct MsaTileResult
+{
+    MatrixT<int64_t> acc;     ///< final per-PE accumulators (m x n)
+    int64_t computeCycles = 0;///< first input to last PE update
+    int64_t drainCycles = 0;  ///< cycles to shift results out (overlappable)
+    int64_t bubbles = 0;      ///< rescale bubbles inserted into the stream
+};
+
+/**
+ * Stream one tile through the MSA.
+ *
+ * @param a            Activation codes, m x K, channels already permuted
+ *                     into group order (the Index Buffer's job).
+ * @param b            Weight codes, K x n, rows in the same channel order.
+ * @param group_sizes  Channels per group in stream order; must sum to K.
+ *                     A rescale bubble is inserted after every group except
+ *                     the last, *including empty groups*, so the final
+ *                     accumulator is always A_G of Eq. 2.
+ * @param config       Array shape and rescale factor. m <= rows, n <= cols.
+ */
+MsaTileResult msaComputeTile(const IntMatrix &a, const IntMatrix &b,
+                             const std::vector<int> &group_sizes,
+                             const MsaConfig &config);
+
+/** Analytic compute-cycle count for a tile: stream length (K + bubbles)
+ *  plus the wavefront skew (m - 1) + (n - 1). Validated against the
+ *  functional model in tests and used by the performance simulator. */
+int64_t msaTileCycles(int m, int n, int k, int num_groups);
+
+} // namespace tender
+
+#endif // TENDER_CORE_MSA_FUNCTIONAL_H

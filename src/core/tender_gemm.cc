@@ -1,0 +1,210 @@
+#include "core/tender_gemm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "quant/quantizer.h"
+
+namespace tender {
+
+namespace {
+
+void
+notePeak(TenderGemmStats *stats, const MatrixT<int64_t> &acc)
+{
+    if (!stats)
+        return;
+    for (int64_t v : acc.data()) {
+        stats->peakAbsAcc = std::max(stats->peakAbsAcc, std::abs(v));
+        if (std::abs(v) > int64_t(std::numeric_limits<int32_t>::max()))
+            stats->overflow32 = true;
+    }
+}
+
+} // namespace
+
+MatrixT<int64_t>
+chunkAccumulateImplicit(const QuantizedChunk &qc, const QuantizedWeight &qw,
+                        const TenderConfig &config, TenderGemmStats *stats)
+{
+    TENDER_CHECK(qc.codes.cols() == qw.codes.rows());
+    const int rows = qc.codes.rows();
+    const int n = qw.codes.cols();
+    const ChunkMeta &meta = qc.meta;
+
+    MatrixT<int64_t> acc(rows, n, 0);
+    for (int g = 0; g < meta.groups(); ++g) {
+        if (g > 0) {
+            // Runtime requantization: A <- A * alpha between groups. For
+            // alpha = 2 this is the MSA's 1-bit left shift.
+            for (auto &v : acc.data())
+                v *= config.alpha;
+            if (stats)
+                stats->rescales += int64_t(rows) * int64_t(n);
+            notePeak(stats, acc);
+            if (config.checkOverflow) {
+                for (int64_t v : acc.data())
+                    TENDER_CHECK_MSG(
+                        std::abs(v) <=
+                            int64_t(std::numeric_limits<int32_t>::max()),
+                        "32-bit accumulator overflow during rescale");
+            }
+        }
+        // Accumulate the partial products of this group's channels. The
+        // Index Buffer ordering (meta.order) makes the channel walk
+        // sequential per group, as the hardware streams it.
+        for (int idx = meta.groupStart[size_t(g)];
+             idx < meta.groupStart[size_t(g) + 1]; ++idx) {
+            const int c = meta.order[size_t(idx)];
+            for (int r = 0; r < rows; ++r) {
+                const int64_t a = qc.codes(r, c);
+                if (a == 0)
+                    continue;
+                const int32_t *wrow = qw.codes.rowPtr(c);
+                int64_t *arow = acc.rowPtr(r);
+                for (int j = 0; j < n; ++j)
+                    arow[j] += a * int64_t(wrow[j]);
+            }
+        }
+        if (stats)
+            stats->macs += int64_t(meta.groupSize(g)) * int64_t(rows) *
+                int64_t(n);
+    }
+    notePeak(stats, acc);
+    if (config.checkOverflow) {
+        for (int64_t v : acc.data())
+            TENDER_CHECK_MSG(
+                std::abs(v) <= int64_t(std::numeric_limits<int32_t>::max()),
+                "32-bit accumulator overflow after final group");
+    }
+    return acc;
+}
+
+Matrix
+biasCorrectionRow(const ChunkMeta &meta, const Matrix &w)
+{
+    TENDER_CHECK(meta.channels() == w.rows());
+    Matrix row(1, w.cols(), 0.f);
+    for (int c = 0; c < w.rows(); ++c) {
+        const double b = meta.bias[size_t(c)];
+        if (b == 0.0)
+            continue;
+        for (int j = 0; j < w.cols(); ++j)
+            row(0, j) += float(b * double(w(c, j)));
+    }
+    return row;
+}
+
+Matrix
+finishChunk(const MatrixT<int64_t> &acc, const QuantizedChunk &qc,
+            const QuantizedWeight &qw, const Matrix &bias_correction)
+{
+    const ChunkMeta &meta = qc.meta;
+    const float s_last = meta.scale[size_t(meta.groups() - 1)];
+    Matrix out(acc.rows(), acc.cols());
+    for (int r = 0; r < acc.rows(); ++r)
+        for (int j = 0; j < acc.cols(); ++j)
+            out(r, j) = float(double(acc(r, j)) * double(s_last) *
+                              double(qw.colScale[size_t(j)])) +
+                bias_correction(0, j);
+    return out;
+}
+
+namespace {
+
+Matrix
+matmulWithMeta(const Matrix &x, const Matrix &w,
+               const std::vector<ChunkMeta> *metas,
+               const TenderConfig &config, TenderGemmStats *stats)
+{
+    TENDER_CHECK(x.cols() == w.rows());
+    const QuantizedWeight qw = quantizeWeight(w, config.bits);
+    Matrix y(x.rows(), w.cols(), 0.f);
+    const auto ranges = chunkRanges(x.rows(), config.rowChunk);
+    for (size_t ci = 0; ci < ranges.size(); ++ci) {
+        const auto [r0, r1] = ranges[ci];
+        const Matrix chunk = x.rowSlice(r0, r1);
+        ChunkMeta meta;
+        if (metas) {
+            // Calibrated path: reuse the last calibrated chunk when the
+            // eval tensor has more chunks than the calibration run.
+            const size_t mi = std::min(ci, metas->size() - 1);
+            meta = (*metas)[mi];
+        } else {
+            meta = decomposeChunk(chunk, config);
+        }
+        QuantizedChunk qc = quantizeChunk(chunk, meta, config.bits);
+        MatrixT<int64_t> acc =
+            chunkAccumulateImplicit(qc, qw, config, stats);
+        const Matrix correction = biasCorrectionRow(meta, w);
+        const Matrix part = finishChunk(acc, qc, qw, correction);
+        for (int r = r0; r < r1; ++r)
+            for (int j = 0; j < y.cols(); ++j)
+                y(r, j) = part(r - r0, j);
+        if (stats)
+            ++stats->chunks;
+    }
+    return y;
+}
+
+} // namespace
+
+Matrix
+tenderMatmul(const Matrix &x, const Matrix &w, const TenderConfig &config,
+             TenderGemmStats *stats)
+{
+    return matmulWithMeta(x, w, nullptr, config, stats);
+}
+
+Matrix
+tenderMatmulCalibrated(const Matrix &x, const Matrix &w,
+                       const std::vector<ChunkMeta> &metas,
+                       const TenderConfig &config, TenderGemmStats *stats)
+{
+    TENDER_REQUIRE(!metas.empty(), "calibrated path needs metadata");
+    return matmulWithMeta(x, w, &metas, config, stats);
+}
+
+Matrix
+tenderMatmulExplicit(const Matrix &x, const Matrix &w,
+                     const TenderConfig &config)
+{
+    TENDER_CHECK(x.cols() == w.rows());
+    const QuantizedWeight qw = quantizeWeight(w, config.bits);
+    Matrix y(x.rows(), w.cols(), 0.f);
+    for (const auto &[r0, r1] : chunkRanges(x.rows(), config.rowChunk)) {
+        const Matrix chunk = x.rowSlice(r0, r1);
+        const ChunkMeta meta = decomposeChunk(chunk, config);
+        const QuantizedChunk qc = quantizeChunk(chunk, meta, config.bits);
+
+        // Eq. 1: one shortened-reduction integer GEMM per group, each
+        // partial product dequantized with its own scale, FP accumulation.
+        Matrix part(chunk.rows(), w.cols(), 0.f);
+        for (int g = 0; g < meta.groups(); ++g) {
+            const double sg = meta.scale[size_t(g)];
+            for (int idx = meta.groupStart[size_t(g)];
+                 idx < meta.groupStart[size_t(g) + 1]; ++idx) {
+                const int c = meta.order[size_t(idx)];
+                for (int r = 0; r < chunk.rows(); ++r) {
+                    const int64_t a = qc.codes(r, c);
+                    if (a == 0)
+                        continue;
+                    for (int j = 0; j < w.cols(); ++j) {
+                        const int64_t p = a * int64_t(qw.codes(c, j));
+                        part(r, j) += float(double(p) * sg *
+                                            double(qw.colScale[size_t(j)]));
+                    }
+                }
+            }
+        }
+        const Matrix correction = biasCorrectionRow(meta, w);
+        for (int r = r0; r < r1; ++r)
+            for (int j = 0; j < y.cols(); ++j)
+                y(r, j) = part(r - r0, j) + correction(0, j);
+    }
+    return y;
+}
+
+} // namespace tender

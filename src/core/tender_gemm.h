@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tender matrix multiplication with runtime requantization (Section III).
+ *
+ * The implicit path (Eq. 2) accumulates group partial sums in an integer
+ * accumulator and rescales between groups with a single multiply-by-alpha
+ * (a 1-bit left shift for alpha = 2), exactly like the Multi-Scale Systolic
+ * Array. The explicit path (Eq. 1) dequantizes each group's partial product
+ * separately and adds in floating point — the costly reference Tender
+ * avoids. Both are exposed so tests can prove them equivalent and so the
+ * Fig. 13 harness can model their performance difference.
+ */
+
+#ifndef TENDER_CORE_TENDER_GEMM_H
+#define TENDER_CORE_TENDER_GEMM_H
+
+#include "core/tender_quant.h"
+#include "tensor/matrix.h"
+
+namespace tender {
+
+/** Counters from a Tender GEMM (feed the tests and perf/energy models). */
+struct TenderGemmStats
+{
+    int64_t macs = 0;          ///< integer multiply-accumulates
+    int64_t rescales = 0;      ///< group-boundary accumulator shifts
+    int64_t chunks = 0;        ///< row chunks processed
+    int64_t peakAbsAcc = 0;    ///< peak |accumulator| observed
+    bool overflow32 = false;   ///< accumulator left the int32 range
+};
+
+/**
+ * Integer core of the implicit pipeline on one quantized chunk: returns
+ * the final integer accumulator A_{G-1} (Eq. 2) for each output element.
+ * This is the value the MSA produces before the VPU's final dequantization.
+ */
+MatrixT<int64_t> chunkAccumulateImplicit(const QuantizedChunk &qc,
+                                         const QuantizedWeight &qw,
+                                         const TenderConfig &config,
+                                         TenderGemmStats *stats = nullptr);
+
+/** Dequantize the accumulator and add the bias correction row. */
+Matrix finishChunk(const MatrixT<int64_t> &acc, const QuantizedChunk &qc,
+                   const QuantizedWeight &qw, const Matrix &bias_correction);
+
+/** Bias-times-weight correction row (1 x N) for a chunk's metadata. */
+Matrix biasCorrectionRow(const ChunkMeta &meta, const Matrix &w);
+
+/**
+ * Full Tender GEMM with dynamic (tensor-derived) decomposition:
+ * chunk rows, decompose, quantize, implicit-requantize, dequantize.
+ */
+Matrix tenderMatmul(const Matrix &x, const Matrix &w,
+                    const TenderConfig &config,
+                    TenderGemmStats *stats = nullptr);
+
+/** Same pipeline but with pre-calibrated per-chunk metadata. Chunks beyond
+ *  the calibrated list reuse the final calibrated entry. */
+Matrix tenderMatmulCalibrated(const Matrix &x, const Matrix &w,
+                              const std::vector<ChunkMeta> &metas,
+                              const TenderConfig &config,
+                              TenderGemmStats *stats = nullptr);
+
+/** Explicit-requantization reference (Eq. 1): one integer GEMM per group,
+ *  each dequantized with its own scale and accumulated in FP. */
+Matrix tenderMatmulExplicit(const Matrix &x, const Matrix &w,
+                            const TenderConfig &config);
+
+} // namespace tender
+
+#endif // TENDER_CORE_TENDER_GEMM_H

@@ -1,0 +1,68 @@
+#include "core/tender_quant.h"
+
+#include "quant/quantizer.h"
+
+namespace tender {
+
+QuantizedChunk
+quantizeChunk(const Matrix &chunk, const ChunkMeta &meta, int bits)
+{
+    TENDER_CHECK(meta.channels() == chunk.cols());
+    QuantizedChunk qc;
+    qc.bits = bits;
+    qc.meta = meta;
+    qc.codes = IntMatrix(chunk.rows(), chunk.cols());
+    for (int r = 0; r < chunk.rows(); ++r) {
+        for (int c = 0; c < chunk.cols(); ++c) {
+            const int g = meta.group[size_t(c)];
+            const float s = meta.scale[size_t(g)];
+            const float centered = chunk(r, c) - meta.bias[size_t(c)];
+            qc.codes(r, c) = quantizeValue(centered, s, bits);
+        }
+    }
+    return qc;
+}
+
+Matrix
+dequantizeChunk(const QuantizedChunk &qc)
+{
+    Matrix out(qc.codes.rows(), qc.codes.cols());
+    for (int r = 0; r < out.rows(); ++r) {
+        for (int c = 0; c < out.cols(); ++c) {
+            const int g = qc.meta.group[size_t(c)];
+            const float s = qc.meta.scale[size_t(g)];
+            out(r, c) = dequantizeValue(qc.codes(r, c), s) +
+                qc.meta.bias[size_t(c)];
+        }
+    }
+    return out;
+}
+
+QuantizedWeight
+quantizeWeight(const Matrix &w, int bits)
+{
+    QuantizedWeight qw;
+    qw.bits = bits;
+    qw.codes = IntMatrix(w.rows(), w.cols());
+    qw.colScale.resize(size_t(w.cols()));
+    for (int c = 0; c < w.cols(); ++c)
+        qw.colScale[size_t(c)] = scaleFor(colAbsMax(w, c), bits);
+    for (int r = 0; r < w.rows(); ++r)
+        for (int c = 0; c < w.cols(); ++c)
+            qw.codes(r, c) =
+                quantizeValue(w(r, c), qw.colScale[size_t(c)], bits);
+    return qw;
+}
+
+Matrix
+dequantizeWeight(const QuantizedWeight &qw)
+{
+    Matrix out(qw.codes.rows(), qw.codes.cols());
+    for (int r = 0; r < out.rows(); ++r)
+        for (int c = 0; c < out.cols(); ++c)
+            out(r, c) = dequantizeValue(qw.codes(r, c),
+                                        qw.colScale[size_t(c)]);
+    return out;
+}
+
+} // namespace tender

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Quantization of activations (per-chunk, decomposed) and weights
+ * (per-column, linear symmetric) for the Tender pipeline.
+ */
+
+#ifndef TENDER_CORE_TENDER_QUANT_H
+#define TENDER_CORE_TENDER_QUANT_H
+
+#include "core/decompose.h"
+#include "tensor/matrix.h"
+
+namespace tender {
+
+/** One quantized activation chunk plus its metadata. */
+struct QuantizedChunk
+{
+    IntMatrix codes;   ///< widened b-bit codes, original channel order
+    ChunkMeta meta;
+    int bits = 8;
+};
+
+/** Per-column symmetric weight quantization (done once, offline). */
+struct QuantizedWeight
+{
+    IntMatrix codes;
+    std::vector<float> colScale; ///< one scale per output column
+    int bits = 8;
+};
+
+/**
+ * Quantize a chunk with precomputed metadata. Values outside the
+ * calibrated range (static calibration applied to unseen data) clamp to
+ * the code range, exactly as the VPU's saturating quantizer does.
+ */
+QuantizedChunk quantizeChunk(const Matrix &chunk, const ChunkMeta &meta,
+                             int bits);
+
+/** Dequantize back to FP32 (adds the channel bias back). */
+Matrix dequantizeChunk(const QuantizedChunk &qc);
+
+/** Quantize weights per output column. */
+QuantizedWeight quantizeWeight(const Matrix &w, int bits);
+
+/** Dequantize weights. */
+Matrix dequantizeWeight(const QuantizedWeight &qw);
+
+} // namespace tender
+
+#endif // TENDER_CORE_TENDER_QUANT_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GemmScheme adapter for Tender so the accuracy harnesses can swap it in
+ * next to the baseline quantization schemes.
+ */
+
+#ifndef TENDER_CORE_TENDER_SCHEME_H
+#define TENDER_CORE_TENDER_SCHEME_H
+
+#include "core/tender_gemm.h"
+#include "quant/granularity.h"
+#include "quant/scheme.h"
+
+namespace tender {
+
+class TenderScheme : public GemmScheme
+{
+  public:
+    explicit TenderScheme(TenderConfig config) : config_(config) {}
+
+    std::string
+    name() const override
+    {
+        return "Tender";
+    }
+
+    Matrix
+    fakeQuant(const Matrix &m, Operand op) const override
+    {
+        if (op == Operand::Weight) {
+            return dequantizeWeight(quantizeWeight(m, config_.bits));
+        }
+        Matrix out(m.rows(), m.cols());
+        for (const auto &[r0, r1] : chunkRanges(m.rows(),
+                                                config_.rowChunk)) {
+            const Matrix chunk = m.rowSlice(r0, r1);
+            const ChunkMeta meta = decomposeChunk(chunk, config_);
+            const Matrix dq = dequantizeChunk(
+                quantizeChunk(chunk, meta, config_.bits));
+            for (int r = r0; r < r1; ++r)
+                for (int c = 0; c < m.cols(); ++c)
+                    out(r, c) = dq(r - r0, c);
+        }
+        return out;
+    }
+
+    /** Full integer pipeline with implicit runtime requantization. */
+    Matrix
+    matmul(const Matrix &x, const Matrix &w) const override
+    {
+        return tenderMatmul(x, w, config_);
+    }
+
+    const TenderConfig &config() const { return config_; }
+
+  private:
+    TenderConfig config_;
+};
+
+} // namespace tender
+
+#endif // TENDER_CORE_TENDER_SCHEME_H

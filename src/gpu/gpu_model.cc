@@ -1,0 +1,167 @@
+#include "gpu/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tender {
+
+GpuSpec
+rtx3090()
+{
+    GpuSpec g;
+    g.name = "RTX 3090";
+    // FP16 with FP32 accumulation (the cuBLAS default) runs at half the
+    // FP16-accumulate rate on GA102: 71 TFLOPS dense.
+    g.fp16Tflops = 71.0;
+    g.int8Tops = 284.0;
+    g.memBwGBs = 936.0;
+    g.launchUs = 5.0;
+    g.efficiency = 0.75;
+    g.int8Efficiency = 0.45;
+    return g;
+}
+
+GpuSpec
+a100_80g()
+{
+    GpuSpec g;
+    g.name = "A100 80GB";
+    // A100 sustains FP32 accumulation at the full FP16 tensor-core rate,
+    // which is why INT8 and FP16 GEMM latencies sit close together on it
+    // (the Section VI-A observation).
+    g.fp16Tflops = 312.0;
+    g.int8Tops = 624.0;
+    g.memBwGBs = 2039.0;
+    g.launchUs = 5.0;
+    g.efficiency = 0.75;
+    g.int8Efficiency = 0.45;
+    return g;
+}
+
+double
+gemmTimeUs(const GpuSpec &gpu, long long m, long long k, long long n,
+           bool int8)
+{
+    TENDER_CHECK(m > 0 && k >= 0 && n > 0);
+    if (k == 0)
+        return 0.0;
+    const double macs = double(m) * double(k) * double(n);
+    const double eff = int8 ? gpu.int8Efficiency : gpu.efficiency;
+    const double peak_macs_per_us =
+        (int8 ? gpu.int8Tops : gpu.fp16Tflops) * eff * 1e6 / 2.0;
+    const double compute_us = macs / peak_macs_per_us;
+    const double elem_bytes = int8 ? 1.0 : 2.0;
+    const double bytes = (double(m) * double(k) + double(k) * double(n)) *
+        elem_bytes + double(m) * double(n) * 4.0 /*fp32/int32 out*/;
+    const double mem_us = bytes / (gpu.memBwGBs * 1e3 * gpu.efficiency);
+    return std::max(compute_us, mem_us);
+}
+
+namespace {
+
+/** Elementwise pass over `elems` values of `bytes_per` bytes each:
+ *  bandwidth-bound epilogue/prologue (quantize, dequantize, add). */
+double
+elementwiseUs(const GpuSpec &gpu, double elems, double bytes_per)
+{
+    return elems * bytes_per / (gpu.memBwGBs * 1e3 * gpu.efficiency);
+}
+
+} // namespace
+
+GpuLatency
+fp16Latency(const GpuSpec &gpu, long long m, long long k, long long n)
+{
+    GpuLatency l;
+    l.scheme = "FP16";
+    l.kernels = 1;
+    l.usGemm = gemmTimeUs(gpu, m, k, n, false);
+    l.usLaunch = gpu.launchUs;
+    l.usTotal = l.usGemm + l.usLaunch;
+    return l;
+}
+
+GpuLatency
+int8PerTensorLatency(const GpuSpec &gpu, long long m, long long k,
+                     long long n)
+{
+    GpuLatency l;
+    l.scheme = "INT8 per-tensor";
+    l.kernels = 2; // quantize-X kernel + GEMM (scaling fused in epilogue)
+    l.usGemm = gemmTimeUs(gpu, m, k, n, true);
+    // Quantize activations (read fp16, write int8) + dequant epilogue
+    // folded into the GEMM's output pass.
+    l.usEpilogue = elementwiseUs(gpu, double(m) * double(k), 3.0);
+    l.usLaunch = 2.0 * gpu.launchUs;
+    l.usTotal = l.usGemm + l.usEpilogue + l.usLaunch;
+    return l;
+}
+
+GpuLatency
+int8PerRowLatency(const GpuSpec &gpu, long long m, long long k, long long n)
+{
+    GpuLatency l = int8PerTensorLatency(gpu, m, k, n);
+    l.scheme = "INT8 per-row";
+    // Row-max reduction adds one more activation read pass.
+    l.usEpilogue += elementwiseUs(gpu, double(m) * double(k), 2.0);
+    l.usTotal = l.usGemm + l.usEpilogue + l.usLaunch;
+    return l;
+}
+
+GpuLatency
+int8PerChannelLatency(const GpuSpec &gpu, long long m, long long k,
+                      long long n)
+{
+    GpuLatency l;
+    l.scheme = "INT8 per-channel";
+    // Per-channel activation scales cannot ride the integer reduction:
+    // dequantize to FP16 first, then run the FP16 GEMM — all the
+    // quantization cost, none of the integer-pipeline benefit.
+    l.kernels = 3;
+    l.usGemm = gemmTimeUs(gpu, m, k, n, false);
+    l.usEpilogue = elementwiseUs(gpu, double(m) * double(k), 3.0) /*quant*/ +
+        elementwiseUs(gpu, double(m) * double(k), 3.0) /*dequant*/;
+    l.usLaunch = 3.0 * gpu.launchUs;
+    l.usTotal = l.usGemm + l.usEpilogue + l.usLaunch;
+    return l;
+}
+
+GpuLatency
+tenderSwLatency(const GpuSpec &gpu, long long m,
+                const std::vector<long long> &group_sizes, long long n)
+{
+    GpuLatency l;
+    l.scheme = "Tender SW";
+    double gemm_us = 0.0;
+    long long k_total = 0;
+    for (long long kg : group_sizes) {
+        if (kg <= 0)
+            continue;
+        // CUTLASS INT8 kernels need 128-bit aligned K: pad each subtensor
+        // to a multiple of 16 (Section VI-A). The shift-accumulate across
+        // groups rides each kernel's epilogue (D = alpha*AB + C), so
+        // every kernel after the first re-reads the int32 C tile.
+        const long long k_pad = (kg + 15) / 16 * 16;
+        const double compute_us = double(m) * double(k_pad) * double(n) /
+            (gpu.int8Tops * gpu.int8Efficiency * 1e6 / 2.0);
+        double bytes = double(m) * double(k_pad) +
+            double(k_pad) * double(n) + double(m) * double(n) * 4.0;
+        if (l.kernels > 0)
+            bytes += double(m) * double(n) * 4.0; // C accumulate read
+        const double mem_us =
+            bytes / (gpu.memBwGBs * 1e3 * gpu.efficiency);
+        gemm_us += std::max(compute_us, mem_us);
+        k_total += kg;
+        ++l.kernels;
+    }
+    l.usGemm = gemm_us;
+    // Quantize activations once (read fp16, write int8).
+    l.usEpilogue = elementwiseUs(gpu, double(m) * double(k_total), 3.0);
+    l.usLaunch = double(l.kernels + 1) * gpu.launchUs;
+    l.usTotal = l.usGemm + l.usEpilogue + l.usLaunch;
+    return l;
+}
+
+} // namespace tender

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Analytical GPU model for the Fig. 12 study: normalized GEMM latency of
+ * FP16 vs INT8 granularity variants vs Tender software on tensor-core
+ * GPUs, together with the MSE each scheme achieves.
+ *
+ * Latency model per kernel: roofline over tensor-core throughput and DRAM
+ * bandwidth, plus a fixed launch overhead. Each scheme decomposes into a
+ * kernel sequence:
+ *  - FP16: one GEMM.
+ *  - INT8 per-tensor / per-row: quantize epilogue + one INT8 GEMM +
+ *    dequantize epilogue (fused; epilogues cost elementwise passes).
+ *  - INT8 per-channel: cannot run in the integer pipeline (each element
+ *    needs scaling inside the reduction) — dequantize activations first
+ *    and fall back to an FP16 GEMM, paying both overheads.
+ *  - Tender SW: G sub-GEMMs over the channel groups, each K-padded to the
+ *    128-bit alignment CUTLASS INT8 kernels require (multiples of 16),
+ *    with an FP shift-accumulate epilogue between groups (Section VI-A).
+ */
+
+#ifndef TENDER_GPU_GPU_MODEL_H
+#define TENDER_GPU_GPU_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace tender {
+
+/** Device description (datasheet-level). */
+struct GpuSpec
+{
+    std::string name;
+    double fp16Tflops = 0.0;  ///< tensor-core FP16 with FP32 accumulate
+    double int8Tops = 0.0;    ///< tensor-core INT8
+    double memBwGBs = 0.0;    ///< DRAM bandwidth
+    double launchUs = 5.0;    ///< kernel launch + epilogue setup
+    double efficiency = 0.75; ///< achievable fraction of peak, FP16 GEMM
+    double int8Efficiency = 0.45; ///< IMMA kernels reach less of peak
+};
+
+GpuSpec rtx3090();
+GpuSpec a100_80g();
+
+/** One GEMM's latency under a scheme, microseconds. */
+struct GpuLatency
+{
+    std::string scheme;
+    double usTotal = 0.0;
+    double usGemm = 0.0;
+    double usEpilogue = 0.0;
+    double usLaunch = 0.0;
+    int kernels = 0;
+};
+
+/** Plain roofline GEMM time (no quantization machinery), microseconds. */
+double gemmTimeUs(const GpuSpec &gpu, long long m, long long k, long long n,
+                  bool int8);
+
+GpuLatency fp16Latency(const GpuSpec &gpu, long long m, long long k,
+                       long long n);
+GpuLatency int8PerTensorLatency(const GpuSpec &gpu, long long m,
+                                long long k, long long n);
+GpuLatency int8PerRowLatency(const GpuSpec &gpu, long long m, long long k,
+                             long long n);
+GpuLatency int8PerChannelLatency(const GpuSpec &gpu, long long m,
+                                 long long k, long long n);
+
+/**
+ * Tender software: per-group sub-GEMMs with alignment padding.
+ * @param group_sizes Channel count per group (sums to k).
+ */
+GpuLatency tenderSwLatency(const GpuSpec &gpu, long long m,
+                           const std::vector<long long> &group_sizes,
+                           long long n);
+
+} // namespace tender
+
+#endif // TENDER_GPU_GPU_MODEL_H

@@ -1,0 +1,110 @@
+#include "model/config.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tender {
+
+long long
+ModelConfig::blockWeights() const
+{
+    const long long d = dModel;
+    const long long kv = (long long)(dModel / nHeads) * kvHeads;
+    // Q, K, V, O projections + two FFN matrices.
+    return d * d /*Q*/ + d * kv /*K*/ + d * kv /*V*/ + d * d /*O*/ +
+        2LL * d * dFfn;
+}
+
+namespace {
+
+ModelConfig
+make(std::string name, Family fam, int d, int heads, int layers, int ffn,
+     int kv_heads = 0, bool decoder = true)
+{
+    ModelConfig c;
+    c.name = std::move(name);
+    c.family = fam;
+    c.dModel = d;
+    c.nHeads = heads;
+    c.kvHeads = kv_heads ? kv_heads : heads;
+    c.nLayers = layers;
+    c.dFfn = ffn;
+    c.decoder = decoder;
+    return c;
+}
+
+} // namespace
+
+ModelConfig
+modelByName(const std::string &name)
+{
+    // Architecture parameters from the OPT / LLaMA / Llama-2 releases.
+    if (name == "OPT-6.7B")
+        return make(name, Family::Opt, 4096, 32, 32, 16384);
+    if (name == "OPT-13B")
+        return make(name, Family::Opt, 5120, 40, 40, 20480);
+    if (name == "OPT-66B")
+        return make(name, Family::Opt, 9216, 72, 64, 36864);
+    if (name == "Llama-2-7B")
+        return make(name, Family::Llama2, 4096, 32, 32, 11008);
+    if (name == "Llama-2-13B")
+        return make(name, Family::Llama2, 5120, 40, 40, 13824);
+    if (name == "Llama-2-70B")
+        return make(name, Family::Llama2, 8192, 64, 80, 28672, 8);
+    if (name == "LLaMA-7B")
+        return make(name, Family::Llama1, 4096, 32, 32, 11008);
+    if (name == "LLaMA-13B")
+        return make(name, Family::Llama1, 5120, 40, 40, 13824);
+    if (name == "LLaMA-65B")
+        return make(name, Family::Llama1, 8192, 64, 80, 22016);
+    if (name == "BERT-Large")
+        return make(name, Family::Bert, 1024, 16, 24, 4096, 0, false);
+    TENDER_FATAL("unknown model: " << name);
+}
+
+std::vector<ModelConfig>
+table2Models()
+{
+    return {
+        modelByName("OPT-6.7B"),    modelByName("OPT-13B"),
+        modelByName("OPT-66B"),     modelByName("Llama-2-7B"),
+        modelByName("Llama-2-13B"), modelByName("Llama-2-70B"),
+        modelByName("LLaMA-7B"),    modelByName("LLaMA-13B"),
+    };
+}
+
+std::vector<ModelConfig>
+speedupModels()
+{
+    return {
+        modelByName("OPT-6.7B"),    modelByName("OPT-13B"),
+        modelByName("OPT-66B"),     modelByName("Llama-2-7B"),
+        modelByName("Llama-2-13B"), modelByName("Llama-2-70B"),
+    };
+}
+
+ModelConfig
+replicaOf(const ModelConfig &full, int divisor)
+{
+    TENDER_CHECK(divisor >= 1);
+    ModelConfig r = full;
+    r.name = full.name + "-replica";
+    // Keep at least 8 channels per head and 2 layers so the structural
+    // behaviours (per-head quantization, cross-layer outlier persistence)
+    // remain exercised.
+    r.dModel = std::max(128, full.dModel / divisor);
+    r.nHeads = std::max(4, full.nHeads / std::max(1, divisor / 4));
+    while (r.dModel % r.nHeads != 0)
+        --r.nHeads;
+    r.kvHeads = full.kvHeads < full.nHeads
+        ? std::max(1, r.nHeads / (full.nHeads / full.kvHeads))
+        : r.nHeads;
+    while (r.nHeads % r.kvHeads != 0)
+        --r.kvHeads;
+    r.dFfn = std::max(256, full.dFfn / divisor);
+    r.nLayers = std::clamp(full.nLayers / 8, 2, 6);
+    return r;
+}
+
+} // namespace tender

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Model configurations for every LLM the paper evaluates, plus the scaled
+ * "statistical replica" dimensions used by the accuracy harnesses.
+ *
+ * The performance simulator (Fig. 10/11/13) uses the *true* dimensions:
+ * it only needs shapes, not values. The accuracy harnesses execute real
+ * FP32 GEMMs, which would take hours at d_model = 9216 on one core, so
+ * they run a reduced replica whose activation statistics are calibrated to
+ * the model family (see model/synthetic.h); replica dims are recorded in
+ * each harness's output.
+ */
+
+#ifndef TENDER_MODEL_CONFIG_H
+#define TENDER_MODEL_CONFIG_H
+
+#include <string>
+#include <vector>
+
+namespace tender {
+
+/** Model family: governs the synthetic outlier statistics. */
+enum class Family { Opt, Llama2, Llama1, Bert };
+
+/** Transformer architecture description. */
+struct ModelConfig
+{
+    std::string name;
+    Family family = Family::Opt;
+    int dModel = 0;      ///< embedding width
+    int nHeads = 0;      ///< attention heads
+    int kvHeads = 0;     ///< KV heads (GQA); == nHeads unless grouped
+    int nLayers = 0;     ///< transformer blocks
+    int dFfn = 0;        ///< FFN hidden width
+    bool decoder = true; ///< causal decoder (false: BERT-style encoder)
+
+    int headDim() const { return dModel / nHeads; }
+    /** Total parameter count of one block's GEMM weights. */
+    long long blockWeights() const;
+};
+
+/** Named configuration lookup ("OPT-6.7B", "Llama-2-70B", ...). */
+ModelConfig modelByName(const std::string &name);
+
+/** All decoder LLMs of Table II in paper order. */
+std::vector<ModelConfig> table2Models();
+
+/** The six models of the Fig. 10/11 speedup study. */
+std::vector<ModelConfig> speedupModels();
+
+/**
+ * Reduced statistical replica of a model for value-level experiments:
+ * keeps the family statistics and head structure, shrinks dModel/dFfn/
+ * layers by the given divisor (floored to sane minimums).
+ */
+ModelConfig replicaOf(const ModelConfig &full, int divisor = 16);
+
+} // namespace tender
+
+#endif // TENDER_MODEL_CONFIG_H

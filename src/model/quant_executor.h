@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quantized transformer execution with error tracking.
+ *
+ * The executor runs two streams through the model simultaneously:
+ * a reference FP32 stream and a quantized stream in which every GEMM is
+ * routed through a GemmScheme. At each GEMM it records the normalized MSE
+ * of the quantized output against the reference output *computed from
+ * reference inputs*, so the records capture genuine error propagation the
+ * way a real PTQ evaluation does.
+ *
+ * Activation-activation GEMMs (Q K^T and S V) can be included or excluded
+ * — the paper's "Tender (all)" vs "Tender" distinction (Table III) — and
+ * are quantized per head, matching the paper's per-head activation
+ * quantization optimization.
+ */
+
+#ifndef TENDER_MODEL_QUANT_EXECUTOR_H
+#define TENDER_MODEL_QUANT_EXECUTOR_H
+
+#include <string>
+#include <vector>
+
+#include "model/transformer.h"
+#include "quant/scheme.h"
+
+namespace tender {
+
+/** One quantized GEMM observation. */
+struct GemmRecord
+{
+    std::string op;   ///< "q", "k", "v", "scores", "attnv", "o", "fc1", "fc2"
+    int layer = 0;
+    /** Propagated output error (energy-normalized). Dominated by outlier
+     *  channels; kept for diagnostics. */
+    double nmse = 0.0;
+    /** Channel-equalized operand damage (GemmScheme::gemmDamage): the
+     *  quantity that tracks real model degradation. */
+    double damage = 0.0;
+};
+
+/** Execution options. */
+struct ExecOptions
+{
+    bool quantizeActAct = false; ///< include Q K^T and S V GEMMs
+};
+
+/** Output of a quantized run. */
+struct QuantRunResult
+{
+    Matrix output;                   ///< quantized-stream model output
+    Matrix reference;                ///< reference-stream model output
+    std::vector<GemmRecord> records; ///< per-GEMM propagated errors
+};
+
+/** Run the full model under a scheme. */
+QuantRunResult runQuantized(SyntheticModel &model, const Matrix &input,
+                            const GemmScheme &scheme,
+                            const ExecOptions &options = {});
+
+/** Mean of ln(1 + nmse + damage) over the records: the scalar error
+ *  measure the accuracy proxies consume (log compression keeps one
+ *  catastrophic GEMM from dominating the aggregate). */
+double aggregateError(const std::vector<GemmRecord> &records);
+
+} // namespace tender
+
+#endif // TENDER_MODEL_QUANT_EXECUTOR_H

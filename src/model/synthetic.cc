@@ -1,0 +1,122 @@
+#include "model/synthetic.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tender {
+
+OutlierProfile
+profileFor(Family family)
+{
+    OutlierProfile p;
+    switch (family) {
+      case Family::Opt:
+        // Many strong outlier channels (the classic >6.7B OPT pathology).
+        p = {0.006, 20.0, 50.0, 0.35, 0.15, 0.02};
+        break;
+      case Family::Llama2:
+      case Family::Llama1:
+        // Milder outlier magnitudes (the paper's Table I shows per-row
+        // INT8 near-lossless on Llama-2) but a wider per-channel spread
+        // and stronger token-to-token variation, which is what defeats
+        // migration-based schemes on this family (Table II).
+        p = {0.004, 10.0, 30.0, 0.55, 0.35, 0.02};
+        break;
+      case Family::Bert:
+        // Mild outliers: encoder models quantize comparatively easily.
+        p = {0.004, 4.0, 8.0, 0.25, 0.10, 0.03};
+        break;
+    }
+    return p;
+}
+
+SyntheticModel::SyntheticModel(const ModelConfig &config, uint64_t seed)
+    : config_(config), seed_(seed), profile_(profileFor(config.family)),
+      cache_(size_t(config.nLayers)), cached_(size_t(config.nLayers), false)
+{
+    Rng rng(seed_ * 0x9e3779b97f4a7c15ULL + 1);
+    const int d = config_.dModel;
+    const int n_out =
+        std::max(1, int(std::lround(profile_.outlierFraction * d)));
+    outliers_ = rng.sampleIndices(d, n_out);
+
+    channelSigma_.resize(size_t(d));
+    for (int c = 0; c < d; ++c)
+        channelSigma_[size_t(c)] =
+            rng.lognormal(std::log(0.5), profile_.channelSigmaStd);
+}
+
+BlockWeights
+SyntheticModel::makeBlock(int layer) const
+{
+    Rng rng(seed_ * 0x9e3779b97f4a7c15ULL + 1000 + uint64_t(layer));
+    const int d = config_.dModel;
+    const int kv = config_.headDim() * config_.kvHeads;
+    const float ws = float(profile_.weightStd);
+
+    BlockWeights b;
+    b.wq = randomGaussian(d, d, rng, 0.f, ws);
+    b.wk = randomGaussian(d, kv, rng, 0.f, ws);
+    b.wv = randomGaussian(d, kv, rng, 0.f, ws);
+    b.wo = randomGaussian(d, d, rng, 0.f, ws);
+    b.wfc1 = randomGaussian(d, config_.dFfn, rng, 0.f, ws);
+    b.wfc2 = randomGaussian(config_.dFfn, d, rng, 0.f, ws);
+
+    // LayerNorm gains: ~1 everywhere, with large entries in the fixed
+    // outlier channels — the mechanism the paper cites for why outliers
+    // live in the same channels across layers and batches.
+    auto make_ln = [&](Matrix &gain, Matrix &bias) {
+        gain = Matrix(1, d);
+        bias = Matrix(1, d);
+        for (int c = 0; c < d; ++c) {
+            gain(0, c) = float(rng.lognormal(0.0, 0.1));
+            bias(0, c) = float(rng.gaussian(0.0, 0.02));
+        }
+        for (int c : outliers_) {
+            const double g = rng.uniform(profile_.outlierGainLo,
+                                         profile_.outlierGainHi);
+            // Sign persists per channel; magnitude varies a little with
+            // depth, as in the Fig. 3 heatmaps.
+            const double depth_wobble =
+                1.0 + 0.15 * std::sin(0.7 * double(layer) + double(c));
+            gain(0, c) = float(g * depth_wobble) *
+                ((c % 2 == 0) ? 1.f : -1.f);
+        }
+    };
+    make_ln(b.ln1Gain, b.ln1Bias);
+    make_ln(b.ln2Gain, b.ln2Bias);
+    return b;
+}
+
+const BlockWeights &
+SyntheticModel::blockWeights(int layer)
+{
+    TENDER_CHECK(layer >= 0 && layer < config_.nLayers);
+    if (!cached_[size_t(layer)]) {
+        cache_[size_t(layer)] = makeBlock(layer);
+        cached_[size_t(layer)] = true;
+    }
+    return cache_[size_t(layer)];
+}
+
+Matrix
+SyntheticModel::sampleInput(int seq_len, uint64_t batch_seed) const
+{
+    Rng rng(seed_ * 0x2545f4914f6cdd1dULL + batch_seed + 77);
+    const int d = config_.dModel;
+    constexpr double kInvSqrt2 = 0.70710678118654752;
+    Matrix x(seq_len, d);
+    for (int t = 0; t < seq_len; ++t) {
+        // Per-token gain models the intra-channel (row) variance that
+        // motivates Tender's row chunking; Laplace tails match the
+        // published heavy-tailed shape of transformer activations.
+        const double tok_gain = rng.lognormal(0.0, profile_.tokenGainStd);
+        for (int c = 0; c < d; ++c)
+            x(t, c) = float(rng.laplace(kInvSqrt2) *
+                            channelSigma_[size_t(c)] * tok_gain);
+    }
+    return x;
+}
+
+} // namespace tender

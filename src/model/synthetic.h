@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic LLM substrate: deterministic weight and activation generation
+ * whose statistics reproduce the published structure of LLM tensors
+ * (Section II-B, Fig. 2/3 of the paper):
+ *
+ *  - weight tensors are well-behaved (near-Gaussian, similar ranges);
+ *  - activation tensors carry extreme-magnitude values concentrated in a
+ *    small, *fixed* set of feature channels, persistent across layers and
+ *    inputs;
+ *  - outlier channels arise mechanically the way the paper describes —
+ *    from large LayerNorm gain entries in fixed channels — so they emerge
+ *    naturally from running the transformer forward rather than being
+ *    painted onto tensors.
+ *
+ * The per-family OutlierProfile parameters control how harsh the outliers
+ * are; OPT-style models have many strong outliers, Llama-family models
+ * fewer but more extreme ones with more token-to-token variation, and
+ * BERT mild outliers — matching the relative difficulty ordering in the
+ * paper's tables.
+ */
+
+#ifndef TENDER_MODEL_SYNTHETIC_H
+#define TENDER_MODEL_SYNTHETIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.h"
+#include "tensor/matrix.h"
+
+namespace tender {
+
+/** Family-dependent activation statistics. */
+struct OutlierProfile
+{
+    double outlierFraction;   ///< fraction of channels that are outliers
+    double outlierGainLo;     ///< min LayerNorm-gain multiplier
+    double outlierGainHi;     ///< max LayerNorm-gain multiplier
+    double channelSigmaStd;   ///< lognormal spread of per-channel scale
+    double tokenGainStd;      ///< per-token lognormal gain (intra-channel)
+    double weightStd;         ///< weight element stddev
+};
+
+OutlierProfile profileFor(Family family);
+
+/** All learned tensors of one transformer block. */
+struct BlockWeights
+{
+    Matrix wq, wk, wv, wo;   ///< attention projections
+    Matrix wfc1, wfc2;       ///< FFN matrices
+    Matrix ln1Gain, ln1Bias; ///< pre-attention LayerNorm (1 x d)
+    Matrix ln2Gain, ln2Bias; ///< pre-FFN LayerNorm (1 x d)
+};
+
+/**
+ * Deterministic synthetic model: same (config, seed) always produces the
+ * same weights, outlier channel set, and inputs.
+ */
+class SyntheticModel
+{
+  public:
+    SyntheticModel(const ModelConfig &config, uint64_t seed = 1);
+
+    const ModelConfig &config() const { return config_; }
+
+    /** Channel indices designated as outlier carriers (fixed per model). */
+    const std::vector<int> &outlierChannels() const { return outliers_; }
+
+    /** Weights of block `layer` (generated once, cached). */
+    const BlockWeights &blockWeights(int layer);
+
+    /** Token embeddings entering block 0 for one batch. */
+    Matrix sampleInput(int seq_len, uint64_t batch_seed) const;
+
+  private:
+    BlockWeights makeBlock(int layer) const;
+
+    ModelConfig config_;
+    uint64_t seed_;
+    OutlierProfile profile_;
+    std::vector<int> outliers_;
+    std::vector<double> channelSigma_; ///< per-channel embedding scale
+    std::vector<BlockWeights> cache_;
+    std::vector<bool> cached_;
+};
+
+} // namespace tender
+
+#endif // TENDER_MODEL_SYNTHETIC_H

@@ -1,0 +1,69 @@
+#include "model/transformer.h"
+
+#include <cmath>
+
+namespace tender {
+
+Matrix
+headSlice(const Matrix &m, int head, int head_dim)
+{
+    return m.colSlice(head * head_dim, (head + 1) * head_dim);
+}
+
+int
+kvHeadOf(int q_head, int n_heads, int kv_heads)
+{
+    TENDER_CHECK(n_heads % kv_heads == 0);
+    return q_head / (n_heads / kv_heads);
+}
+
+Matrix
+attentionHead(const Matrix &q, const Matrix &k, const Matrix &v, bool causal)
+{
+    const float inv_sqrt = 1.f / std::sqrt(float(q.cols()));
+    Matrix scores = scale(gemmTransposedB(q, k), inv_sqrt);
+    if (causal)
+        scores = causalMask(scores);
+    return gemm(softmaxRows(scores), v);
+}
+
+Matrix
+blockForward(const Matrix &x, const BlockWeights &w,
+             const ModelConfig &config)
+{
+    const int dh = config.headDim();
+    const Matrix ln1 = layerNorm(x, w.ln1Gain, w.ln1Bias);
+    const Matrix xq = gemm(ln1, w.wq);
+    const Matrix xk = gemm(ln1, w.wk);
+    const Matrix xv = gemm(ln1, w.wv);
+
+    Matrix attn(x.rows(), config.dModel);
+    for (int h = 0; h < config.nHeads; ++h) {
+        const int kvh = kvHeadOf(h, config.nHeads, config.kvHeads);
+        const Matrix out = attentionHead(headSlice(xq, h, dh),
+                                         headSlice(xk, kvh, dh),
+                                         headSlice(xv, kvh, dh),
+                                         config.decoder);
+        for (int r = 0; r < out.rows(); ++r)
+            for (int c = 0; c < dh; ++c)
+                attn(r, h * dh + c) = out(r, c);
+    }
+
+    const Matrix xo = axpby(1.f, gemm(attn, w.wo), 1.f, x);
+    const Matrix ln2 = layerNorm(xo, w.ln2Gain, w.ln2Bias);
+    const Matrix hidden = config.family == Family::Bert
+        ? gelu(gemm(ln2, w.wfc1))
+        : relu(gemm(ln2, w.wfc1));
+    return axpby(1.f, gemm(hidden, w.wfc2), 1.f, xo);
+}
+
+Matrix
+modelForward(SyntheticModel &model, const Matrix &input)
+{
+    Matrix x = input;
+    for (int l = 0; l < model.config().nLayers; ++l)
+        x = blockForward(x, model.blockWeights(l), model.config());
+    return x;
+}
+
+} // namespace tender

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * FP32 reference forward pass of a Transformer block (Section II-A):
+ *
+ *   X_Q = LN1(X) W_Q;  X_K = LN1(X) W_K;  X_V = LN1(X) W_V
+ *   X_S = softmax(X_Q X_K^T / sqrt(d_h))           (per head, causal)
+ *   X_O = (X_S X_V) W_O + X
+ *   X_T = act(LN2(X_O) W_FC1) W_FC2 + X_O
+ *
+ * This is the substrate every accuracy experiment runs on; the quantized
+ * execution path lives in model/quant_executor and reuses these helpers so
+ * the two streams are structurally identical.
+ */
+
+#ifndef TENDER_MODEL_TRANSFORMER_H
+#define TENDER_MODEL_TRANSFORMER_H
+
+#include "model/synthetic.h"
+#include "tensor/functional.h"
+#include "tensor/gemm.h"
+
+namespace tender {
+
+/** Slice head h (columns [h*dh, (h+1)*dh)) out of a projection. */
+Matrix headSlice(const Matrix &m, int head, int head_dim);
+
+/** Map a query head to its KV head under grouped-query attention. */
+int kvHeadOf(int q_head, int n_heads, int kv_heads);
+
+/** Exact attention for one head (scaled scores, optional causal mask). */
+Matrix attentionHead(const Matrix &q, const Matrix &k, const Matrix &v,
+                     bool causal);
+
+/** Full exact forward of one block. */
+Matrix blockForward(const Matrix &x, const BlockWeights &w,
+                    const ModelConfig &config);
+
+/** Exact forward through all blocks of the model. */
+Matrix modelForward(SyntheticModel &model, const Matrix &input);
+
+} // namespace tender
+
+#endif // TENDER_MODEL_TRANSFORMER_H

@@ -1,0 +1,68 @@
+#include "model/workload.h"
+
+#include "util/check.h"
+
+namespace tender {
+
+long long
+Workload::blockMacs() const
+{
+    long long acc = 0;
+    for (const GemmOp &op : blockOps)
+        acc += op.macs();
+    return acc;
+}
+
+Workload
+prefillWorkload(const ModelConfig &config, int seq_len)
+{
+    TENDER_REQUIRE(seq_len > 0, "sequence length must be positive");
+    const int d = config.dModel;
+    const int dh = config.headDim();
+    const int kv = dh * config.kvHeads;
+
+    Workload w;
+    w.model = config.name;
+    w.seqLen = seq_len;
+    w.numLayers = config.nLayers;
+    w.dModel = d;
+    w.blockOps = {
+        {"q", seq_len, d, d, 1, false},
+        {"k", seq_len, d, kv, 1, false},
+        {"v", seq_len, d, kv, 1, false},
+        {"scores", seq_len, dh, seq_len, config.nHeads, true},
+        {"attnv", seq_len, seq_len, dh, config.nHeads, true},
+        {"o", seq_len, d, d, 1, false},
+        {"fc1", seq_len, d, config.dFfn, 1, false},
+        {"fc2", seq_len, config.dFfn, d, 1, false},
+    };
+    return w;
+}
+
+Workload
+decodeWorkload(const ModelConfig &config, int context)
+{
+    TENDER_REQUIRE(context > 0, "context length must be positive");
+    const int d = config.dModel;
+    const int dh = config.headDim();
+    const int kv = dh * config.kvHeads;
+
+    Workload w;
+    w.model = config.name;
+    w.seqLen = 1;
+    w.numLayers = config.nLayers;
+    w.dModel = d;
+    w.blockOps = {
+        {"q", 1, d, d, 1, false},
+        {"k", 1, d, kv, 1, false},
+        {"v", 1, d, kv, 1, false},
+        {"scores", 1, dh, context, config.nHeads, true},
+        {"attnv", 1, context, dh, config.nHeads, true},
+        {"o", 1, d, d, 1, false},
+        {"fc1", 1, d, config.dFfn, 1, false},
+        {"fc2", 1, config.dFfn, d, 1, false},
+    };
+    return w;
+}
+
+} // namespace tender

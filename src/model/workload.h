@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Workload extraction: the list of GEMM operations one transformer block
+ * issues during inference, with true model dimensions. The performance
+ * simulator consumes shapes only (no values), so the full-size models run
+ * exactly as the paper configures them: batch 1, prefill with a 2048-token
+ * input, one output token (Section V-A "2048:1").
+ */
+
+#ifndef TENDER_MODEL_WORKLOAD_H
+#define TENDER_MODEL_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "model/config.h"
+
+namespace tender {
+
+/** One GEMM of shape (m x k) * (k x n), possibly repeated per head. */
+struct GemmOp
+{
+    std::string name;
+    int m = 0;
+    int k = 0;
+    int n = 0;
+    int count = 1;      ///< instances per block (per-head ops)
+    bool actAct = false;///< both operands are activations
+
+    long long macs() const
+    {
+        return (long long)m * k * n * count;
+    }
+};
+
+/** Per-block op list plus repetition count. */
+struct Workload
+{
+    std::string model;
+    int seqLen = 0;
+    int numLayers = 0;
+    int dModel = 0;
+    std::vector<GemmOp> blockOps;
+
+    long long blockMacs() const;
+    long long totalMacs() const { return blockMacs() * numLayers; }
+};
+
+/** Prefill (summarization) stage: all tokens at once. */
+Workload prefillWorkload(const ModelConfig &config, int seq_len);
+
+/** Generation stage: one token against a KV cache of `context` tokens. */
+Workload decodeWorkload(const ModelConfig &config, int context);
+
+} // namespace tender
+
+#endif // TENDER_MODEL_WORKLOAD_H

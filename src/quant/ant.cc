@@ -1,0 +1,112 @@
+#include "quant/ant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/metrics.h"
+#include "quant/quantizer.h"
+
+namespace tender {
+
+std::string
+antTypeName(AntType t)
+{
+    switch (t) {
+      case AntType::Int: return "int";
+      case AntType::Flint: return "flint";
+      case AntType::Po2: return "po2";
+    }
+    TENDER_PANIC("unknown AntType");
+}
+
+std::vector<float>
+antMagnitudes(AntType t, int bits)
+{
+    TENDER_CHECK(bits >= 3 && bits <= 8);
+    const int n = 1 << (bits - 1); // non-negative magnitude count
+    std::vector<float> mags;
+    mags.reserve(size_t(n));
+    switch (t) {
+      case AntType::Int:
+        for (int i = 0; i < n; ++i)
+            mags.push_back(float(i));
+        break;
+      case AntType::Po2:
+        mags.push_back(0.f);
+        for (int e = 0; e < n - 1; ++e)
+            mags.push_back(std::pow(2.f, float(e)));
+        break;
+      case AntType::Flint: {
+        // Float-int hybrid: linear spacing up to 2^(bits-2), then magnitudes
+        // double every two steps (a 1-bit mantissa float regime). For
+        // flint4 this yields {0,1,2,3,4,6,8,12}, matching the published
+        // shape of the datatype: high resolution near zero, wide reach.
+        const int linear = 1 << (bits - 2);
+        for (int i = 0; i < linear; ++i)
+            mags.push_back(float(i));
+        float base = float(linear);
+        while (int(mags.size()) < n) {
+            mags.push_back(base);
+            if (int(mags.size()) < n)
+                mags.push_back(base * 1.5f);
+            base *= 2.f;
+        }
+        break;
+      }
+    }
+    TENDER_CHECK(int(mags.size()) == n);
+    return mags;
+}
+
+Matrix
+valueSetFakeQuant(const Matrix &m, const std::vector<float> &mags)
+{
+    TENDER_CHECK(mags.size() >= 2);
+    TENDER_CHECK(std::is_sorted(mags.begin(), mags.end()));
+    const float vmax = mags.back();
+    const float amax = tensorAbsMax(m);
+    const float scale = amax > 0.f ? amax / vmax : 1.f;
+
+    Matrix out(m.rows(), m.cols());
+    for (size_t i = 0; i < m.size(); ++i) {
+        const float x = m.data()[i];
+        const float target = std::abs(x) / scale;
+        // Nearest representable magnitude via binary search.
+        auto it = std::lower_bound(mags.begin(), mags.end(), target);
+        float best;
+        if (it == mags.end()) {
+            best = mags.back();
+        } else if (it == mags.begin()) {
+            best = *it;
+        } else {
+            const float hi = *it, lo = *(it - 1);
+            best = (target - lo <= hi - target) ? lo : hi;
+        }
+        out.data()[i] = std::copysign(best * scale, x);
+    }
+    return out;
+}
+
+AntType
+AntScheme::selectType(const Matrix &m) const
+{
+    AntType best = AntType::Int;
+    double best_err = mse(m, valueSetFakeQuant(m, antMagnitudes(
+                                                   AntType::Int, bits_)));
+    for (AntType t : {AntType::Flint, AntType::Po2}) {
+        double err = mse(m, valueSetFakeQuant(m, antMagnitudes(t, bits_)));
+        if (err < best_err) {
+            best_err = err;
+            best = t;
+        }
+    }
+    return best;
+}
+
+Matrix
+AntScheme::fakeQuant(const Matrix &m, Operand) const
+{
+    return valueSetFakeQuant(m, antMagnitudes(selectType(m), bits_));
+}
+
+} // namespace tender

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ANT baseline (Guo et al., MICRO 2022): adaptive numerical datatypes.
+ *
+ * ANT picks, per tensor, the datatype that minimizes quantization MSE among
+ * a small family: plain integer, power-of-two ("po2"), and "flint", a
+ * float-int hybrid whose representable magnitudes are dense near zero and
+ * exponentially spaced further out. Selection is per-tensor — outliers are
+ * never isolated from normal channels, which is exactly the weakness the
+ * Tender paper's Table II exposes.
+ */
+
+#ifndef TENDER_QUANT_ANT_H
+#define TENDER_QUANT_ANT_H
+
+#include <string>
+#include <vector>
+
+#include "quant/scheme.h"
+
+namespace tender {
+
+/** ANT datatype family member. */
+enum class AntType { Int, Flint, Po2 };
+
+std::string antTypeName(AntType t);
+
+/**
+ * Sorted non-negative representable magnitudes (before scaling) for a
+ * b-bit member of the family; the codec maps the tensor absmax onto the
+ * largest magnitude and rounds each element to the nearest scaled entry.
+ */
+std::vector<float> antMagnitudes(AntType t, int bits);
+
+/** Quantize-dequantize m with a scaled value-set codec. */
+Matrix valueSetFakeQuant(const Matrix &m, const std::vector<float> &mags);
+
+class AntScheme : public GemmScheme
+{
+  public:
+    explicit AntScheme(int bits) : bits_(bits) {}
+
+    std::string name() const override { return "ANT"; }
+
+    /** Try every family member per-tensor and keep the lowest-MSE one. */
+    Matrix fakeQuant(const Matrix &m, Operand op) const override;
+
+    /** Datatype the adaptive selection would pick for this tensor. */
+    AntType selectType(const Matrix &m) const;
+
+  private:
+    int bits_;
+};
+
+} // namespace tender
+
+#endif // TENDER_QUANT_ANT_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared reduction-axis block iteration for block-based codecs (MSFP, MX,
+ * OliVe). Blocks run along the reduction dimension: rows of an activation
+ * (tokens x channels) and columns of a weight (channels x features).
+ */
+
+#ifndef TENDER_QUANT_BLOCK_ITER_H
+#define TENDER_QUANT_BLOCK_ITER_H
+
+#include <algorithm>
+#include <cstddef>
+
+#include "quant/scheme.h"
+#include "tensor/matrix.h"
+
+namespace tender {
+
+/** Call fn(start, stride, n) for each reduction-axis block of m. */
+template <typename Fn>
+void
+forEachReductionBlock(const Matrix &m, Operand op, int block, Fn fn)
+{
+    const size_t cols = size_t(m.cols());
+    if (op == Operand::Activation) {
+        for (int r = 0; r < m.rows(); ++r)
+            for (int c = 0; c < m.cols(); c += block)
+                fn(size_t(r) * cols + size_t(c), size_t(1),
+                   std::min(block, m.cols() - c));
+    } else {
+        for (int c = 0; c < m.cols(); ++c)
+            for (int r = 0; r < m.rows(); r += block)
+                fn(size_t(r) * cols + size_t(c), cols,
+                   std::min(block, m.rows() - r));
+    }
+}
+
+} // namespace tender
+
+#endif // TENDER_QUANT_BLOCK_ITER_H

@@ -1,0 +1,116 @@
+#include "quant/granularity.h"
+
+namespace tender {
+
+std::string
+granularityName(Granularity g)
+{
+    switch (g) {
+      case Granularity::PerTensor: return "per-tensor";
+      case Granularity::PerRow: return "per-row";
+      case Granularity::PerColumn: return "per-column";
+    }
+    TENDER_PANIC("unknown granularity");
+}
+
+QuantizedMatrix
+quantize(const Matrix &m, int bits, Granularity g)
+{
+    QuantizedMatrix qm;
+    qm.codes = IntMatrix(m.rows(), m.cols());
+    qm.granularity = g;
+    qm.bits = bits;
+    switch (g) {
+      case Granularity::PerTensor: {
+        const float s = scaleFor(tensorAbsMax(m), bits);
+        qm.scales.assign(1, s);
+        for (int r = 0; r < m.rows(); ++r)
+            for (int c = 0; c < m.cols(); ++c)
+                qm.codes(r, c) = quantizeValue(m(r, c), s, bits);
+        break;
+      }
+      case Granularity::PerRow: {
+        qm.scales.resize(size_t(m.rows()));
+        for (int r = 0; r < m.rows(); ++r) {
+            const float s = scaleFor(rowAbsMax(m, r), bits);
+            qm.scales[size_t(r)] = s;
+            for (int c = 0; c < m.cols(); ++c)
+                qm.codes(r, c) = quantizeValue(m(r, c), s, bits);
+        }
+        break;
+      }
+      case Granularity::PerColumn: {
+        qm.scales.resize(size_t(m.cols()));
+        for (int c = 0; c < m.cols(); ++c)
+            qm.scales[size_t(c)] = scaleFor(colAbsMax(m, c), bits);
+        for (int r = 0; r < m.rows(); ++r)
+            for (int c = 0; c < m.cols(); ++c)
+                qm.codes(r, c) =
+                    quantizeValue(m(r, c), qm.scales[size_t(c)], bits);
+        break;
+      }
+    }
+    return qm;
+}
+
+Matrix
+dequantize(const QuantizedMatrix &qm)
+{
+    Matrix out(qm.codes.rows(), qm.codes.cols());
+    for (int r = 0; r < out.rows(); ++r) {
+        for (int c = 0; c < out.cols(); ++c) {
+            float s = 1.f;
+            switch (qm.granularity) {
+              case Granularity::PerTensor: s = qm.scales[0]; break;
+              case Granularity::PerRow: s = qm.scales[size_t(r)]; break;
+              case Granularity::PerColumn: s = qm.scales[size_t(c)]; break;
+            }
+            out(r, c) = dequantizeValue(qm.codes(r, c), s);
+        }
+    }
+    return out;
+}
+
+Matrix
+fakeQuant(const Matrix &m, int bits, Granularity g)
+{
+    return dequantize(quantize(m, bits, g));
+}
+
+Matrix
+quantizedGemm(const QuantizedMatrix &x, const QuantizedMatrix &w)
+{
+    TENDER_REQUIRE(x.granularity != Granularity::PerColumn,
+                   "per-column activations cannot run in the integer "
+                   "pipeline; use fakeQuant for the reference path");
+    TENDER_REQUIRE(w.granularity != Granularity::PerRow,
+                   "per-row weight quantization breaks the reduction; use "
+                   "per-tensor or per-column weights");
+    MatrixT<int64_t> acc = gemmInt(x.codes, w.codes);
+    Matrix out(acc.rows(), acc.cols());
+    for (int r = 0; r < acc.rows(); ++r) {
+        const float sa = x.granularity == Granularity::PerTensor
+            ? x.scales[0] : x.scales[size_t(r)];
+        for (int c = 0; c < acc.cols(); ++c) {
+            const float sw = w.granularity == Granularity::PerTensor
+                ? w.scales[0] : w.scales[size_t(c)];
+            out(r, c) = float(double(acc(r, c)) * double(sa) * double(sw));
+        }
+    }
+    return out;
+}
+
+std::string
+UniformScheme::name() const
+{
+    return "INT" + std::to_string(bits_) + " " + granularityName(act_);
+}
+
+Matrix
+UniformScheme::fakeQuant(const Matrix &m, Operand op) const
+{
+    return tender::fakeQuant(m, bits_,
+                             op == Operand::Activation ? act_ : weight_);
+}
+
+} // namespace tender

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Uniform symmetric quantization at the three granularities of Table I:
+ * per-tensor, per-row (per-token), and per-column (per-channel).
+ *
+ * Per-column activation quantization is the accuracy gold standard but is
+ * impracticable in integer pipelines (each element would need rescaling
+ * inside the reduction); it is included as the reference point that Tender
+ * approaches with practicable hardware.
+ */
+
+#ifndef TENDER_QUANT_GRANULARITY_H
+#define TENDER_QUANT_GRANULARITY_H
+
+#include <string>
+#include <vector>
+
+#include "quant/quantizer.h"
+#include "quant/scheme.h"
+
+namespace tender {
+
+enum class Granularity { PerTensor, PerRow, PerColumn };
+
+std::string granularityName(Granularity g);
+
+/** Quantized matrix: widened codes + the scale vector for its granularity
+ *  (size 1 / rows / cols for PerTensor / PerRow / PerColumn). */
+struct QuantizedMatrix
+{
+    IntMatrix codes;
+    std::vector<float> scales;
+    Granularity granularity = Granularity::PerTensor;
+    int bits = 8;
+};
+
+/** Quantize with dynamic (tensor-derived) scales. */
+QuantizedMatrix quantize(const Matrix &m, int bits, Granularity g);
+
+/** Restore to FP32. */
+Matrix dequantize(const QuantizedMatrix &qm);
+
+/** quantize() then dequantize() in one step. */
+Matrix fakeQuant(const Matrix &m, int bits, Granularity g);
+
+/**
+ * Integer-pipeline GEMM for the practicable granularity combinations:
+ * activation per-tensor or per-row, weight per-tensor or per-column. The
+ * product of codes is scaled by sa[row] * sw[col] on the way out, exactly
+ * as commodity INT8 tensor-core epilogues do.
+ */
+Matrix quantizedGemm(const QuantizedMatrix &x, const QuantizedMatrix &w);
+
+/** Table I scheme: INTb with the given activation granularity; weights are
+ *  quantized per-column at the same width (the standard practicable
+ *  choice used by the paper's granularity study). */
+class UniformScheme : public GemmScheme
+{
+  public:
+    UniformScheme(int bits, Granularity act_granularity,
+                  Granularity weight_granularity = Granularity::PerColumn)
+        : bits_(bits), act_(act_granularity), weight_(weight_granularity)
+    {
+    }
+
+    std::string name() const override;
+    Matrix fakeQuant(const Matrix &m, Operand op) const override;
+
+    int bits() const { return bits_; }
+    Granularity activationGranularity() const { return act_; }
+
+  private:
+    int bits_;
+    Granularity act_;
+    Granularity weight_;
+};
+
+} // namespace tender
+
+#endif // TENDER_QUANT_GRANULARITY_H

@@ -1,0 +1,73 @@
+#include "quant/llm_int8.h"
+
+#include <cmath>
+
+namespace tender {
+
+std::vector<int>
+LlmInt8Scheme::outlierColumns(const Matrix &x) const
+{
+    std::vector<int> cols;
+    for (int c = 0; c < x.cols(); ++c)
+        if (colAbsMax(x, c) > threshold_)
+            cols.push_back(c);
+    return cols;
+}
+
+Matrix
+LlmInt8Scheme::fakeQuant(const Matrix &m, Operand op) const
+{
+    if (op == Operand::Weight)
+        return tender::fakeQuant(m, bits_, Granularity::PerColumn);
+    // Activation: quantize everything per-row, then restore the exact
+    // values in outlier columns (they travel the FP16 path).
+    Matrix out = tender::fakeQuant(m, bits_, Granularity::PerRow);
+    for (int c : outlierColumns(m))
+        for (int r = 0; r < m.rows(); ++r)
+            out(r, c) = m(r, c);
+    return out;
+}
+
+Matrix
+LlmInt8Scheme::matmul(const Matrix &x, const Matrix &w) const
+{
+    const std::vector<int> outliers = outlierColumns(x);
+    std::vector<bool> is_outlier(size_t(x.cols()), false);
+    for (int c : outliers)
+        is_outlier[size_t(c)] = true;
+
+    // FP partial product over the outlier reduction slice.
+    Matrix y_fp(x.rows(), w.cols(), 0.f);
+    if (!outliers.empty()) {
+        Matrix xo(x.rows(), int(outliers.size()));
+        Matrix wo(int(outliers.size()), w.cols());
+        for (size_t i = 0; i < outliers.size(); ++i) {
+            const int c = outliers[i];
+            for (int r = 0; r < x.rows(); ++r)
+                xo(r, int(i)) = x(r, c);
+            for (int n = 0; n < w.cols(); ++n)
+                wo(int(i), n) = w(c, n);
+        }
+        y_fp = gemm(xo, wo);
+    }
+
+    // INT8 partial product over the remaining columns (zeroed outliers keep
+    // shapes intact; codes for those columns are exactly zero).
+    Matrix x_norm = x;
+    Matrix w_norm = w;
+    for (int c = 0; c < x.cols(); ++c) {
+        if (!is_outlier[size_t(c)])
+            continue;
+        for (int r = 0; r < x.rows(); ++r)
+            x_norm(r, c) = 0.f;
+        for (int n = 0; n < w.cols(); ++n)
+            w_norm(c, n) = 0.f;
+    }
+    QuantizedMatrix qx = quantize(x_norm, bits_, Granularity::PerRow);
+    QuantizedMatrix qw = quantize(w_norm, bits_, Granularity::PerColumn);
+    Matrix y_int = quantizedGemm(qx, qw);
+
+    return axpby(1.f, y_fp, 1.f, y_int);
+}
+
+} // namespace tender

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * LLM.int8() baseline (Dettmers et al., NeurIPS 2022).
+ *
+ * Mixed-precision decomposition: activation columns whose absolute maximum
+ * exceeds a threshold are kept in full precision (FP16 in the original;
+ * exact here) together with the matching weight rows, while the remaining
+ * columns run through INT8 per-row x per-column quantized GEMM. The two
+ * partial products are added in floating point — the explicit
+ * dequantization overhead the Tender paper's Fig. 5(a) motivates against.
+ */
+
+#ifndef TENDER_QUANT_LLM_INT8_H
+#define TENDER_QUANT_LLM_INT8_H
+
+#include "quant/granularity.h"
+#include "quant/scheme.h"
+
+namespace tender {
+
+class LlmInt8Scheme : public GemmScheme
+{
+  public:
+    /** @param threshold Column-absmax cut for the FP16 path (paper: 6.0). */
+    explicit LlmInt8Scheme(float threshold = 6.f, int bits = 8)
+        : threshold_(threshold), bits_(bits)
+    {
+    }
+
+    std::string name() const override { return "LLM.int8"; }
+
+    Matrix fakeQuant(const Matrix &m, Operand op) const override;
+    Matrix matmul(const Matrix &x, const Matrix &w) const override;
+
+    /** Indices of columns routed to the FP path for activation x. */
+    std::vector<int> outlierColumns(const Matrix &x) const;
+
+  private:
+    float threshold_;
+    int bits_;
+};
+
+} // namespace tender
+
+#endif // TENDER_QUANT_LLM_INT8_H

@@ -1,0 +1,68 @@
+#include "quant/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tender {
+
+double
+mse(const Matrix &ref, const Matrix &approx)
+{
+    TENDER_CHECK(ref.rows() == approx.rows() && ref.cols() == approx.cols());
+    TENDER_CHECK(!ref.empty());
+    double acc = 0.0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+        double d = double(ref.data()[i]) - double(approx.data()[i]);
+        acc += d * d;
+    }
+    return acc / double(ref.size());
+}
+
+double
+nmse(const Matrix &ref, const Matrix &approx)
+{
+    double energy = 0.0;
+    for (float x : ref.data())
+        energy += double(x) * double(x);
+    if (energy == 0.0)
+        return mse(ref, approx) == 0.0 ? 0.0 : 1.0;
+    return mse(ref, approx) * double(ref.size()) / energy;
+}
+
+double
+sqnrDb(const Matrix &ref, const Matrix &approx)
+{
+    double n = nmse(ref, approx);
+    if (n <= 0.0)
+        return 200.0; // exact round trip: report a large finite SQNR
+    return -10.0 * std::log10(n);
+}
+
+double
+mcNmse(const Matrix &ref, const Matrix &approx)
+{
+    TENDER_CHECK(ref.rows() == approx.rows() && ref.cols() == approx.cols());
+    TENDER_CHECK(!ref.empty());
+    double acc = 0.0;
+    int counted = 0;
+    for (int c = 0; c < ref.cols(); ++c) {
+        double energy = 0.0, err = 0.0;
+        for (int r = 0; r < ref.rows(); ++r) {
+            const double v = ref(r, c);
+            const double d = v - double(approx(r, c));
+            energy += v * v;
+            err += d * d;
+        }
+        if (energy > 0.0) {
+            acc += err / energy;
+            ++counted;
+        } else if (err > 0.0) {
+            acc += 1.0;
+            ++counted;
+        }
+    }
+    return counted ? acc / double(counted) : 0.0;
+}
+
+} // namespace tender

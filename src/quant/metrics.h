@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Quantization error metrics: MSE, normalized MSE, and SQNR. These drive
+ * the accuracy proxies in model/perplexity and the MSE panel of Fig. 12.
+ */
+
+#ifndef TENDER_QUANT_METRICS_H
+#define TENDER_QUANT_METRICS_H
+
+#include "tensor/matrix.h"
+
+namespace tender {
+
+/** Mean squared error between reference and approximation. */
+double mse(const Matrix &ref, const Matrix &approx);
+
+/** MSE normalized by the reference signal energy (scale-free). */
+double nmse(const Matrix &ref, const Matrix &approx);
+
+/** Signal-to-quantization-noise ratio in dB. */
+double sqnrDb(const Matrix &ref, const Matrix &approx);
+
+/**
+ * Mean per-column NMSE: each column's error is normalized by that
+ * column's own energy before averaging. Plain NMSE is dominated by the
+ * outlier channels' energy and cannot see a scheme crushing the small
+ * (information-bearing) channels — the damage that actually drives LLM
+ * perplexity. This metric weights every channel equally, which is why the
+ * accuracy proxies are built on it. Zero-energy columns count as fully
+ * damaged (1.0) only if the approximation invents nonzero values there.
+ */
+double mcNmse(const Matrix &ref, const Matrix &approx);
+
+} // namespace tender
+
+#endif // TENDER_QUANT_METRICS_H

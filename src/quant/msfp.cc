@@ -1,0 +1,79 @@
+#include "quant/msfp.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tender {
+
+namespace {
+
+/**
+ * Quantize one block-floating-point block in place. Values live in
+ * out[start + i*stride] for i in [0, n). The shared exponent is taken from
+ * the block absmax; each element keeps sign + mant_bits of fraction.
+ */
+void
+quantizeBlock(const float *in, float *out, size_t start, size_t stride,
+              int n, int mant_bits)
+{
+    float amax = 0.f;
+    for (int i = 0; i < n; ++i)
+        amax = std::max(amax, std::abs(in[start + size_t(i) * stride]));
+    if (amax == 0.f) {
+        for (int i = 0; i < n; ++i)
+            out[start + size_t(i) * stride] = 0.f;
+        return;
+    }
+    // Shared exponent: smallest E with amax < 2^(E+1).
+    const int e_shared = int(std::floor(std::log2(amax)));
+    const float ulp = std::pow(2.f, float(e_shared + 1 - mant_bits));
+    const float vmax = (float(1 << mant_bits) - 1.f) * ulp;
+    for (int i = 0; i < n; ++i) {
+        const float x = in[start + size_t(i) * stride];
+        float q = std::nearbyintf(std::abs(x) / ulp) * ulp;
+        q = std::min(q, vmax);
+        out[start + size_t(i) * stride] = std::copysign(q, x);
+    }
+}
+
+} // namespace
+
+Matrix
+bfpFakeQuant(const Matrix &m, int block, int mant_bits, BlockAxis axis,
+             Operand op)
+{
+    TENDER_CHECK(block > 0 && mant_bits >= 1);
+    Matrix out(m.rows(), m.cols());
+    const float *in = m.data().data();
+    float *o = out.data().data();
+    const size_t cols = size_t(m.cols());
+
+    // Blocks run along the reduction axis by default: rows of an activation
+    // (tokens x channels) and columns of a weight (channels x features).
+    // Token-axis blocks (MSFP12-OL) are the transpose arrangement.
+    const bool along_row = (axis == BlockAxis::Reduction)
+        ? (op == Operand::Activation)
+        : (op == Operand::Weight);
+
+    if (along_row) {
+        for (int r = 0; r < m.rows(); ++r)
+            for (int c = 0; c < m.cols(); c += block)
+                quantizeBlock(in, o, size_t(r) * cols + size_t(c), 1,
+                              std::min(block, m.cols() - c), mant_bits);
+    } else {
+        for (int c = 0; c < m.cols(); ++c)
+            for (int r = 0; r < m.rows(); r += block)
+                quantizeBlock(in, o, size_t(r) * cols + size_t(c), cols,
+                              std::min(block, m.rows() - r), mant_bits);
+    }
+    return out;
+}
+
+Matrix
+MsfpScheme::fakeQuant(const Matrix &m, Operand op) const
+{
+    return bfpFakeQuant(m, block_, mant_bits_, axis_, op);
+}
+
+} // namespace tender

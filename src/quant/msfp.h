@@ -1,0 +1,75 @@
+/**
+ * @file
+ * MSFP baseline (Darvish Rouhani et al., NeurIPS 2020): Microsoft floating
+ * point, a block floating-point format with one shared 8-bit exponent per
+ * block and small sign+mantissa elements.
+ *
+ * MSFP12: blocks of 16 along the reduction axis, 1 sign + 3 mantissa bits
+ * per element (12 amortized bits counting the shared exponent). Because one
+ * outlier in a block sets the shared exponent for all 16 elements, normal
+ * values in outlier-containing blocks are crushed — Table VI of the Tender
+ * paper. MSFP12-OL is the paper's outlier-aware variant: blocks of 8 along
+ * the *token* axis so a block never mixes channels.
+ */
+
+#ifndef TENDER_QUANT_MSFP_H
+#define TENDER_QUANT_MSFP_H
+
+#include "quant/scheme.h"
+
+namespace tender {
+
+/** Block orientation relative to the activation matrix X (tokens x
+ *  channels). Reduction = along a row of X / a column of W. */
+enum class BlockAxis { Reduction, Token };
+
+/**
+ * Block floating-point fake-quantization.
+ *
+ * @param m          Tensor to quantize.
+ * @param block      Elements per shared exponent.
+ * @param mant_bits  Mantissa bits per element (excluding sign).
+ * @param axis       Block orientation (see BlockAxis).
+ * @param op         Whether m is the activation or the weight; for weights
+ *                   the Reduction axis runs down columns.
+ */
+Matrix bfpFakeQuant(const Matrix &m, int block, int mant_bits,
+                    BlockAxis axis, Operand op);
+
+class MsfpScheme : public GemmScheme
+{
+  public:
+    /**
+     * @param block      Block size (16 for MSFP12, 8 for MSFP12-OL).
+     * @param mant_bits  Mantissa bits (3 for both MSFP12 variants).
+     * @param axis       Reduction-axis blocks (MSFP12) or token-axis blocks
+     *                   (MSFP12-OL).
+     */
+    MsfpScheme(int block, int mant_bits, BlockAxis axis, std::string label)
+        : block_(block), mant_bits_(mant_bits), axis_(axis),
+          label_(std::move(label))
+    {
+    }
+
+    static MsfpScheme msfp12()
+    {
+        return {16, 3, BlockAxis::Reduction, "MSFP12"};
+    }
+    static MsfpScheme msfp12Ol()
+    {
+        return {8, 3, BlockAxis::Token, "MSFP12-OL"};
+    }
+
+    std::string name() const override { return label_; }
+    Matrix fakeQuant(const Matrix &m, Operand op) const override;
+
+  private:
+    int block_;
+    int mant_bits_;
+    BlockAxis axis_;
+    std::string label_;
+};
+
+} // namespace tender
+
+#endif // TENDER_QUANT_MSFP_H

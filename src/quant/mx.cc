@@ -1,0 +1,116 @@
+#include "quant/mx.h"
+
+#include <array>
+#include <cmath>
+
+#include "quant/block_iter.h"
+#include "util/check.h"
+
+namespace tender {
+
+namespace {
+
+float
+blockAbsMax(const float *in, size_t start, size_t stride, int n)
+{
+    float amax = 0.f;
+    for (int i = 0; i < n; ++i)
+        amax = std::max(amax, std::abs(in[start + size_t(i) * stride]));
+    return amax;
+}
+
+/** FP4 E2M1 magnitude ladder. */
+constexpr std::array<float, 8> kE2m1 = {0.f,  0.5f, 1.f, 1.5f,
+                                        2.f,  3.f,  4.f, 6.f};
+
+float
+nearestE2m1(float target)
+{
+    float best = kE2m1[0];
+    float best_d = std::abs(target - best);
+    for (float v : kE2m1) {
+        const float d = std::abs(target - v);
+        if (d < best_d) {
+            best_d = d;
+            best = v;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+Matrix
+smx4FakeQuant(const Matrix &m, Operand op)
+{
+    constexpr int kBlock = 16;
+    constexpr int kSub = 2;
+    constexpr int kMantBits = 2; // sign + 2-bit mantissa per element
+
+    Matrix out(m.rows(), m.cols());
+    const float *in = m.data().data();
+    float *o = out.data().data();
+
+    forEachReductionBlock(m, op, kBlock,
+        [&](size_t start, size_t stride, int n) {
+            const float amax = blockAbsMax(in, start, stride, n);
+            if (amax == 0.f) {
+                for (int i = 0; i < n; ++i)
+                    o[start + size_t(i) * stride] = 0.f;
+                return;
+            }
+            const int e_shared = int(std::floor(std::log2(amax)));
+            for (int i0 = 0; i0 < n; i0 += kSub) {
+                const int sn = std::min(kSub, n - i0);
+                const float sub_max = blockAbsMax(in, start +
+                                                  size_t(i0) * stride,
+                                                  stride, sn);
+                // 1-bit subscale: drop one octave if the pair is small.
+                const int d = (sub_max > 0.f &&
+                               sub_max <= std::pow(2.f, float(e_shared)))
+                    ? 1 : 0;
+                const float ulp =
+                    std::pow(2.f, float(e_shared + 1 - d - kMantBits));
+                const float vmax = float((1 << kMantBits) - 1) * ulp;
+                for (int i = i0; i < i0 + sn; ++i) {
+                    const float x = in[start + size_t(i) * stride];
+                    float q = std::nearbyintf(std::abs(x) / ulp) * ulp;
+                    q = std::min(q, vmax);
+                    o[start + size_t(i) * stride] = std::copysign(q, x);
+                }
+            }
+        });
+    return out;
+}
+
+Matrix
+mxfp4FakeQuant(const Matrix &m, Operand op)
+{
+    constexpr int kBlock = 32;
+
+    Matrix out(m.rows(), m.cols());
+    const float *in = m.data().data();
+    float *o = out.data().data();
+
+    forEachReductionBlock(m, op, kBlock,
+        [&](size_t start, size_t stride, int n) {
+            const float amax = blockAbsMax(in, start, stride, n);
+            if (amax == 0.f) {
+                for (int i = 0; i < n; ++i)
+                    o[start + size_t(i) * stride] = 0.f;
+                return;
+            }
+            // Power-of-two block scale mapping amax into the E2M1 range
+            // (largest magnitude 6 = 1.5 * 2^2).
+            const int e_shared = int(std::floor(std::log2(amax)));
+            const float scale = std::pow(2.f, float(e_shared - 2));
+            for (int i = 0; i < n; ++i) {
+                const float x = in[start + size_t(i) * stride];
+                const float q = nearestE2m1(std::abs(x) / scale) * scale;
+                o[start + size_t(i) * stride] = std::copysign(q, x);
+            }
+        });
+    return out;
+}
+
+} // namespace tender

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Microscaling formats: SMX (shared microexponents, ISCA 2023) and the OCP
+ * MX formats (MXFP4), compared against Tender in Table VII.
+ *
+ * Both are two-level block formats with power-of-two scale factors:
+ *  - SMX4: blocks of 16 share an 8-bit exponent; sub-blocks of 2 share a
+ *    1-bit subscale (an extra /2); elements are sign + 2-bit mantissa.
+ *  - MXFP4: blocks of 32 share an 8-bit power-of-two scale; each element
+ *    is an FP4 E2M1 number (magnitudes {0, .5, 1, 1.5, 2, 3, 4, 6}).
+ *
+ * Unlike Tender, the power-of-two relationship is *within* a block's scale
+ * hierarchy, not *between* channel groups, so implicit one-shift rescaling
+ * across the reduction cannot be applied (Section VI-C of the paper).
+ */
+
+#ifndef TENDER_QUANT_MX_H
+#define TENDER_QUANT_MX_H
+
+#include "quant/scheme.h"
+
+namespace tender {
+
+/** SMX4 fake-quantization of one tensor (blocks along reduction axis). */
+Matrix smx4FakeQuant(const Matrix &m, Operand op);
+
+/** MXFP4 fake-quantization of one tensor (blocks along reduction axis). */
+Matrix mxfp4FakeQuant(const Matrix &m, Operand op);
+
+class Smx4Scheme : public GemmScheme
+{
+  public:
+    std::string name() const override { return "SMX4"; }
+    Matrix
+    fakeQuant(const Matrix &m, Operand op) const override
+    {
+        return smx4FakeQuant(m, op);
+    }
+};
+
+class Mxfp4Scheme : public GemmScheme
+{
+  public:
+    std::string name() const override { return "MXFP4"; }
+    Matrix
+    fakeQuant(const Matrix &m, Operand op) const override
+    {
+        return mxfp4FakeQuant(m, op);
+    }
+};
+
+} // namespace tender
+
+#endif // TENDER_QUANT_MX_H

@@ -1,0 +1,138 @@
+#include "quant/olive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "quant/block_iter.h"
+#include "quant/quantizer.h"
+#include "util/stats.h"
+
+namespace tender {
+
+void
+OliveScheme::encodeBlock(const float *in, float *out, size_t start,
+                         size_t stride, int n, float s) const
+{
+    const float normal_max = s * float(maxCode(bits_));
+    // abfloat magnitude ladder: powers of two starting one octave above
+    // the normal range, 2^(bits-1) rungs (sign takes the remaining bit).
+    const int rungs = 1 << (bits_ - 1);
+
+    auto encode_outlier = [&](float x) {
+        // Nearest rung in log2 space, clamped to the ladder.
+        int j = int(std::lround(std::log2(std::abs(x) / normal_max)));
+        j = std::clamp(j, 1, rungs);
+        return std::copysign(normal_max * std::pow(2.f, float(j)), x);
+    };
+    auto encode_normal = [&](float x) {
+        return dequantizeValue(quantizeValue(x, s, bits_), s);
+    };
+
+    // Pairs are adjacent along the block (the hardware's aligned
+    // outlier-victim encoding).
+    for (int i = 0; i < n; i += 2) {
+        const bool has_pair = i + 1 < n;
+        const float a = in[start + size_t(i) * stride];
+        const float b = has_pair ? in[start + size_t(i + 1) * stride] : 0.f;
+        const bool a_out = std::abs(a) > normal_max;
+        const bool b_out = has_pair && std::abs(b) > normal_max;
+        float ea, eb = 0.f;
+        if (a_out && b_out) {
+            // Both outliers: keep the larger in abfloat, saturate the
+            // other into the normal range.
+            if (std::abs(a) >= std::abs(b)) {
+                ea = encode_outlier(a);
+                eb = std::copysign(normal_max, b);
+            } else {
+                ea = std::copysign(normal_max, a);
+                eb = encode_outlier(b);
+            }
+        } else if (a_out) {
+            ea = encode_outlier(a);
+            eb = 0.f; // victim pruned
+        } else if (b_out) {
+            ea = 0.f; // victim pruned
+            eb = encode_outlier(b);
+        } else {
+            ea = encode_normal(a);
+            eb = encode_normal(b);
+        }
+        out[start + size_t(i) * stride] = ea;
+        if (has_pair)
+            out[start + size_t(i + 1) * stride] = eb;
+    }
+}
+
+float
+OliveScheme::blockScale(const float *in, size_t start, size_t stride,
+                        int n) const
+{
+    std::vector<double> mags;
+    mags.reserve(size_t(n));
+    for (int i = 0; i < n; ++i)
+        mags.push_back(std::abs(double(in[start + size_t(i) * stride])));
+    auto scale_at = [&](double q) {
+        std::vector<double> copy = mags;
+        return scaleFor(float(quantile(std::move(copy), q)), bits_);
+    };
+    if (quantile_ > 0.0)
+        return scale_at(quantile_);
+
+    // Tuned threshold: a few outlier ratios per block, minimum MSE wins.
+    static constexpr double kCandidates[] = {0.75, 0.875, 0.9375, 0.97,
+                                             0.985, 1.0};
+    float best_scale = scale_at(1.0);
+    double best_mse = -1.0;
+    std::vector<float> dense(static_cast<size_t>(n), 0.f);
+    std::vector<float> enc(static_cast<size_t>(n), 0.f);
+    for (double q : kCandidates) {
+        const float s = scale_at(q);
+        for (int i = 0; i < n; ++i)
+            dense[size_t(i)] = in[start + size_t(i) * stride];
+        encodeBlock(dense.data(), enc.data(), 0, 1, n, s);
+        double err = 0.0;
+        for (int i = 0; i < n; ++i) {
+            const double d = double(dense[size_t(i)]) -
+                double(enc[size_t(i)]);
+            err += d * d;
+        }
+        if (best_mse < 0.0 || err < best_mse) {
+            best_mse = err;
+            best_scale = s;
+        }
+    }
+    return best_scale;
+}
+
+Matrix
+OliveScheme::fakeQuant(const Matrix &m, Operand op) const
+{
+    Matrix out(m.rows(), m.cols());
+    const float *in = m.data().data();
+    float *o = out.data().data();
+    forEachReductionBlock(m, op, block_,
+        [&](size_t start, size_t stride, int n) {
+            encodeBlock(in, o, start, stride, n,
+                        blockScale(in, start, stride, n));
+        });
+    return out;
+}
+
+double
+OliveScheme::outlierFraction(const Matrix &m) const
+{
+    const float *in = m.data().data();
+    int64_t outliers = 0;
+    forEachReductionBlock(m, Operand::Activation, block_,
+        [&](size_t start, size_t stride, int n) {
+            const float s = blockScale(in, start, stride, n);
+            const float normal_max = s * float(maxCode(bits_));
+            for (int i = 0; i < n; ++i)
+                if (std::abs(in[start + size_t(i) * stride]) > normal_max)
+                    ++outliers;
+        });
+    return m.size() ? double(outliers) / double(m.size()) : 0.0;
+}
+
+} // namespace tender

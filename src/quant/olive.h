@@ -1,0 +1,65 @@
+/**
+ * @file
+ * OliVe baseline (Guo et al., ISCA 2023): outlier-victim pair quantization.
+ *
+ * Tensors are quantized in blocks along the reduction axis (the published
+ * design's group granularity). Within a block, elements are processed in
+ * adjacent pairs: when one element of a pair is an outlier (beyond the
+ * block's normal integer range), its neighbour — the victim — is pruned
+ * to zero, and the freed encoding space stores the outlier in "abfloat",
+ * a coarse power-of-two magnitude ladder starting just above the normal
+ * range. The normal-range threshold of each block is tuned by MSE over a
+ * small quantile ladder, mirroring the published threshold selection.
+ *
+ * Everything stays b bits wide and memory-aligned. Block-local scales make
+ * the scheme near-lossless at INT8; at INT4 the pruned victims and the
+ * coarse abfloat ladder cost accuracy on outlier-heavy models (Table II).
+ */
+
+#ifndef TENDER_QUANT_OLIVE_H
+#define TENDER_QUANT_OLIVE_H
+
+#include "quant/scheme.h"
+
+namespace tender {
+
+class OliveScheme : public GemmScheme
+{
+  public:
+    /**
+     * @param bits Total element width.
+     * @param outlier_quantile Fix the fraction of |values| treated as
+     *        normal instead of tuning it per block (tests/diagnostics);
+     *        <= 0 (default) auto-tunes each block by MSE.
+     * @param block Elements per quantization group.
+     */
+    explicit OliveScheme(int bits, double outlier_quantile = 0.0,
+                         int block = 64)
+        : bits_(bits), quantile_(outlier_quantile), block_(block)
+    {
+    }
+
+    std::string name() const override { return "OliVe"; }
+
+    Matrix fakeQuant(const Matrix &m, Operand op) const override;
+
+    /** Fraction of elements encoded on the abfloat (outlier) path. */
+    double outlierFraction(const Matrix &m) const;
+
+  private:
+    /** Encode one block with the given normal-range scale. */
+    void encodeBlock(const float *in, float *out, size_t start,
+                     size_t stride, int n, float scale) const;
+
+    /** Pick the block's normal scale (fixed quantile or MSE-tuned). */
+    float blockScale(const float *in, size_t start, size_t stride,
+                     int n) const;
+
+    int bits_;
+    double quantile_;
+    int block_;
+};
+
+} // namespace tender
+
+#endif // TENDER_QUANT_OLIVE_H

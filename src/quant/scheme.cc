@@ -1,0 +1,20 @@
+#include "quant/scheme.h"
+
+#include "quant/metrics.h"
+
+namespace tender {
+
+double
+GemmScheme::gemmDamage(const Matrix &x, const Matrix &w) const
+{
+    // Activations are tokens x channels (columns = channels); weights are
+    // channels x features, so equal-weighting *input channels* means
+    // normalizing weight rows — handled by transposing the view via
+    // mcNmse on the operand orientation where columns are channels.
+    const double act = mcNmse(x, fakeQuant(x, Operand::Activation));
+    const Matrix wq = fakeQuant(w, Operand::Weight);
+    const double wt = mcNmse(w.transposed(), wq.transposed());
+    return act + wt;
+}
+
+} // namespace tender

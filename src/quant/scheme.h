@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Common interface for quantized-GEMM schemes.
+ *
+ * Every scheme approximates Y = X * W for an activation X and weight W.
+ * The accuracy harnesses run transformer GEMMs through a scheme and measure
+ * the output error against the FP32 reference; the default matmul() path is
+ * "fake quantization" (quantize-dequantize each operand, then exact GEMM),
+ * which is numerically identical to running the integer pipeline and
+ * rescaling, and is the standard methodology of PTQ accuracy papers.
+ *
+ * Schemes that change the compute itself (Tender's runtime requantization)
+ * override matmul() with their own integer pipeline.
+ */
+
+#ifndef TENDER_QUANT_SCHEME_H
+#define TENDER_QUANT_SCHEME_H
+
+#include <memory>
+#include <string>
+
+#include "tensor/gemm.h"
+#include "tensor/matrix.h"
+
+namespace tender {
+
+/** Which operand of a GEMM a tensor plays; some codecs treat them
+ *  differently (e.g. activation-only outlier handling). */
+enum class Operand { Activation, Weight };
+
+/** Abstract quantized-GEMM scheme. */
+class GemmScheme
+{
+  public:
+    virtual ~GemmScheme() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Fake-quantize one operand (returns dequantized FP32 tensor). */
+    virtual Matrix fakeQuant(const Matrix &m, Operand op) const = 0;
+
+    /** Approximate X * W under this scheme. */
+    virtual Matrix
+    matmul(const Matrix &x, const Matrix &w) const
+    {
+        return gemm(fakeQuant(x, Operand::Activation),
+                    fakeQuant(w, Operand::Weight));
+    }
+
+    /**
+     * Channel-equalized damage this scheme inflicts on the operands of an
+     * X * W GEMM: the sum of per-column-normalized NMSE on each operand
+     * (see mcNmse in quant/metrics.h). Schemes whose pipeline transforms
+     * the operands before quantizing (e.g. SmoothQuant's migration)
+     * override this so the damage is measured on what they actually
+     * quantize.
+     */
+    virtual double gemmDamage(const Matrix &x, const Matrix &w) const;
+};
+
+/** Exact FP reference (the "FP16 baseline" rows of the paper's tables;
+ *  our master data is FP32, which only tightens the baseline). */
+class Fp16Scheme : public GemmScheme
+{
+  public:
+    std::string name() const override { return "FP16"; }
+    Matrix fakeQuant(const Matrix &m, Operand) const override { return m; }
+    Matrix
+    matmul(const Matrix &x, const Matrix &w) const override
+    {
+        return gemm(x, w);
+    }
+};
+
+} // namespace tender
+
+#endif // TENDER_QUANT_SCHEME_H

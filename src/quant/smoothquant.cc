@@ -1,0 +1,78 @@
+#include "quant/smoothquant.h"
+
+#include <cmath>
+
+#include "quant/metrics.h"
+
+namespace tender {
+
+std::vector<float>
+smoothingFactors(const Matrix &x, const Matrix &w, float alpha)
+{
+    TENDER_CHECK(x.cols() == w.rows());
+    std::vector<float> s(size_t(x.cols()), 1.f);
+    for (int j = 0; j < x.cols(); ++j) {
+        const float ax = colAbsMax(x, j);
+        const float aw = rowAbsMax(w, j);
+        if (ax <= 0.f || aw <= 0.f)
+            continue; // dead channel: leave unscaled
+        const float f = std::pow(ax, alpha) / std::pow(aw, 1.f - alpha);
+        s[size_t(j)] = std::max(f, 1e-5f);
+    }
+    return s;
+}
+
+Matrix
+smoothActivation(const Matrix &x, const std::vector<float> &s)
+{
+    TENDER_CHECK(s.size() == size_t(x.cols()));
+    Matrix out = x;
+    for (int r = 0; r < x.rows(); ++r)
+        for (int c = 0; c < x.cols(); ++c)
+            out(r, c) /= s[size_t(c)];
+    return out;
+}
+
+Matrix
+smoothWeight(const Matrix &w, const std::vector<float> &s)
+{
+    TENDER_CHECK(s.size() == size_t(w.rows()));
+    Matrix out = w;
+    for (int r = 0; r < w.rows(); ++r)
+        for (int c = 0; c < w.cols(); ++c)
+            out(r, c) *= s[size_t(r)];
+    return out;
+}
+
+Matrix
+SmoothQuantScheme::fakeQuant(const Matrix &m, Operand) const
+{
+    return tender::fakeQuant(m, bits_, Granularity::PerTensor);
+}
+
+double
+SmoothQuantScheme::gemmDamage(const Matrix &x, const Matrix &w) const
+{
+    const std::vector<float> s = smoothingFactors(x, w, alpha_);
+    const Matrix xs = smoothActivation(x, s);
+    const Matrix ws = smoothWeight(w, s);
+    const double act =
+        mcNmse(xs, tender::fakeQuant(xs, bits_, Granularity::PerTensor));
+    const Matrix wq = tender::fakeQuant(ws, bits_, Granularity::PerTensor);
+    return act + mcNmse(ws.transposed(), wq.transposed());
+}
+
+Matrix
+SmoothQuantScheme::matmul(const Matrix &x, const Matrix &w) const
+{
+    const std::vector<float> s = smoothingFactors(x, w, alpha_);
+    const Matrix xs = smoothActivation(x, s);
+    const Matrix ws = smoothWeight(w, s);
+    // Smoothed operands go through the original release's per-tensor
+    // W8A8 pipeline.
+    QuantizedMatrix qx = quantize(xs, bits_, Granularity::PerTensor);
+    QuantizedMatrix qw = quantize(ws, bits_, Granularity::PerTensor);
+    return quantizedGemm(qx, qw);
+}
+
+} // namespace tender

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SmoothQuant baseline (Xiao et al., ICML 2023).
+ *
+ * Migrates quantization difficulty from activations to weights with a
+ * per-channel smoothing factor
+ *
+ *     s_j = max|X_:,j|^alpha / max|W_j,:|^(1-alpha)
+ *
+ * then quantizes both smoothed operands per-tensor with plain uniform
+ * symmetric INTb — the W8A8 per-tensor pipeline of the original release
+ * that the Tender paper compares against. Because outliers are attenuated
+ * but never isolated, the scheme works at INT8 on mild-outlier models,
+ * struggles on the Llama family's harsher and more token-variable
+ * outliers, and collapses at INT4 (Table II).
+ */
+
+#ifndef TENDER_QUANT_SMOOTHQUANT_H
+#define TENDER_QUANT_SMOOTHQUANT_H
+
+#include "quant/granularity.h"
+#include "quant/scheme.h"
+
+namespace tender {
+
+/** Per-channel smoothing factors for an X(MxK) * W(KxN) GEMM. */
+std::vector<float> smoothingFactors(const Matrix &x, const Matrix &w,
+                                    float alpha);
+
+/** Divide activation columns by the factors. */
+Matrix smoothActivation(const Matrix &x, const std::vector<float> &s);
+
+/** Multiply weight rows by the factors. */
+Matrix smoothWeight(const Matrix &w, const std::vector<float> &s);
+
+class SmoothQuantScheme : public GemmScheme
+{
+  public:
+    explicit SmoothQuantScheme(int bits, float alpha = 0.5f)
+        : bits_(bits), alpha_(alpha)
+    {
+    }
+
+    std::string name() const override { return "SmoothQuant"; }
+
+    /** Smoothing needs both operands, so the per-operand path quantizes
+     *  without migration (used only for diagnostics). */
+    Matrix fakeQuant(const Matrix &m, Operand op) const override;
+
+    /** Full pipeline: smooth, quantize X and W per-tensor, GEMM. */
+    Matrix matmul(const Matrix &x, const Matrix &w) const override;
+
+    /** Damage measured on the *smoothed* operands the pipeline actually
+     *  quantizes, so the migration benefit is credited. */
+    double gemmDamage(const Matrix &x, const Matrix &w) const override;
+
+  private:
+    int bits_;
+    float alpha_;
+};
+
+} // namespace tender
+
+#endif // TENDER_QUANT_SMOOTHQUANT_H

@@ -1,0 +1,271 @@
+#include "sim/accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tender {
+
+std::vector<int64_t>
+modelGroupSizes(int64_t k, int groups)
+{
+    TENDER_CHECK(k >= 0 && groups >= 1);
+    std::vector<int64_t> sizes(size_t(groups), 0);
+    if (groups == 1 || k == 0) {
+        sizes[0] = k;
+        return sizes;
+    }
+    // Power-of-two thresholds over an outlier-heavy-tailed channel
+    // distribution put ~2x fewer channels in each higher-magnitude group;
+    // ~4% of channels sit above the last threshold in total.
+    int64_t assigned = 0;
+    double frac = 0.02;
+    for (int g = 0; g < groups - 1; ++g) {
+        int64_t s = std::max<int64_t>(1, int64_t(std::llround(
+            double(k) * frac)));
+        s = std::min(s, std::max<int64_t>(0, k - assigned -
+                                          (groups - 1 - g)));
+        sizes[size_t(g)] = s;
+        assigned += s;
+        frac *= 0.5;
+    }
+    sizes[size_t(groups) - 1] = k - assigned;
+    TENDER_CHECK(sizes.back() >= 0);
+    return sizes;
+}
+
+AcceleratorSim::AcceleratorSim(AcceleratorConfig config,
+                               DramConfig dram_config)
+    : config_(std::move(config)), dramConfig_(dram_config)
+{
+    TENDER_REQUIRE(config_.memEfficiency > 0.0 &&
+                   config_.memEfficiency <= 1.0,
+                   "memEfficiency must be in (0, 1]");
+    TENDER_REQUIRE(config_.numGroups >= 1, "need at least one group");
+}
+
+AcceleratorSim::OpResult
+AcceleratorSim::runOpAtBits(const GemmOp &op, int act_bits, int weight_bits,
+                            DramModel &dram)
+{
+    OpResult res;
+    const int op_bits = std::max(act_bits, weight_bits);
+    const EffectiveArray arr = effectiveArray(config_.array, op_bits);
+    const int64_t k = op.k;
+    const int groups = config_.requant == RequantMode::None
+        ? 1 : config_.numGroups;
+    const std::vector<int64_t> group_sizes = modelGroupSizes(k, groups);
+
+    // Address regions for this op (separated so the bank model sees the
+    // stream behaviour of distinct buffers, not fake conflicts).
+    uint64_t act_addr = 0x0000'0000ULL;
+    uint64_t weight_addr = 0x4000'0000ULL;
+    uint64_t out_addr = 0x8000'0000ULL;
+    const double mem_inflate = 1.0 / config_.memEfficiency;
+
+    // Double-buffering recurrence frontiers.
+    uint64_t mem_time = 0;     // memory engine
+    uint64_t compute_time = 0; // systolic array
+    uint64_t mem_busy = 0;
+
+    auto fetch = [&](uint64_t &addr, uint64_t bytes, bool write) {
+        bytes = uint64_t(std::llround(double(bytes) * mem_inflate));
+        const uint64_t begin = mem_time;
+        mem_time = dram.streamTransfer(addr, bytes, write, mem_time);
+        mem_busy += mem_time - begin;
+        addr += bytes;
+        res.counters.sramBytes += bytes; // every DRAM beat lands in SRAM
+        return mem_time;
+    };
+
+    // Scratchpad scheduling: an activation slab of the physical array
+    // height stays resident; each weight tile is fetched once per slab and
+    // shared by every vertical sub-tile inside it (this matters when
+    // precision ganging shrinks the effective tile below the slab).
+    const int slab_rows = config_.array.rows;
+    for (int inst = 0; inst < op.count; ++inst) {
+        const int slabs = (op.m + slab_rows - 1) / slab_rows;
+        const int tiles_n = (op.n + arr.cols - 1) / arr.cols;
+        for (int i = 0; i < slabs; ++i) {
+            const int sm = std::min(slab_rows, op.m - i * slab_rows);
+            const int sub_tiles = (sm + arr.rows - 1) / arr.rows;
+            // Activation slab: sm x k, fetched once and reused across the
+            // whole row of output tiles.
+            const uint64_t act_bytes =
+                uint64_t(sm) * uint64_t(k) * uint64_t(act_bits) / 8;
+            const uint64_t act_ready = fetch(act_addr, act_bytes, false);
+            for (int j = 0; j < tiles_n; ++j) {
+                const int tn = std::min(arr.cols, op.n - j * arr.cols);
+                const uint64_t w_bytes = uint64_t(k) * uint64_t(tn) *
+                    uint64_t(weight_bits) / 8;
+                const uint64_t w_ready = fetch(weight_addr, w_bytes, false);
+
+                for (int v = 0; v < sub_tiles; ++v) {
+                    const int tm = std::min(arr.rows, sm - v * arr.rows);
+                    int64_t cycles;
+                    uint64_t vpu_extra = 0;
+                    if (config_.requant == RequantMode::Explicit) {
+                        cycles = tileCyclesExplicit(config_.array, tm, tn,
+                                                    group_sizes.data(),
+                                                    groups);
+                        // FP dequantize + accumulate of each group's
+                        // partial product in the VPU, on the tile's
+                        // critical path.
+                        const uint64_t per_group =
+                            uint64_t(tm) * uint64_t(tn) * 2 /
+                            uint64_t(config_.vpuLanes);
+                        vpu_extra = per_group * uint64_t(groups);
+                        res.counters.vpuFlops += uint64_t(tm) *
+                            uint64_t(tn) * 2 * uint64_t(groups);
+                    } else {
+                        const bool first =
+                            (i == 0 && j == 0 && v == 0 && inst == 0);
+                        cycles = tileCycles(config_.array, tm, tn, k,
+                                            groups, /*pipelined=*/!first);
+                        res.bubbles += uint64_t(groups - 1);
+                    }
+                    cycles = int64_t(std::llround(
+                        double(cycles) * config_.outlierSlowdown));
+
+                    // A tile starts when its operands have arrived and
+                    // the array is free.
+                    const uint64_t start =
+                        std::max({compute_time, act_ready, w_ready});
+                    compute_time = start + uint64_t(cycles) + vpu_extra;
+
+                    // Writeback through VPU requantization into DRAM.
+                    const uint64_t out_bytes = uint64_t(tm) *
+                        uint64_t(tn) * uint64_t(act_bits) / 8;
+                    mem_time = std::max(mem_time, compute_time);
+                    fetch(out_addr, out_bytes, true);
+
+                    // Counters.
+                    const uint64_t tile_macs =
+                        uint64_t(tm) * uint64_t(tn) * uint64_t(k);
+                    if (op_bits <= 4)
+                        res.counters.macInt4 += tile_macs;
+                    else
+                        res.counters.macInt8 += tile_macs;
+                    res.counters.vpuFlops += uint64_t(tm) * uint64_t(tn);
+                    res.counters.fifoBytes +=
+                        (uint64_t(tm) + uint64_t(tn)) * uint64_t(k) *
+                        uint64_t(op_bits) / 8;
+                    if (config_.requant != RequantMode::None)
+                        res.counters.indexBytes += uint64_t(k) * 2;
+                    if (config_.edgeDecoder)
+                        res.counters.decodedElems +=
+                            (uint64_t(tm) + uint64_t(tn)) * uint64_t(k);
+                    if (config_.requant == RequantMode::Implicit)
+                        res.counters.rescaleShifts += uint64_t(tm) *
+                            uint64_t(tn) * uint64_t(groups - 1);
+                    ++res.tiles;
+                    res.computeCycles += uint64_t(cycles) + vpu_extra;
+                }
+            }
+        }
+    }
+
+    res.cycles = std::max(compute_time, mem_time);
+    res.memCycles = mem_busy;
+    return res;
+}
+
+AcceleratorSim::OpResult
+AcceleratorSim::runOp(const GemmOp &op)
+{
+    // Each op gets a fresh DRAM model: ops are long independent streams,
+    // so bank state continuity across ops is negligible, and this keeps
+    // precision blending from double-counting traffic.
+    auto run_at = [&](int ab, int wb) {
+        DramModel dram(dramConfig_);
+        OpResult r = runOpAtBits(op, ab, wb, dram);
+        r.counters.dramBytes = dram.counters().bytesRead +
+            dram.counters().bytesWritten;
+        r.counters.dramActivates = dram.counters().activates;
+        return r;
+    };
+
+    if (config_.int8OpFraction <= 0.0)
+        return run_at(config_.actBits, config_.weightBits);
+
+    // ANT-style adaptive precision: a fraction of the network's GEMM work
+    // needs 8-bit datatypes to hold accuracy; blend the two precisions.
+    OpResult lo = run_at(config_.actBits, config_.weightBits);
+    OpResult hi = run_at(8, 8);
+    const double f = config_.int8OpFraction;
+    auto blend = [&](uint64_t a, uint64_t b) {
+        return uint64_t(std::llround(double(a) * (1.0 - f) +
+                                     double(b) * f));
+    };
+    OpResult res;
+    res.cycles = blend(lo.cycles, hi.cycles);
+    res.computeCycles = blend(lo.computeCycles, hi.computeCycles);
+    res.memCycles = blend(lo.memCycles, hi.memCycles);
+    res.tiles = blend(lo.tiles, hi.tiles);
+    res.bubbles = blend(lo.bubbles, hi.bubbles);
+    ActivityCounters &c = res.counters;
+    const ActivityCounters &a = lo.counters;
+    const ActivityCounters &b = hi.counters;
+    c.macInt4 = blend(a.macInt4, b.macInt4);
+    c.macInt8 = blend(a.macInt8, b.macInt8);
+    c.vpuFlops = blend(a.vpuFlops, b.vpuFlops);
+    c.sramBytes = blend(a.sramBytes, b.sramBytes);
+    c.fifoBytes = blend(a.fifoBytes, b.fifoBytes);
+    c.indexBytes = blend(a.indexBytes, b.indexBytes);
+    c.dramBytes = blend(a.dramBytes, b.dramBytes);
+    c.dramActivates = blend(a.dramActivates, b.dramActivates);
+    c.decodedElems = blend(a.decodedElems, b.decodedElems);
+    c.rescaleShifts = blend(a.rescaleShifts, b.rescaleShifts);
+    return res;
+}
+
+SimResult
+AcceleratorSim::run(const Workload &workload)
+{
+    SimResult sim;
+    sim.accelerator = config_.name;
+    sim.model = workload.model;
+
+    uint64_t block_cycles = 0;
+    ActivityCounters block_counters;
+    uint64_t compute = 0, mem = 0, tiles = 0, bubbles = 0;
+
+    for (const GemmOp &op : workload.blockOps) {
+        OpResult r = runOp(op);
+        block_cycles += r.cycles;
+        compute += r.computeCycles;
+        mem += r.memCycles;
+        tiles += r.tiles;
+        bubbles += r.bubbles;
+        block_counters.add(r.counters);
+    }
+
+    // VPU work outside GEMMs: softmax over the attention scores, two
+    // LayerNorms, and the residual adds; throughput-limited by the lanes.
+    const uint64_t n = uint64_t(workload.seqLen);
+    const uint64_t d = uint64_t(workload.dModel);
+    uint64_t softmax_flops = 0;
+    for (const GemmOp &op : workload.blockOps)
+        if (op.name == "scores")
+            softmax_flops = uint64_t(op.m) * uint64_t(op.n) *
+                uint64_t(op.count) * 3;
+    const uint64_t vector_flops = softmax_flops + n * d * 8 /*2x LN*/ +
+        n * d * 2 /*residuals*/;
+    block_counters.vpuFlops += vector_flops;
+    block_cycles += vector_flops / uint64_t(config_.vpuLanes);
+
+    // Blocks are structurally identical: scale to the full model.
+    const uint64_t layers = uint64_t(workload.numLayers);
+    sim.cycles = block_cycles * layers;
+    sim.computeCycles = compute * layers;
+    sim.memCycles = mem * layers;
+    sim.tiles = tiles * layers;
+    sim.bubbles = bubbles * layers;
+    block_counters.scale(layers);
+    sim.counters = block_counters;
+    sim.timeMs = double(sim.cycles) / (config_.array.freqGhz * 1e6);
+    return sim;
+}
+
+} // namespace tender

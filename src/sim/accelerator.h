@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cycle-level accelerator performance simulator (Section V-A "Hardware
+ * Implementation": cycle-level simulator with a DRAM timing model).
+ *
+ * Execution model per GEMM op:
+ *  - The output space is tiled to the effective systolic array (precision
+ *    ganging included). For each output row block, the activation slab
+ *    (tm x k) is fetched once into the double-buffered scratchpad; weight
+ *    tiles (k x tn) stream per output tile; finished tiles drain through
+ *    the VPU (requantization to INT4/8 + optional activation) into the
+ *    output buffer and back to DRAM.
+ *  - Tile compute time comes from the analytic systolic model, which is
+ *    validated cycle-for-cycle against the MSA functional model. Tender's
+ *    implicit requantization adds G-1 bubble cycles per tile; explicit
+ *    requantization splits the tile into per-group passes with drain and
+ *    VPU dequantize-accumulate between them (Fig. 13).
+ *  - Memory and compute overlap through the double-buffering recurrence:
+ *    a tile starts computing when its operands are resident and the array
+ *    is free; the memory engine serves transfers in order through the
+ *    bank-level HBM2 model.
+ *
+ * One transformer block is simulated and counters/cycles scale by the
+ * layer count (blocks are structurally identical; DRAM is in streaming
+ * steady state across blocks).
+ */
+
+#ifndef TENDER_SIM_ACCELERATOR_H
+#define TENDER_SIM_ACCELERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/energy_model.h"
+#include "model/workload.h"
+#include "sim/dram.h"
+#include "sim/systolic.h"
+
+namespace tender {
+
+enum class RequantMode { None, Implicit, Explicit };
+
+/** Behavioural + structural configuration of one accelerator. */
+struct AcceleratorConfig
+{
+    std::string name = "Tender";
+    SystolicConfig array;
+    int actBits = 4;
+    int weightBits = 4;
+    RequantMode requant = RequantMode::Implicit;
+    int numGroups = 8;            ///< channel groups (requant != None)
+    double int8OpFraction = 0.0;  ///< ANT: share of work run at 8-bit
+    double outlierSlowdown = 1.0; ///< OLAccel: outlier-PE serialization
+    double memEfficiency = 1.0;   ///< <1: unaligned-access derate
+    bool edgeDecoder = false;     ///< ANT/OliVe: count decode events
+    int vpuLanes = 64;
+};
+
+/** Simulation output for one workload. */
+struct SimResult
+{
+    std::string accelerator;
+    std::string model;
+    uint64_t cycles = 0;        ///< end-to-end, all layers
+    double timeMs = 0.0;
+    uint64_t computeCycles = 0; ///< array busy cycles (all layers)
+    uint64_t memCycles = 0;     ///< memory-engine busy cycles
+    uint64_t tiles = 0;
+    uint64_t bubbles = 0;       ///< rescale bubbles inserted
+    ActivityCounters counters;
+};
+
+class AcceleratorSim
+{
+  public:
+    AcceleratorSim(AcceleratorConfig config, DramConfig dram_config);
+
+    /** Simulate the full workload (one block x numLayers). */
+    SimResult run(const Workload &workload);
+
+    const AcceleratorConfig &config() const { return config_; }
+
+  private:
+    struct OpResult
+    {
+        uint64_t cycles = 0;
+        uint64_t computeCycles = 0;
+        uint64_t memCycles = 0;
+        uint64_t tiles = 0;
+        uint64_t bubbles = 0;
+        ActivityCounters counters;
+    };
+
+    /** Simulate one GEMM at a fixed operand precision. */
+    OpResult runOpAtBits(const GemmOp &op, int act_bits, int weight_bits,
+                         DramModel &dram);
+
+    /** Precision-blended op (ANT's per-layer datatype selection). */
+    OpResult runOp(const GemmOp &op);
+
+    AcceleratorConfig config_;
+    DramConfig dramConfig_;
+};
+
+/** Group size model for performance simulation: a small outlier fraction
+ *  split across the leading groups (halving per group, as the power-of-two
+ *  thresholds produce), with the final group holding the rest. */
+std::vector<int64_t> modelGroupSizes(int64_t k, int groups);
+
+} // namespace tender
+
+#endif // TENDER_SIM_ACCELERATOR_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Iso-area configurations of the four accelerators of Fig. 10/11.
+ *
+ * All accelerators share the memory system (HBM2 stack, scratchpad sizes)
+ * per Section V-A; they differ in PE-array provisioning (iso-area under
+ * each design's PE cost, from arch/area_model) and in the behavioural
+ * penalties their quantization machinery implies:
+ *
+ *  - Tender: 64x64 4-bit PEs, implicit runtime requantization (G-1 bubble
+ *    cycles per tile), index-buffer channel reordering. Single INT4
+ *    precision.
+ *  - OLAccel: 4-bit normal PEs with mixed-precision outlier PEs; the
+ *    outlier path serializes against the dense array and its unaligned
+ *    outlier accesses derate effective memory bandwidth.
+ *  - ANT: decoder at the array edge; adaptive datatypes mean most of the
+ *    network must run at 8-bit to hold accuracy (Section V-C: "most of
+ *    the layers use 8-bit precision to compensate").
+ *  - OliVe: edge decoder for outlier-victim pairs, exponent+integer PE
+ *    datapath; stays at 4-bit but pays PE area.
+ */
+
+#ifndef TENDER_SIM_BASELINES_H
+#define TENDER_SIM_BASELINES_H
+
+#include <vector>
+
+#include "sim/accelerator.h"
+
+namespace tender {
+
+/** Standard HBM2 stack shared by all accelerators. */
+DramConfig defaultDramConfig();
+
+/** The Tender configuration of Table V. */
+AcceleratorConfig tenderConfig(int act_bits = 4, int num_groups = 8);
+
+/** Tender with explicit requantization (Fig. 13 "Explicit"). */
+AcceleratorConfig tenderExplicitConfig(int act_bits = 4, int num_groups = 8);
+
+/** Per-tensor baseline on Tender hardware, no decomposition (Fig. 13
+ *  "Base"). */
+AcceleratorConfig tenderBaseConfig(int act_bits = 4);
+
+AcceleratorConfig olaccelConfig();
+AcceleratorConfig antConfig();
+AcceleratorConfig oliveConfig();
+
+/** The four Fig. 10 accelerators in paper order: ANT, OLAccel, OliVe,
+ *  Tender. */
+std::vector<AcceleratorConfig> speedupAccelerators();
+
+} // namespace tender
+
+#endif // TENDER_SIM_BASELINES_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * HBM2 DRAM timing model (the role Ramulator plays in the paper's
+ * simulator).
+ *
+ * Bank/channel-level state machines with JESD235A-derived timing: per-bank
+ * open-row tracking with tRCD/tRP/tRC/tRAS ordering, per-channel data-bus
+ * occupancy with BL4 bursts, and channel interleaving of sequential
+ * addresses. One stack of 8 channels x 128-bit @ 1 GHz DDR provides the
+ * 256 GB/s peak the evaluation assumes for every accelerator.
+ *
+ * The accelerator issues streaming transfers (tile fills / writebacks);
+ * the model walks them access by access and returns completion times in
+ * core cycles (core and DRAM command clocks are both 1 GHz, so the two
+ * domains exchange timestamps directly).
+ */
+
+#ifndef TENDER_SIM_DRAM_H
+#define TENDER_SIM_DRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tender {
+
+/** Command timing in DRAM clock cycles (1 ns at 1 GHz). */
+struct DramTiming
+{
+    int tRCD = 14; ///< ACT to column command
+    int tRP = 14;  ///< PRE to ACT
+    int tCL = 14;  ///< column command to first data
+    int tRAS = 33; ///< ACT to PRE
+    int tBurst = 2;///< data-bus cycles per access (BL4 on a DDR bus)
+    int tCCD = 2;  ///< min gap between column commands on one channel
+};
+
+struct DramConfig
+{
+    int channels = 8;
+    int banksPerChannel = 16;
+    int rowBytes = 2048;   ///< row-buffer coverage per bank
+    int accessBytes = 64;  ///< bytes per column access across a channel
+    DramTiming timing;
+
+    /** Peak bandwidth in bytes per core cycle. */
+    double
+    peakBytesPerCycle() const
+    {
+        return double(channels) * double(accessBytes) /
+            double(timing.tBurst);
+    }
+};
+
+/** Activity counters for the energy model. */
+struct DramCounters
+{
+    uint64_t activates = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t bytesRead = 0;
+    uint64_t bytesWritten = 0;
+};
+
+class DramModel
+{
+  public:
+    explicit DramModel(DramConfig config);
+
+    /**
+     * Stream `bytes` sequentially starting at `addr`, beginning no earlier
+     * than `start_cycle`. Returns the cycle the last data beat transfers.
+     * Read and write streams share banks and buses.
+     */
+    uint64_t streamTransfer(uint64_t addr, uint64_t bytes, bool write,
+                            uint64_t start_cycle);
+
+    const DramCounters &counters() const { return counters_; }
+    const DramConfig &config() const { return config_; }
+
+    /** Drop all bank/bus state (new simulation), keep counters. */
+    void resetState();
+
+  private:
+    struct Bank
+    {
+        int64_t openRow = -1;
+        uint64_t readyCycle = 0;   ///< earliest next column command
+        uint64_t actCycle = 0;     ///< last ACT (for tRAS)
+    };
+
+    DramConfig config_;
+    std::vector<Bank> banks_;          ///< [channel * banksPerChannel + b]
+    std::vector<uint64_t> busFree_;    ///< per-channel data bus
+    DramCounters counters_;
+};
+
+} // namespace tender
+
+#endif // TENDER_SIM_DRAM_H

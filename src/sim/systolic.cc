@@ -1,0 +1,54 @@
+#include "sim/systolic.h"
+
+#include <algorithm>
+
+namespace tender {
+
+EffectiveArray
+effectiveArray(const SystolicConfig &config, int op_bits)
+{
+    TENDER_CHECK(op_bits >= config.peBits);
+    // Ganging factor per dimension: an 8-bit MAC on 4-bit PEs uses a 2x2
+    // PE group (each PE handles one upper/lower 4-bit partial product).
+    int gang = 1;
+    int bits = config.peBits;
+    while (bits < op_bits) {
+        bits *= 2;
+        gang *= 2;
+    }
+    EffectiveArray e;
+    e.rows = std::max(1, config.rows / gang);
+    e.cols = std::max(1, config.cols / gang);
+    return e;
+}
+
+int64_t
+tileCycles(const SystolicConfig &config, int tm, int tn, int64_t k,
+           int groups, bool pipelined)
+{
+    TENDER_CHECK(tm >= 1 && tn >= 1 && k >= 0 && groups >= 1);
+    const int64_t stream = k + groups - 1;
+    if (pipelined)
+        return stream; // fill/drain overlapped with neighbouring tiles
+    const int64_t skew = int64_t(tm - 1) + int64_t(tn - 1);
+    return stream + skew + config.decodeLatency;
+}
+
+int64_t
+tileCyclesExplicit(const SystolicConfig &config, int tm, int tn,
+                   const int64_t *group_k, int groups)
+{
+    TENDER_CHECK(groups >= 1);
+    // Every group is a separate pass with a shortened reduction axis: its
+    // partial product must drain to the VPU before the next pass's result
+    // can land. The fill wavefront of pass g+1 overlaps the drain
+    // wavefront of pass g (they occupy opposite corners of the array), so
+    // half of the skew serializes per pass.
+    const int64_t skew = (int64_t(tm - 1) + int64_t(tn - 1)) / 2;
+    int64_t total = 0;
+    for (int g = 0; g < groups; ++g)
+        total += group_k[g] + skew + config.decodeLatency;
+    return total;
+}
+
+} // namespace tender

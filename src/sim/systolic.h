@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analytic systolic-array timing used by the performance simulator.
+ *
+ * The per-tile cycle counts mirror the MSA functional model exactly (the
+ * correspondence is asserted by tests): an output-stationary tile with
+ * reduction length k and G channel groups streams k + (G-1) slots through
+ * a wavefront skewed by (tm-1) + (tn-1) cycles. In steady state the skew
+ * and drain of consecutive tiles overlap, so a pipelined tile costs its
+ * stream length only.
+ *
+ * Precision ganging: the physical array is peBits wide (4 in Tender);
+ * wider operands gang 2x2 PEs per MAC, halving each array dimension
+ * (Section IV-B: "4 PEs are grouped to perform 8-bit multiplication").
+ */
+
+#ifndef TENDER_SIM_SYSTOLIC_H
+#define TENDER_SIM_SYSTOLIC_H
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace tender {
+
+struct SystolicConfig
+{
+    int rows = 64;
+    int cols = 64;
+    int peBits = 4;          ///< native MAC width of one PE
+    double freqGhz = 1.0;
+    int decodeLatency = 0;   ///< edge-decoder pipeline depth (ANT/OliVe)
+};
+
+/** Effective array dimensions at a given operand precision. */
+struct EffectiveArray
+{
+    int rows = 0;
+    int cols = 0;
+};
+
+EffectiveArray effectiveArray(const SystolicConfig &config, int op_bits);
+
+/**
+ * Compute cycles of one output tile.
+ *
+ * @param tm, tn     Tile dims (<= effective array dims).
+ * @param k          Reduction length streamed through the tile.
+ * @param groups     Channel groups (adds groups-1 rescale bubbles).
+ * @param pipelined  Steady-state tile (skew/drain overlapped with
+ *                   neighbours) or a standalone first tile.
+ */
+int64_t tileCycles(const SystolicConfig &config, int tm, int tn, int64_t k,
+                   int groups, bool pipelined);
+
+/**
+ * Explicit-requantization tile cost (Fig. 13): one pass per group with a
+ * shortened reduction axis; passes cannot overlap because the partial
+ * product must drain to the VPU for FP dequantize-accumulate after every
+ * group. VPU cost is charged separately by the caller.
+ */
+int64_t tileCyclesExplicit(const SystolicConfig &config, int tm, int tn,
+                           const int64_t *group_k, int groups);
+
+} // namespace tender
+
+#endif // TENDER_SIM_SYSTOLIC_H

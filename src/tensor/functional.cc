@@ -1,0 +1,92 @@
+#include "tensor/functional.h"
+
+#include <cmath>
+#include <limits>
+
+namespace tender {
+
+Matrix
+softmaxRows(const Matrix &m)
+{
+    Matrix out(m.rows(), m.cols());
+    for (int r = 0; r < m.rows(); ++r) {
+        float row_max = -std::numeric_limits<float>::infinity();
+        for (int c = 0; c < m.cols(); ++c)
+            row_max = std::max(row_max, m(r, c));
+        double denom = 0.0;
+        for (int c = 0; c < m.cols(); ++c)
+            denom += std::exp(double(m(r, c)) - double(row_max));
+        for (int c = 0; c < m.cols(); ++c)
+            out(r, c) = float(std::exp(double(m(r, c)) - double(row_max)) /
+                              denom);
+    }
+    return out;
+}
+
+Matrix
+layerNorm(const Matrix &m, const Matrix &gain, const Matrix &bias, float eps)
+{
+    TENDER_CHECK(gain.rows() == 1 && gain.cols() == m.cols());
+    TENDER_CHECK(bias.rows() == 1 && bias.cols() == m.cols());
+    Matrix out(m.rows(), m.cols());
+    for (int r = 0; r < m.rows(); ++r) {
+        double mean = 0.0;
+        for (int c = 0; c < m.cols(); ++c)
+            mean += m(r, c);
+        mean /= double(m.cols());
+        double var = 0.0;
+        for (int c = 0; c < m.cols(); ++c) {
+            double d = double(m(r, c)) - mean;
+            var += d * d;
+        }
+        var /= double(m.cols());
+        double inv = 1.0 / std::sqrt(var + double(eps));
+        for (int c = 0; c < m.cols(); ++c)
+            out(r, c) = float((double(m(r, c)) - mean) * inv *
+                              double(gain(0, c)) + double(bias(0, c)));
+    }
+    return out;
+}
+
+Matrix
+relu(const Matrix &m)
+{
+    Matrix out = m;
+    for (auto &x : out.data())
+        x = std::max(x, 0.f);
+    return out;
+}
+
+Matrix
+gelu(const Matrix &m)
+{
+    Matrix out = m;
+    constexpr float kC = 0.7978845608f; // sqrt(2/pi)
+    for (auto &x : out.data()) {
+        float inner = kC * (x + 0.044715f * x * x * x);
+        x = 0.5f * x * (1.f + std::tanh(inner));
+    }
+    return out;
+}
+
+Matrix
+scale(const Matrix &m, float s)
+{
+    Matrix out = m;
+    for (auto &x : out.data())
+        x *= s;
+    return out;
+}
+
+Matrix
+causalMask(const Matrix &scores)
+{
+    TENDER_CHECK(scores.rows() == scores.cols());
+    Matrix out = scores;
+    for (int r = 0; r < out.rows(); ++r)
+        for (int c = r + 1; c < out.cols(); ++c)
+            out(r, c) = -std::numeric_limits<float>::infinity();
+    return out;
+}
+
+} // namespace tender

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Row-wise functional ops of the Transformer block: softmax, LayerNorm,
+ * and the activation nonlinearities. These run on the VPU in the Tender
+ * architecture and stay in floating point in all schemes.
+ */
+
+#ifndef TENDER_TENSOR_FUNCTIONAL_H
+#define TENDER_TENSOR_FUNCTIONAL_H
+
+#include "tensor/matrix.h"
+
+namespace tender {
+
+/** Numerically stable row-wise softmax. */
+Matrix softmaxRows(const Matrix &m);
+
+/** Row-wise LayerNorm with learned gain/bias vectors (1 x cols each). */
+Matrix layerNorm(const Matrix &m, const Matrix &gain, const Matrix &bias,
+                 float eps = 1e-5f);
+
+/** Elementwise ReLU. */
+Matrix relu(const Matrix &m);
+
+/** Elementwise GELU (tanh approximation, as used by OPT/LLaMA FFNs). */
+Matrix gelu(const Matrix &m);
+
+/** Elementwise scale. */
+Matrix scale(const Matrix &m, float s);
+
+/**
+ * Causal mask for attention scores: entries above the diagonal get -inf
+ * before softmax. Scores must be square per head (n x n).
+ */
+Matrix causalMask(const Matrix &scores);
+
+} // namespace tender
+
+#endif // TENDER_TENSOR_FUNCTIONAL_H

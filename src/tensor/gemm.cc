@@ -1,0 +1,115 @@
+#include "tensor/gemm.h"
+
+namespace tender {
+
+namespace {
+
+/** Block edge for the L1-friendly tiling of the FP32 kernel. */
+constexpr int kBlock = 64;
+
+} // namespace
+
+Matrix
+gemm(const Matrix &a, const Matrix &b)
+{
+    TENDER_CHECK_MSG(a.cols() == b.rows(),
+                     "gemm shape mismatch: " << a.rows() << "x" << a.cols()
+                     << " * " << b.rows() << "x" << b.cols());
+    const int m = a.rows(), k = a.cols(), n = b.cols();
+    Matrix c(m, n, 0.f);
+    // Accumulate in double per output tile to keep the reference numerically
+    // tight for long (4096+) reduction axes.
+    std::vector<double> acc(size_t(kBlock) * size_t(kBlock));
+    for (int i0 = 0; i0 < m; i0 += kBlock) {
+        const int i1 = std::min(i0 + kBlock, m);
+        for (int j0 = 0; j0 < n; j0 += kBlock) {
+            const int j1 = std::min(j0 + kBlock, n);
+            std::fill(acc.begin(), acc.end(), 0.0);
+            for (int p0 = 0; p0 < k; p0 += kBlock) {
+                const int p1 = std::min(p0 + kBlock, k);
+                for (int i = i0; i < i1; ++i) {
+                    const float *arow = a.rowPtr(i);
+                    double *crow = acc.data() +
+                        size_t(i - i0) * size_t(kBlock);
+                    for (int p = p0; p < p1; ++p) {
+                        const double av = arow[p];
+                        const float *brow = b.rowPtr(p);
+                        for (int j = j0; j < j1; ++j)
+                            crow[j - j0] += av * double(brow[j]);
+                    }
+                }
+            }
+            for (int i = i0; i < i1; ++i)
+                for (int j = j0; j < j1; ++j)
+                    c(i, j) = float(acc[size_t(i - i0) * size_t(kBlock) +
+                                        size_t(j - j0)]);
+        }
+    }
+    return c;
+}
+
+Matrix
+gemmTransposedB(const Matrix &a, const Matrix &b)
+{
+    TENDER_CHECK_MSG(a.cols() == b.cols(),
+                     "gemmTransposedB shape mismatch: " << a.rows() << "x"
+                     << a.cols() << " * (" << b.rows() << "x" << b.cols()
+                     << ")^T");
+    const int m = a.rows(), k = a.cols(), n = b.rows();
+    Matrix c(m, n, 0.f);
+    for (int i = 0; i < m; ++i) {
+        const float *arow = a.rowPtr(i);
+        for (int j = 0; j < n; ++j) {
+            const float *brow = b.rowPtr(j);
+            double acc = 0.0;
+            for (int p = 0; p < k; ++p)
+                acc += double(arow[p]) * double(brow[p]);
+            c(i, j) = float(acc);
+        }
+    }
+    return c;
+}
+
+MatrixT<int64_t>
+gemmInt(const IntMatrix &a, const IntMatrix &b)
+{
+    TENDER_CHECK(a.cols() == b.rows());
+    const int m = a.rows(), k = a.cols(), n = b.cols();
+    MatrixT<int64_t> c(m, n, 0);
+    for (int i = 0; i < m; ++i) {
+        const int32_t *arow = a.rowPtr(i);
+        for (int p = 0; p < k; ++p) {
+            const int64_t av = arow[p];
+            if (av == 0)
+                continue;
+            const int32_t *brow = b.rowPtr(p);
+            int64_t *crow = c.rowPtr(i);
+            for (int j = 0; j < n; ++j)
+                crow[j] += av * int64_t(brow[j]);
+        }
+    }
+    return c;
+}
+
+Matrix
+axpby(float alpha, const Matrix &a, float beta, const Matrix &b)
+{
+    TENDER_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+    Matrix out(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        out.data()[i] = alpha * a.data()[i] + beta * b.data()[i];
+    return out;
+}
+
+Matrix
+addRowVector(const Matrix &m, const Matrix &row)
+{
+    TENDER_CHECK(row.rows() == 1 && row.cols() == m.cols());
+    Matrix out = m;
+    for (int r = 0; r < m.rows(); ++r)
+        for (int c = 0; c < m.cols(); ++c)
+            out(r, c) += row(0, c);
+    return out;
+}
+
+} // namespace tender

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Matrix-multiplication kernels.
+ *
+ * The FP32 path is the numerical reference for every quantization scheme;
+ * the integer paths operate on widened quantized codes and accumulate in
+ * int64 so overflow behaviour of the modelled 32-bit hardware accumulator
+ * can be *checked* rather than silently wrapped (see core/tender_gemm).
+ */
+
+#ifndef TENDER_TENSOR_GEMM_H
+#define TENDER_TENSOR_GEMM_H
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace tender {
+
+/** C = A(BxK) * B(KxN), FP32 with double accumulation, cache-blocked. */
+Matrix gemm(const Matrix &a, const Matrix &b);
+
+/** C = A * B^T (used for attention scores Q*K^T). */
+Matrix gemmTransposedB(const Matrix &a, const Matrix &b);
+
+/** Integer GEMM: int codes in, int64 accumulation out. */
+MatrixT<int64_t> gemmInt(const IntMatrix &a, const IntMatrix &b);
+
+/** C = alpha * A + beta * B elementwise. */
+Matrix axpby(float alpha, const Matrix &a, float beta, const Matrix &b);
+
+/** Row-broadcast add: out(r,c) = m(r,c) + row(0,c). */
+Matrix addRowVector(const Matrix &m, const Matrix &row);
+
+} // namespace tender
+
+#endif // TENDER_TENSOR_GEMM_H

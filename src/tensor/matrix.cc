@@ -1,0 +1,44 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+namespace tender {
+
+Matrix
+randomGaussian(int rows, int cols, Rng &rng, float mean, float stddev)
+{
+    Matrix m(rows, cols);
+    for (auto &x : m.data())
+        x = float(rng.gaussian(mean, stddev));
+    return m;
+}
+
+Matrix
+randomUniform(int rows, int cols, Rng &rng, float lo, float hi)
+{
+    Matrix m(rows, cols);
+    for (auto &x : m.data())
+        x = float(rng.uniform(lo, hi));
+    return m;
+}
+
+float
+maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    TENDER_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+    float worst = 0.f;
+    for (size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
+    return worst;
+}
+
+double
+frobeniusNorm(const Matrix &m)
+{
+    double acc = 0.0;
+    for (float x : m.data())
+        acc += double(x) * double(x);
+    return std::sqrt(acc);
+}
+
+} // namespace tender

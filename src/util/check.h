@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Runtime checking and failure-reporting macros.
+ *
+ * Follows the gem5 fatal/panic distinction:
+ *  - TENDER_FATAL:  the caller supplied an invalid configuration or input;
+ *    the process exits with an error message (user error).
+ *  - TENDER_PANIC / TENDER_CHECK: an internal invariant was violated; this
+ *    is a bug in the library and aborts so a debugger/core dump can catch it.
+ */
+
+#ifndef TENDER_UTIL_CHECK_H
+#define TENDER_UTIL_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tender {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg.c_str());
+    std::exit(1);
+}
+
+} // namespace tender
+
+/** Abort on violated internal invariant (library bug). */
+#define TENDER_PANIC(msg)                                                     \
+    ::tender::panicImpl(__FILE__, __LINE__, (std::ostringstream{} << msg).str())
+
+/** Exit on invalid user-supplied configuration or input. */
+#define TENDER_FATAL(msg)                                                     \
+    ::tender::fatalImpl(__FILE__, __LINE__, (std::ostringstream{} << msg).str())
+
+/** Internal invariant check; aborts with the stringified condition. */
+#define TENDER_CHECK(cond)                                                    \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            TENDER_PANIC("check failed: " #cond);                             \
+        }                                                                     \
+    } while (0)
+
+/** Invariant check with an explanatory message streamed after the text. */
+#define TENDER_CHECK_MSG(cond, msg)                                           \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            TENDER_PANIC("check failed: " #cond << " -- " << msg);            \
+        }                                                                     \
+    } while (0)
+
+/** User-input validation; exits rather than aborts on failure. */
+#define TENDER_REQUIRE(cond, msg)                                             \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            TENDER_FATAL("requirement failed: " #cond << " -- " << msg);      \
+        }                                                                     \
+    } while (0)
+
+#endif // TENDER_UTIL_CHECK_H

@@ -1,0 +1,67 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tender {
+
+double
+Rng::uniform(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    std::lognormal_distribution<double> dist(mu, sigma);
+    return dist(engine_);
+}
+
+double
+Rng::laplace(double b)
+{
+    // Inverse-CDF sampling: X = -b * sgn(u) * ln(1 - 2|u|), u ~ U(-1/2, 1/2).
+    double u = uniform(-0.5, 0.5);
+    double sign = (u < 0.0) ? -1.0 : 1.0;
+    return -b * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+int64_t
+Rng::randint(int64_t lo, int64_t hi)
+{
+    TENDER_CHECK(lo <= hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+std::vector<int>
+Rng::sampleIndices(int n, int k)
+{
+    TENDER_CHECK(k >= 0 && k <= n);
+    std::vector<int> all(n);
+    for (int i = 0; i < n; ++i)
+        all[i] = i;
+    std::shuffle(all.begin(), all.end(), engine_);
+    all.resize(k);
+    std::sort(all.begin(), all.end());
+    return all;
+}
+
+} // namespace tender

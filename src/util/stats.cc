@@ -1,0 +1,130 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tender {
+
+void
+Summary::add(double x)
+{
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / double(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel-merge update.
+    double delta = other.mean_ - mean_;
+    int64_t n = count_ + other.count_;
+    m2_ += other.m2_ +
+        delta * delta * double(count_) * double(other.count_) / double(n);
+    mean_ += delta * double(other.count_) / double(n);
+    count_ = n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+Summary::variance() const
+{
+    return count_ > 1 ? m2_ / double(count_ - 1) : 0.0;
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Summary::absMax() const
+{
+    return std::max(std::abs(min()), std::abs(max()));
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), counts_(size_t(bins), 0)
+{
+    TENDER_CHECK(bins > 0 && hi > lo);
+}
+
+void
+Histogram::add(double x)
+{
+    double t = (x - lo_) / (hi_ - lo_);
+    int bin = int(t * double(counts_.size()));
+    bin = std::clamp(bin, 0, int(counts_.size()) - 1);
+    ++counts_[size_t(bin)];
+    ++total_;
+}
+
+double
+Histogram::binLow(int bin) const
+{
+    return lo_ + (hi_ - lo_) * double(bin) / double(counts_.size());
+}
+
+double
+Histogram::binHigh(int bin) const
+{
+    return lo_ + (hi_ - lo_) * double(bin + 1) / double(counts_.size());
+}
+
+std::string
+Histogram::render(int width) const
+{
+    int64_t peak = 1;
+    for (int64_t c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream out;
+    for (int b = 0; b < bins(); ++b) {
+        int bar = int(double(counts_[size_t(b)]) / double(peak) * width);
+        out << "[";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%9.3g, %9.3g", binLow(b), binHigh(b));
+        out << buf << ") " << std::string(size_t(bar), '#') << " "
+            << counts_[size_t(b)] << "\n";
+    }
+    return out.str();
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    TENDER_CHECK(!xs.empty());
+    double acc = 0.0;
+    for (double x : xs) {
+        TENDER_CHECK_MSG(x > 0.0, "geomean requires positive values");
+        acc += std::log(x);
+    }
+    return std::exp(acc / double(xs.size()));
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    TENDER_CHECK(!xs.empty() && q >= 0.0 && q <= 1.0);
+    std::sort(xs.begin(), xs.end());
+    double pos = q * double(xs.size() - 1);
+    size_t lo = size_t(pos);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = pos - double(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+} // namespace tender

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Streaming summary statistics and simple histograms.
+ *
+ * Used for characterizing synthetic activation tensors (Fig. 2/3 harnesses)
+ * and for aggregating simulator counters.
+ */
+
+#ifndef TENDER_UTIL_STATS_H
+#define TENDER_UTIL_STATS_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tender {
+
+/**
+ * Single-pass summary accumulator (Welford variance). Add samples with
+ * add(); query count/mean/variance/min/max at any point.
+ */
+class Summary
+{
+  public:
+    void add(double x);
+    void merge(const Summary &other);
+
+    int64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double absMax() const;
+    double sum() const { return count_ ? mean_ * double(count_) : 0.0; }
+
+  private:
+    int64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi]; out-of-range samples clamp into the
+ * first/last bin so the total count is preserved.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, int bins);
+
+    void add(double x);
+    int64_t binCount(int bin) const { return counts_[bin]; }
+    int bins() const { return int(counts_.size()); }
+    int64_t total() const { return total_; }
+    double binLow(int bin) const;
+    double binHigh(int bin) const;
+
+    /** Render as a compact ASCII bar chart (for bench harness output). */
+    std::string render(int width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<int64_t> counts_;
+    int64_t total_ = 0;
+};
+
+/** Geometric mean of a list of positive values. */
+double geomean(const std::vector<double> &xs);
+
+/** Arithmetic quantile (linear interpolation) of an unsorted sample. */
+double quantile(std::vector<double> xs, double q);
+
+} // namespace tender
+
+#endif // TENDER_UTIL_STATS_H

@@ -1,0 +1,109 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace tender {
+
+void
+TablePrinter::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.emplace_back(); // empty row marks a rule
+}
+
+std::string
+TablePrinter::render() const
+{
+    // Compute column widths across header and all rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            line += " " + cell + std::string(widths[i] - cell.size(), ' ') +
+                " |";
+        }
+        return line + "\n";
+    };
+    auto rule = [&]() {
+        std::string line = "+";
+        for (size_t w : widths)
+            line += std::string(w + 2, '-') + "+";
+        return line + "\n";
+    };
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << "\n";
+    out << rule();
+    if (!header_.empty()) {
+        out << renderRow(header_);
+        out << rule();
+    }
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out << rule();
+        else
+            out << renderRow(row);
+    }
+    out << rule();
+    return out.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    if (std::isnan(v)) {
+        return "nan";
+    }
+    if (std::abs(v) >= 1e3) {
+        // Match the paper's compact big-number style ("4E+3").
+        int exp = int(std::floor(std::log10(std::abs(v))));
+        double mant = v / std::pow(10.0, exp);
+        std::snprintf(buf, sizeof(buf), "%.0fE+%d", mant, exp);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    }
+    return buf;
+}
+
+std::string
+TablePrinter::mult(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+} // namespace tender

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses.
+ *
+ * Every bench binary prints rows in the same layout as the paper's tables;
+ * TablePrinter handles column sizing, alignment, and separators so the
+ * harnesses stay focused on the experiment itself.
+ */
+
+#ifndef TENDER_UTIL_TABLE_H
+#define TENDER_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace tender {
+
+/**
+ * Column-aligned ASCII table. Add a header then rows of cells; render()
+ * pads every column to its widest cell.
+ */
+class TablePrinter
+{
+  public:
+    /** Optional title printed above the table. */
+    explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+    void setHeader(std::vector<std::string> cells);
+    void addRow(std::vector<std::string> cells);
+    /** Insert a horizontal rule between row groups. */
+    void addSeparator();
+
+    std::string render() const;
+    /** render() + write to stdout. */
+    void print() const;
+
+    /** Format a double with the given precision, trimming wide exponents
+     *  into the paper's "4E+3" style when the value is huge. */
+    static std::string num(double v, int precision = 2);
+    /** Format as a multiplier, e.g. "2.63x". */
+    static std::string mult(double v, int precision = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty row == separator
+};
+
+} // namespace tender
+
+#endif // TENDER_UTIL_TABLE_H

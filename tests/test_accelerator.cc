@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the accelerator performance simulator: counter consistency,
+ * monotonicity properties, iso-area baseline behaviour, and the headline
+ * speedup ordering of Fig. 10.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/baselines.h"
+
+namespace tender {
+namespace {
+
+Workload
+smallWorkload()
+{
+    ModelConfig cfg = modelByName("OPT-6.7B");
+    cfg.nLayers = 2; // keep sim cheap; shapes stay real
+    return prefillWorkload(cfg, 256);
+}
+
+TEST(GroupSizes, SumAndShape)
+{
+    for (int groups : {1, 2, 8, 16}) {
+        auto sizes = modelGroupSizes(4096, groups);
+        ASSERT_EQ(int(sizes.size()), groups);
+        EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), int64_t(0)),
+                  4096);
+        // Last group dominates; leading groups shrink monotonically.
+        for (size_t g = 1; g + 1 < sizes.size(); ++g)
+            EXPECT_LE(sizes[g], sizes[g - 1]);
+        if (groups > 1) {
+            EXPECT_GT(sizes.back(), 4096 / 2);
+        }
+    }
+}
+
+TEST(GroupSizes, TinyK)
+{
+    auto sizes = modelGroupSizes(8, 8);
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), int64_t(0)), 8);
+    for (int64_t s : sizes)
+        EXPECT_GE(s, 0);
+}
+
+TEST(Accelerator, MacsMatchWorkload)
+{
+    Workload w = smallWorkload();
+    AcceleratorSim sim(tenderConfig(), defaultDramConfig());
+    SimResult r = sim.run(w);
+    EXPECT_EQ(int64_t(r.counters.macInt4), w.totalMacs());
+    EXPECT_EQ(r.counters.macInt8, 0u);
+}
+
+TEST(Accelerator, Int8ModeUsesInt8Macs)
+{
+    Workload w = smallWorkload();
+    AcceleratorSim sim(tenderConfig(8), defaultDramConfig());
+    SimResult r = sim.run(w);
+    EXPECT_EQ(int64_t(r.counters.macInt8), w.totalMacs());
+    EXPECT_EQ(r.counters.macInt4, 0u);
+}
+
+TEST(Accelerator, Int8SlowerThanInt4)
+{
+    Workload w = smallWorkload();
+    SimResult r4 = AcceleratorSim(tenderConfig(4),
+                                  defaultDramConfig()).run(w);
+    SimResult r8 = AcceleratorSim(tenderConfig(8),
+                                  defaultDramConfig()).run(w);
+    EXPECT_GT(r8.cycles, r4.cycles * 2);
+}
+
+TEST(Accelerator, CyclesPositiveAndConsistent)
+{
+    Workload w = smallWorkload();
+    AcceleratorSim sim(tenderConfig(), defaultDramConfig());
+    SimResult r = sim.run(w);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.computeCycles, 0u);
+    EXPECT_GT(r.memCycles, 0u);
+    EXPECT_GT(r.tiles, 0u);
+    EXPECT_GT(r.counters.dramBytes, 0u);
+    EXPECT_GT(r.counters.dramActivates, 0u);
+    EXPECT_NEAR(r.timeMs, double(r.cycles) / 1e6, 1e-9);
+}
+
+TEST(Accelerator, MoreGroupsBarelyChangesImplicit)
+{
+    // Section VI-E: implicit requantization cost is ~independent of G.
+    Workload w = smallWorkload();
+    SimResult g2 = AcceleratorSim(tenderConfig(4, 2),
+                                  defaultDramConfig()).run(w);
+    SimResult g16 = AcceleratorSim(tenderConfig(4, 16),
+                                   defaultDramConfig()).run(w);
+    EXPECT_GE(g16.cycles, g2.cycles);
+    EXPECT_LT(double(g16.cycles - g2.cycles) / double(g2.cycles), 0.02);
+}
+
+TEST(Accelerator, ExplicitRequantMuchSlower)
+{
+    Workload w = smallWorkload();
+    SimResult imp = AcceleratorSim(tenderConfig(4, 8),
+                                   defaultDramConfig()).run(w);
+    SimResult exp = AcceleratorSim(tenderExplicitConfig(4, 8),
+                                   defaultDramConfig()).run(w);
+    EXPECT_GT(exp.cycles, imp.cycles);
+    // Fig. 13 magnitude: tens of percent, growing with groups.
+    SimResult exp16 = AcceleratorSim(tenderExplicitConfig(4, 16),
+                                     defaultDramConfig()).run(w);
+    EXPECT_GT(exp16.cycles, exp.cycles);
+}
+
+TEST(Accelerator, ImplicitCloseToBase)
+{
+    Workload w = smallWorkload();
+    SimResult base = AcceleratorSim(tenderBaseConfig(4),
+                                    defaultDramConfig()).run(w);
+    SimResult imp = AcceleratorSim(tenderConfig(4, 8),
+                                   defaultDramConfig()).run(w);
+    EXPECT_LT(double(imp.cycles) / double(base.cycles), 1.03);
+}
+
+TEST(Accelerator, SmallerArraySlower)
+{
+    Workload w = smallWorkload();
+    AcceleratorConfig big = tenderConfig();
+    AcceleratorConfig small = tenderConfig();
+    small.array.rows = small.array.cols = 32;
+    SimResult rb = AcceleratorSim(big, defaultDramConfig()).run(w);
+    SimResult rs = AcceleratorSim(small, defaultDramConfig()).run(w);
+    EXPECT_GT(rs.cycles, rb.cycles);
+}
+
+TEST(Accelerator, MemDerateSlowsMemBoundWork)
+{
+    // Decode (m=1) is weight-bandwidth-bound: memEfficiency bites there.
+    ModelConfig cfg = modelByName("OPT-6.7B");
+    cfg.nLayers = 2;
+    Workload w = decodeWorkload(cfg, 1024);
+    AcceleratorConfig derated = tenderConfig();
+    derated.memEfficiency = 0.5;
+    SimResult full = AcceleratorSim(tenderConfig(),
+                                    defaultDramConfig()).run(w);
+    SimResult half = AcceleratorSim(derated, defaultDramConfig()).run(w);
+    EXPECT_GT(half.cycles, full.cycles);
+}
+
+TEST(Accelerator, Int8FractionInterpolates)
+{
+    Workload w = smallWorkload();
+    AcceleratorConfig mixed = tenderBaseConfig(4);
+    mixed.int8OpFraction = 0.5;
+    SimResult lo = AcceleratorSim(tenderBaseConfig(4),
+                                  defaultDramConfig()).run(w);
+    AcceleratorConfig all8 = tenderBaseConfig(4);
+    all8.int8OpFraction = 1.0;
+    SimResult hi = AcceleratorSim(all8, defaultDramConfig()).run(w);
+    SimResult mid = AcceleratorSim(mixed, defaultDramConfig()).run(w);
+    EXPECT_GT(mid.cycles, lo.cycles);
+    EXPECT_LT(mid.cycles, hi.cycles);
+}
+
+TEST(Accelerator, OutlierSlowdownScalesCompute)
+{
+    Workload w = smallWorkload();
+    AcceleratorConfig slow = tenderBaseConfig(4);
+    slow.outlierSlowdown = 1.5;
+    SimResult base = AcceleratorSim(tenderBaseConfig(4),
+                                    defaultDramConfig()).run(w);
+    SimResult slowed = AcceleratorSim(slow, defaultDramConfig()).run(w);
+    EXPECT_GT(slowed.computeCycles, base.computeCycles);
+    EXPECT_NEAR(double(slowed.computeCycles) / double(base.computeCycles),
+                1.5, 0.05);
+}
+
+TEST(Baselines, IsoAreaDimensions)
+{
+    EXPECT_EQ(tenderConfig().array.rows, 64);
+    EXPECT_LT(antConfig().array.rows, 64);
+    EXPECT_LT(oliveConfig().array.rows, 64);
+    EXPECT_LT(olaccelConfig().array.rows, olaccelConfig().array.rows + 1);
+    // Larger PE factor => smaller array.
+    EXPECT_LT(olaccelConfig().array.rows, antConfig().array.rows);
+}
+
+TEST(Baselines, SpeedupOrderingMatchesFig10)
+{
+    // Tender > OliVe > OLAccel > ANT in end-to-end speed on a real model
+    // shape (the paper's geomean ordering).
+    ModelConfig cfg = modelByName("OPT-6.7B");
+    cfg.nLayers = 4;
+    Workload w = prefillWorkload(cfg, 512);
+    const DramConfig dram = defaultDramConfig();
+    const uint64_t t_tender =
+        AcceleratorSim(tenderConfig(), dram).run(w).cycles;
+    const uint64_t t_olive = AcceleratorSim(oliveConfig(), dram).run(w).cycles;
+    const uint64_t t_olaccel =
+        AcceleratorSim(olaccelConfig(), dram).run(w).cycles;
+    const uint64_t t_ant = AcceleratorSim(antConfig(), dram).run(w).cycles;
+    EXPECT_LT(t_tender, t_olive);
+    EXPECT_LT(t_olive, t_olaccel);
+    EXPECT_LT(t_olaccel, t_ant);
+}
+
+TEST(Baselines, SpeedupMagnitudes)
+{
+    // Geomean-scale sanity on one model: ANT ~2-3.3x, OLAccel ~1.5-2.2x,
+    // OliVe ~1.2-1.8x slower than Tender (paper: 2.63 / 1.84 / 1.48).
+    ModelConfig cfg = modelByName("OPT-6.7B");
+    cfg.nLayers = 4;
+    Workload w = prefillWorkload(cfg, 1024);
+    const DramConfig dram = defaultDramConfig();
+    const double t_tender =
+        double(AcceleratorSim(tenderConfig(), dram).run(w).cycles);
+    const double s_ant =
+        double(AcceleratorSim(antConfig(), dram).run(w).cycles) / t_tender;
+    const double s_olaccel =
+        double(AcceleratorSim(olaccelConfig(), dram).run(w).cycles) /
+        t_tender;
+    const double s_olive =
+        double(AcceleratorSim(oliveConfig(), dram).run(w).cycles) /
+        t_tender;
+    EXPECT_GT(s_ant, 2.0);
+    EXPECT_LT(s_ant, 3.5);
+    EXPECT_GT(s_olaccel, 1.4);
+    EXPECT_LT(s_olaccel, 2.4);
+    EXPECT_GT(s_olive, 1.15);
+    EXPECT_LT(s_olive, 1.9);
+}
+
+TEST(Baselines, DecodersCountedOnlyWhereConfigured)
+{
+    Workload w = smallWorkload();
+    const DramConfig dram = defaultDramConfig();
+    EXPECT_EQ(AcceleratorSim(tenderConfig(), dram)
+                  .run(w).counters.decodedElems, 0u);
+    EXPECT_GT(AcceleratorSim(antConfig(), dram)
+                  .run(w).counters.decodedElems, 0u);
+    EXPECT_GT(AcceleratorSim(oliveConfig(), dram)
+                  .run(w).counters.decodedElems, 0u);
+}
+
+TEST(Baselines, TenderCountsRescaleShifts)
+{
+    Workload w = smallWorkload();
+    SimResult r = AcceleratorSim(tenderConfig(4, 8),
+                                 defaultDramConfig()).run(w);
+    EXPECT_GT(r.counters.rescaleShifts, 0u);
+    EXPECT_GT(r.bubbles, 0u);
+    SimResult r1 = AcceleratorSim(tenderConfig(4, 1),
+                                  defaultDramConfig()).run(w);
+    EXPECT_EQ(r1.counters.rescaleShifts, 0u);
+}
+
+TEST(Baselines, LayerScalingIsLinear)
+{
+    ModelConfig cfg = modelByName("OPT-6.7B");
+    cfg.nLayers = 2;
+    Workload w2 = prefillWorkload(cfg, 256);
+    cfg.nLayers = 4;
+    Workload w4 = prefillWorkload(cfg, 256);
+    const DramConfig dram = defaultDramConfig();
+    SimResult r2 = AcceleratorSim(tenderConfig(), dram).run(w2);
+    SimResult r4 = AcceleratorSim(tenderConfig(), dram).run(w4);
+    EXPECT_EQ(r4.cycles, 2 * r2.cycles);
+    EXPECT_EQ(r4.counters.dramBytes, 2 * r2.counters.dramBytes);
+}
+
+} // namespace
+} // namespace tender

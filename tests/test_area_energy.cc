@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the area/power model (Table V) and the energy accounting
+ * behind Fig. 11.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/area_model.h"
+#include "arch/energy_model.h"
+
+namespace tender {
+namespace {
+
+TEST(AreaModel, TableVTotals)
+{
+    EXPECT_NEAR(tenderTotalAreaMm2(), 3.98, 1e-9);
+    EXPECT_NEAR(tenderTotalPowerW(), 1.60, 1e-9);
+}
+
+TEST(AreaModel, ComponentInventory)
+{
+    auto rows = tenderComponents();
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(rows[0].component, "Systolic Array");
+    EXPECT_NEAR(rows[0].areaMm2, 2.00, 1e-9);
+    EXPECT_NEAR(rows[0].powerW, 1.09, 1e-9);
+    for (const auto &r : rows) {
+        EXPECT_GT(r.areaMm2, 0.0);
+        EXPECT_GT(r.powerW, 0.0);
+    }
+}
+
+TEST(AreaModel, PeArea)
+{
+    EXPECT_NEAR(tenderPeAreaUm2(), 2.00e6 / 4096.0, 1e-6);
+}
+
+TEST(AreaModel, FactorsOrdered)
+{
+    EXPECT_DOUBLE_EQ(peAreaFactor("Tender"), 1.0);
+    EXPECT_GT(peAreaFactor("ANT"), 1.0);
+    EXPECT_GT(peAreaFactor("OliVe"), peAreaFactor("ANT"));
+    EXPECT_GT(peAreaFactor("OLAccel"), peAreaFactor("OliVe"));
+}
+
+TEST(AreaModel, IsoAreaDims)
+{
+    EXPECT_EQ(isoAreaArrayDim("Tender"), 64);
+    for (const char *a : {"ANT", "OliVe", "OLAccel"}) {
+        const int d = isoAreaArrayDim(a);
+        EXPECT_LT(d, 64) << a;
+        EXPECT_GE(d, 48) << a;
+        EXPECT_EQ(d % 2, 0) << a;
+        // Iso-area invariant: the provisioned array fits the budget and
+        // one more even step would not.
+        EXPECT_LE(double(d * d) * peAreaFactor(a), 64.0 * 64.0);
+        EXPECT_GT(double((d + 2) * (d + 2)) * peAreaFactor(a), 64.0 * 64.0);
+    }
+}
+
+TEST(AreaModel, UnknownAcceleratorFatal)
+{
+    EXPECT_EXIT(peAreaFactor("TPU"), ::testing::ExitedWithCode(1),
+                "unknown accelerator");
+}
+
+TEST(EnergyModel, BreakdownSumsToTotal)
+{
+    ActivityCounters c;
+    c.macInt4 = 1'000'000;
+    c.macInt8 = 2'000'000;
+    c.vpuFlops = 50'000;
+    c.sramBytes = 300'000;
+    c.fifoBytes = 100'000;
+    c.indexBytes = 10'000;
+    c.dramBytes = 1'000'000;
+    c.dramActivates = 500;
+    c.decodedElems = 77'000;
+    c.rescaleShifts = 42'000;
+    EnergyParams p;
+    EnergyBreakdown e = computeEnergy(c, p);
+    EXPECT_NEAR(e.totalUj,
+                e.computeUj + e.vpuUj + e.sramUj + e.fifoUj + e.dramUj +
+                    e.decodeUj,
+                1e-12);
+    EXPECT_GT(e.totalUj, 0.0);
+}
+
+TEST(EnergyModel, ZeroCountersZeroEnergy)
+{
+    EnergyBreakdown e = computeEnergy(ActivityCounters{}, EnergyParams{});
+    EXPECT_DOUBLE_EQ(e.totalUj, 0.0);
+}
+
+TEST(EnergyModel, Int8CostsMoreThanInt4)
+{
+    ActivityCounters c4, c8;
+    c4.macInt4 = 1'000'000;
+    c8.macInt8 = 1'000'000;
+    EnergyParams p;
+    EXPECT_GT(computeEnergy(c8, p).computeUj,
+              computeEnergy(c4, p).computeUj);
+}
+
+TEST(EnergyModel, DramDominatesPerByte)
+{
+    // Off-chip bytes must cost far more than on-chip bytes — the premise
+    // of every memory-traffic argument in the paper.
+    EnergyParams p;
+    EXPECT_GT(p.dramPerByte, 20.0 * p.sramPerByte);
+}
+
+TEST(EnergyModel, PerAcceleratorScales)
+{
+    // Tender's plain INT4 MACs are the cheapest; every baseline pays for
+    // its quantization machinery in the PE datapath.
+    EXPECT_DOUBLE_EQ(energyParamsFor("Tender").peEnergyScale, 1.0);
+    EXPECT_GT(energyParamsFor("ANT").peEnergyScale, 1.0);
+    EXPECT_GT(energyParamsFor("OliVe").peEnergyScale, 1.0);
+    EXPECT_GT(energyParamsFor("OLAccel").peEnergyScale, 1.0);
+}
+
+TEST(EnergyModel, UnknownAcceleratorFatal)
+{
+    EXPECT_EXIT(energyParamsFor("GPU"), ::testing::ExitedWithCode(1),
+                "unknown accelerator");
+}
+
+TEST(EnergyModel, CountersAddAndScale)
+{
+    ActivityCounters a, b;
+    a.macInt4 = 10;
+    a.dramBytes = 5;
+    b.macInt4 = 2;
+    b.rescaleShifts = 7;
+    a.add(b);
+    EXPECT_EQ(a.macInt4, 12u);
+    EXPECT_EQ(a.rescaleShifts, 7u);
+    a.scale(3);
+    EXPECT_EQ(a.macInt4, 36u);
+    EXPECT_EQ(a.dramBytes, 15u);
+    EXPECT_EQ(a.rescaleShifts, 21u);
+}
+
+TEST(EnergyModel, RescaleShiftNearlyFree)
+{
+    // The Tender pitch: implicit requantization adds negligible energy.
+    ActivityCounters c;
+    c.macInt4 = 1'000'000;
+    c.rescaleShifts = 10'000;
+    EnergyParams p;
+    EnergyBreakdown with_shifts = computeEnergy(c, p);
+    c.rescaleShifts = 0;
+    EnergyBreakdown without = computeEnergy(c, p);
+    EXPECT_LT((with_shifts.computeUj - without.computeUj) /
+                  with_shifts.computeUj,
+              0.001);
+}
+
+} // namespace
+} // namespace tender

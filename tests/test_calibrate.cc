@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the offline calibration pipeline: envelope accumulation over
+ * batches, chunk growth, and static-vs-dynamic behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/calibrate.h"
+#include "core/tender_gemm.h"
+#include "quant/metrics.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace tender {
+namespace {
+
+TEST(Calibrator, SingleBatchMatchesDynamic)
+{
+    Rng rng(1);
+    Matrix x = randomGaussian(64, 32, rng);
+    TenderConfig cfg;
+    cfg.rowChunk = 32;
+    TenderCalibrator cal(cfg);
+    cal.observe(x);
+    EXPECT_EQ(cal.batches(), 1);
+    EXPECT_EQ(cal.chunks(), 2);
+    auto metas = cal.finalize();
+    ASSERT_EQ(metas.size(), 2u);
+    // Identical to direct decomposition of each chunk.
+    auto direct0 = decomposeChunk(x.rowSlice(0, 32), cfg);
+    EXPECT_EQ(metas[0].group, direct0.group);
+    EXPECT_EQ(metas[0].scale, direct0.scale);
+    EXPECT_EQ(metas[0].bias, direct0.bias);
+}
+
+TEST(Calibrator, EnvelopeGrowsAcrossBatches)
+{
+    TenderConfig cfg;
+    cfg.rowChunk = 0;
+    TenderCalibrator cal(cfg);
+    Matrix small(4, 2, 0.f);
+    small(0, 0) = 1.f;
+    Matrix big(4, 2, 0.f);
+    big(0, 0) = 10.f;
+    cal.observe(small);
+    cal.observe(big);
+    auto metas = cal.finalize();
+    // The envelope must cover the larger batch: top scale from cmax = 5
+    // (bias subtraction halves the one-sided 10).
+    EXPECT_FLOAT_EQ(metas[0].scale[0], 5.f / 127.f);
+}
+
+TEST(Calibrator, MoreChunksFromLongerBatch)
+{
+    TenderConfig cfg;
+    cfg.rowChunk = 16;
+    TenderCalibrator cal(cfg);
+    Rng rng(2);
+    cal.observe(randomGaussian(16, 8, rng));
+    EXPECT_EQ(cal.chunks(), 1);
+    cal.observe(randomGaussian(48, 8, rng));
+    EXPECT_EQ(cal.chunks(), 3);
+    EXPECT_EQ(cal.batches(), 2);
+}
+
+TEST(Calibrator, RequiresAtLeastOneBatch)
+{
+    TenderCalibrator cal(TenderConfig{});
+    EXPECT_EXIT(cal.finalize(), ::testing::ExitedWithCode(1),
+                "at least one batch");
+}
+
+TEST(Calibrator, StaticCloseToDynamicOnHeldOutData)
+{
+    // Calibrate on a handful of batches, evaluate on a fresh one: the
+    // static path should land within a modest factor of dynamic oracle
+    // scales (the working assumption of all static PTQ).
+    Rng rng(3);
+    const int d = 32;
+    TenderConfig cfg;
+    cfg.rowChunk = 0;
+    cfg.bits = 8;
+    TenderCalibrator cal(cfg);
+    auto sample = [&](uint64_t seed) {
+        Rng r(seed);
+        Matrix m = randomGaussian(32, d, r, 0.f, 0.5f);
+        for (int row = 0; row < 32; ++row)
+            m(row, 3) *= 50.f; // persistent outlier channel
+        return m;
+    };
+    for (uint64_t b = 0; b < 8; ++b)
+        cal.observe(sample(100 + b));
+    auto metas = cal.finalize();
+
+    Matrix x_eval = sample(999);
+    Matrix w = randomGaussian(d, 16, rng, 0.f, 0.05f);
+    Matrix ref = gemm(x_eval, w);
+    const double e_static =
+        nmse(ref, tenderMatmulCalibrated(x_eval, w, metas, cfg));
+    const double e_dynamic = nmse(ref, tenderMatmul(x_eval, w, cfg));
+    EXPECT_LT(e_static, std::max(e_dynamic * 10.0, 1e-6));
+}
+
+TEST(Calibrator, OutlierChannelsStableAcrossBatches)
+{
+    // The channel-group assignment derived from calibration identifies
+    // the same outlier channels the eval batches exhibit.
+    TenderConfig cfg;
+    cfg.rowChunk = 0;
+    TenderCalibrator cal(cfg);
+    for (uint64_t b = 0; b < 4; ++b) {
+        Rng r(200 + b);
+        Matrix m = randomGaussian(16, 16, r, 0.f, 0.3f);
+        for (int row = 0; row < 16; ++row)
+            m(row, 11) *= 80.f;
+        cal.observe(m);
+    }
+    auto metas = cal.finalize();
+    EXPECT_EQ(metas[0].group[11], 0);
+    for (int c = 0; c < 16; ++c) {
+        if (c != 11) {
+            EXPECT_GT(metas[0].group[size_t(c)], 0) << c;
+        }
+    }
+}
+
+} // namespace
+} // namespace tender

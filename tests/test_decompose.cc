@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the power-of-two channel decomposition (Eq. 3): classification
+ * invariants, scale-ratio exactness, the n-1-bit effective-resolution
+ * guarantee, bias symmetrization, and the Index-Buffer channel ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/decompose.h"
+#include "quant/quantizer.h"
+#include "util/rng.h"
+
+namespace tender {
+namespace {
+
+TEST(ClassifyChannel, BoundaryConditions)
+{
+    const float tmax = 16.f;
+    // (8, 16] -> group 0; (4, 8] -> group 1; (2, 4] -> 2; rest -> 3.
+    EXPECT_EQ(classifyChannel(16.f, tmax, 2, 4), 0);
+    EXPECT_EQ(classifyChannel(8.01f, tmax, 2, 4), 0);
+    EXPECT_EQ(classifyChannel(8.f, tmax, 2, 4), 1);
+    EXPECT_EQ(classifyChannel(4.f, tmax, 2, 4), 2);
+    EXPECT_EQ(classifyChannel(2.f, tmax, 2, 4), 3);
+    EXPECT_EQ(classifyChannel(0.001f, tmax, 2, 4), 3);
+    EXPECT_EQ(classifyChannel(0.f, tmax, 2, 4), 3);
+}
+
+TEST(ClassifyChannel, SingleGroupTakesAll)
+{
+    EXPECT_EQ(classifyChannel(0.1f, 100.f, 2, 1), 0);
+    EXPECT_EQ(classifyChannel(100.f, 100.f, 2, 1), 0);
+}
+
+TEST(ClassifyChannel, ZeroTensor)
+{
+    EXPECT_EQ(classifyChannel(0.f, 0.f, 2, 8), 7);
+}
+
+class ClassifySweep : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ClassifySweep, SatisfiesEq3)
+{
+    auto [alpha, groups] = GetParam();
+    const float tmax = 1024.f;
+    Rng rng(uint64_t(alpha * 100 + groups));
+    for (int i = 0; i < 500; ++i) {
+        const float cmax = float(rng.uniform(0.0, double(tmax)));
+        const int g = classifyChannel(cmax, tmax, alpha, groups);
+        ASSERT_GE(g, 0);
+        ASSERT_LT(g, groups);
+        const float upper = tmax / std::pow(float(alpha), float(g));
+        const float lower = tmax / std::pow(float(alpha), float(g + 1));
+        // Eq. 3 for non-terminal groups; the last group absorbs the tail.
+        EXPECT_LE(cmax, upper * 1.0001f);
+        if (g < groups - 1) {
+            EXPECT_GT(cmax, lower * 0.9999f);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaGroups, ClassifySweep,
+                         ::testing::Combine(::testing::Values(2, 3, 4),
+                                            ::testing::Values(1, 2, 4, 8,
+                                                              16)));
+
+TEST(ClassifyChannel, MonotonicInCmax)
+{
+    const float tmax = 100.f;
+    int prev = 999;
+    for (float cmax = 0.1f; cmax <= tmax; cmax += 0.37f) {
+        const int g = classifyChannel(cmax, tmax, 2, 8);
+        EXPECT_LE(g, prev); // larger cmax -> same or smaller group index
+        prev = g;
+    }
+}
+
+TEST(BuildChunkMeta, ScaleRatiosExactlyAlpha)
+{
+    Rng rng(1);
+    Matrix chunk = randomGaussian(32, 64, rng, 0.f, 1.f);
+    for (int alpha : {2, 4}) {
+        TenderConfig cfg;
+        cfg.alpha = alpha;
+        cfg.numGroups = 6;
+        ChunkMeta meta = decomposeChunk(chunk, cfg);
+        for (int g = 0; g + 1 < meta.groups(); ++g)
+            EXPECT_FLOAT_EQ(meta.scale[size_t(g)],
+                            meta.scale[size_t(g) + 1] * float(alpha));
+    }
+}
+
+TEST(BuildChunkMeta, TopScaleMatchesTmaxOverK)
+{
+    Rng rng(2);
+    Matrix chunk = randomGaussian(16, 32, rng);
+    TenderConfig cfg;
+    cfg.bits = 8;
+    ChunkMeta meta = decomposeChunk(chunk, cfg);
+    ChannelStats stats = computeChannelStats(chunk);
+    EXPECT_FLOAT_EQ(meta.scale[0], stats.tmax / 127.f);
+}
+
+TEST(BuildChunkMeta, OrderGroupsAscending)
+{
+    Rng rng(3);
+    Matrix chunk = randomGaussian(16, 64, rng);
+    for (int c = 0; c < 64; c += 9)
+        for (int r = 0; r < 16; ++r)
+            chunk(r, c) *= 30.f;
+    TenderConfig cfg;
+    ChunkMeta meta = decomposeChunk(chunk, cfg);
+    int prev = -1;
+    for (int idx = 0; idx < meta.channels(); ++idx) {
+        const int g = meta.group[size_t(meta.order[size_t(idx)])];
+        EXPECT_GE(g, prev);
+        prev = g;
+    }
+}
+
+TEST(BuildChunkMeta, GroupStartDelimitsOrder)
+{
+    Rng rng(4);
+    Matrix chunk = randomGaussian(8, 40, rng);
+    TenderConfig cfg;
+    cfg.numGroups = 5;
+    ChunkMeta meta = decomposeChunk(chunk, cfg);
+    ASSERT_EQ(meta.groupStart.size(), 6u);
+    EXPECT_EQ(meta.groupStart.front(), 0);
+    EXPECT_EQ(meta.groupStart.back(), 40);
+    for (int g = 0; g < meta.groups(); ++g) {
+        for (int idx = meta.groupStart[size_t(g)];
+             idx < meta.groupStart[size_t(g) + 1]; ++idx)
+            EXPECT_EQ(meta.group[size_t(meta.order[size_t(idx)])], g);
+    }
+}
+
+TEST(BuildChunkMeta, OrderIsPermutation)
+{
+    Rng rng(5);
+    Matrix chunk = randomGaussian(8, 33, rng);
+    ChunkMeta meta = decomposeChunk(chunk, TenderConfig{});
+    std::vector<bool> seen(33, false);
+    for (int c : meta.order) {
+        ASSERT_GE(c, 0);
+        ASSERT_LT(c, 33);
+        EXPECT_FALSE(seen[size_t(c)]);
+        seen[size_t(c)] = true;
+    }
+}
+
+TEST(BuildChunkMeta, BiasCentersChannels)
+{
+    // A channel with values in [4, 6] gets bias 5 and cmax 1.
+    Matrix chunk(4, 2, 0.f);
+    chunk(0, 0) = 4.f;
+    chunk(1, 0) = 6.f;
+    chunk(2, 0) = 5.f;
+    chunk(3, 0) = 5.5f;
+    chunk(0, 1) = -1.f;
+    chunk(1, 1) = 1.f;
+    ChannelStats stats = computeChannelStats(chunk);
+    EXPECT_FLOAT_EQ(stats.bias[0], 5.f);
+    EXPECT_FLOAT_EQ(stats.cmax[0], 1.f);
+    EXPECT_FLOAT_EQ(stats.bias[1], 0.f);
+    EXPECT_FLOAT_EQ(stats.cmax[1], 1.f);
+    EXPECT_FLOAT_EQ(stats.tmax, 1.f);
+}
+
+TEST(BuildChunkMeta, BiasDisabledUsesRawAbsMax)
+{
+    Matrix chunk(2, 1, 0.f);
+    chunk(0, 0) = 4.f;
+    chunk(1, 0) = 6.f;
+    TenderConfig cfg;
+    cfg.biasSubtract = false;
+    ChunkMeta meta = decomposeChunk(chunk, cfg);
+    EXPECT_FLOAT_EQ(meta.bias[0], 0.f);
+    EXPECT_FLOAT_EQ(meta.scale[0], 6.f / 127.f);
+}
+
+TEST(BuildChunkMeta, OutlierChannelsIsolatedInTopGroups)
+{
+    Rng rng(6);
+    Matrix chunk = randomGaussian(32, 64, rng, 0.f, 0.3f);
+    for (int r = 0; r < 32; ++r) {
+        chunk(r, 10) *= 100.f;
+        chunk(r, 20) *= 100.f;
+    }
+    ChunkMeta meta = decomposeChunk(chunk, TenderConfig{});
+    EXPECT_EQ(meta.group[10], 0);
+    EXPECT_EQ(meta.group[20], 0);
+    // Normal channels are far from group 0.
+    int normals_in_top = 0;
+    for (int c = 0; c < 64; ++c)
+        if (c != 10 && c != 20 && meta.group[size_t(c)] <= 1)
+            ++normals_in_top;
+    EXPECT_EQ(normals_in_top, 0);
+}
+
+TEST(BuildChunkMeta, EffectiveResolutionGuarantee)
+{
+    // Section III-B: with alpha = 2, every channel uses at least n-1 bits:
+    // cmax / scale_of_its_group >= (2^(b-1)-1) / 2.
+    Rng rng(7);
+    Matrix chunk = randomGaussian(16, 128, rng, 0.f, 1.f);
+    for (int c = 0; c < 128; c += 11)
+        for (int r = 0; r < 16; ++r)
+            chunk(r, c) *= float(1 << (c % 7));
+    TenderConfig cfg;
+    cfg.bits = 8;
+    cfg.numGroups = 8;
+    ChunkMeta meta = decomposeChunk(chunk, cfg);
+    ChannelStats stats = computeChannelStats(chunk);
+    for (int c = 0; c < 128; ++c) {
+        const int g = meta.group[size_t(c)];
+        if (g == meta.groups() - 1)
+            continue; // the terminal group absorbs arbitrarily small tails
+        const float levels = stats.cmax[size_t(c)] / meta.scale[size_t(g)];
+        EXPECT_GE(levels, 127.f / 2.f * 0.999f) << "channel " << c;
+    }
+}
+
+TEST(ChunkRanges, CoverageAndSizes)
+{
+    auto r = chunkRanges(1000, 256);
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_EQ(r[0], std::make_pair(0, 256));
+    EXPECT_EQ(r[3], std::make_pair(768, 1000));
+}
+
+TEST(ChunkRanges, DisabledChunking)
+{
+    auto r = chunkRanges(100, 0);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0], std::make_pair(0, 100));
+    auto r2 = chunkRanges(100, 256);
+    ASSERT_EQ(r2.size(), 1u);
+}
+
+TEST(ChunkRanges, ExactMultiple)
+{
+    auto r = chunkRanges(512, 256);
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[1], std::make_pair(256, 512));
+}
+
+TEST(MergeChannelStats, ExtendsEnvelope)
+{
+    Matrix a(2, 1, 0.f), b(2, 1, 0.f);
+    a(0, 0) = -1.f;
+    a(1, 0) = 2.f;
+    b(0, 0) = -4.f;
+    b(1, 0) = 1.f;
+    ChannelStats sa = computeChannelStats(a);
+    ChannelStats sb = computeChannelStats(b);
+    mergeChannelStats(sa, sb);
+    EXPECT_FLOAT_EQ(sa.minv[0], -4.f);
+    EXPECT_FLOAT_EQ(sa.maxv[0], 2.f);
+    EXPECT_FLOAT_EQ(sa.bias[0], -1.f);
+    EXPECT_FLOAT_EQ(sa.cmax[0], 3.f);
+}
+
+} // namespace
+} // namespace tender

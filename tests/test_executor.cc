@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the dual-stream quantized executor: record bookkeeping, exact
+ * schemes producing zero error, activation-activation GEMM toggling, and
+ * the error ordering across schemes the accuracy tables rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tender_scheme.h"
+#include "model/quant_executor.h"
+#include "quant/granularity.h"
+#include "quant/smoothquant.h"
+
+namespace tender {
+namespace {
+
+ModelConfig
+tinyConfig()
+{
+    ModelConfig cfg = replicaOf(modelByName("OPT-6.7B"), 32);
+    cfg.nLayers = 2;
+    return cfg;
+}
+
+TEST(Executor, ExactSchemeHasZeroError)
+{
+    ModelConfig cfg = tinyConfig();
+    SyntheticModel model(cfg, 1);
+    Matrix input = model.sampleInput(16, 0);
+    Fp16Scheme exact;
+    QuantRunResult res = runQuantized(model, input, exact);
+    EXPECT_LE(maxAbsDiff(res.output, res.reference), 0.f);
+    for (const GemmRecord &r : res.records)
+        EXPECT_LE(r.nmse, 1e-12) << r.op << " layer " << r.layer;
+}
+
+TEST(Executor, RecordInventoryWithoutActAct)
+{
+    ModelConfig cfg = tinyConfig();
+    SyntheticModel model(cfg, 1);
+    Matrix input = model.sampleInput(8, 0);
+    UniformScheme scheme(8, Granularity::PerRow);
+    QuantRunResult res = runQuantized(model, input, scheme);
+    // Per layer: q, k, v, o, fc1, fc2 = 6 records.
+    EXPECT_EQ(res.records.size(), size_t(6 * cfg.nLayers));
+    for (const GemmRecord &r : res.records) {
+        EXPECT_NE(r.op, "scores");
+        EXPECT_NE(r.op, "attnv");
+    }
+}
+
+TEST(Executor, RecordInventoryWithActAct)
+{
+    ModelConfig cfg = tinyConfig();
+    SyntheticModel model(cfg, 1);
+    Matrix input = model.sampleInput(8, 0);
+    UniformScheme scheme(8, Granularity::PerRow);
+    ExecOptions opts;
+    opts.quantizeActAct = true;
+    QuantRunResult res = runQuantized(model, input, scheme, opts);
+    // Adds per-head scores + attnv records.
+    EXPECT_EQ(res.records.size(),
+              size_t((6 + 2 * cfg.nHeads) * cfg.nLayers));
+}
+
+TEST(Executor, QuantizingActActAddsError)
+{
+    ModelConfig cfg = tinyConfig();
+    SyntheticModel model(cfg, 2);
+    Matrix input = model.sampleInput(16, 1);
+    UniformScheme scheme(4, Granularity::PerRow);
+    ExecOptions all;
+    all.quantizeActAct = true;
+    const double e_partial =
+        aggregateError(runQuantized(model, input, scheme).records);
+    const double e_all =
+        aggregateError(runQuantized(model, input, scheme, all).records);
+    EXPECT_GE(e_all, e_partial * 0.5); // comparable or larger
+}
+
+TEST(Executor, ErrorOrderingAcrossSchemes)
+{
+    // The heart of Tables I/II: per-column ~ Tender < SmoothQuant <
+    // per-tensor at INT8 on an outlier-bearing model.
+    ModelConfig cfg = tinyConfig();
+    SyntheticModel model(cfg, 3);
+    Matrix input = model.sampleInput(32, 2);
+
+    auto err = [&](const GemmScheme &s) {
+        return aggregateError(runQuantized(model, input, s).records);
+    };
+    TenderConfig tcfg;
+    tcfg.bits = 8;
+    tcfg.rowChunk = 16;
+    const double e_tender = err(TenderScheme(tcfg));
+    const double e_col = err(UniformScheme(8, Granularity::PerColumn));
+    const double e_smooth = err(SmoothQuantScheme(8));
+    const double e_tensor = err(UniformScheme(8, Granularity::PerTensor));
+
+    EXPECT_LT(e_col, e_tensor);
+    EXPECT_LT(e_tender, e_smooth);
+    EXPECT_LT(e_smooth, e_tensor);
+    EXPECT_LT(e_tender, e_col * 20.0); // same magnitude class
+}
+
+TEST(Executor, Int4StrictlyWorseThanInt8)
+{
+    ModelConfig cfg = tinyConfig();
+    SyntheticModel model(cfg, 4);
+    Matrix input = model.sampleInput(16, 3);
+    const double e8 = aggregateError(
+        runQuantized(model, input,
+                     UniformScheme(8, Granularity::PerRow)).records);
+    const double e4 = aggregateError(
+        runQuantized(model, input,
+                     UniformScheme(4, Granularity::PerRow)).records);
+    EXPECT_GT(e4, e8);
+}
+
+TEST(Executor, ErrorsPropagateAcrossLayers)
+{
+    // Later-layer records reflect accumulated input error: with a lossy
+    // scheme the mean error of layer-1 records should not be drastically
+    // below layer-0's (propagation keeps it up).
+    ModelConfig cfg = tinyConfig();
+    SyntheticModel model(cfg, 5);
+    Matrix input = model.sampleInput(16, 4);
+    UniformScheme scheme(4, Granularity::PerTensor);
+    QuantRunResult res = runQuantized(model, input, scheme);
+    double l0 = 0.0, l1 = 0.0;
+    int n0 = 0, n1 = 0;
+    for (const GemmRecord &r : res.records) {
+        if (r.layer == 0) {
+            l0 += r.nmse;
+            ++n0;
+        } else if (r.layer == 1) {
+            l1 += r.nmse;
+            ++n1;
+        }
+    }
+    ASSERT_GT(n0, 0);
+    ASSERT_GT(n1, 0);
+    EXPECT_GT(l1 / n1, 0.01 * (l0 / n0));
+}
+
+TEST(AggregateError, LogCompression)
+{
+    std::vector<GemmRecord> recs = {{"a", 0, 0.0}, {"b", 0, std::exp(1.0) - 1}};
+    // mean(ln(1), ln(e)) = 0.5.
+    EXPECT_NEAR(aggregateError(recs), 0.5, 1e-12);
+}
+
+TEST(AggregateError, ZeroForExact)
+{
+    std::vector<GemmRecord> recs = {{"a", 0, 0.0}, {"b", 1, 0.0}};
+    EXPECT_DOUBLE_EQ(aggregateError(recs), 0.0);
+}
+
+} // namespace
+} // namespace tender

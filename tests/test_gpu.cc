@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the GPU analytical model behind Fig. 12: scheme latency
+ * ordering, padding penalties, and launch-overhead behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_model.h"
+
+namespace tender {
+namespace {
+
+constexpr long long kM = 2048, kK = 4096, kN = 4096;
+
+TEST(GpuSpec, Devices)
+{
+    EXPECT_GT(a100_80g().fp16Tflops, rtx3090().fp16Tflops);
+    EXPECT_GT(a100_80g().memBwGBs, rtx3090().memBwGBs);
+    // GA102 halves FP32-accumulate FP16 throughput; INT8 stays 4x it.
+    EXPECT_DOUBLE_EQ(rtx3090().int8Tops, 4.0 * rtx3090().fp16Tflops);
+    EXPECT_DOUBLE_EQ(a100_80g().int8Tops, 2.0 * a100_80g().fp16Tflops);
+}
+
+TEST(GemmTime, ComputeBoundScalesWithWork)
+{
+    GpuSpec g = rtx3090();
+    const double t1 = gemmTimeUs(g, kM, kK, kN, false);
+    const double t2 = gemmTimeUs(g, kM, 2 * kK, kN, false);
+    EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+}
+
+TEST(GemmTime, Int8FasterByEffectiveThroughputRatio)
+{
+    GpuSpec g = rtx3090();
+    const double fp = gemmTimeUs(g, kM, kK, kN, false);
+    const double i8 = gemmTimeUs(g, kM, kK, kN, true);
+    const double expected = (g.int8Tops * g.int8Efficiency) /
+        (g.fp16Tflops * g.efficiency);
+    EXPECT_NEAR(fp / i8, expected, 0.2);
+}
+
+TEST(GemmTime, ZeroKIsFree)
+{
+    EXPECT_DOUBLE_EQ(gemmTimeUs(rtx3090(), 16, 0, 16, true), 0.0);
+}
+
+TEST(GpuSchemes, Int8FasterThanFp16OnLargeGemm)
+{
+    GpuSpec g = rtx3090();
+    const double fp = fp16Latency(g, kM, kK, kN).usTotal;
+    const double pt = int8PerTensorLatency(g, kM, kK, kN).usTotal;
+    const double pr = int8PerRowLatency(g, kM, kK, kN).usTotal;
+    EXPECT_LT(pt, fp);
+    EXPECT_LT(pr, fp);
+    EXPECT_LE(pt, pr); // per-row adds a reduction pass
+}
+
+TEST(GpuSchemes, PerChannelSlowerThanFp16)
+{
+    // Fig. 12: per-channel INT8 pays quantization cost with no integer-
+    // pipeline benefit.
+    GpuSpec g = rtx3090();
+    const double fp = fp16Latency(g, kM, kK, kN).usTotal;
+    const double pc = int8PerChannelLatency(g, kM, kK, kN).usTotal;
+    EXPECT_GT(pc, fp);
+}
+
+TEST(GpuSchemes, TenderSwBetweenInt8AndFp16)
+{
+    GpuSpec g = rtx3090();
+    std::vector<long long> groups = {40, 20, 10, 5, 3, 2, 1, kK - 81};
+    const double tender = tenderSwLatency(g, kM, groups, kN).usTotal;
+    const double fp = fp16Latency(g, kM, kK, kN).usTotal;
+    const double pt = int8PerTensorLatency(g, kM, kK, kN).usTotal;
+    EXPECT_LT(tender, fp);  // slight benefit over FP16 (Section VI-A)
+    EXPECT_GT(tender, pt);  // but short of the per-tensor potential
+    EXPECT_GT(tender / fp, 0.5); // "does not realize its full potential"
+}
+
+TEST(GpuSchemes, PaddingPenaltyGrowsWithGroups)
+{
+    GpuSpec g = rtx3090();
+    std::vector<long long> few = {64, kK - 64};
+    std::vector<long long> many;
+    for (int i = 0; i < 15; ++i)
+        many.push_back(3); // tiny groups pad 3 -> 16 each
+    many.push_back(kK - 45);
+    EXPECT_GT(tenderSwLatency(g, kM, many, kN).usTotal,
+              tenderSwLatency(g, kM, few, kN).usTotal);
+}
+
+TEST(GpuSchemes, KernelCountsAccounted)
+{
+    GpuSpec g = rtx3090();
+    std::vector<long long> groups = {16, 16, kK - 32};
+    GpuLatency l = tenderSwLatency(g, kM, groups, kN);
+    EXPECT_EQ(l.kernels, 3);
+    EXPECT_GT(l.usLaunch, 3.0 * g.launchUs * 0.99);
+    EXPECT_EQ(fp16Latency(g, kM, kK, kN).kernels, 1);
+}
+
+TEST(GpuSchemes, EmptyGroupsSkipped)
+{
+    GpuSpec g = rtx3090();
+    std::vector<long long> groups = {0, 0, kK};
+    GpuLatency l = tenderSwLatency(g, kM, groups, kN);
+    EXPECT_EQ(l.kernels, 1);
+}
+
+TEST(GpuSchemes, LaunchDominatesTinyGemms)
+{
+    GpuSpec g = a100_80g();
+    GpuLatency l = fp16Latency(g, 16, 64, 16);
+    EXPECT_GT(l.usLaunch / l.usTotal, 0.9);
+}
+
+TEST(GpuSchemes, A100FasterThan3090)
+{
+    const double t39 = fp16Latency(rtx3090(), kM, kK, kN).usGemm;
+    const double ta1 = fp16Latency(a100_80g(), kM, kK, kN).usGemm;
+    EXPECT_LT(ta1, t39);
+}
+
+TEST(GpuSchemes, TotalsDecompose)
+{
+    GpuSpec g = rtx3090();
+    for (const GpuLatency &l :
+         {fp16Latency(g, kM, kK, kN), int8PerTensorLatency(g, kM, kK, kN),
+          int8PerRowLatency(g, kM, kK, kN),
+          int8PerChannelLatency(g, kM, kK, kN)}) {
+        EXPECT_NEAR(l.usTotal, l.usGemm + l.usEpilogue + l.usLaunch, 1e-9)
+            << l.scheme;
+    }
+}
+
+} // namespace
+} // namespace tender

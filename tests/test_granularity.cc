@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the Table I granularity study machinery: per-tensor / per-row
+ * / per-column quantization, the integer-pipeline GEMM, and the ordering
+ * of quantization error on outlier-bearing tensors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "quant/granularity.h"
+#include "quant/metrics.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace tender {
+namespace {
+
+/** Activation-like tensor with a few huge columns. */
+Matrix
+outlierTensor(int rows, int cols, Rng &rng, float outlier_gain = 50.f)
+{
+    Matrix m = randomGaussian(rows, cols, rng, 0.f, 0.5f);
+    for (int c = 0; c < cols; c += std::max(1, cols / 4)) {
+        for (int r = 0; r < rows; ++r)
+            m(r, c) *= outlier_gain;
+    }
+    return m;
+}
+
+TEST(GranularityName, AllNamed)
+{
+    EXPECT_EQ(granularityName(Granularity::PerTensor), "per-tensor");
+    EXPECT_EQ(granularityName(Granularity::PerRow), "per-row");
+    EXPECT_EQ(granularityName(Granularity::PerColumn), "per-column");
+}
+
+class GranularityRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, Granularity>>
+{
+};
+
+TEST_P(GranularityRoundTrip, ScaleVectorHasRightSize)
+{
+    auto [bits, g] = GetParam();
+    Rng rng(1);
+    Matrix m = randomGaussian(6, 9, rng);
+    QuantizedMatrix qm = quantize(m, bits, g);
+    switch (g) {
+      case Granularity::PerTensor:
+        EXPECT_EQ(qm.scales.size(), 1u);
+        break;
+      case Granularity::PerRow:
+        EXPECT_EQ(qm.scales.size(), 6u);
+        break;
+      case Granularity::PerColumn:
+        EXPECT_EQ(qm.scales.size(), 9u);
+        break;
+    }
+}
+
+TEST_P(GranularityRoundTrip, CodesWithinRange)
+{
+    auto [bits, g] = GetParam();
+    Rng rng(2);
+    Matrix m = outlierTensor(16, 16, rng);
+    QuantizedMatrix qm = quantize(m, bits, g);
+    const int32_t k = maxCode(bits);
+    for (int32_t code : qm.codes.data()) {
+        EXPECT_GE(code, -k);
+        EXPECT_LE(code, k);
+    }
+}
+
+TEST_P(GranularityRoundTrip, ErrorBoundPerGroup)
+{
+    auto [bits, g] = GetParam();
+    Rng rng(3);
+    Matrix m = randomGaussian(8, 8, rng, 0.f, 2.f);
+    QuantizedMatrix qm = quantize(m, bits, g);
+    Matrix dq = dequantize(qm);
+    for (int r = 0; r < m.rows(); ++r) {
+        for (int c = 0; c < m.cols(); ++c) {
+            float s = 1.f;
+            switch (g) {
+              case Granularity::PerTensor: s = qm.scales[0]; break;
+              case Granularity::PerRow: s = qm.scales[size_t(r)]; break;
+              case Granularity::PerColumn: s = qm.scales[size_t(c)]; break;
+            }
+            EXPECT_LE(std::abs(m(r, c) - dq(r, c)), 0.5f * s * 1.0001f);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsByGranularity, GranularityRoundTrip,
+    ::testing::Combine(::testing::Values(4, 8),
+                       ::testing::Values(Granularity::PerTensor,
+                                         Granularity::PerRow,
+                                         Granularity::PerColumn)));
+
+TEST(Granularity, ErrorOrderingOnOutlierTensor)
+{
+    // Table I's core finding: per-column < per-row <= per-tensor error
+    // for activation tensors with channel outliers.
+    Rng rng(4);
+    Matrix m = outlierTensor(64, 64, rng);
+    const double e_tensor = mse(m, fakeQuant(m, 8, Granularity::PerTensor));
+    const double e_row = mse(m, fakeQuant(m, 8, Granularity::PerRow));
+    const double e_col = mse(m, fakeQuant(m, 8, Granularity::PerColumn));
+    EXPECT_LT(e_col, e_row);
+    EXPECT_LE(e_row, e_tensor * 1.05);
+}
+
+TEST(Granularity, PerRowHelpsRowOutliers)
+{
+    // A tensor whose *rows* differ in magnitude benefits from per-row.
+    Rng rng(5);
+    Matrix m = randomGaussian(32, 32, rng);
+    for (int c = 0; c < m.cols(); ++c)
+        m(3, c) *= 100.f;
+    const double e_tensor = mse(m, fakeQuant(m, 8, Granularity::PerTensor));
+    const double e_row = mse(m, fakeQuant(m, 8, Granularity::PerRow));
+    EXPECT_LT(e_row, e_tensor / 10.0);
+}
+
+TEST(QuantizedGemm, MatchesFakeQuantReference)
+{
+    Rng rng(6);
+    Matrix x = randomGaussian(16, 24, rng);
+    Matrix w = randomGaussian(24, 12, rng);
+    for (auto ag : {Granularity::PerTensor, Granularity::PerRow}) {
+        for (auto wg : {Granularity::PerTensor, Granularity::PerColumn}) {
+            QuantizedMatrix qx = quantize(x, 8, ag);
+            QuantizedMatrix qw = quantize(w, 8, wg);
+            Matrix y_int = quantizedGemm(qx, qw);
+            Matrix y_ref = gemm(dequantize(qx), dequantize(qw));
+            EXPECT_LE(maxAbsDiff(y_int, y_ref), 1e-3f)
+                << granularityName(ag) << " x " << granularityName(wg);
+        }
+    }
+}
+
+TEST(QuantizedGemm, ExactForGridValues)
+{
+    // Integer inputs with power-of-two scales: the quantized GEMM must be
+    // exactly equal to the FP product.
+    Matrix x(2, 3), w(3, 2);
+    int v = -3;
+    for (auto &e : x.data())
+        e = float(v++);
+    v = -2;
+    for (auto &e : w.data())
+        e = float(v++) * 0.5f;
+    QuantizedMatrix qx = quantize(x, 8, Granularity::PerRow);
+    QuantizedMatrix qw = quantize(w, 8, Granularity::PerColumn);
+    Matrix y = quantizedGemm(qx, qw);
+    Matrix y_ref = gemm(x, w);
+    EXPECT_LE(maxAbsDiff(y, y_ref), 2e-2f);
+}
+
+TEST(UniformScheme, NameEncodesConfig)
+{
+    UniformScheme s(8, Granularity::PerRow);
+    EXPECT_EQ(s.name(), "INT8 per-row");
+    UniformScheme s4(4, Granularity::PerColumn);
+    EXPECT_EQ(s4.name(), "INT4 per-column");
+}
+
+TEST(UniformScheme, MatmulTracksGranularity)
+{
+    Rng rng(7);
+    Matrix x = outlierTensor(32, 32, rng);
+    Matrix w = randomGaussian(32, 16, rng, 0.f, 0.05f);
+    Matrix ref = gemm(x, w);
+    const double e_tensor =
+        nmse(ref, UniformScheme(8, Granularity::PerTensor).matmul(x, w));
+    const double e_col =
+        nmse(ref, UniformScheme(8, Granularity::PerColumn).matmul(x, w));
+    EXPECT_LT(e_col, e_tensor);
+}
+
+TEST(Metrics, MseNmseSqnr)
+{
+    Matrix a(1, 2), b(1, 2);
+    a(0, 0) = 3.f;
+    a(0, 1) = 4.f;
+    b(0, 0) = 3.f;
+    b(0, 1) = 5.f;
+    EXPECT_DOUBLE_EQ(mse(a, b), 0.5);
+    EXPECT_DOUBLE_EQ(nmse(a, b), 1.0 / 25.0);
+    EXPECT_NEAR(sqnrDb(a, b), 10.0 * std::log10(25.0), 1e-9);
+}
+
+TEST(Metrics, PerfectApproximation)
+{
+    Matrix a(2, 2, 1.f);
+    EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(nmse(a, a), 0.0);
+    EXPECT_GE(sqnrDb(a, a), 150.0);
+}
+
+TEST(Metrics, ZeroReference)
+{
+    Matrix z(2, 2, 0.f);
+    Matrix o(2, 2, 1.f);
+    EXPECT_DOUBLE_EQ(nmse(z, z), 0.0);
+    EXPECT_DOUBLE_EQ(nmse(z, o), 1.0);
+}
+
+} // namespace
+} // namespace tender

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the model substrate: configurations, the synthetic outlier
+ * statistics (Fig. 2/3 structure), the transformer forward pass, and the
+ * workload extraction feeding the performance simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/transformer.h"
+#include "model/workload.h"
+#include "quant/quantizer.h"
+#include "util/stats.h"
+
+namespace tender {
+namespace {
+
+TEST(ModelConfig, KnownArchitectures)
+{
+    ModelConfig opt = modelByName("OPT-6.7B");
+    EXPECT_EQ(opt.dModel, 4096);
+    EXPECT_EQ(opt.nHeads, 32);
+    EXPECT_EQ(opt.nLayers, 32);
+    EXPECT_EQ(opt.dFfn, 16384);
+    EXPECT_EQ(opt.headDim(), 128);
+    EXPECT_TRUE(opt.decoder);
+
+    ModelConfig llama70 = modelByName("Llama-2-70B");
+    EXPECT_EQ(llama70.kvHeads, 8); // grouped-query attention
+    EXPECT_EQ(llama70.nHeads, 64);
+
+    ModelConfig bert = modelByName("BERT-Large");
+    EXPECT_FALSE(bert.decoder);
+    EXPECT_EQ(bert.dModel, 1024);
+}
+
+TEST(ModelConfig, UnknownModelFatal)
+{
+    EXPECT_EXIT(modelByName("GPT-5"), ::testing::ExitedWithCode(1),
+                "unknown model");
+}
+
+TEST(ModelConfig, BlockWeightCounts)
+{
+    ModelConfig opt = modelByName("OPT-6.7B");
+    // 4 * d*d + 2 * d * ffn for full-head attention.
+    const long long d = 4096, f = 16384;
+    EXPECT_EQ(opt.blockWeights(), 4 * d * d + 2 * d * f);
+
+    ModelConfig llama70 = modelByName("Llama-2-70B");
+    const long long d2 = 8192, kv = 8192 / 64 * 8;
+    EXPECT_EQ(llama70.blockWeights(),
+              2 * d2 * d2 + 2 * d2 * kv + 2 * d2 * 28672);
+}
+
+TEST(ModelConfig, ModelLists)
+{
+    EXPECT_EQ(table2Models().size(), 8u);
+    EXPECT_EQ(speedupModels().size(), 6u);
+    EXPECT_EQ(table2Models()[0].name, "OPT-6.7B");
+}
+
+TEST(ModelConfig, ReplicaKeepsStructure)
+{
+    ModelConfig full = modelByName("OPT-6.7B");
+    ModelConfig rep = replicaOf(full, 16);
+    EXPECT_EQ(rep.family, full.family);
+    EXPECT_EQ(rep.dModel % rep.nHeads, 0);
+    EXPECT_LT(rep.dModel, full.dModel);
+    EXPECT_GE(rep.nLayers, 2);
+    EXPECT_LE(rep.nLayers, 6);
+
+    ModelConfig rep70 = replicaOf(modelByName("Llama-2-70B"), 16);
+    EXPECT_LT(rep70.kvHeads, rep70.nHeads); // GQA structure preserved
+    EXPECT_EQ(rep70.nHeads % rep70.kvHeads, 0);
+}
+
+TEST(Synthetic, DeterministicForSeed)
+{
+    ModelConfig cfg = replicaOf(modelByName("OPT-6.7B"), 32);
+    SyntheticModel a(cfg, 5), b(cfg, 5);
+    EXPECT_EQ(a.outlierChannels(), b.outlierChannels());
+    EXPECT_LE(maxAbsDiff(a.blockWeights(0).wq, b.blockWeights(0).wq), 0.f);
+    EXPECT_LE(maxAbsDiff(a.sampleInput(16, 1), b.sampleInput(16, 1)), 0.f);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer)
+{
+    ModelConfig cfg = replicaOf(modelByName("OPT-6.7B"), 32);
+    SyntheticModel a(cfg, 5), b(cfg, 6);
+    EXPECT_GT(maxAbsDiff(a.blockWeights(0).wq, b.blockWeights(0).wq), 0.f);
+}
+
+TEST(Synthetic, WeightsAreWellBehaved)
+{
+    // Fig. 2 right panels: weights have no extreme channels.
+    ModelConfig cfg = replicaOf(modelByName("OPT-6.7B"), 32);
+    SyntheticModel model(cfg, 7);
+    const Matrix &w = model.blockWeights(0).wfc1;
+    std::vector<double> col_max;
+    for (int c = 0; c < w.cols(); ++c)
+        col_max.push_back(double(colAbsMax(w, c)));
+    const double ratio = *std::max_element(col_max.begin(), col_max.end()) /
+        quantile(col_max, 0.5);
+    EXPECT_LT(ratio, 3.0);
+}
+
+TEST(Synthetic, ActivationsHaveChannelOutliers)
+{
+    // Fig. 2 left / Fig. 3: the attention input (post-LN1) has extreme
+    // magnitudes concentrated in the designated channels.
+    ModelConfig cfg = replicaOf(modelByName("OPT-6.7B"), 32);
+    SyntheticModel model(cfg, 7);
+    Matrix x = model.sampleInput(64, 1);
+    const BlockWeights &w = model.blockWeights(0);
+    Matrix ln = layerNorm(x, w.ln1Gain, w.ln1Bias);
+
+    std::vector<double> col_max;
+    for (int c = 0; c < ln.cols(); ++c)
+        col_max.push_back(double(colAbsMax(ln, c)));
+    const double median = quantile(col_max, 0.5);
+    for (int c : model.outlierChannels())
+        EXPECT_GT(col_max[size_t(c)], 8.0 * median) << "channel " << c;
+}
+
+TEST(Synthetic, OutlierChannelsPersistAcrossLayers)
+{
+    // Fig. 3: the same channels carry outliers at every depth.
+    ModelConfig cfg = replicaOf(modelByName("OPT-6.7B"), 32);
+    SyntheticModel model(cfg, 9);
+    Matrix x = model.sampleInput(32, 2);
+    for (int l = 0; l < cfg.nLayers; ++l) {
+        const BlockWeights &w = model.blockWeights(l);
+        Matrix ln = layerNorm(x, w.ln1Gain, w.ln1Bias);
+        std::vector<double> col_max;
+        for (int c = 0; c < ln.cols(); ++c)
+            col_max.push_back(double(colAbsMax(ln, c)));
+        const double median = quantile(col_max, 0.5);
+        for (int c : model.outlierChannels())
+            EXPECT_GT(col_max[size_t(c)], 4.0 * median)
+                << "layer " << l << " channel " << c;
+        x = blockForward(x, w, cfg);
+    }
+}
+
+TEST(Synthetic, FamilyProfilesMatchPaperOrdering)
+{
+    // Table I: OPT has the harshest outlier magnitudes (per-tensor INT8
+    // collapses hardest); Llama-2 outliers are milder but the family has
+    // the widest channel spread and token variance (per-row INT8 is
+    // near-lossless yet migration schemes fail); BERT is mildest overall.
+    const OutlierProfile opt = profileFor(Family::Opt);
+    const OutlierProfile llama = profileFor(Family::Llama2);
+    const OutlierProfile bert = profileFor(Family::Bert);
+    EXPECT_GT(opt.outlierGainHi, llama.outlierGainHi);
+    EXPECT_GT(llama.outlierGainHi, bert.outlierGainHi);
+    EXPECT_GT(llama.channelSigmaStd, opt.channelSigmaStd);
+    EXPECT_GT(llama.tokenGainStd, opt.tokenGainStd);
+}
+
+TEST(Transformer, BlockPreservesShape)
+{
+    ModelConfig cfg = replicaOf(modelByName("OPT-6.7B"), 32);
+    SyntheticModel model(cfg, 3);
+    Matrix x = model.sampleInput(16, 0);
+    Matrix y = blockForward(x, model.blockWeights(0), cfg);
+    EXPECT_EQ(y.rows(), 16);
+    EXPECT_EQ(y.cols(), cfg.dModel);
+    EXPECT_GT(maxAbsDiff(x, y), 0.f); // it did something
+}
+
+TEST(Transformer, KvHeadMapping)
+{
+    EXPECT_EQ(kvHeadOf(0, 8, 2), 0);
+    EXPECT_EQ(kvHeadOf(3, 8, 2), 0);
+    EXPECT_EQ(kvHeadOf(4, 8, 2), 1);
+    EXPECT_EQ(kvHeadOf(7, 8, 2), 1);
+    EXPECT_EQ(kvHeadOf(5, 8, 8), 5);
+}
+
+TEST(Transformer, CausalAttentionIgnoresFuture)
+{
+    // Changing a later token must not change an earlier token's output in
+    // a causal decoder block.
+    ModelConfig cfg = replicaOf(modelByName("OPT-6.7B"), 32);
+    SyntheticModel model(cfg, 4);
+    Matrix x = model.sampleInput(8, 1);
+    Matrix y1 = blockForward(x, model.blockWeights(0), cfg);
+    Matrix x2 = x;
+    for (int c = 0; c < x.cols(); ++c)
+        x2(7, c) += 3.f; // perturb the last token only
+    Matrix y2 = blockForward(x2, model.blockWeights(0), cfg);
+    for (int r = 0; r < 7; ++r)
+        for (int c = 0; c < x.cols(); ++c)
+            EXPECT_FLOAT_EQ(y1(r, c), y2(r, c)) << r << "," << c;
+}
+
+TEST(Transformer, EncoderAttendsBothWays)
+{
+    ModelConfig cfg = replicaOf(modelByName("BERT-Large"), 8);
+    SyntheticModel model(cfg, 4);
+    Matrix x = model.sampleInput(8, 1);
+    Matrix y1 = blockForward(x, model.blockWeights(0), cfg);
+    Matrix x2 = x;
+    for (int c = 0; c < x.cols(); ++c)
+        x2(7, c) += 3.f;
+    Matrix y2 = blockForward(x2, model.blockWeights(0), cfg);
+    // Earlier tokens DO change in a bidirectional encoder.
+    EXPECT_GT(maxAbsDiff(y1.rowSlice(0, 7), y2.rowSlice(0, 7)), 0.f);
+}
+
+TEST(Workload, PrefillOpInventory)
+{
+    ModelConfig cfg = modelByName("OPT-6.7B");
+    Workload w = prefillWorkload(cfg, 2048);
+    ASSERT_EQ(w.blockOps.size(), 8u);
+    EXPECT_EQ(w.numLayers, 32);
+    // Check a few shapes.
+    EXPECT_EQ(w.blockOps[0].name, "q");
+    EXPECT_EQ(w.blockOps[0].m, 2048);
+    EXPECT_EQ(w.blockOps[0].k, 4096);
+    EXPECT_EQ(w.blockOps[0].n, 4096);
+    const GemmOp &scores = w.blockOps[3];
+    EXPECT_EQ(scores.name, "scores");
+    EXPECT_EQ(scores.k, 128);
+    EXPECT_EQ(scores.n, 2048);
+    EXPECT_EQ(scores.count, 32);
+    EXPECT_TRUE(scores.actAct);
+}
+
+TEST(Workload, GqaShrinksKv)
+{
+    ModelConfig cfg = modelByName("Llama-2-70B");
+    Workload w = prefillWorkload(cfg, 128);
+    EXPECT_EQ(w.blockOps[1].name, "k");
+    EXPECT_EQ(w.blockOps[1].n, 1024); // 8 kv heads x 128
+    EXPECT_EQ(w.blockOps[0].n, 8192);
+}
+
+TEST(Workload, MacCountsConsistent)
+{
+    ModelConfig cfg = modelByName("OPT-6.7B");
+    Workload w = prefillWorkload(cfg, 2048);
+    long long manual = 0;
+    for (const GemmOp &op : w.blockOps)
+        manual += (long long)op.m * op.k * op.n * op.count;
+    EXPECT_EQ(w.blockMacs(), manual);
+    EXPECT_EQ(w.totalMacs(), manual * 32);
+    EXPECT_GT(w.totalMacs(), 1LL << 40); // tens of tera-MACs for prefill
+}
+
+TEST(Workload, DecodeShapes)
+{
+    ModelConfig cfg = modelByName("OPT-6.7B");
+    Workload w = decodeWorkload(cfg, 2048);
+    EXPECT_EQ(w.seqLen, 1);
+    for (const GemmOp &op : w.blockOps)
+        EXPECT_EQ(op.m, 1);
+    EXPECT_EQ(w.blockOps[3].n, 2048); // scores against the KV cache
+    EXPECT_EQ(w.blockOps[4].k, 2048);
+}
+
+TEST(Workload, DecodeMuchSmallerThanPrefill)
+{
+    ModelConfig cfg = modelByName("OPT-6.7B");
+    EXPECT_LT(decodeWorkload(cfg, 2048).totalMacs() * 100,
+              prefillWorkload(cfg, 2048).totalMacs());
+}
+
+} // namespace
+} // namespace tender

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the accuracy proxies: anchor fitting, monotonicity, and the
+ * paper-sourced base perplexities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/perplexity.h"
+
+namespace tender {
+namespace {
+
+TEST(PplModel, FitsBothAnchors)
+{
+    PplModel m = anchorPplModel(10.86, 0.02, 26.73, 0.7, 1e6);
+    EXPECT_NEAR(m.eval(0.02), 26.73, 26.73 * 1e-6);
+    EXPECT_NEAR(m.eval(0.7), 1e6, 1e6 * 1e-6);
+}
+
+TEST(PplModel, ZeroErrorGivesBase)
+{
+    PplModel m = anchorPplModel(5.47, 0.05, 8.54, 0.8, 4e4);
+    EXPECT_DOUBLE_EQ(m.eval(0.0), 5.47);
+}
+
+TEST(PplModel, MonotoneInError)
+{
+    PplModel m = anchorPplModel(10.0, 0.02, 30.0, 0.7, 1e5);
+    double prev = 0.0;
+    for (double e = 0.0; e <= 1.0; e += 0.05) {
+        const double p = m.eval(e);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PplModel, DegenerateAnchorsFallBack)
+{
+    // e4 == e8: the model must still be finite and monotone.
+    PplModel m = anchorPplModel(10.0, 0.5, 20.0, 0.5, 30.0);
+    EXPECT_GT(m.eval(0.5), 10.0);
+    EXPECT_LT(m.eval(0.25), m.eval(0.5));
+}
+
+TEST(PplModel, NegativeErrorClampsToBase)
+{
+    PplModel m = anchorPplModel(10.0, 0.02, 30.0, 0.7, 1e5);
+    EXPECT_DOUBLE_EQ(m.eval(-1.0), 10.0);
+}
+
+TEST(AccuracyModel, FitsAnchor)
+{
+    AccuracyModel m = anchorAccuracyModel(67.16, 25.0, 0.5, 54.13);
+    EXPECT_NEAR(m.eval(0.5), 54.13, 1e-6);
+    EXPECT_NEAR(m.eval(0.0), 67.16, 1e-9);
+}
+
+TEST(AccuracyModel, DecaysTowardChance)
+{
+    AccuracyModel m = anchorAccuracyModel(70.0, 50.0, 0.3, 60.0);
+    EXPECT_NEAR(m.eval(100.0), 50.0, 0.5);
+    double prev = 100.0;
+    for (double e = 0.0; e < 3.0; e += 0.1) {
+        const double a = m.eval(e);
+        EXPECT_LE(a, prev + 1e-12);
+        EXPECT_GE(a, 50.0 - 1e-9);
+        prev = a;
+    }
+}
+
+TEST(PaperValues, BasePerplexities)
+{
+    EXPECT_DOUBLE_EQ(paperBasePerplexity("OPT-6.7B", "wiki"), 10.86);
+    EXPECT_DOUBLE_EQ(paperBasePerplexity("OPT-6.7B", "ptb"), 13.09);
+    EXPECT_DOUBLE_EQ(paperBasePerplexity("Llama-2-70B", "wiki"), 3.32);
+    EXPECT_DOUBLE_EQ(paperBasePerplexity("LLaMA-13B", "ptb"), 8.07);
+}
+
+TEST(PaperValues, AnchorsOrdered)
+{
+    for (const char *model : {"OPT-6.7B", "OPT-13B", "OPT-66B",
+                              "Llama-2-7B", "Llama-2-13B", "Llama-2-70B",
+                              "LLaMA-7B", "LLaMA-13B"}) {
+        for (const char *ds : {"wiki", "ptb"}) {
+            double p8 = 0, p4 = 0;
+            paperAnchorPerplexities(model, ds, p8, p4);
+            const double base = paperBasePerplexity(model, ds);
+            EXPECT_GT(p8, base) << model << " " << ds;
+            EXPECT_GT(p4, p8) << model << " " << ds;
+        }
+    }
+}
+
+TEST(PaperValues, UnknownModelFatal)
+{
+    EXPECT_EXIT(paperBasePerplexity("GPT-4", "wiki"),
+                ::testing::ExitedWithCode(1), "no paper base");
+}
+
+TEST(PaperValues, BadDatasetFatal)
+{
+    EXPECT_EXIT(paperBasePerplexity("OPT-6.7B", "c4"),
+                ::testing::ExitedWithCode(1), "wiki or ptb");
+}
+
+} // namespace
+} // namespace tender

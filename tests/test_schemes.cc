@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Tests for the baseline quantization schemes: SmoothQuant, LLM.int8,
+ * ANT, OliVe, MSFP, and the SMX/MX formats. Each test pins a behaviour
+ * the Tender paper's comparison relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/ant.h"
+#include "quant/llm_int8.h"
+#include "quant/metrics.h"
+#include "quant/msfp.h"
+#include "quant/mx.h"
+#include "quant/olive.h"
+#include "quant/smoothquant.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace tender {
+namespace {
+
+Matrix
+outlierActivation(int rows, int cols, Rng &rng, float gain = 40.f,
+                  int stride = 16)
+{
+    Matrix m = randomGaussian(rows, cols, rng, 0.f, 0.5f);
+    for (int c = 0; c < cols; c += stride)
+        for (int r = 0; r < rows; ++r)
+            m(r, c) *= gain;
+    return m;
+}
+
+// ---------------------------------------------------------------- Smooth
+
+TEST(SmoothQuant, MigrationIsExactInFp)
+{
+    Rng rng(1);
+    Matrix x = outlierActivation(16, 32, rng);
+    Matrix w = randomGaussian(32, 8, rng, 0.f, 0.05f);
+    auto s = smoothingFactors(x, w, 0.5f);
+    Matrix y = gemm(smoothActivation(x, s), smoothWeight(w, s));
+    Matrix ref = gemm(x, w);
+    EXPECT_LE(nmse(ref, y), 1e-9);
+}
+
+TEST(SmoothQuant, FactorsBalanceMaxima)
+{
+    Rng rng(2);
+    Matrix x = outlierActivation(16, 32, rng);
+    Matrix w = randomGaussian(32, 8, rng, 0.f, 0.05f);
+    auto s = smoothingFactors(x, w, 0.5f);
+    Matrix xs = smoothActivation(x, s);
+    Matrix ws = smoothWeight(w, s);
+    for (int j = 0; j < x.cols(); ++j) {
+        const float ax = colAbsMax(xs, j);
+        const float aw = rowAbsMax(ws, j);
+        if (ax > 0.f && aw > 0.f) {
+            // alpha = 0.5 equalizes the two maxima.
+            EXPECT_NEAR(ax / aw, 1.f, 1e-2f);
+        }
+    }
+}
+
+TEST(SmoothQuant, BeatsNaiveInt8OnOutliers)
+{
+    Rng rng(3);
+    Matrix x = outlierActivation(32, 64, rng);
+    Matrix w = randomGaussian(64, 16, rng, 0.f, 0.05f);
+    Matrix ref = gemm(x, w);
+    const double e_naive =
+        nmse(ref, UniformScheme(8, Granularity::PerTensor).matmul(x, w));
+    const double e_smooth = nmse(ref, SmoothQuantScheme(8).matmul(x, w));
+    EXPECT_LT(e_smooth, e_naive);
+}
+
+TEST(SmoothQuant, CollapsesAtInt4WithExtremeOutliers)
+{
+    // Migration halves the orders of magnitude but cannot isolate them:
+    // at INT4 with extreme outliers the per-channel damage stays large
+    // while INT8 keeps it moderate (the Table II contrast).
+    Rng rng(4);
+    Matrix x = outlierActivation(32, 64, rng, 300.f);
+    Matrix w = randomGaussian(64, 16, rng, 0.f, 0.05f);
+    const double d4 = SmoothQuantScheme(4).gemmDamage(x, w);
+    const double d8 = SmoothQuantScheme(8).gemmDamage(x, w);
+    EXPECT_GT(d4, 0.05);
+    EXPECT_GT(d4, 20.0 * d8);
+}
+
+TEST(SmoothQuant, DeadChannelSafe)
+{
+    Matrix x(4, 4, 0.f);
+    Matrix w(4, 2, 0.f);
+    x(0, 1) = 1.f;
+    w(1, 0) = 1.f;
+    Matrix y = SmoothQuantScheme(8).matmul(x, w);
+    EXPECT_NEAR(y(0, 0), 1.f, 1e-2f);
+}
+
+// --------------------------------------------------------------- LLM.int8
+
+TEST(LlmInt8, DetectsOutlierColumns)
+{
+    Rng rng(5);
+    Matrix x = randomGaussian(16, 32, rng, 0.f, 0.5f);
+    for (int r = 0; r < x.rows(); ++r)
+        x(r, 7) = 20.f;
+    LlmInt8Scheme scheme(6.f);
+    auto cols = scheme.outlierColumns(x);
+    ASSERT_EQ(cols.size(), 1u);
+    EXPECT_EQ(cols[0], 7);
+}
+
+TEST(LlmInt8, OutlierColumnsKeptExact)
+{
+    Rng rng(6);
+    Matrix x = randomGaussian(8, 16, rng, 0.f, 0.5f);
+    for (int r = 0; r < x.rows(); ++r)
+        x(r, 3) = 15.f + float(r);
+    LlmInt8Scheme scheme(6.f);
+    Matrix fq = scheme.fakeQuant(x, Operand::Activation);
+    for (int r = 0; r < x.rows(); ++r)
+        EXPECT_FLOAT_EQ(fq(r, 3), x(r, 3));
+}
+
+TEST(LlmInt8, MixedGemmBeatsPlainInt8)
+{
+    Rng rng(7);
+    Matrix x = outlierActivation(32, 64, rng, 100.f);
+    Matrix w = randomGaussian(64, 16, rng, 0.f, 0.05f);
+    Matrix ref = gemm(x, w);
+    const double e_plain =
+        nmse(ref, UniformScheme(8, Granularity::PerRow).matmul(x, w));
+    const double e_mixed = nmse(ref, LlmInt8Scheme().matmul(x, w));
+    EXPECT_LT(e_mixed, e_plain);
+}
+
+TEST(LlmInt8, NoOutliersDegeneratesToInt8)
+{
+    Rng rng(8);
+    Matrix x = randomGaussian(16, 16, rng, 0.f, 0.5f);
+    Matrix w = randomGaussian(16, 8, rng, 0.f, 0.05f);
+    LlmInt8Scheme scheme(6.f);
+    EXPECT_TRUE(scheme.outlierColumns(x).empty());
+    Matrix y = scheme.matmul(x, w);
+    Matrix y_plain = UniformScheme(8, Granularity::PerRow).matmul(x, w);
+    EXPECT_LE(maxAbsDiff(y, y_plain), 1e-3f);
+}
+
+// -------------------------------------------------------------------- ANT
+
+TEST(Ant, MagnitudeLaddersSortedAndSized)
+{
+    for (AntType t : {AntType::Int, AntType::Flint, AntType::Po2}) {
+        for (int bits : {3, 4, 8}) {
+            auto mags = antMagnitudes(t, bits);
+            EXPECT_EQ(int(mags.size()), 1 << (bits - 1))
+                << antTypeName(t) << bits;
+            EXPECT_TRUE(std::is_sorted(mags.begin(), mags.end()));
+            EXPECT_FLOAT_EQ(mags[0], 0.f);
+        }
+    }
+}
+
+TEST(Ant, Flint4MatchesPublishedShape)
+{
+    auto mags = antMagnitudes(AntType::Flint, 4);
+    const std::vector<float> expect = {0, 1, 2, 3, 4, 6, 8, 12};
+    ASSERT_EQ(mags.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_FLOAT_EQ(mags[i], expect[i]);
+}
+
+TEST(Ant, Po2CoversWideDynamicRange)
+{
+    auto mags = antMagnitudes(AntType::Po2, 4);
+    EXPECT_FLOAT_EQ(mags.back(), 64.f); // 2^6
+}
+
+TEST(Ant, ValueSetQuantizerPicksNearest)
+{
+    std::vector<float> mags = {0.f, 1.f, 2.f, 4.f};
+    Matrix m(1, 4);
+    m(0, 0) = 0.4f;
+    m(0, 1) = -1.4f;
+    m(0, 2) = 3.1f;
+    m(0, 3) = 4.f; // scale = 1
+    Matrix q = valueSetFakeQuant(m, mags);
+    EXPECT_FLOAT_EQ(q(0, 0), 0.f);
+    EXPECT_FLOAT_EQ(q(0, 1), -1.f);
+    EXPECT_FLOAT_EQ(q(0, 2), 4.f); // 3.1 is nearer to 4 than 2
+    EXPECT_FLOAT_EQ(q(0, 3), 4.f);
+}
+
+TEST(Ant, SelectsIntForUniformData)
+{
+    Rng rng(9);
+    Matrix m = randomUniform(64, 64, rng, -1.f, 1.f);
+    EXPECT_EQ(AntScheme(4).selectType(m), AntType::Int);
+}
+
+TEST(Ant, SelectsNonIntForHeavyTails)
+{
+    Rng rng(10);
+    Matrix m(64, 64);
+    for (auto &x : m.data())
+        x = float(rng.laplace(0.3));
+    m(0, 0) = 50.f; // single extreme value
+    AntType t = AntScheme(4).selectType(m);
+    EXPECT_NE(t, AntType::Int);
+}
+
+TEST(Ant, PerTensorAdaptivityCannotIsolateChannelOutliers)
+{
+    // The weakness Table II exposes: per-tensor datatype selection still
+    // shares one scale across outlier and normal channels, so the normal
+    // channels are crushed (channel-equalized damage).
+    Rng rng(11);
+    Matrix x = outlierActivation(32, 64, rng, 100.f);
+    Matrix w = randomGaussian(64, 16, rng, 0.f, 0.05f);
+    const double d_ant = AntScheme(4).gemmDamage(x, w);
+    const double d_col =
+        UniformScheme(4, Granularity::PerColumn).gemmDamage(x, w);
+    EXPECT_GT(d_ant, 5.0 * d_col);
+}
+
+// ------------------------------------------------------------------ OliVe
+
+TEST(Olive, NormalValuesWithinBound)
+{
+    Rng rng(12);
+    Matrix m = randomGaussian(16, 16, rng, 0.f, 1.f);
+    OliveScheme scheme(8, 1.0); // quantile 1.0: no outliers
+    Matrix fq = scheme.fakeQuant(m, Operand::Activation);
+    const float s = scaleFor(tensorAbsMax(m), 8);
+    for (size_t i = 0; i < m.size(); ++i)
+        EXPECT_LE(std::abs(m.data()[i] - fq.data()[i]), 0.5f * s * 1.001f);
+}
+
+TEST(Olive, VictimPrunedNextToOutlier)
+{
+    Rng rng(13);
+    Matrix m = randomGaussian(1, 8, rng, 0.f, 0.1f);
+    m(0, 4) = 100.f; // outlier at even index; victim is index 5
+    OliveScheme scheme(4, 0.9);
+    Matrix fq = scheme.fakeQuant(m, Operand::Activation);
+    EXPECT_FLOAT_EQ(fq(0, 5), 0.f);
+    EXPECT_GT(std::abs(fq(0, 4)), 10.f); // outlier magnitude preserved
+}
+
+TEST(Olive, OutlierEncodedAsPowerOfTwoRung)
+{
+    Matrix m(1, 2, 0.f);
+    m(0, 0) = 0.5f;
+    m(0, 1) = 37.f;
+    OliveScheme scheme(4, 0.5);
+    Matrix fq = scheme.fakeQuant(m, Operand::Activation);
+    // The outlier lands on a normal_max * 2^j rung; log2 of the ratio to
+    // its encoded value is within half an octave.
+    const double ratio = double(fq(0, 1)) / 37.0;
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Olive, FractionTracksThreshold)
+{
+    Rng rng(14);
+    Matrix m = randomGaussian(64, 64, rng);
+    OliveScheme tight(4, 0.99);
+    OliveScheme loose(4, 0.999);
+    EXPECT_GE(tight.outlierFraction(m), loose.outlierFraction(m));
+}
+
+TEST(Olive, BetterThanPlainInt4OnOutliers)
+{
+    // Realistic LLM-like statistics: heavy-tailed (Laplace) normal values
+    // and a sparse outlier channel. OliVe's MSE-tuned threshold then
+    // picks a tight normal scale: outliers ride the abfloat ladder and
+    // the normal channels keep their resolution, beating a shared scale.
+    Rng rng(15);
+    Matrix x(32, 256);
+    for (auto &v : x.data())
+        v = float(rng.laplace(0.5));
+    for (int r = 0; r < 32; ++r)
+        x(r, 100) *= 40.f; // one outlier channel (0.4% of elements)
+    Matrix w = randomGaussian(256, 16, rng, 0.f, 0.05f);
+    const double d_plain =
+        UniformScheme(4, Granularity::PerTensor,
+                      Granularity::PerTensor).gemmDamage(x, w);
+    const double d_olive = OliveScheme(4).gemmDamage(x, w);
+    EXPECT_LT(d_olive, 0.5 * d_plain);
+}
+
+// ------------------------------------------------------------------- MSFP
+
+TEST(Msfp, ExactForPowerOfTwoBlocks)
+{
+    // A block of identical powers of two is exactly representable.
+    Matrix m(1, 16, 2.f);
+    Matrix fq = bfpFakeQuant(m, 16, 3, BlockAxis::Reduction,
+                             Operand::Activation);
+    EXPECT_LE(maxAbsDiff(m, fq), 1e-6f);
+}
+
+TEST(Msfp, OutlierCrushesBlockmates)
+{
+    // One outlier in a 16-element block sets the shared exponent; the
+    // small values lose nearly all resolution (the Table VI failure mode).
+    Matrix m(1, 16, 0.05f);
+    m(0, 0) = 100.f;
+    Matrix fq = bfpFakeQuant(m, 16, 3, BlockAxis::Reduction,
+                             Operand::Activation);
+    for (int c = 1; c < 16; ++c)
+        EXPECT_FLOAT_EQ(fq(0, c), 0.f) << c;
+}
+
+TEST(Msfp, OlVariantIsolatesChannels)
+{
+    // MSFP12-OL blocks run along tokens within one channel, so an outlier
+    // channel cannot crush its neighbours.
+    Rng rng(16);
+    Matrix x = outlierActivation(32, 32, rng, 80.f);
+    Matrix w = randomGaussian(32, 8, rng, 0.f, 0.05f);
+    Matrix ref = gemm(x, w);
+    const double e_row = nmse(ref, MsfpScheme::msfp12().matmul(x, w));
+    const double e_ol = nmse(ref, MsfpScheme::msfp12Ol().matmul(x, w));
+    EXPECT_LT(e_ol, e_row);
+}
+
+TEST(Msfp, ZeroBlockStaysZero)
+{
+    Matrix m(1, 16, 0.f);
+    Matrix fq = bfpFakeQuant(m, 16, 3, BlockAxis::Reduction,
+                             Operand::Activation);
+    for (float v : fq.data())
+        EXPECT_FLOAT_EQ(v, 0.f);
+}
+
+TEST(Msfp, RaggedTailBlockHandled)
+{
+    Matrix m(1, 19, 1.f);
+    Matrix fq = bfpFakeQuant(m, 16, 3, BlockAxis::Reduction,
+                             Operand::Activation);
+    EXPECT_LE(maxAbsDiff(m, fq), 1e-6f);
+}
+
+TEST(Msfp, WeightBlocksRunDownColumns)
+{
+    // For weights, Reduction-axis blocks are columns: a column of
+    // identical values quantizes exactly even when rows differ wildly.
+    Matrix w(16, 2);
+    for (int r = 0; r < 16; ++r) {
+        w(r, 0) = 4.f;
+        w(r, 1) = 0.25f;
+    }
+    Matrix fq = bfpFakeQuant(w, 16, 3, BlockAxis::Reduction,
+                             Operand::Weight);
+    EXPECT_LE(maxAbsDiff(w, fq), 1e-6f);
+}
+
+// ----------------------------------------------------------------- SMX/MX
+
+TEST(Mx, E2m1LadderExactlyRepresentable)
+{
+    Matrix m(1, 8);
+    const float vals[] = {0.f, 0.5f, 1.f, 1.5f, 2.f, 3.f, 4.f, 6.f};
+    for (int i = 0; i < 8; ++i)
+        m(0, i) = vals[i];
+    Matrix fq = mxfp4FakeQuant(m, Operand::Activation);
+    EXPECT_LE(maxAbsDiff(m, fq), 1e-6f);
+}
+
+TEST(Mx, Mxfp4SignsPreserved)
+{
+    Matrix m(1, 4);
+    m(0, 0) = -3.f;
+    m(0, 1) = 3.f;
+    m(0, 2) = -0.4f;
+    m(0, 3) = 6.f;
+    Matrix fq = mxfp4FakeQuant(m, Operand::Activation);
+    EXPECT_LT(fq(0, 0), 0.f);
+    EXPECT_GT(fq(0, 1), 0.f);
+    EXPECT_LE(fq(0, 2), 0.f);
+}
+
+TEST(Mx, Smx4CoarserThanMxfp4OnOutlierData)
+{
+    // 2-bit mantissas with two-level scaling lose to E2M1 elements when
+    // blocks mix outliers and normals — the Table VII ordering.
+    Rng rng(17);
+    Matrix x = outlierActivation(32, 64, rng, 60.f);
+    Matrix w = randomGaussian(64, 16, rng, 0.f, 0.05f);
+    Matrix ref = gemm(x, w);
+    const double e_smx = nmse(ref, Smx4Scheme().matmul(x, w));
+    const double e_mx = nmse(ref, Mxfp4Scheme().matmul(x, w));
+    EXPECT_GT(e_smx, e_mx);
+}
+
+TEST(Mx, ZeroBlocksSafe)
+{
+    Matrix m(2, 32, 0.f);
+    EXPECT_LE(maxAbsDiff(m, smx4FakeQuant(m, Operand::Activation)), 0.f);
+    EXPECT_LE(maxAbsDiff(m, mxfp4FakeQuant(m, Operand::Activation)), 0.f);
+}
+
+TEST(Mx, SubscaleHelpsSmallPairs)
+{
+    // A pair sitting one octave below the block max gains one bit of
+    // resolution from the subscale.
+    Matrix m(1, 16, 0.f);
+    m(0, 0) = 8.f;  // block max
+    m(0, 2) = 3.f;  // small pair (indices 2,3)
+    m(0, 3) = 3.f;
+    Matrix fq = smx4FakeQuant(m, Operand::Activation);
+    EXPECT_NEAR(fq(0, 2), 3.f, 1.01f);
+}
+
+} // namespace
+} // namespace tender

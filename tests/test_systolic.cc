@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the analytic systolic timing model and its agreement with the
+ * MSA functional model's measured cycle counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/msa_functional.h"
+#include "sim/systolic.h"
+#include "util/rng.h"
+
+namespace tender {
+namespace {
+
+TEST(EffectiveArray, NativePrecision)
+{
+    SystolicConfig cfg;
+    EffectiveArray e = effectiveArray(cfg, 4);
+    EXPECT_EQ(e.rows, 64);
+    EXPECT_EQ(e.cols, 64);
+}
+
+TEST(EffectiveArray, Int8GangsFourPes)
+{
+    SystolicConfig cfg;
+    EffectiveArray e = effectiveArray(cfg, 8);
+    EXPECT_EQ(e.rows, 32);
+    EXPECT_EQ(e.cols, 32);
+}
+
+TEST(EffectiveArray, Int16GangsSixteenPes)
+{
+    SystolicConfig cfg;
+    EffectiveArray e = effectiveArray(cfg, 16);
+    EXPECT_EQ(e.rows, 16);
+    EXPECT_EQ(e.cols, 16);
+}
+
+TEST(EffectiveArray, Int8NativePes)
+{
+    SystolicConfig cfg;
+    cfg.peBits = 8;
+    EffectiveArray e = effectiveArray(cfg, 8);
+    EXPECT_EQ(e.rows, 64);
+}
+
+TEST(TileCycles, PipelinedIsStreamLength)
+{
+    SystolicConfig cfg;
+    EXPECT_EQ(tileCycles(cfg, 64, 64, 4096, 8, true), 4096 + 7);
+    EXPECT_EQ(tileCycles(cfg, 64, 64, 4096, 1, true), 4096);
+}
+
+TEST(TileCycles, StandaloneAddsSkew)
+{
+    SystolicConfig cfg;
+    EXPECT_EQ(tileCycles(cfg, 64, 64, 100, 1, false), 100 + 63 + 63);
+    cfg.decodeLatency = 4;
+    EXPECT_EQ(tileCycles(cfg, 64, 64, 100, 1, false), 100 + 126 + 4);
+}
+
+TEST(TileCycles, MatchesMsaFunctionalModel)
+{
+    // The analytic standalone-tile formula must equal the functional
+    // model's measured cycles for identical shapes.
+    SystolicConfig cfg;
+    Rng rng(1);
+    for (auto [m, n, k, g] :
+         {std::tuple{4, 4, 16, 1}, std::tuple{7, 5, 33, 3},
+          std::tuple{16, 16, 64, 8}}) {
+        IntMatrix a(m, k, 1);
+        IntMatrix b(k, n, 1);
+        std::vector<int> sizes(size_t(g), k / g);
+        sizes[0] += k % g;
+        MsaConfig mcfg;
+        MsaTileResult res = msaComputeTile(a, b, sizes, mcfg);
+        EXPECT_EQ(tileCycles(cfg, m, n, k, g, false), res.computeCycles)
+            << m << " " << n << " " << k << " " << g;
+    }
+}
+
+TEST(TileCycles, BubbleCostIsTiny)
+{
+    // Section VI-E: rescaling costs G-1 cycles out of k per tile.
+    SystolicConfig cfg;
+    const int64_t base = tileCycles(cfg, 64, 64, 4096, 1, true);
+    const int64_t g16 = tileCycles(cfg, 64, 64, 4096, 16, true);
+    EXPECT_LT(double(g16 - base) / double(base), 0.004);
+}
+
+TEST(TileCyclesExplicit, SumOfHalfSkewPasses)
+{
+    // Fill of pass g+1 overlaps drain of pass g: half the skew per pass.
+    SystolicConfig cfg;
+    const int64_t ks[] = {10, 20, 70};
+    const int64_t expect = (10 + 63) + (20 + 63) + (70 + 63);
+    EXPECT_EQ(tileCyclesExplicit(cfg, 64, 64, ks, 3), expect);
+}
+
+TEST(TileCyclesExplicit, AlwaysSlowerThanImplicit)
+{
+    SystolicConfig cfg;
+    for (int g : {2, 4, 8, 16}) {
+        std::vector<int64_t> ks(size_t(g), 4096 / g);
+        const int64_t exp_cycles =
+            tileCyclesExplicit(cfg, 64, 64, ks.data(), g);
+        const int64_t imp_cycles = tileCycles(cfg, 64, 64, 4096, g, true);
+        EXPECT_GT(exp_cycles, imp_cycles) << "groups=" << g;
+    }
+}
+
+TEST(TileCyclesExplicit, PenaltyGrowsWithGroups)
+{
+    // Fig. 13: 16 groups hurts explicit requantization more than 8.
+    SystolicConfig cfg;
+    auto explicit_cost = [&](int g) {
+        std::vector<int64_t> ks(size_t(g), 0);
+        // Outlier-ish split: tiny leading groups, large tail.
+        int64_t rest = 4096;
+        for (int i = 0; i < g - 1; ++i) {
+            ks[size_t(i)] = 8;
+            rest -= 8;
+        }
+        ks[size_t(g) - 1] = rest;
+        return tileCyclesExplicit(cfg, 64, 64, ks.data(), g);
+    };
+    EXPECT_GT(explicit_cost(16), explicit_cost(8));
+}
+
+} // namespace
+} // namespace tender

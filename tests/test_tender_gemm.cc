@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests for the Tender GEMM pipelines: implicit/explicit equivalence
+ * (Eq. 1 == Eq. 2), accuracy ordering against uniform granularities, bias
+ * correction, accumulator-overflow accounting, and the calibrated path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tender_gemm.h"
+#include "core/tender_scheme.h"
+#include "quant/granularity.h"
+#include "quant/metrics.h"
+#include "tensor/functional.h"
+#include "util/rng.h"
+
+namespace tender {
+namespace {
+
+Matrix
+outlierActivation(int rows, int cols, Rng &rng, float gain = 50.f,
+                  int stride = 13)
+{
+    Matrix m = randomGaussian(rows, cols, rng, 0.f, 0.5f);
+    for (int c = 0; c < cols; c += stride)
+        for (int r = 0; r < rows; ++r)
+            m(r, c) *= gain;
+    return m;
+}
+
+class TenderShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(TenderShapes, ImplicitEqualsExplicit)
+{
+    auto [bits, groups, chunk] = GetParam();
+    Rng rng(uint64_t(bits * 100 + groups * 10 + chunk));
+    Matrix x = outlierActivation(40, 48, rng);
+    Matrix w = randomGaussian(48, 24, rng, 0.f, 0.05f);
+    TenderConfig cfg;
+    cfg.bits = bits;
+    cfg.numGroups = groups;
+    cfg.rowChunk = chunk;
+    Matrix y_imp = tenderMatmul(x, w, cfg);
+    Matrix y_exp = tenderMatmulExplicit(x, w, cfg);
+    // Mathematically identical; FP accumulation order differs slightly.
+    EXPECT_LE(nmse(y_exp, y_imp), 1e-8)
+        << "bits=" << bits << " groups=" << groups << " chunk=" << chunk;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Config, TenderShapes,
+    ::testing::Combine(::testing::Values(4, 8),
+                       ::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(0, 16, 64)));
+
+TEST(TenderGemm, MatchesExactForGridFriendlyData)
+{
+    // Values exactly representable at the group scales: zero error.
+    Matrix x(4, 4, 0.f);
+    x(0, 0) = 127.f;
+    x(1, 1) = 64.f;
+    x(2, 2) = -127.f;
+    x(3, 3) = 32.f;
+    Matrix w(4, 2);
+    for (int r = 0; r < 4; ++r) {
+        w(r, 0) = 1.f;
+        w(r, 1) = -1.f;
+    }
+    TenderConfig cfg;
+    cfg.bits = 8;
+    cfg.numGroups = 1;
+    cfg.biasSubtract = false;
+    Matrix y = tenderMatmul(x, w, cfg);
+    Matrix ref = gemm(x, w);
+    EXPECT_LE(maxAbsDiff(y, ref), 1e-3f);
+}
+
+TEST(TenderGemm, BeatsPerTensorOnOutliers)
+{
+    // Channel-equalized damage: Tender isolates the outlier channels, so
+    // normal channels keep their resolution; per-tensor crushes them.
+    Rng rng(1);
+    Matrix x = outlierActivation(64, 64, rng, 80.f);
+    Matrix w = randomGaussian(64, 32, rng, 0.f, 0.05f);
+    TenderConfig cfg;
+    cfg.bits = 8;
+    const double d_tender = TenderScheme(cfg).gemmDamage(x, w);
+    const double d_tensor =
+        UniformScheme(8, Granularity::PerTensor).gemmDamage(x, w);
+    EXPECT_LT(d_tender, d_tensor / 10.0);
+}
+
+TEST(TenderGemm, ApproachesPerColumnAccuracy)
+{
+    // Section V-B/Fig. 12: Tender's error is comparable to impracticable
+    // per-column quantization.
+    Rng rng(2);
+    Matrix x = outlierActivation(64, 64, rng, 40.f);
+    Matrix w = randomGaussian(64, 32, rng, 0.f, 0.05f);
+    Matrix ref = gemm(x, w);
+    TenderConfig cfg;
+    cfg.bits = 8;
+    cfg.numGroups = 8;
+    const double e_tender = nmse(ref, tenderMatmul(x, w, cfg));
+    const double e_col =
+        nmse(ref, UniformScheme(8, Granularity::PerColumn).matmul(x, w));
+    EXPECT_LT(e_tender, e_col * 10.0);
+}
+
+TEST(TenderGemm, MoreGroupsNeverHurtMuch)
+{
+    // Fig. 9 behaviour: channel-equalized damage drops (fast, then flat)
+    // as the number of groups grows.
+    Rng rng(3);
+    Matrix x = outlierActivation(48, 64, rng, 60.f);
+    Matrix w = randomGaussian(64, 24, rng, 0.f, 0.05f);
+    TenderConfig cfg;
+    cfg.bits = 4;
+    auto damage = [&](int groups) {
+        cfg.numGroups = groups;
+        return TenderScheme(cfg).gemmDamage(x, w);
+    };
+    double prev = 1e30;
+    for (int groups : {1, 2, 4, 8}) {
+        const double d = damage(groups);
+        EXPECT_LE(d, prev * 1.5) << "groups=" << groups;
+        prev = d;
+    }
+    EXPECT_LT(damage(8), damage(1) / 5.0);
+}
+
+TEST(TenderGemm, BiasCorrectionExactForShiftedChannels)
+{
+    // Constant-offset channels quantize exactly after bias subtraction.
+    Matrix x(8, 3, 0.f);
+    for (int r = 0; r < 8; ++r) {
+        x(r, 0) = 100.f;          // constant channel
+        x(r, 1) = float(r) - 3.5f;
+        x(r, 2) = -40.f;          // another constant channel
+    }
+    Matrix w(3, 2);
+    int v = 1;
+    for (auto &e : w.data())
+        e = float(v++) * 0.1f;
+    TenderConfig cfg;
+    cfg.bits = 8;
+    Matrix y = tenderMatmul(x, w, cfg);
+    Matrix ref = gemm(x, w);
+    EXPECT_LE(nmse(ref, y), 1e-6);
+}
+
+TEST(TenderGemm, BiasSubtractImprovesAsymmetricChannels)
+{
+    Rng rng(4);
+    Matrix x = randomGaussian(32, 32, rng, 0.f, 0.2f);
+    for (int r = 0; r < 32; ++r)
+        for (int c = 0; c < 8; ++c)
+            x(r, c) += 5.f; // strongly asymmetric channels
+    Matrix w = randomGaussian(32, 16, rng, 0.f, 0.05f);
+    Matrix ref = gemm(x, w);
+    TenderConfig with_bias, no_bias;
+    with_bias.bits = no_bias.bits = 4;
+    no_bias.biasSubtract = false;
+    const double e_with = nmse(ref, tenderMatmul(x, w, with_bias));
+    const double e_without = nmse(ref, tenderMatmul(x, w, no_bias));
+    EXPECT_LT(e_with, e_without);
+}
+
+TEST(TenderGemm, StatsCountMacsAndChunks)
+{
+    Rng rng(5);
+    Matrix x = randomGaussian(64, 32, rng);
+    Matrix w = randomGaussian(32, 16, rng);
+    TenderConfig cfg;
+    cfg.rowChunk = 16;
+    TenderGemmStats stats;
+    tenderMatmul(x, w, cfg, &stats);
+    EXPECT_EQ(stats.chunks, 4);
+    EXPECT_EQ(stats.macs, int64_t(64) * 32 * 16);
+    EXPECT_EQ(stats.rescales,
+              int64_t(64) * 16 * (cfg.numGroups - 1));
+    EXPECT_FALSE(stats.overflow32);
+    EXPECT_GT(stats.peakAbsAcc, 0);
+}
+
+TEST(TenderGemm, NoOverflowForRealisticShapes)
+{
+    // The Section III-B claim: the 32-bit accumulator never clips for
+    // transformer-scale reductions, because high-magnitude groups hold
+    // few channels.
+    Rng rng(6);
+    Matrix x = outlierActivation(16, 1024, rng, 100.f, 97);
+    Matrix w = randomGaussian(1024, 8, rng, 0.f, 0.05f);
+    TenderConfig cfg;
+    cfg.bits = 8;
+    cfg.numGroups = 8;
+    cfg.checkOverflow = true; // panics on overflow
+    TenderGemmStats stats;
+    tenderMatmul(x, w, cfg, &stats);
+    EXPECT_FALSE(stats.overflow32);
+    EXPECT_LE(stats.peakAbsAcc, int64_t(INT32_MAX));
+}
+
+TEST(TenderGemm, CalibratedMatchesDynamicOnCalibrationData)
+{
+    Rng rng(7);
+    Matrix x = outlierActivation(32, 32, rng);
+    Matrix w = randomGaussian(32, 16, rng, 0.f, 0.05f);
+    TenderConfig cfg;
+    cfg.rowChunk = 16;
+    // Calibrating on x itself gives identical metadata to the dynamic path.
+    std::vector<ChunkMeta> metas;
+    for (const auto &[r0, r1] : chunkRanges(x.rows(), cfg.rowChunk))
+        metas.push_back(decomposeChunk(x.rowSlice(r0, r1), cfg));
+    Matrix y_dyn = tenderMatmul(x, w, cfg);
+    Matrix y_cal = tenderMatmulCalibrated(x, w, metas, cfg);
+    EXPECT_LE(maxAbsDiff(y_dyn, y_cal), 1e-6f);
+}
+
+TEST(TenderGemm, CalibratedClampsUnseenMagnitudes)
+{
+    Rng rng(8);
+    Matrix x_cal = randomGaussian(32, 16, rng, 0.f, 1.f);
+    Matrix x_eval = scale(x_cal, 4.f); // 4x beyond the calibrated envelope
+    Matrix w = randomGaussian(16, 8, rng, 0.f, 0.1f);
+    TenderConfig cfg;
+    cfg.rowChunk = 0;
+    std::vector<ChunkMeta> metas = {decomposeChunk(x_cal, cfg)};
+    Matrix y = tenderMatmulCalibrated(x_eval, w, metas, cfg);
+    // Saturation bounds the output rather than wrapping or crashing.
+    Matrix ref = gemm(x_eval, w);
+    EXPECT_GT(nmse(ref, y), 0.0);
+    EXPECT_LT(nmse(ref, y), 1.0);
+}
+
+TEST(TenderGemm, RowChunkingHelpsTokenVariance)
+{
+    // Rows with very different magnitudes benefit from per-chunk scales
+    // (the paper's intra-channel variance argument for chunking).
+    Rng rng(9);
+    Matrix x = randomGaussian(64, 32, rng, 0.f, 0.5f);
+    for (int r = 32; r < 64; ++r)
+        for (int c = 0; c < 32; ++c)
+            x(r, c) *= 40.f;
+    Matrix w = randomGaussian(32, 16, rng, 0.f, 0.05f);
+    Matrix ref = gemm(x, w);
+    TenderConfig chunked, whole;
+    chunked.bits = whole.bits = 4;
+    chunked.rowChunk = 32;
+    whole.rowChunk = 0;
+    const double e_chunked = nmse(ref, tenderMatmul(x, w, chunked));
+    const double e_whole = nmse(ref, tenderMatmul(x, w, whole));
+    EXPECT_LT(e_chunked, e_whole);
+}
+
+TEST(TenderGemm, Int4WorseThanInt8)
+{
+    Rng rng(10);
+    Matrix x = outlierActivation(32, 32, rng);
+    Matrix w = randomGaussian(32, 16, rng, 0.f, 0.05f);
+    Matrix ref = gemm(x, w);
+    TenderConfig c4, c8;
+    c4.bits = 4;
+    c8.bits = 8;
+    EXPECT_GT(nmse(ref, tenderMatmul(x, w, c4)),
+              nmse(ref, tenderMatmul(x, w, c8)));
+}
+
+TEST(TenderGemm, AlphaFourCoarserThanAlphaTwo)
+{
+    // Wider thresholds -> fewer effective scale levels -> more error.
+    Rng rng(11);
+    Matrix x = outlierActivation(48, 64, rng, 60.f);
+    Matrix w = randomGaussian(64, 24, rng, 0.f, 0.05f);
+    Matrix ref = gemm(x, w);
+    TenderConfig a2, a4;
+    a2.bits = a4.bits = 4;
+    a2.alpha = 2;
+    a4.alpha = 4;
+    const double e2 = nmse(ref, tenderMatmul(x, w, a2));
+    const double e4 = nmse(ref, tenderMatmul(x, w, a4));
+    EXPECT_LE(e2, e4 * 1.2);
+}
+
+TEST(TenderScheme, FakeQuantMatchesPipelineError)
+{
+    Rng rng(12);
+    Matrix x = outlierActivation(32, 32, rng);
+    Matrix w = randomGaussian(32, 16, rng, 0.f, 0.05f);
+    TenderConfig cfg;
+    TenderScheme scheme(cfg);
+    Matrix ref = gemm(x, w);
+    const double e_pipeline = nmse(ref, scheme.matmul(x, w));
+    const double e_fake =
+        nmse(ref, gemm(scheme.fakeQuant(x, Operand::Activation),
+                       scheme.fakeQuant(w, Operand::Weight)));
+    EXPECT_NEAR(e_pipeline, e_fake, std::max(1e-9, e_fake * 0.05));
+}
+
+TEST(TenderScheme, NameAndConfig)
+{
+    TenderConfig cfg;
+    cfg.numGroups = 12;
+    TenderScheme scheme(cfg);
+    EXPECT_EQ(scheme.name(), "Tender");
+    EXPECT_EQ(scheme.config().numGroups, 12);
+}
+
+TEST(BiasCorrectionRow, MatchesDenseProduct)
+{
+    Rng rng(13);
+    Matrix w = randomGaussian(8, 4, rng);
+    ChunkMeta meta;
+    meta.bias = {1.f, -2.f, 0.f, 3.f, 0.5f, 0.f, -1.f, 2.f};
+    meta.group.assign(8, 0);
+    meta.scale = {1.f};
+    Matrix row = biasCorrectionRow(meta, w);
+    Matrix bias_mat(1, 8);
+    for (int c = 0; c < 8; ++c)
+        bias_mat(0, c) = meta.bias[size_t(c)];
+    Matrix expect = gemm(bias_mat, w);
+    EXPECT_LE(maxAbsDiff(row, expect), 1e-5f);
+}
+
+} // namespace
+} // namespace tender

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the tensor substrate: matrix containers, GEMM kernels against
+ * a naive reference, and the Transformer functional ops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/functional.h"
+#include "tensor/gemm.h"
+#include "tensor/matrix.h"
+
+namespace tender {
+namespace {
+
+Matrix
+naiveGemm(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.cols(), 0.f);
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < b.cols(); ++j) {
+            double acc = 0.0;
+            for (int k = 0; k < a.cols(); ++k)
+                acc += double(a(i, k)) * double(b(k, j));
+            c(i, j) = float(acc);
+        }
+    return c;
+}
+
+TEST(Matrix, ConstructionAndAccess)
+{
+    Matrix m(3, 4, 1.5f);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 4);
+    EXPECT_EQ(m.size(), 12u);
+    EXPECT_FLOAT_EQ(m(2, 3), 1.5f);
+    m(1, 2) = -2.f;
+    EXPECT_FLOAT_EQ(m(1, 2), -2.f);
+}
+
+TEST(Matrix, DefaultIsEmpty)
+{
+    Matrix m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.rows(), 0);
+}
+
+TEST(Matrix, RowSlice)
+{
+    Matrix m(4, 2);
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 2; ++c)
+            m(r, c) = float(r * 10 + c);
+    Matrix s = m.rowSlice(1, 3);
+    EXPECT_EQ(s.rows(), 2);
+    EXPECT_FLOAT_EQ(s(0, 0), 10.f);
+    EXPECT_FLOAT_EQ(s(1, 1), 21.f);
+}
+
+TEST(Matrix, ColSlice)
+{
+    Matrix m(2, 4);
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 4; ++c)
+            m(r, c) = float(r * 10 + c);
+    Matrix s = m.colSlice(2, 4);
+    EXPECT_EQ(s.cols(), 2);
+    EXPECT_FLOAT_EQ(s(0, 0), 2.f);
+    EXPECT_FLOAT_EQ(s(1, 1), 13.f);
+}
+
+TEST(Matrix, Transpose)
+{
+    Rng rng(1);
+    Matrix m = randomGaussian(5, 3, rng);
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3);
+    EXPECT_EQ(t.cols(), 5);
+    for (int r = 0; r < 5; ++r)
+        for (int c = 0; c < 3; ++c)
+            EXPECT_FLOAT_EQ(t(c, r), m(r, c));
+}
+
+TEST(Matrix, MaxAbsDiffAndNorm)
+{
+    Matrix a(2, 2, 1.f), b(2, 2, 1.f);
+    b(1, 1) = -2.f;
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, b), 3.f);
+    EXPECT_NEAR(frobeniusNorm(a), 2.0, 1e-6);
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GemmShapes, BlockedMatchesNaive)
+{
+    auto [m, k, n] = GetParam();
+    Rng rng(uint64_t(m * 1000 + k * 10 + n));
+    Matrix a = randomGaussian(m, k, rng);
+    Matrix b = randomGaussian(k, n, rng);
+    Matrix expect = naiveGemm(a, b);
+    Matrix got = gemm(a, b);
+    EXPECT_LE(maxAbsDiff(expect, got), 1e-4f * float(k));
+}
+
+TEST_P(GemmShapes, TransposedBMatchesExplicitTranspose)
+{
+    auto [m, k, n] = GetParam();
+    Rng rng(uint64_t(m + k + n));
+    Matrix a = randomGaussian(m, k, rng);
+    Matrix b = randomGaussian(n, k, rng); // will be used as B^T
+    Matrix expect = gemm(a, b.transposed());
+    Matrix got = gemmTransposedB(a, b);
+    EXPECT_LE(maxAbsDiff(expect, got), 1e-4f * float(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 2),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 130, 67),
+                      std::make_tuple(128, 33, 128),
+                      std::make_tuple(7, 256, 9)));
+
+TEST(Gemm, IntGemmExact)
+{
+    IntMatrix a(2, 3), b(3, 2);
+    int v = 1;
+    for (auto &x : a.data())
+        x = v++;
+    for (auto &x : b.data())
+        x = v++;
+    auto c = gemmInt(a, b);
+    // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+    EXPECT_EQ(c(0, 0), 1 * 7 + 2 * 9 + 3 * 11);
+    EXPECT_EQ(c(0, 1), 1 * 8 + 2 * 10 + 3 * 12);
+    EXPECT_EQ(c(1, 0), 4 * 7 + 5 * 9 + 6 * 11);
+    EXPECT_EQ(c(1, 1), 4 * 8 + 5 * 10 + 6 * 12);
+}
+
+TEST(Gemm, IntGemmLargeMagnitudes)
+{
+    IntMatrix a(1, 2), b(2, 1);
+    a(0, 0) = 127;
+    a(0, 1) = -127;
+    b(0, 0) = 127;
+    b(1, 0) = 127;
+    EXPECT_EQ(gemmInt(a, b)(0, 0), 0);
+}
+
+TEST(Gemm, Axpby)
+{
+    Matrix a(1, 2), b(1, 2);
+    a(0, 0) = 1.f;
+    a(0, 1) = 2.f;
+    b(0, 0) = 10.f;
+    b(0, 1) = 20.f;
+    Matrix c = axpby(2.f, a, 0.5f, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 7.f);
+    EXPECT_FLOAT_EQ(c(0, 1), 14.f);
+}
+
+TEST(Gemm, AddRowVector)
+{
+    Matrix m(2, 2, 1.f);
+    Matrix row(1, 2);
+    row(0, 0) = 5.f;
+    row(0, 1) = -1.f;
+    Matrix out = addRowVector(m, row);
+    EXPECT_FLOAT_EQ(out(0, 0), 6.f);
+    EXPECT_FLOAT_EQ(out(1, 1), 0.f);
+}
+
+TEST(Functional, SoftmaxRowsSumToOne)
+{
+    Rng rng(2);
+    Matrix m = randomGaussian(8, 16, rng, 0.f, 5.f);
+    Matrix p = softmaxRows(m);
+    for (int r = 0; r < p.rows(); ++r) {
+        double sum = 0.0;
+        for (int c = 0; c < p.cols(); ++c) {
+            EXPECT_GE(p(r, c), 0.f);
+            sum += p(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Functional, SoftmaxStableForHugeValues)
+{
+    Matrix m(1, 3);
+    m(0, 0) = 1e4f;
+    m(0, 1) = 1e4f;
+    m(0, 2) = -1e4f;
+    Matrix p = softmaxRows(m);
+    EXPECT_NEAR(p(0, 0), 0.5f, 1e-5);
+    EXPECT_NEAR(p(0, 1), 0.5f, 1e-5);
+    EXPECT_NEAR(p(0, 2), 0.f, 1e-6);
+}
+
+TEST(Functional, SoftmaxOrderPreserving)
+{
+    Matrix m(1, 3);
+    m(0, 0) = 1.f;
+    m(0, 1) = 2.f;
+    m(0, 2) = 3.f;
+    Matrix p = softmaxRows(m);
+    EXPECT_LT(p(0, 0), p(0, 1));
+    EXPECT_LT(p(0, 1), p(0, 2));
+}
+
+TEST(Functional, LayerNormStats)
+{
+    Rng rng(3);
+    Matrix m = randomGaussian(4, 64, rng, 3.f, 2.f);
+    Matrix gain(1, 64, 1.f), bias(1, 64, 0.f);
+    Matrix out = layerNorm(m, gain, bias);
+    for (int r = 0; r < out.rows(); ++r) {
+        double mean = 0.0, var = 0.0;
+        for (int c = 0; c < out.cols(); ++c)
+            mean += out(r, c);
+        mean /= out.cols();
+        for (int c = 0; c < out.cols(); ++c)
+            var += (out(r, c) - mean) * (out(r, c) - mean);
+        var /= out.cols();
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+}
+
+TEST(Functional, LayerNormGainBias)
+{
+    Matrix m(1, 2);
+    m(0, 0) = -1.f;
+    m(0, 1) = 1.f;
+    Matrix gain(1, 2), bias(1, 2);
+    gain(0, 0) = 2.f;
+    gain(0, 1) = 3.f;
+    bias(0, 0) = 10.f;
+    bias(0, 1) = 20.f;
+    Matrix out = layerNorm(m, gain, bias);
+    // Normalized values are -1 and +1 (population variance).
+    EXPECT_NEAR(out(0, 0), 10.f - 2.f, 1e-2);
+    EXPECT_NEAR(out(0, 1), 20.f + 3.f, 1e-2);
+}
+
+TEST(Functional, ReluClampsNegatives)
+{
+    Matrix m(1, 3);
+    m(0, 0) = -1.f;
+    m(0, 1) = 0.f;
+    m(0, 2) = 2.f;
+    Matrix out = relu(m);
+    EXPECT_FLOAT_EQ(out(0, 0), 0.f);
+    EXPECT_FLOAT_EQ(out(0, 1), 0.f);
+    EXPECT_FLOAT_EQ(out(0, 2), 2.f);
+}
+
+TEST(Functional, GeluKnownValues)
+{
+    Matrix m(1, 3);
+    m(0, 0) = 0.f;
+    m(0, 1) = 10.f;
+    m(0, 2) = -10.f;
+    Matrix out = gelu(m);
+    EXPECT_FLOAT_EQ(out(0, 0), 0.f);
+    EXPECT_NEAR(out(0, 1), 10.f, 1e-3);
+    EXPECT_NEAR(out(0, 2), 0.f, 1e-3);
+}
+
+TEST(Functional, CausalMaskZerosUpperTriangle)
+{
+    Matrix scores(3, 3, 1.f);
+    Matrix p = softmaxRows(causalMask(scores));
+    EXPECT_NEAR(p(0, 0), 1.f, 1e-6);
+    EXPECT_NEAR(p(0, 1), 0.f, 1e-6);
+    EXPECT_NEAR(p(1, 0), 0.5f, 1e-6);
+    EXPECT_NEAR(p(2, 2), 1.f / 3.f, 1e-6);
+}
+
+TEST(Functional, ScaleMultiplies)
+{
+    Matrix m(1, 2, 3.f);
+    Matrix out = scale(m, -2.f);
+    EXPECT_FLOAT_EQ(out(0, 0), -6.f);
+}
+
+} // namespace
+} // namespace tender

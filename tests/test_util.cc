@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests for the utility substrate: statistics, RNG determinism, and
+ * the table renderer used by every bench harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace tender {
+namespace {
+
+TEST(Summary, EmptyIsZeroed)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, SingleSample)
+{
+    Summary s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Summary, KnownMoments)
+{
+    Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.absMax(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeMatchesSequential)
+{
+    Rng rng(7);
+    Summary all, a, b;
+    for (int i = 0; i < 500; ++i) {
+        double x = rng.gaussian(1.0, 3.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty)
+{
+    Summary a, b;
+    a.add(1.0);
+    a.add(2.0);
+    Summary before = a;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2);
+    EXPECT_DOUBLE_EQ(a.mean(), before.mean());
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Summary, AbsMaxTracksNegatives)
+{
+    Summary s;
+    s.add(-10.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.absMax(), 10.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bin 0
+    h.add(9.99);  // bin 9
+    h.add(-5.0);  // clamps into bin 0
+    h.add(15.0);  // clamps into bin 9
+    EXPECT_EQ(h.binCount(0), 2);
+    EXPECT_EQ(h.binCount(9), 2);
+    EXPECT_EQ(h.total(), 4);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(-1.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLow(0), -1.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(3), 1.0);
+    EXPECT_DOUBLE_EQ(h.binLow(2), 0.0);
+}
+
+TEST(Histogram, RenderContainsCounts)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.add(0.9);
+    h.add(0.95);
+    std::string out = h.render(10);
+    EXPECT_NE(out.find("1"), std::string::npos);
+    EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({3.0}), 3.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, Quantile)
+{
+    std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= a.uniform() != b.uniform();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(-2.0, 5.0);
+        EXPECT_GE(x, -2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, RandintInclusiveBounds)
+{
+    Rng rng(4);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.randint(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        hit_lo |= v == 0;
+        hit_hi |= v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    Summary s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(rng.gaussian(2.0, 3.0));
+    EXPECT_NEAR(s.mean(), 2.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, LaplaceSymmetricHeavyTails)
+{
+    Rng rng(6);
+    Summary s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(rng.laplace(1.0));
+    EXPECT_NEAR(s.mean(), 0.0, 0.05);
+    // Laplace(b) variance is 2 b^2.
+    EXPECT_NEAR(s.variance(), 2.0, 0.15);
+}
+
+TEST(Rng, SampleIndicesDistinctSorted)
+{
+    Rng rng(7);
+    auto idx = rng.sampleIndices(100, 10);
+    ASSERT_EQ(idx.size(), 10u);
+    for (size_t i = 1; i < idx.size(); ++i)
+        EXPECT_LT(idx[i - 1], idx[i]);
+    for (int v : idx) {
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, 100);
+    }
+}
+
+TEST(Rng, SampleIndicesFullSet)
+{
+    Rng rng(8);
+    auto idx = rng.sampleIndices(5, 5);
+    ASSERT_EQ(idx.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(idx[size_t(i)], i);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t("title");
+    t.setHeader({"a", "long-header", "c"});
+    t.addRow({"1", "2", "3"});
+    t.addRow({"wide-cell", "x", "y"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("wide-cell"), std::string::npos);
+    // All data lines have the same width.
+    size_t width = 0;
+    size_t pos = 0;
+    while (pos < out.size()) {
+        size_t end = out.find('\n', pos);
+        std::string line = out.substr(pos, end - pos);
+        if (!line.empty() && line[0] == '|') {
+            if (width == 0)
+                width = line.size();
+            EXPECT_EQ(line.size(), width);
+        }
+        pos = end + 1;
+    }
+}
+
+TEST(TablePrinter, NumFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(10.86), "10.86");
+    EXPECT_EQ(TablePrinter::num(0.5, 1), "0.5");
+    EXPECT_EQ(TablePrinter::num(4000.0), "4E+3");
+    EXPECT_EQ(TablePrinter::num(9.3e8), "9E+8");
+    EXPECT_EQ(TablePrinter::mult(2.63), "2.63x");
+}
+
+TEST(TablePrinter, SeparatorRendersRule)
+{
+    TablePrinter t;
+    t.setHeader({"x"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::string out = t.render();
+    // Rules: top, under header, separator, bottom = 4 lines starting '+'.
+    int rules = 0;
+    size_t pos = 0;
+    while (pos < out.size()) {
+        if (out[pos] == '+' && (pos == 0 || out[pos - 1] == '\n'))
+            ++rules;
+        pos = out.find('\n', pos);
+        if (pos == std::string::npos)
+            break;
+        ++pos;
+    }
+    EXPECT_EQ(rules, 4);
+}
+
+} // namespace
+} // namespace tender
