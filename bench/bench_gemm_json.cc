@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Kernel-layer performance recorder: serial vs threaded FP32 GEMM and
+ * serial vs threaded Tender chunk pipeline on a transformer-scale
+ * workload, emitted as BENCH_gemm.json so the perf trajectory of the
+ * repo is tracked PR over PR (run via scripts/bench_gemm.sh).
+ *
+ * The threaded tenderMatmul gains come from two places: chunk/column-slice
+ * parallelism over the pool, and the cache-blocked int16/int32 group
+ * accumulate (bit-identical to the golden kernel — the NMSE field below is
+ * exactly 0 on every host). On single-core hosts only the second effect is
+ * visible.
+ *
+ * Usage: bench_gemm_json [m k n workers out.json]
+ * Defaults: 512 4096 4096 8 BENCH_gemm.json (the ISSUE-1 workload).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "core/tender_gemm.h"
+#include "quant/metrics.h"
+#include "tensor/kernels.h"
+#include "util/rng.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tender;
+
+    const int m = argc > 1 ? std::atoi(argv[1]) : 512;
+    const int k = argc > 2 ? std::atoi(argv[2]) : 4096;
+    const int n = argc > 3 ? std::atoi(argv[3]) : 4096;
+    const int workers = argc > 4 ? std::atoi(argv[4]) : 8;
+    const char *out_path = argc > 5 ? argv[5] : "BENCH_gemm.json";
+
+    std::printf("== BENCH gemm: %dx%dx%d, %d workers ==\n", m, k, n,
+                workers);
+
+    Rng rng(42);
+    const Matrix x = randomGaussian(m, k, rng);
+    const Matrix w = randomGaussian(k, n, rng, 0.f, 0.05f);
+
+    KernelContext serial(Backend::Serial);
+    KernelContext threaded(Backend::Threaded, workers);
+
+    // ---- FP32 GEMM -------------------------------------------------------
+    const double flops = 2.0 * double(m) * double(k) * double(n);
+    auto t0 = Clock::now();
+    const Matrix y_s = serial.gemm(x, w);
+    auto t1 = Clock::now();
+    const Matrix y_t = threaded.gemm(x, w);
+    auto t2 = Clock::now();
+    const double gemm_serial_s = seconds(t0, t1);
+    const double gemm_threaded_s = seconds(t1, t2);
+    std::printf("fp32 gemm: serial %.3fs (%.2f GFLOP/s), threaded %.3fs "
+                "(%.2f GFLOP/s), speedup %.2fx, maxAbsDiff %.3g\n",
+                gemm_serial_s, flops / gemm_serial_s * 1e-9,
+                gemm_threaded_s, flops / gemm_threaded_s * 1e-9,
+                gemm_serial_s / gemm_threaded_s, maxAbsDiff(y_s, y_t));
+
+    // ---- Tender chunk pipeline ------------------------------------------
+    TenderConfig cfg;
+    cfg.bits = 8;
+    cfg.numGroups = 8;
+    cfg.rowChunk = 64;
+    cfg.checkOverflow = false; // measure MAC throughput, not the checker
+    const double macs = double(m) * double(k) * double(n);
+
+    TenderGemmStats stats_s;
+    t0 = Clock::now();
+    const Matrix ty_s = tenderMatmul(x, w, cfg, &stats_s, &serial);
+    t1 = Clock::now();
+    TenderGemmStats stats_t;
+    const Matrix ty_t = tenderMatmul(x, w, cfg, &stats_t, &threaded);
+    t2 = Clock::now();
+    const double tender_serial_s = seconds(t0, t1);
+    const double tender_threaded_s = seconds(t1, t2);
+    const double tender_nmse = nmse(ty_s, ty_t);
+    std::printf("tenderMatmul: serial %.3fs (%.2f GMAC/s, %.1f chunks/s), "
+                "threaded %.3fs (%.2f GMAC/s, %.1f chunks/s), "
+                "speedup %.2fx, nmse %.3g\n",
+                tender_serial_s, macs / tender_serial_s * 1e-9,
+                double(stats_s.chunks) / tender_serial_s,
+                tender_threaded_s, macs / tender_threaded_s * 1e-9,
+                double(stats_t.chunks) / tender_threaded_s,
+                tender_serial_s / tender_threaded_s, tender_nmse);
+
+    FILE *f = std::fopen(out_path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"workload\": {\"m\": %d, \"k\": %d, \"n\": %d, "
+                 "\"row_chunk\": %d, \"bits\": %d, \"groups\": %d},\n",
+                 m, k, n, cfg.rowChunk, cfg.bits, cfg.numGroups);
+    std::fprintf(f, "  \"workers\": %d,\n", workers);
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"gemm\": {\"serial_s\": %.6f, \"threaded_s\": %.6f, "
+                 "\"serial_gflops\": %.3f, \"threaded_gflops\": %.3f, "
+                 "\"speedup\": %.3f},\n",
+                 gemm_serial_s, gemm_threaded_s,
+                 flops / gemm_serial_s * 1e-9,
+                 flops / gemm_threaded_s * 1e-9,
+                 gemm_serial_s / gemm_threaded_s);
+    std::fprintf(f, "  \"tender\": {\"serial_s\": %.6f, "
+                 "\"threaded_s\": %.6f, \"serial_gmacs\": %.3f, "
+                 "\"threaded_gmacs\": %.3f, \"serial_chunks_per_s\": %.3f, "
+                 "\"threaded_chunks_per_s\": %.3f, \"speedup\": %.3f, "
+                 "\"nmse_threaded_vs_serial\": %.3g}\n",
+                 tender_serial_s, tender_threaded_s,
+                 macs / tender_serial_s * 1e-9,
+                 macs / tender_threaded_s * 1e-9,
+                 double(stats_s.chunks) / tender_serial_s,
+                 double(stats_t.chunks) / tender_threaded_s,
+                 tender_serial_s / tender_threaded_s, tender_nmse);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+    return 0;
+}

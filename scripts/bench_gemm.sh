@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Kernel-layer bench runner: builds bench_bench_gemm_json and records
+# serial vs threaded GFLOP/s and tenderMatmul chunk throughput into
+# BENCH_gemm.json at the repo root (perf trajectory, PR over PR).
+#
+# Usage: scripts/bench_gemm.sh [m k n workers [out.json]]
+# Defaults to the ISSUE-1 workload: 512 4096 4096 8 BENCH_gemm.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS" --target bench_bench_gemm_json >/dev/null
+./build/bench_bench_gemm_json "$@"

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verify wrapper (see ROADMAP.md): configure, build, run ctest.
+# Extra arguments are forwarded to the cmake configure step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+cmake -B build -S . "$@"
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"

@@ -1,7 +1,9 @@
 #include "core/tender_gemm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 
@@ -21,6 +23,17 @@ notePeak(TenderGemmStats *stats, const MatrixT<int64_t> &acc)
         if (std::abs(v) > int64_t(std::numeric_limits<int32_t>::max()))
             stats->overflow32 = true;
     }
+}
+
+void
+mergeStats(TenderGemmStats &into, const TenderGemmStats &from)
+{
+    into.macs += from.macs;
+    into.rescales += from.rescales;
+    into.chunks += from.chunks;
+    into.metaReuses += from.metaReuses;
+    into.peakAbsAcc = std::max(into.peakAbsAcc, from.peakAbsAcc);
+    into.overflow32 = into.overflow32 || from.overflow32;
 }
 
 } // namespace
@@ -87,64 +100,391 @@ biasCorrectionRow(const ChunkMeta &meta, const Matrix &w)
 {
     TENDER_CHECK(meta.channels() == w.rows());
     Matrix row(1, w.cols(), 0.f);
+    float *out = row.rowPtr(0);
     for (int c = 0; c < w.rows(); ++c) {
         const double b = meta.bias[size_t(c)];
         if (b == 0.0)
             continue;
+        const float *wrow = w.rowPtr(c);
         for (int j = 0; j < w.cols(); ++j)
-            row(0, j) += float(b * double(w(c, j)));
+            out[j] += float(b * double(wrow[j]));
     }
     return row;
+}
+
+void
+finishChunkInto(const MatrixT<int64_t> &acc, const QuantizedChunk &qc,
+                const QuantizedWeight &qw, const Matrix &bias_correction,
+                Matrix &y, int r0)
+{
+    const ChunkMeta &meta = qc.meta;
+    const float s_last = meta.scale[size_t(meta.groups() - 1)];
+    const float *corr = bias_correction.rowPtr(0);
+    for (int r = 0; r < acc.rows(); ++r) {
+        const int64_t *arow = acc.rowPtr(r);
+        float *yrow = y.rowPtr(r0 + r);
+        for (int j = 0; j < acc.cols(); ++j)
+            yrow[j] = float(double(arow[j]) * double(s_last) *
+                            double(qw.colScale[size_t(j)])) + corr[j];
+    }
 }
 
 Matrix
 finishChunk(const MatrixT<int64_t> &acc, const QuantizedChunk &qc,
             const QuantizedWeight &qw, const Matrix &bias_correction)
 {
-    const ChunkMeta &meta = qc.meta;
-    const float s_last = meta.scale[size_t(meta.groups() - 1)];
     Matrix out(acc.rows(), acc.cols());
-    for (int r = 0; r < acc.rows(); ++r)
-        for (int j = 0; j < acc.cols(); ++j)
-            out(r, j) = float(double(acc(r, j)) * double(s_last) *
-                              double(qw.colScale[size_t(j)])) +
-                bias_correction(0, j);
+    finishChunkInto(acc, qc, qw, bias_correction, out, 0);
     return out;
 }
 
 namespace {
 
+// ---------------------------------------------------------------------------
+// Fast blocked accumulate (threaded backend).
+//
+// The golden kernel above walks channel-by-channel across the full
+// accumulator, so for transformer-scale N the accumulator row working set
+// lives in L3. The blocked variant processes an output-column slice at a
+// time with group partial sums in int32 (codes are at most 8 bits wide, so
+// a whole group's partial sum is bounded well inside int32 — checked per
+// chunk before selecting this path). Integer arithmetic is exact, so the
+// result is bit-identical to the golden kernel; peak/overflow tracking
+// scans the same accumulator values at the same group boundaries.
+// ---------------------------------------------------------------------------
+
+/** Output-column slice width: int32 partial row of 512 B. */
+constexpr int kFastColBlock = 128;
+/** Chunk-row band: partial band of kFastColBlock*kFastRowBand*4 B = 16 KB
+ *  stays L1-resident while a group's channels stream through it. */
+constexpr int kFastRowBand = 32;
+
+/** Narrowed (int16) copy of widened codes; bits <= 8 guarantees the fit. */
+struct Packed16
+{
+    std::vector<int16_t> v;
+    int rows = 0;
+    int cols = 0;
+
+    const int16_t *rowPtr(int r) const
+    {
+        return v.data() + size_t(r) * size_t(cols);
+    }
+};
+
+Packed16
+packCodes(const IntMatrix &m)
+{
+    Packed16 p;
+    p.rows = m.rows();
+    p.cols = m.cols();
+    p.v.resize(size_t(m.rows()) * size_t(m.cols()));
+    for (size_t i = 0; i < m.data().size(); ++i)
+        p.v[i] = int16_t(m.data()[i]);
+    return p;
+}
+
+Packed16
+packCodesTransposed(const IntMatrix &m)
+{
+    Packed16 p;
+    p.rows = m.cols();
+    p.cols = m.rows();
+    p.v.resize(size_t(m.rows()) * size_t(m.cols()));
+    for (int r = 0; r < m.rows(); ++r) {
+        const int32_t *row = m.rowPtr(r);
+        for (int c = 0; c < m.cols(); ++c)
+            p.v[size_t(c) * size_t(m.rows()) + size_t(r)] = int16_t(row[c]);
+    }
+    return p;
+}
+
+/** True when ONE group's int32 partial sum provably cannot overflow at
+ *  worst-case codes (the partial is folded into the int64 running
+ *  accumulator at each group boundary, so only the per-group bound is
+ *  needed — it holds for any transformer-scale reduction at b <= 8). */
+bool
+fastEligible(const ChunkMeta &meta, int bits)
+{
+    if (bits > 8)
+        return false;
+    int max_group = 0;
+    for (int g = 0; g < meta.groups(); ++g)
+        max_group = std::max(max_group, meta.groupSize(g));
+    const int64_t mc = maxCode(bits);
+    return mc * mc * int64_t(max_group) <=
+        int64_t(std::numeric_limits<int32_t>::max());
+}
+
+/** Blocked accumulate over output columns [j0, j1): identical arithmetic
+ *  to chunkAccumulateImplicit restricted to that column slice. Group
+ *  partials run in an L1-resident int32 band (exact under the
+ *  fastEligible bound); the running accumulator, like the golden
+ *  kernel's, is int64 so saturating workloads overflow-account rather
+ *  than wrap. */
+void
+fastAccumulateCols(const Packed16 &xt, const Packed16 &w16,
+                   const ChunkMeta &meta, const TenderConfig &config,
+                   int j0, int j1, MatrixT<int64_t> &acc, bool track,
+                   int64_t *peak_abs, bool *overflow)
+{
+    const int rows = xt.cols;
+    const int jw = j1 - j0;
+    const int64_t int32_max = int64_t(std::numeric_limits<int32_t>::max());
+    std::vector<int32_t> part(size_t(kFastRowBand) * size_t(jw));
+    std::vector<int64_t> accb(size_t(kFastRowBand) * size_t(jw));
+
+    for (int rb = 0; rb < rows; rb += kFastRowBand) {
+        const int rn = std::min(kFastRowBand, rows - rb);
+        const size_t cnt = size_t(rn) * size_t(jw);
+        std::fill(accb.begin(), accb.begin() + cnt, int64_t{0});
+        for (int g = 0; g < meta.groups(); ++g) {
+            if (g > 0) {
+                for (size_t i = 0; i < cnt; ++i)
+                    accb[i] *= config.alpha;
+                if (track || config.checkOverflow) {
+                    for (size_t i = 0; i < cnt; ++i) {
+                        const int64_t a = std::abs(accb[i]);
+                        if (track) {
+                            *peak_abs = std::max(*peak_abs, a);
+                            if (a > int32_max)
+                                *overflow = true;
+                        }
+                        if (config.checkOverflow)
+                            TENDER_CHECK_MSG(
+                                a <= int32_max,
+                                "32-bit accumulator overflow during rescale");
+                    }
+                }
+            }
+            std::fill(part.begin(), part.begin() + cnt, 0);
+            for (int idx = meta.groupStart[size_t(g)];
+                 idx < meta.groupStart[size_t(g) + 1]; ++idx) {
+                const int c = meta.order[size_t(idx)];
+                const int16_t *__restrict wrow = w16.rowPtr(c) + j0;
+                const int16_t *__restrict xcol = xt.rowPtr(c) + rb;
+                int r = 0;
+                // Four rows share each weight-slice load (adding a zero
+                // product for an empty lane is exact, so the skip
+                // condition only needs all four codes zero).
+                for (; r + 3 < rn; r += 4) {
+                    const int32_t a0 = xcol[r];
+                    const int32_t a1 = xcol[r + 1];
+                    const int32_t a2 = xcol[r + 2];
+                    const int32_t a3 = xcol[r + 3];
+                    if ((a0 | a1 | a2 | a3) == 0)
+                        continue;
+                    int32_t *__restrict p0 =
+                        part.data() + size_t(r) * size_t(jw);
+                    int32_t *__restrict p1 = p0 + jw;
+                    int32_t *__restrict p2 = p1 + jw;
+                    int32_t *__restrict p3 = p2 + jw;
+                    for (int j = 0; j < jw; ++j) {
+                        const int32_t wv = wrow[j];
+                        p0[j] += a0 * wv;
+                        p1[j] += a1 * wv;
+                        p2[j] += a2 * wv;
+                        p3[j] += a3 * wv;
+                    }
+                }
+                for (; r < rn; ++r) {
+                    const int32_t a = xcol[r];
+                    if (a == 0)
+                        continue;
+                    int32_t *__restrict prow =
+                        part.data() + size_t(r) * size_t(jw);
+                    for (int j = 0; j < jw; ++j)
+                        prow[j] += a * int32_t(wrow[j]);
+                }
+            }
+            for (size_t i = 0; i < cnt; ++i)
+                accb[i] += int64_t(part[i]);
+        }
+        if (track || config.checkOverflow) {
+            for (size_t i = 0; i < cnt; ++i) {
+                const int64_t a = std::abs(accb[i]);
+                if (track) {
+                    *peak_abs = std::max(*peak_abs, a);
+                    if (a > int32_max)
+                        *overflow = true;
+                }
+                if (config.checkOverflow)
+                    TENDER_CHECK_MSG(
+                        a <= int32_max,
+                        "32-bit accumulator overflow after final group");
+            }
+        }
+        for (int r = 0; r < rn; ++r)
+            std::copy(accb.begin() + size_t(r) * size_t(jw),
+                      accb.begin() + size_t(r + 1) * size_t(jw),
+                      acc.rowPtr(rb + r) + j0);
+    }
+}
+
+MatrixT<int64_t>
+chunkAccumulateFast(const IntMatrix &codes, const Packed16 &w16,
+                    const ChunkMeta &meta, const TenderConfig &config,
+                    TenderGemmStats *stats, const KernelContext &kc)
+{
+    const int rows = codes.rows();
+    const int n = w16.cols;
+    const Packed16 xt = packCodesTransposed(codes);
+    MatrixT<int64_t> acc(rows, n, 0);
+    const int64_t blocks = (n + kFastColBlock - 1) / kFastColBlock;
+    const bool track = stats != nullptr;
+    std::vector<int64_t> peaks(size_t(blocks), 0);
+    std::vector<uint8_t> ovf(size_t(blocks), 0);
+    // Column slices are independent for the whole group walk, so this is
+    // the second parallel axis (used when chunks alone can't fill the
+    // pool; nested calls from chunk tasks run inline).
+    kc.parallelFor(0, blocks, 1, [&](int64_t b0, int64_t b1) {
+        for (int64_t b = b0; b < b1; ++b) {
+            bool o = false;
+            fastAccumulateCols(xt, w16, meta, config, int(b) * kFastColBlock,
+                               std::min(int(b) * kFastColBlock +
+                                        kFastColBlock, n),
+                               acc, track, &peaks[size_t(b)], &o);
+            ovf[size_t(b)] = o ? 1 : 0;
+        }
+    });
+    if (stats) {
+        for (int g = 0; g < meta.groups(); ++g)
+            stats->macs += int64_t(meta.groupSize(g)) * int64_t(rows) *
+                int64_t(n);
+        stats->rescales += int64_t(meta.groups() - 1) * int64_t(rows) *
+            int64_t(n);
+        for (int64_t b = 0; b < blocks; ++b) {
+            stats->peakAbsAcc = std::max(stats->peakAbsAcc,
+                                         peaks[size_t(b)]);
+            if (ovf[size_t(b)])
+                stats->overflow32 = true;
+        }
+    }
+    return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Shared chunk pipeline.
+// ---------------------------------------------------------------------------
+
+enum class RequantMode { Implicit, Explicit };
+
+/** Eq. 1 body for one chunk, accumulating straight into the output view
+ *  (same per-element summation order as the historical copy-out code:
+ *  group terms first, bias-correction row last). */
+void
+processChunkExplicit(const ChunkMeta &meta, const QuantizedChunk &qc,
+                     const QuantizedWeight &qw, const Matrix &w,
+                     Matrix &y, int r0)
+{
+    const int rows = qc.codes.rows();
+    for (int g = 0; g < meta.groups(); ++g) {
+        const double sg = meta.scale[size_t(g)];
+        for (int idx = meta.groupStart[size_t(g)];
+             idx < meta.groupStart[size_t(g) + 1]; ++idx) {
+            const int c = meta.order[size_t(idx)];
+            for (int r = 0; r < rows; ++r) {
+                const int64_t a = qc.codes(r, c);
+                if (a == 0)
+                    continue;
+                for (int j = 0; j < w.cols(); ++j) {
+                    const int64_t p = a * int64_t(qw.codes(c, j));
+                    y(r0 + r, j) += float(double(p) * sg *
+                                          double(qw.colScale[size_t(j)]));
+                }
+            }
+        }
+    }
+    const Matrix correction = biasCorrectionRow(meta, w);
+    for (int r = 0; r < rows; ++r)
+        for (int j = 0; j < y.cols(); ++j)
+            y(r0 + r, j) += correction(0, j);
+}
+
 Matrix
-matmulWithMeta(const Matrix &x, const Matrix &w,
-               const std::vector<ChunkMeta> *metas,
-               const TenderConfig &config, TenderGemmStats *stats)
+runChunkPipeline(const Matrix &x, const Matrix &w,
+                 const std::vector<ChunkMeta> *metas,
+                 const TenderConfig &config, RequantMode mode,
+                 TenderGemmStats *stats, const KernelContext &kc)
 {
     TENDER_CHECK(x.cols() == w.rows());
     const QuantizedWeight qw = quantizeWeight(w, config.bits);
+    const bool fast_backend = kc.backend() == Backend::Threaded &&
+        mode == RequantMode::Implicit && config.bits <= 8;
+    Packed16 w16;
+    if (fast_backend)
+        w16 = packCodes(qw.codes);
+
     Matrix y(x.rows(), w.cols(), 0.f);
     const auto ranges = chunkRanges(x.rows(), config.rowChunk);
-    for (size_t ci = 0; ci < ranges.size(); ++ci) {
+    std::vector<TenderGemmStats> local(ranges.size());
+
+    auto processOne = [&](size_t ci) {
         const auto [r0, r1] = ranges[ci];
+        TenderGemmStats *ls = stats ? &local[ci] : nullptr;
         const Matrix chunk = x.rowSlice(r0, r1);
         ChunkMeta meta;
         if (metas) {
-            // Calibrated path: reuse the last calibrated chunk when the
-            // eval tensor has more chunks than the calibration run.
-            const size_t mi = std::min(ci, metas->size() - 1);
+            size_t mi = ci;
+            if (mi >= metas->size()) {
+                // Static calibration saw fewer chunks than the eval
+                // tensor: reuse the final calibrated entry, accounted in
+                // TenderGemmStats::metaReuses rather than clamped silently.
+                mi = metas->size() - 1;
+                ++local[ci].metaReuses;
+            }
             meta = (*metas)[mi];
         } else {
             meta = decomposeChunk(chunk, config);
         }
-        QuantizedChunk qc = quantizeChunk(chunk, meta, config.bits);
-        MatrixT<int64_t> acc =
-            chunkAccumulateImplicit(qc, qw, config, stats);
-        const Matrix correction = biasCorrectionRow(meta, w);
-        const Matrix part = finishChunk(acc, qc, qw, correction);
-        for (int r = r0; r < r1; ++r)
-            for (int j = 0; j < y.cols(); ++j)
-                y(r, j) = part(r - r0, j);
-        if (stats)
-            ++stats->chunks;
+        const QuantizedChunk qc = quantizeChunk(chunk, meta, config.bits);
+        if (mode == RequantMode::Implicit) {
+            const MatrixT<int64_t> acc =
+                fast_backend && fastEligible(meta, config.bits)
+                ? chunkAccumulateFast(qc.codes, w16, meta, config, ls, kc)
+                : chunkAccumulateImplicit(qc, qw, config, ls);
+            const Matrix correction = biasCorrectionRow(meta, w);
+            finishChunkInto(acc, qc, qw, correction, y, r0);
+        } else {
+            processChunkExplicit(meta, qc, qw, w, y, r0);
+        }
+        ++local[ci].chunks;
+    };
+
+    // Chunks are the primary parallel axis. Only the fast implicit
+    // accumulate has an inner (column-sliced) parallel axis, so fall back
+    // to serial-over-chunks only when that inner axis exists AND chunks
+    // alone cannot fill the pool; the golden/explicit bodies always
+    // parallelize over chunks, however few.
+    if (!fast_backend || int64_t(ranges.size()) >= int64_t(kc.workers())) {
+        kc.parallelFor(0, int64_t(ranges.size()), 1,
+                       [&](int64_t c0, int64_t c1) {
+            for (int64_t ci = c0; ci < c1; ++ci)
+                processOne(size_t(ci));
+        });
+    } else {
+        for (size_t ci = 0; ci < ranges.size(); ++ci)
+            processOne(ci);
+    }
+
+    int64_t reuses = 0;
+    for (const TenderGemmStats &s : local)
+        reuses += s.metaReuses;
+    if (reuses > 0) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            std::fprintf(stderr,
+                         "tender: eval tensor has more chunks than the "
+                         "calibration run; reusing the final calibrated "
+                         "meta (counted in TenderGemmStats::metaReuses)\n");
+    }
+    if (stats) {
+        stats->metaReuses += reuses;
+        for (const TenderGemmStats &s : local) {
+            TenderGemmStats chunk_stats = s;
+            chunk_stats.metaReuses = 0; // already merged above
+            mergeStats(*stats, chunk_stats);
+        }
     }
     return y;
 }
@@ -153,58 +493,33 @@ matmulWithMeta(const Matrix &x, const Matrix &w,
 
 Matrix
 tenderMatmul(const Matrix &x, const Matrix &w, const TenderConfig &config,
-             TenderGemmStats *stats)
+             TenderGemmStats *stats, const KernelContext *kernels)
 {
-    return matmulWithMeta(x, w, nullptr, config, stats);
+    const KernelContext &kc = kernels ? *kernels : defaultKernels();
+    return runChunkPipeline(x, w, nullptr, config, RequantMode::Implicit,
+                            stats, kc);
 }
 
 Matrix
 tenderMatmulCalibrated(const Matrix &x, const Matrix &w,
                        const std::vector<ChunkMeta> &metas,
-                       const TenderConfig &config, TenderGemmStats *stats)
+                       const TenderConfig &config, TenderGemmStats *stats,
+                       const KernelContext *kernels)
 {
     TENDER_REQUIRE(!metas.empty(), "calibrated path needs metadata");
-    return matmulWithMeta(x, w, &metas, config, stats);
+    const KernelContext &kc = kernels ? *kernels : defaultKernels();
+    return runChunkPipeline(x, w, &metas, config, RequantMode::Implicit,
+                            stats, kc);
 }
 
 Matrix
 tenderMatmulExplicit(const Matrix &x, const Matrix &w,
-                     const TenderConfig &config)
+                     const TenderConfig &config,
+                     const KernelContext *kernels)
 {
-    TENDER_CHECK(x.cols() == w.rows());
-    const QuantizedWeight qw = quantizeWeight(w, config.bits);
-    Matrix y(x.rows(), w.cols(), 0.f);
-    for (const auto &[r0, r1] : chunkRanges(x.rows(), config.rowChunk)) {
-        const Matrix chunk = x.rowSlice(r0, r1);
-        const ChunkMeta meta = decomposeChunk(chunk, config);
-        const QuantizedChunk qc = quantizeChunk(chunk, meta, config.bits);
-
-        // Eq. 1: one shortened-reduction integer GEMM per group, each
-        // partial product dequantized with its own scale, FP accumulation.
-        Matrix part(chunk.rows(), w.cols(), 0.f);
-        for (int g = 0; g < meta.groups(); ++g) {
-            const double sg = meta.scale[size_t(g)];
-            for (int idx = meta.groupStart[size_t(g)];
-                 idx < meta.groupStart[size_t(g) + 1]; ++idx) {
-                const int c = meta.order[size_t(idx)];
-                for (int r = 0; r < chunk.rows(); ++r) {
-                    const int64_t a = qc.codes(r, c);
-                    if (a == 0)
-                        continue;
-                    for (int j = 0; j < w.cols(); ++j) {
-                        const int64_t p = a * int64_t(qw.codes(c, j));
-                        part(r, j) += float(double(p) * sg *
-                                            double(qw.colScale[size_t(j)]));
-                    }
-                }
-            }
-        }
-        const Matrix correction = biasCorrectionRow(meta, w);
-        for (int r = r0; r < r1; ++r)
-            for (int j = 0; j < y.cols(); ++j)
-                y(r, j) = part(r - r0, j) + correction(0, j);
-    }
-    return y;
+    const KernelContext &kc = kernels ? *kernels : defaultKernels();
+    return runChunkPipeline(x, w, nullptr, config, RequantMode::Explicit,
+                            nullptr, kc);
 }
 
 } // namespace tender

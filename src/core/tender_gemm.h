@@ -9,12 +9,22 @@
  * separately and adds in floating point — the costly reference Tender
  * avoids. Both are exposed so tests can prove them equivalent and so the
  * Fig. 13 harness can model their performance difference.
+ *
+ * All three entry points share one chunk pipeline (decompose -> quantize ->
+ * accumulate-with-requant -> finish-into-output-view) whose per-chunk tasks
+ * are dispatched over the KernelContext's thread pool: Tender's row-chunk
+ * decomposition makes chunks embarrassingly parallel by construction. The
+ * threaded backend additionally runs a cache-blocked int16/int32 variant of
+ * the group accumulate; integer arithmetic is exact, so its results are
+ * bit-identical to the golden serial kernel and the determinism tests
+ * assert exact equality.
  */
 
 #ifndef TENDER_CORE_TENDER_GEMM_H
 #define TENDER_CORE_TENDER_GEMM_H
 
 #include "core/tender_quant.h"
+#include "tensor/kernels.h"
 #include "tensor/matrix.h"
 
 namespace tender {
@@ -25,6 +35,10 @@ struct TenderGemmStats
     int64_t macs = 0;          ///< integer multiply-accumulates
     int64_t rescales = 0;      ///< group-boundary accumulator shifts
     int64_t chunks = 0;        ///< row chunks processed
+    /** Calibrated-path chunks beyond the calibrated meta list that reused
+     *  the final calibrated entry (static calibration saw a shorter
+     *  sequence than the eval tensor). Silent before; now accounted. */
+    int64_t metaReuses = 0;
     int64_t peakAbsAcc = 0;    ///< peak |accumulator| observed
     bool overflow32 = false;   ///< accumulator left the int32 range
 };
@@ -33,6 +47,8 @@ struct TenderGemmStats
  * Integer core of the implicit pipeline on one quantized chunk: returns
  * the final integer accumulator A_{G-1} (Eq. 2) for each output element.
  * This is the value the MSA produces before the VPU's final dequantization.
+ * Single-threaded golden kernel; the pipeline substitutes a blocked
+ * bit-identical variant under the threaded backend.
  */
 MatrixT<int64_t> chunkAccumulateImplicit(const QuantizedChunk &qc,
                                          const QuantizedWeight &qw,
@@ -43,28 +59,39 @@ MatrixT<int64_t> chunkAccumulateImplicit(const QuantizedChunk &qc,
 Matrix finishChunk(const MatrixT<int64_t> &acc, const QuantizedChunk &qc,
                    const QuantizedWeight &qw, const Matrix &bias_correction);
 
+/** As finishChunk, but writes into rows [r0, r0 + acc.rows()) of y — the
+ *  pre-sliced output view the chunk pipeline hands each chunk task. */
+void finishChunkInto(const MatrixT<int64_t> &acc, const QuantizedChunk &qc,
+                     const QuantizedWeight &qw,
+                     const Matrix &bias_correction, Matrix &y, int r0);
+
 /** Bias-times-weight correction row (1 x N) for a chunk's metadata. */
 Matrix biasCorrectionRow(const ChunkMeta &meta, const Matrix &w);
 
 /**
  * Full Tender GEMM with dynamic (tensor-derived) decomposition:
  * chunk rows, decompose, quantize, implicit-requantize, dequantize.
+ * kernels == nullptr uses defaultKernels().
  */
 Matrix tenderMatmul(const Matrix &x, const Matrix &w,
                     const TenderConfig &config,
-                    TenderGemmStats *stats = nullptr);
+                    TenderGemmStats *stats = nullptr,
+                    const KernelContext *kernels = nullptr);
 
 /** Same pipeline but with pre-calibrated per-chunk metadata. Chunks beyond
- *  the calibrated list reuse the final calibrated entry. */
+ *  the calibrated list reuse the final calibrated entry; each reuse is
+ *  counted in TenderGemmStats::metaReuses. */
 Matrix tenderMatmulCalibrated(const Matrix &x, const Matrix &w,
                               const std::vector<ChunkMeta> &metas,
                               const TenderConfig &config,
-                              TenderGemmStats *stats = nullptr);
+                              TenderGemmStats *stats = nullptr,
+                              const KernelContext *kernels = nullptr);
 
 /** Explicit-requantization reference (Eq. 1): one integer GEMM per group,
  *  each dequantized with its own scale and accumulated in FP. */
 Matrix tenderMatmulExplicit(const Matrix &x, const Matrix &w,
-                            const TenderConfig &config);
+                            const TenderConfig &config,
+                            const KernelContext *kernels = nullptr);
 
 } // namespace tender
 

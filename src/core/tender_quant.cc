@@ -12,12 +12,17 @@ quantizeChunk(const Matrix &chunk, const ChunkMeta &meta, int bits)
     qc.bits = bits;
     qc.meta = meta;
     qc.codes = IntMatrix(chunk.rows(), chunk.cols());
+    // Per-channel scale resolved once; row-pointer walk avoids the
+    // bounds-checked accessor in this per-chunk hot loop.
+    std::vector<float> chan_scale(size_t(chunk.cols()));
+    for (int c = 0; c < chunk.cols(); ++c)
+        chan_scale[size_t(c)] = meta.scale[size_t(meta.group[size_t(c)])];
     for (int r = 0; r < chunk.rows(); ++r) {
+        const float *row = chunk.rowPtr(r);
+        int32_t *codes = qc.codes.rowPtr(r);
         for (int c = 0; c < chunk.cols(); ++c) {
-            const int g = meta.group[size_t(c)];
-            const float s = meta.scale[size_t(g)];
-            const float centered = chunk(r, c) - meta.bias[size_t(c)];
-            qc.codes(r, c) = quantizeValue(centered, s, bits);
+            const float centered = row[c] - meta.bias[size_t(c)];
+            codes[c] = quantizeValue(centered, chan_scale[size_t(c)], bits);
         }
     }
     return qc;
@@ -45,12 +50,24 @@ quantizeWeight(const Matrix &w, int bits)
     qw.bits = bits;
     qw.codes = IntMatrix(w.rows(), w.cols());
     qw.colScale.resize(size_t(w.cols()));
-    for (int c = 0; c < w.cols(); ++c)
-        qw.colScale[size_t(c)] = scaleFor(colAbsMax(w, c), bits);
-    for (int r = 0; r < w.rows(); ++r)
+    // One row-major pass for all column maxima (max is order-independent,
+    // so the scales match the per-column scan exactly); row-pointer walks
+    // keep the quantization pass out of the bounds-checked accessor.
+    std::vector<float> col_max(size_t(w.cols()), 0.f);
+    for (int r = 0; r < w.rows(); ++r) {
+        const float *row = w.rowPtr(r);
         for (int c = 0; c < w.cols(); ++c)
-            qw.codes(r, c) =
-                quantizeValue(w(r, c), qw.colScale[size_t(c)], bits);
+            col_max[size_t(c)] = std::max(col_max[size_t(c)],
+                                          std::abs(row[c]));
+    }
+    for (int c = 0; c < w.cols(); ++c)
+        qw.colScale[size_t(c)] = scaleFor(col_max[size_t(c)], bits);
+    for (int r = 0; r < w.rows(); ++r) {
+        const float *row = w.rowPtr(r);
+        int32_t *codes = qw.codes.rowPtr(r);
+        for (int c = 0; c < w.cols(); ++c)
+            codes[c] = quantizeValue(row[c], qw.colScale[size_t(c)], bits);
+    }
     return qw;
 }
 

@@ -44,11 +44,12 @@ class TenderScheme : public GemmScheme
         return out;
     }
 
-    /** Full integer pipeline with implicit runtime requantization. */
+    /** Full integer pipeline with implicit runtime requantization,
+     *  chunk-parallel over the scheme's kernel context. */
     Matrix
     matmul(const Matrix &x, const Matrix &w) const override
     {
-        return tenderMatmul(x, w, config_);
+        return tenderMatmul(x, w, config_, nullptr, &kernels());
     }
 
     const TenderConfig &config() const { return config_; }

@@ -20,9 +20,10 @@ struct Streams
 Matrix
 trackedGemm(const std::string &op, int layer, const Matrix &x_ref,
             const Matrix &x_quant, const Matrix &w, const GemmScheme &scheme,
-            std::vector<GemmRecord> &records, Matrix *ref_out)
+            const KernelContext &kc, std::vector<GemmRecord> &records,
+            Matrix *ref_out)
 {
-    Matrix y_ref = gemm(x_ref, w);
+    Matrix y_ref = kc.gemm(x_ref, w);
     Matrix y_quant = scheme.matmul(x_quant, w);
     records.push_back({op, layer, nmse(y_ref, y_quant),
                        scheme.gemmDamage(x_ref, w)});
@@ -39,22 +40,24 @@ runQuantized(SyntheticModel &model, const Matrix &input,
 {
     const ModelConfig &cfg = model.config();
     const int dh = cfg.headDim();
+    const KernelContext &kc =
+        options.kernels ? *options.kernels : defaultKernels();
     QuantRunResult result;
 
     Streams x{input, input};
     for (int l = 0; l < cfg.nLayers; ++l) {
         const BlockWeights &w = model.blockWeights(l);
 
-        const Matrix ln_ref = layerNorm(x.ref, w.ln1Gain, w.ln1Bias);
-        const Matrix ln_q = layerNorm(x.quant, w.ln1Gain, w.ln1Bias);
+        const Matrix ln_ref = kc.layerNorm(x.ref, w.ln1Gain, w.ln1Bias);
+        const Matrix ln_q = kc.layerNorm(x.quant, w.ln1Gain, w.ln1Bias);
 
         Matrix q_ref, k_ref, v_ref;
         const Matrix q_q = trackedGemm("q", l, ln_ref, ln_q, w.wq, scheme,
-                                       result.records, &q_ref);
+                                       kc, result.records, &q_ref);
         const Matrix k_q = trackedGemm("k", l, ln_ref, ln_q, w.wk, scheme,
-                                       result.records, &k_ref);
+                                       kc, result.records, &k_ref);
         const Matrix v_q = trackedGemm("v", l, ln_ref, ln_q, w.wv, scheme,
-                                       result.records, &v_ref);
+                                       kc, result.records, &v_ref);
 
         Matrix attn_ref(input.rows(), cfg.dModel);
         Matrix attn_q(input.rows(), cfg.dModel);
@@ -69,33 +72,34 @@ runQuantized(SyntheticModel &model, const Matrix &input,
             const Matrix vh_q = headSlice(v_q, kvh, dh);
 
             // Scores: Q K^T (activation-activation, per head).
-            Matrix s_ref = scale(gemmTransposedB(qh_ref, kh_ref), inv_sqrt);
+            Matrix s_ref = kc.scale(kc.gemmTransposedB(qh_ref, kh_ref),
+                                    inv_sqrt);
             Matrix s_q;
             if (options.quantizeActAct) {
                 const Matrix kh_t = kh_q.transposed();
-                s_q = scale(scheme.matmul(qh_q, kh_t), inv_sqrt);
+                s_q = kc.scale(scheme.matmul(qh_q, kh_t), inv_sqrt);
                 result.records.push_back(
                     {"scores", l, nmse(s_ref, s_q),
                      scheme.gemmDamage(qh_ref, kh_ref.transposed())});
             } else {
-                s_q = scale(gemmTransposedB(qh_q, kh_q), inv_sqrt);
+                s_q = kc.scale(kc.gemmTransposedB(qh_q, kh_q), inv_sqrt);
             }
             if (cfg.decoder) {
                 s_ref = causalMask(s_ref);
                 s_q = causalMask(s_q);
             }
-            const Matrix p_ref = softmaxRows(s_ref);
-            const Matrix p_q = softmaxRows(s_q);
+            const Matrix p_ref = kc.softmaxRows(s_ref);
+            const Matrix p_q = kc.softmaxRows(s_q);
 
             // Attention value: S V (activation-activation, per head).
-            const Matrix o_ref = gemm(p_ref, vh_ref);
+            const Matrix o_ref = kc.gemm(p_ref, vh_ref);
             Matrix o_q;
             if (options.quantizeActAct) {
                 o_q = scheme.matmul(p_q, vh_q);
                 result.records.push_back({"attnv", l, nmse(o_ref, o_q),
                                           scheme.gemmDamage(p_ref, vh_ref)});
             } else {
-                o_q = gemm(p_q, vh_q);
+                o_q = kc.gemm(p_q, vh_q);
             }
             for (int r = 0; r < o_ref.rows(); ++r) {
                 for (int c = 0; c < dh; ++c) {
@@ -107,24 +111,25 @@ runQuantized(SyntheticModel &model, const Matrix &input,
 
         Matrix proj_ref;
         const Matrix proj_q = trackedGemm("o", l, attn_ref, attn_q, w.wo,
-                                          scheme, result.records, &proj_ref);
-        const Matrix xo_ref = axpby(1.f, proj_ref, 1.f, x.ref);
-        const Matrix xo_q = axpby(1.f, proj_q, 1.f, x.quant);
+                                          scheme, kc, result.records,
+                                          &proj_ref);
+        const Matrix xo_ref = kc.axpby(1.f, proj_ref, 1.f, x.ref);
+        const Matrix xo_q = kc.axpby(1.f, proj_q, 1.f, x.quant);
 
-        const Matrix ln2_ref = layerNorm(xo_ref, w.ln2Gain, w.ln2Bias);
-        const Matrix ln2_q = layerNorm(xo_q, w.ln2Gain, w.ln2Bias);
+        const Matrix ln2_ref = kc.layerNorm(xo_ref, w.ln2Gain, w.ln2Bias);
+        const Matrix ln2_q = kc.layerNorm(xo_q, w.ln2Gain, w.ln2Bias);
         Matrix h1_ref;
         const Matrix h1_q = trackedGemm("fc1", l, ln2_ref, ln2_q, w.wfc1,
-                                        scheme, result.records, &h1_ref);
+                                        scheme, kc, result.records, &h1_ref);
         const bool is_bert = cfg.family == Family::Bert;
-        const Matrix act_ref = is_bert ? gelu(h1_ref) : relu(h1_ref);
-        const Matrix act_q = is_bert ? gelu(h1_q) : relu(h1_q);
+        const Matrix act_ref = is_bert ? kc.gelu(h1_ref) : kc.relu(h1_ref);
+        const Matrix act_q = is_bert ? kc.gelu(h1_q) : kc.relu(h1_q);
         Matrix h2_ref;
         const Matrix h2_q = trackedGemm("fc2", l, act_ref, act_q, w.wfc2,
-                                        scheme, result.records, &h2_ref);
+                                        scheme, kc, result.records, &h2_ref);
 
-        x.ref = axpby(1.f, h2_ref, 1.f, xo_ref);
-        x.quant = axpby(1.f, h2_q, 1.f, xo_q);
+        x.ref = kc.axpby(1.f, h2_ref, 1.f, xo_ref);
+        x.quant = kc.axpby(1.f, h2_q, 1.f, xo_q);
     }
 
     result.output = x.quant;

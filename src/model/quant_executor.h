@@ -43,6 +43,13 @@ struct GemmRecord
 struct ExecOptions
 {
     bool quantizeActAct = false; ///< include Q K^T and S V GEMMs
+    /** Kernel context for the reference stream's GEMMs and both streams'
+     *  functional ops; nullptr uses defaultKernels(). Must outlive the
+     *  run. The quantized-stream GEMMs dispatch on the scheme's own
+     *  context (GemmScheme::kernels(), also defaultKernels() unless the
+     *  caller pinned it with setKernels) — pin both when a run must be
+     *  single-backend end to end. */
+    const KernelContext *kernels = nullptr;
 };
 
 /** Output of a quantized run. */

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
+
 namespace tender {
 
 Matrix
@@ -20,22 +22,24 @@ kvHeadOf(int q_head, int n_heads, int kv_heads)
 Matrix
 attentionHead(const Matrix &q, const Matrix &k, const Matrix &v, bool causal)
 {
+    const KernelContext &kc = defaultKernels();
     const float inv_sqrt = 1.f / std::sqrt(float(q.cols()));
-    Matrix scores = scale(gemmTransposedB(q, k), inv_sqrt);
+    Matrix scores = kc.scale(kc.gemmTransposedB(q, k), inv_sqrt);
     if (causal)
         scores = causalMask(scores);
-    return gemm(softmaxRows(scores), v);
+    return kc.gemm(kc.softmaxRows(scores), v);
 }
 
 Matrix
 blockForward(const Matrix &x, const BlockWeights &w,
              const ModelConfig &config)
 {
+    const KernelContext &kc = defaultKernels();
     const int dh = config.headDim();
-    const Matrix ln1 = layerNorm(x, w.ln1Gain, w.ln1Bias);
-    const Matrix xq = gemm(ln1, w.wq);
-    const Matrix xk = gemm(ln1, w.wk);
-    const Matrix xv = gemm(ln1, w.wv);
+    const Matrix ln1 = kc.layerNorm(x, w.ln1Gain, w.ln1Bias);
+    const Matrix xq = kc.gemm(ln1, w.wq);
+    const Matrix xk = kc.gemm(ln1, w.wk);
+    const Matrix xv = kc.gemm(ln1, w.wv);
 
     Matrix attn(x.rows(), config.dModel);
     for (int h = 0; h < config.nHeads; ++h) {
@@ -49,12 +53,12 @@ blockForward(const Matrix &x, const BlockWeights &w,
                 attn(r, h * dh + c) = out(r, c);
     }
 
-    const Matrix xo = axpby(1.f, gemm(attn, w.wo), 1.f, x);
-    const Matrix ln2 = layerNorm(xo, w.ln2Gain, w.ln2Bias);
+    const Matrix xo = kc.axpby(1.f, kc.gemm(attn, w.wo), 1.f, x);
+    const Matrix ln2 = kc.layerNorm(xo, w.ln2Gain, w.ln2Bias);
     const Matrix hidden = config.family == Family::Bert
-        ? gelu(gemm(ln2, w.wfc1))
-        : relu(gemm(ln2, w.wfc1));
-    return axpby(1.f, gemm(hidden, w.wfc2), 1.f, xo);
+        ? kc.gelu(kc.gemm(ln2, w.wfc1))
+        : kc.relu(kc.gemm(ln2, w.wfc1));
+    return kc.axpby(1.f, kc.gemm(hidden, w.wfc2), 1.f, xo);
 }
 
 Matrix

@@ -78,7 +78,8 @@ fakeQuant(const Matrix &m, int bits, Granularity g)
 }
 
 Matrix
-quantizedGemm(const QuantizedMatrix &x, const QuantizedMatrix &w)
+quantizedGemm(const QuantizedMatrix &x, const QuantizedMatrix &w,
+              const KernelContext *kernels)
 {
     TENDER_REQUIRE(x.granularity != Granularity::PerColumn,
                    "per-column activations cannot run in the integer "
@@ -86,7 +87,8 @@ quantizedGemm(const QuantizedMatrix &x, const QuantizedMatrix &w)
     TENDER_REQUIRE(w.granularity != Granularity::PerRow,
                    "per-row weight quantization breaks the reduction; use "
                    "per-tensor or per-column weights");
-    MatrixT<int64_t> acc = gemmInt(x.codes, w.codes);
+    const KernelContext &kc = kernels ? *kernels : defaultKernels();
+    MatrixT<int64_t> acc = kc.gemmInt(x.codes, w.codes);
     Matrix out(acc.rows(), acc.cols());
     for (int r = 0; r < acc.rows(); ++r) {
         const float sa = x.granularity == Granularity::PerTensor

@@ -47,9 +47,11 @@ Matrix fakeQuant(const Matrix &m, int bits, Granularity g);
  * Integer-pipeline GEMM for the practicable granularity combinations:
  * activation per-tensor or per-row, weight per-tensor or per-column. The
  * product of codes is scaled by sa[row] * sw[col] on the way out, exactly
- * as commodity INT8 tensor-core epilogues do.
+ * as commodity INT8 tensor-core epilogues do. kernels == nullptr uses
+ * defaultKernels().
  */
-Matrix quantizedGemm(const QuantizedMatrix &x, const QuantizedMatrix &w);
+Matrix quantizedGemm(const QuantizedMatrix &x, const QuantizedMatrix &w,
+                     const KernelContext *kernels = nullptr);
 
 /** Table I scheme: INTb with the given activation granularity; weights are
  *  quantized per-column at the same width (the standard practicable

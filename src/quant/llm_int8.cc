@@ -48,7 +48,7 @@ LlmInt8Scheme::matmul(const Matrix &x, const Matrix &w) const
             for (int n = 0; n < w.cols(); ++n)
                 wo(int(i), n) = w(c, n);
         }
-        y_fp = gemm(xo, wo);
+        y_fp = kernels().gemm(xo, wo);
     }
 
     // INT8 partial product over the remaining columns (zeroed outliers keep
@@ -65,9 +65,9 @@ LlmInt8Scheme::matmul(const Matrix &x, const Matrix &w) const
     }
     QuantizedMatrix qx = quantize(x_norm, bits_, Granularity::PerRow);
     QuantizedMatrix qw = quantize(w_norm, bits_, Granularity::PerColumn);
-    Matrix y_int = quantizedGemm(qx, qw);
+    Matrix y_int = quantizedGemm(qx, qw, &kernels());
 
-    return axpby(1.f, y_fp, 1.f, y_int);
+    return kernels().axpby(1.f, y_fp, 1.f, y_int);
 }
 
 } // namespace tender

@@ -4,6 +4,12 @@
 
 namespace tender {
 
+const KernelContext &
+GemmScheme::kernels() const
+{
+    return kernels_ ? *kernels_ : defaultKernels();
+}
+
 double
 GemmScheme::gemmDamage(const Matrix &x, const Matrix &w) const
 {

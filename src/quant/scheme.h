@@ -20,6 +20,7 @@
 #include <string>
 
 #include "tensor/gemm.h"
+#include "tensor/kernels.h"
 #include "tensor/matrix.h"
 
 namespace tender {
@@ -43,9 +44,17 @@ class GemmScheme
     virtual Matrix
     matmul(const Matrix &x, const Matrix &w) const
     {
-        return gemm(fakeQuant(x, Operand::Activation),
-                    fakeQuant(w, Operand::Weight));
+        return kernels().gemm(fakeQuant(x, Operand::Activation),
+                              fakeQuant(w, Operand::Weight));
     }
+
+    /** Kernel context every matmul path dispatches through; defaults to
+     *  the process-wide defaultKernels(). */
+    const KernelContext &kernels() const;
+
+    /** Pin this scheme to a specific context (nullptr restores the
+     *  default). The context must outlive the scheme. */
+    void setKernels(const KernelContext *kernels) { kernels_ = kernels; }
 
     /**
      * Channel-equalized damage this scheme inflicts on the operands of an
@@ -56,6 +65,9 @@ class GemmScheme
      * quantize.
      */
     virtual double gemmDamage(const Matrix &x, const Matrix &w) const;
+
+  private:
+    const KernelContext *kernels_ = nullptr;
 };
 
 /** Exact FP reference (the "FP16 baseline" rows of the paper's tables;
@@ -68,7 +80,7 @@ class Fp16Scheme : public GemmScheme
     Matrix
     matmul(const Matrix &x, const Matrix &w) const override
     {
-        return gemm(x, w);
+        return kernels().gemm(x, w);
     }
 };
 

@@ -72,7 +72,7 @@ SmoothQuantScheme::matmul(const Matrix &x, const Matrix &w) const
     // W8A8 pipeline.
     QuantizedMatrix qx = quantize(xs, bits_, Granularity::PerTensor);
     QuantizedMatrix qw = quantize(ws, bits_, Granularity::PerTensor);
-    return quantizedGemm(qx, qw);
+    return quantizedGemm(qx, qw, &kernels());
 }
 
 } // namespace tender

@@ -5,11 +5,12 @@
 
 namespace tender {
 
-Matrix
-softmaxRows(const Matrix &m)
+namespace functional_detail {
+
+void
+softmaxRowsRange(const Matrix &m, Matrix &out, int r0, int r1)
 {
-    Matrix out(m.rows(), m.cols());
-    for (int r = 0; r < m.rows(); ++r) {
+    for (int r = r0; r < r1; ++r) {
         float row_max = -std::numeric_limits<float>::infinity();
         for (int c = 0; c < m.cols(); ++c)
             row_max = std::max(row_max, m(r, c));
@@ -20,16 +21,13 @@ softmaxRows(const Matrix &m)
             out(r, c) = float(std::exp(double(m(r, c)) - double(row_max)) /
                               denom);
     }
-    return out;
 }
 
-Matrix
-layerNorm(const Matrix &m, const Matrix &gain, const Matrix &bias, float eps)
+void
+layerNormRange(const Matrix &m, const Matrix &gain, const Matrix &bias,
+               float eps, Matrix &out, int r0, int r1)
 {
-    TENDER_CHECK(gain.rows() == 1 && gain.cols() == m.cols());
-    TENDER_CHECK(bias.rows() == 1 && bias.cols() == m.cols());
-    Matrix out(m.rows(), m.cols());
-    for (int r = 0; r < m.rows(); ++r) {
+    for (int r = r0; r < r1; ++r) {
         double mean = 0.0;
         for (int c = 0; c < m.cols(); ++c)
             mean += m(r, c);
@@ -45,6 +43,50 @@ layerNorm(const Matrix &m, const Matrix &gain, const Matrix &bias, float eps)
             out(r, c) = float((double(m(r, c)) - mean) * inv *
                               double(gain(0, c)) + double(bias(0, c)));
     }
+}
+
+void
+reluRange(Matrix &out, size_t i0, size_t i1)
+{
+    for (size_t i = i0; i < i1; ++i)
+        out.data()[i] = std::max(out.data()[i], 0.f);
+}
+
+void
+geluRange(Matrix &out, size_t i0, size_t i1)
+{
+    constexpr float kC = 0.7978845608f; // sqrt(2/pi)
+    for (size_t i = i0; i < i1; ++i) {
+        float x = out.data()[i];
+        float inner = kC * (x + 0.044715f * x * x * x);
+        out.data()[i] = 0.5f * x * (1.f + std::tanh(inner));
+    }
+}
+
+void
+scaleRange(Matrix &out, float s, size_t i0, size_t i1)
+{
+    for (size_t i = i0; i < i1; ++i)
+        out.data()[i] *= s;
+}
+
+} // namespace functional_detail
+
+Matrix
+softmaxRows(const Matrix &m)
+{
+    Matrix out(m.rows(), m.cols());
+    functional_detail::softmaxRowsRange(m, out, 0, m.rows());
+    return out;
+}
+
+Matrix
+layerNorm(const Matrix &m, const Matrix &gain, const Matrix &bias, float eps)
+{
+    TENDER_CHECK(gain.rows() == 1 && gain.cols() == m.cols());
+    TENDER_CHECK(bias.rows() == 1 && bias.cols() == m.cols());
+    Matrix out(m.rows(), m.cols());
+    functional_detail::layerNormRange(m, gain, bias, eps, out, 0, m.rows());
     return out;
 }
 
@@ -52,8 +94,7 @@ Matrix
 relu(const Matrix &m)
 {
     Matrix out = m;
-    for (auto &x : out.data())
-        x = std::max(x, 0.f);
+    functional_detail::reluRange(out, 0, out.size());
     return out;
 }
 
@@ -61,11 +102,7 @@ Matrix
 gelu(const Matrix &m)
 {
     Matrix out = m;
-    constexpr float kC = 0.7978845608f; // sqrt(2/pi)
-    for (auto &x : out.data()) {
-        float inner = kC * (x + 0.044715f * x * x * x);
-        x = 0.5f * x * (1.f + std::tanh(inner));
-    }
+    functional_detail::geluRange(out, 0, out.size());
     return out;
 }
 
@@ -73,8 +110,7 @@ Matrix
 scale(const Matrix &m, float s)
 {
     Matrix out = m;
-    for (auto &x : out.data())
-        x *= s;
+    functional_detail::scaleRange(out, s, 0, out.size());
     return out;
 }
 

@@ -34,6 +34,20 @@ Matrix scale(const Matrix &m, float s);
  */
 Matrix causalMask(const Matrix &scores);
 
+/** Range bodies shared by the serial functions above and the threaded
+ *  backend of tensor/kernels.h (identical per-element arithmetic). */
+namespace functional_detail {
+
+void softmaxRowsRange(const Matrix &m, Matrix &out, int r0, int r1);
+void layerNormRange(const Matrix &m, const Matrix &gain, const Matrix &bias,
+                    float eps, Matrix &out, int r0, int r1);
+/** Elementwise bodies over flat indices [i0, i1); out pre-filled with m. */
+void reluRange(Matrix &out, size_t i0, size_t i1);
+void geluRange(Matrix &out, size_t i0, size_t i1);
+void scaleRange(Matrix &out, float s, size_t i0, size_t i1);
+
+} // namespace functional_detail
+
 } // namespace tender
 
 #endif // TENDER_TENSOR_FUNCTIONAL_H

@@ -1,27 +1,22 @@
 #include "tensor/gemm.h"
 
+#include <algorithm>
+
 namespace tender {
 
-namespace {
+namespace gemm_detail {
 
-/** Block edge for the L1-friendly tiling of the FP32 kernel. */
-constexpr int kBlock = 64;
-
-} // namespace
-
-Matrix
-gemm(const Matrix &a, const Matrix &b)
+void
+gemmRowBand(const Matrix &a, const Matrix &b, Matrix &c, int r0, int r1)
 {
-    TENDER_CHECK_MSG(a.cols() == b.rows(),
-                     "gemm shape mismatch: " << a.rows() << "x" << a.cols()
-                     << " * " << b.rows() << "x" << b.cols());
-    const int m = a.rows(), k = a.cols(), n = b.cols();
-    Matrix c(m, n, 0.f);
+    constexpr int kBlock = kGemmRowBlock;
+    TENDER_CHECK(r0 % kBlock == 0);
+    const int k = a.cols(), n = b.cols();
     // Accumulate in double per output tile to keep the reference numerically
     // tight for long (4096+) reduction axes.
     std::vector<double> acc(size_t(kBlock) * size_t(kBlock));
-    for (int i0 = 0; i0 < m; i0 += kBlock) {
-        const int i1 = std::min(i0 + kBlock, m);
+    for (int i0 = r0; i0 < r1; i0 += kBlock) {
+        const int i1 = std::min(i0 + kBlock, r1);
         for (int j0 = 0; j0 < n; j0 += kBlock) {
             const int j1 = std::min(j0 + kBlock, n);
             std::fill(acc.begin(), acc.end(), 0.0);
@@ -45,19 +40,14 @@ gemm(const Matrix &a, const Matrix &b)
                                         size_t(j - j0)]);
         }
     }
-    return c;
 }
 
-Matrix
-gemmTransposedB(const Matrix &a, const Matrix &b)
+void
+gemmTransposedBRows(const Matrix &a, const Matrix &b, Matrix &c, int r0,
+                    int r1)
 {
-    TENDER_CHECK_MSG(a.cols() == b.cols(),
-                     "gemmTransposedB shape mismatch: " << a.rows() << "x"
-                     << a.cols() << " * (" << b.rows() << "x" << b.cols()
-                     << ")^T");
-    const int m = a.rows(), k = a.cols(), n = b.rows();
-    Matrix c(m, n, 0.f);
-    for (int i = 0; i < m; ++i) {
+    const int k = a.cols(), n = b.rows();
+    for (int i = r0; i < r1; ++i) {
         const float *arow = a.rowPtr(i);
         for (int j = 0; j < n; ++j) {
             const float *brow = b.rowPtr(j);
@@ -67,16 +57,14 @@ gemmTransposedB(const Matrix &a, const Matrix &b)
             c(i, j) = float(acc);
         }
     }
-    return c;
 }
 
-MatrixT<int64_t>
-gemmInt(const IntMatrix &a, const IntMatrix &b)
+void
+gemmIntRows(const IntMatrix &a, const IntMatrix &b, MatrixT<int64_t> &c,
+            int r0, int r1)
 {
-    TENDER_CHECK(a.cols() == b.rows());
-    const int m = a.rows(), k = a.cols(), n = b.cols();
-    MatrixT<int64_t> c(m, n, 0);
-    for (int i = 0; i < m; ++i) {
+    const int k = a.cols(), n = b.cols();
+    for (int i = r0; i < r1; ++i) {
         const int32_t *arow = a.rowPtr(i);
         for (int p = 0; p < k; ++p) {
             const int64_t av = arow[p];
@@ -88,6 +76,55 @@ gemmInt(const IntMatrix &a, const IntMatrix &b)
                 crow[j] += av * int64_t(brow[j]);
         }
     }
+}
+
+void
+axpbyRange(float alpha, const Matrix &a, float beta, const Matrix &b,
+           Matrix &out, size_t i0, size_t i1)
+{
+    for (size_t i = i0; i < i1; ++i)
+        out.data()[i] = alpha * a.data()[i] + beta * b.data()[i];
+}
+
+void
+addRowVectorRows(const Matrix &row, Matrix &out, int r0, int r1)
+{
+    for (int r = r0; r < r1; ++r)
+        for (int c = 0; c < out.cols(); ++c)
+            out(r, c) += row(0, c);
+}
+
+} // namespace gemm_detail
+
+Matrix
+gemm(const Matrix &a, const Matrix &b)
+{
+    TENDER_CHECK_MSG(a.cols() == b.rows(),
+                     "gemm shape mismatch: " << a.rows() << "x" << a.cols()
+                     << " * " << b.rows() << "x" << b.cols());
+    Matrix c(a.rows(), b.cols(), 0.f);
+    gemm_detail::gemmRowBand(a, b, c, 0, a.rows());
+    return c;
+}
+
+Matrix
+gemmTransposedB(const Matrix &a, const Matrix &b)
+{
+    TENDER_CHECK_MSG(a.cols() == b.cols(),
+                     "gemmTransposedB shape mismatch: " << a.rows() << "x"
+                     << a.cols() << " * (" << b.rows() << "x" << b.cols()
+                     << ")^T");
+    Matrix c(a.rows(), b.rows(), 0.f);
+    gemm_detail::gemmTransposedBRows(a, b, c, 0, a.rows());
+    return c;
+}
+
+MatrixT<int64_t>
+gemmInt(const IntMatrix &a, const IntMatrix &b)
+{
+    TENDER_CHECK(a.cols() == b.rows());
+    MatrixT<int64_t> c(a.rows(), b.cols(), 0);
+    gemm_detail::gemmIntRows(a, b, c, 0, a.rows());
     return c;
 }
 
@@ -96,8 +133,7 @@ axpby(float alpha, const Matrix &a, float beta, const Matrix &b)
 {
     TENDER_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
     Matrix out(a.rows(), a.cols());
-    for (size_t i = 0; i < a.size(); ++i)
-        out.data()[i] = alpha * a.data()[i] + beta * b.data()[i];
+    gemm_detail::axpbyRange(alpha, a, beta, b, out, 0, a.size());
     return out;
 }
 
@@ -106,9 +142,7 @@ addRowVector(const Matrix &m, const Matrix &row)
 {
     TENDER_CHECK(row.rows() == 1 && row.cols() == m.cols());
     Matrix out = m;
-    for (int r = 0; r < m.rows(); ++r)
-        for (int c = 0; c < m.cols(); ++c)
-            out(r, c) += row(0, c);
+    gemm_detail::addRowVectorRows(row, out, 0, m.rows());
     return out;
 }
 

@@ -6,6 +6,11 @@
  * the integer paths operate on widened quantized codes and accumulate in
  * int64 so overflow behaviour of the modelled 32-bit hardware accumulator
  * can be *checked* rather than silently wrapped (see core/tender_gemm).
+ *
+ * These free functions are the single-threaded golden kernels. Production
+ * callers go through tensor/kernels.h (KernelContext), whose threaded
+ * backend dispatches the row-band bodies below (gemm_detail) over a thread
+ * pool — same arithmetic per output element, so results are bit-identical.
  */
 
 #ifndef TENDER_TENSOR_GEMM_H
@@ -31,6 +36,34 @@ Matrix axpby(float alpha, const Matrix &a, float beta, const Matrix &b);
 
 /** Row-broadcast add: out(r,c) = m(r,c) + row(0,c). */
 Matrix addRowVector(const Matrix &m, const Matrix &row);
+
+/** Row-band kernel bodies shared by the serial reference above and the
+ *  threaded backend of tensor/kernels.h. Bands must start on a multiple of
+ *  kGemmRowBlock for gemmRowBand so the tile walk matches the serial one. */
+namespace gemm_detail {
+
+/** Tile edge of the blocked FP32 kernel (row-band granularity unit). */
+constexpr int kGemmRowBlock = 64;
+
+/** Blocked FP32 kernel over output rows [r0, r1); c must be zeroed. */
+void gemmRowBand(const Matrix &a, const Matrix &b, Matrix &c, int r0, int r1);
+
+/** A * B^T over output rows [r0, r1). */
+void gemmTransposedBRows(const Matrix &a, const Matrix &b, Matrix &c, int r0,
+                         int r1);
+
+/** Integer kernel over output rows [r0, r1); c must be zeroed. */
+void gemmIntRows(const IntMatrix &a, const IntMatrix &b, MatrixT<int64_t> &c,
+                 int r0, int r1);
+
+/** axpby over flat elements [i0, i1). */
+void axpbyRange(float alpha, const Matrix &a, float beta, const Matrix &b,
+                Matrix &out, size_t i0, size_t i1);
+
+/** Row-broadcast add over rows [r0, r1); out must already hold m's rows. */
+void addRowVectorRows(const Matrix &row, Matrix &out, int r0, int r1);
+
+} // namespace gemm_detail
 
 } // namespace tender
 

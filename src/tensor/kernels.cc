@@ -1,0 +1,238 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace tender {
+
+namespace {
+
+/** Flat-element grain: small enough to balance, large enough that task
+ *  dispatch cost disappears against the per-element work. */
+constexpr int64_t kElemGrain = 1 << 14;
+
+Backend
+backendFromEnv()
+{
+    const char *env = std::getenv("TENDER_BACKEND");
+    if (!env)
+        return Backend::Threaded;
+    const std::string v(env);
+    if (v == "serial")
+        return Backend::Serial;
+    if (v == "threaded")
+        return Backend::Threaded;
+    TENDER_FATAL("TENDER_BACKEND must be 'serial' or 'threaded', got '"
+                 << v << "'");
+}
+
+std::mutex g_default_mu;
+std::unique_ptr<KernelContext> g_default;
+
+} // namespace
+
+std::string
+backendName(Backend b)
+{
+    switch (b) {
+      case Backend::Serial: return "serial";
+      case Backend::Threaded: return "threaded";
+    }
+    TENDER_PANIC("unknown backend");
+}
+
+KernelContext::KernelContext(Backend backend, int workers)
+    : backend_(backend)
+{
+    if (backend_ == Backend::Threaded)
+        pool_.reset(new ThreadPool(workers));
+}
+
+KernelContext::~KernelContext() = default;
+
+int
+KernelContext::workers() const
+{
+    return pool_ ? pool_->workers() : 1;
+}
+
+void
+KernelContext::parallelFor(int64_t begin, int64_t end, int64_t grain,
+                           const std::function<void(int64_t, int64_t)> &fn)
+    const
+{
+    if (pool_) {
+        pool_->parallelFor(begin, end, grain, fn);
+        return;
+    }
+    const int64_t n = end - begin;
+    if (n <= 0)
+        return;
+    grain = ThreadPool::resolveGrain(n, grain);
+    const int64_t tasks = (n + grain - 1) / grain;
+    for (int64_t t = 0; t < tasks; ++t)
+        fn(begin + t * grain, std::min(begin + (t + 1) * grain, end));
+}
+
+Matrix
+KernelContext::gemm(const Matrix &a, const Matrix &b) const
+{
+    if (backend_ == Backend::Serial)
+        return tender::gemm(a, b);
+    TENDER_CHECK_MSG(a.cols() == b.rows(),
+                     "gemm shape mismatch: " << a.rows() << "x" << a.cols()
+                     << " * " << b.rows() << "x" << b.cols());
+    constexpr int kBlock = gemm_detail::kGemmRowBlock;
+    Matrix c(a.rows(), b.cols(), 0.f);
+    const int64_t tiles = (a.rows() + kBlock - 1) / kBlock;
+    pool_->parallelFor(0, tiles, 1, [&](int64_t t0, int64_t t1) {
+        gemm_detail::gemmRowBand(a, b, c, int(t0) * kBlock,
+                                 std::min(int(t1) * kBlock, a.rows()));
+    });
+    return c;
+}
+
+Matrix
+KernelContext::gemmTransposedB(const Matrix &a, const Matrix &b) const
+{
+    if (backend_ == Backend::Serial)
+        return tender::gemmTransposedB(a, b);
+    TENDER_CHECK_MSG(a.cols() == b.cols(),
+                     "gemmTransposedB shape mismatch: " << a.rows() << "x"
+                     << a.cols() << " * (" << b.rows() << "x" << b.cols()
+                     << ")^T");
+    Matrix c(a.rows(), b.rows(), 0.f);
+    pool_->parallelFor(0, a.rows(), 1, [&](int64_t r0, int64_t r1) {
+        gemm_detail::gemmTransposedBRows(a, b, c, int(r0), int(r1));
+    });
+    return c;
+}
+
+MatrixT<int64_t>
+KernelContext::gemmInt(const IntMatrix &a, const IntMatrix &b) const
+{
+    if (backend_ == Backend::Serial)
+        return tender::gemmInt(a, b);
+    TENDER_CHECK(a.cols() == b.rows());
+    MatrixT<int64_t> c(a.rows(), b.cols(), 0);
+    pool_->parallelFor(0, a.rows(), 1, [&](int64_t r0, int64_t r1) {
+        gemm_detail::gemmIntRows(a, b, c, int(r0), int(r1));
+    });
+    return c;
+}
+
+Matrix
+KernelContext::axpby(float alpha, const Matrix &a, float beta,
+                     const Matrix &b) const
+{
+    if (backend_ == Backend::Serial)
+        return tender::axpby(alpha, a, beta, b);
+    TENDER_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+    Matrix out(a.rows(), a.cols());
+    pool_->parallelFor(0, int64_t(a.size()), kElemGrain,
+                       [&](int64_t i0, int64_t i1) {
+        gemm_detail::axpbyRange(alpha, a, beta, b, out, size_t(i0),
+                                size_t(i1));
+    });
+    return out;
+}
+
+Matrix
+KernelContext::addRowVector(const Matrix &m, const Matrix &row) const
+{
+    if (backend_ == Backend::Serial)
+        return tender::addRowVector(m, row);
+    TENDER_CHECK(row.rows() == 1 && row.cols() == m.cols());
+    Matrix out = m;
+    pool_->parallelFor(0, m.rows(), 1, [&](int64_t r0, int64_t r1) {
+        gemm_detail::addRowVectorRows(row, out, int(r0), int(r1));
+    });
+    return out;
+}
+
+Matrix
+KernelContext::relu(const Matrix &m) const
+{
+    if (backend_ == Backend::Serial)
+        return tender::relu(m);
+    Matrix out = m;
+    pool_->parallelFor(0, int64_t(m.size()), kElemGrain,
+                       [&](int64_t i0, int64_t i1) {
+        functional_detail::reluRange(out, size_t(i0), size_t(i1));
+    });
+    return out;
+}
+
+Matrix
+KernelContext::gelu(const Matrix &m) const
+{
+    if (backend_ == Backend::Serial)
+        return tender::gelu(m);
+    Matrix out = m;
+    pool_->parallelFor(0, int64_t(m.size()), kElemGrain,
+                       [&](int64_t i0, int64_t i1) {
+        functional_detail::geluRange(out, size_t(i0), size_t(i1));
+    });
+    return out;
+}
+
+Matrix
+KernelContext::scale(const Matrix &m, float s) const
+{
+    if (backend_ == Backend::Serial)
+        return tender::scale(m, s);
+    Matrix out = m;
+    pool_->parallelFor(0, int64_t(m.size()), kElemGrain,
+                       [&](int64_t i0, int64_t i1) {
+        functional_detail::scaleRange(out, s, size_t(i0), size_t(i1));
+    });
+    return out;
+}
+
+Matrix
+KernelContext::softmaxRows(const Matrix &m) const
+{
+    if (backend_ == Backend::Serial)
+        return tender::softmaxRows(m);
+    Matrix out(m.rows(), m.cols());
+    pool_->parallelFor(0, m.rows(), 1, [&](int64_t r0, int64_t r1) {
+        functional_detail::softmaxRowsRange(m, out, int(r0), int(r1));
+    });
+    return out;
+}
+
+Matrix
+KernelContext::layerNorm(const Matrix &m, const Matrix &gain,
+                         const Matrix &bias, float eps) const
+{
+    if (backend_ == Backend::Serial)
+        return tender::layerNorm(m, gain, bias, eps);
+    TENDER_CHECK(gain.rows() == 1 && gain.cols() == m.cols());
+    TENDER_CHECK(bias.rows() == 1 && bias.cols() == m.cols());
+    Matrix out(m.rows(), m.cols());
+    pool_->parallelFor(0, m.rows(), 1, [&](int64_t r0, int64_t r1) {
+        functional_detail::layerNormRange(m, gain, bias, eps, out, int(r0),
+                                          int(r1));
+    });
+    return out;
+}
+
+KernelContext &
+defaultKernels()
+{
+    std::lock_guard<std::mutex> lk(g_default_mu);
+    if (!g_default)
+        g_default.reset(new KernelContext(backendFromEnv(), 0));
+    return *g_default;
+}
+
+void
+setDefaultKernels(Backend backend, int workers)
+{
+    std::lock_guard<std::mutex> lk(g_default_mu);
+    g_default.reset(new KernelContext(backend, workers));
+}
+
+} // namespace tender

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Backend-dispatched kernel layer: every hot tensor op in one place.
+ *
+ * A KernelContext pairs a backend selection with (for the threaded
+ * backend) a ThreadPool, and exposes the GEMM and elementwise kernels the
+ * rest of the library calls. Two backends exist:
+ *
+ *  - Serial:   the golden single-threaded reference kernels of
+ *              tensor/gemm.cc / tensor/functional.cc, unchanged.
+ *  - Threaded: the same per-element arithmetic dispatched as row-band /
+ *              row-tile tasks over the pool. The task partition is fixed
+ *              by the problem shape (never by worker count), so threaded
+ *              results are bit-identical to serial results with any
+ *              number of workers — the determinism tests assert exact
+ *              equality, not a tolerance.
+ *
+ * The process-wide default context is configured from the environment:
+ *   TENDER_BACKEND     = serial | threaded   (default threaded)
+ *   TENDER_NUM_THREADS = N                   (default hardware threads)
+ * Schemes (quant/scheme.h), the quantized executor (model/quant_executor),
+ * the reference transformer, and the Tender chunk pipeline
+ * (core/tender_gemm) all route through a KernelContext, so backend and
+ * worker count are a single seam for future sharding/batching/GPU work.
+ */
+
+#ifndef TENDER_TENSOR_KERNELS_H
+#define TENDER_TENSOR_KERNELS_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "tensor/functional.h"
+#include "tensor/gemm.h"
+#include "tensor/matrix.h"
+#include "util/thread_pool.h"
+
+namespace tender {
+
+enum class Backend { Serial, Threaded };
+
+std::string backendName(Backend b);
+
+class KernelContext
+{
+  public:
+    /** workers <= 0 selects ThreadPool::configuredWorkers(); ignored for
+     *  the serial backend. */
+    explicit KernelContext(Backend backend = Backend::Serial,
+                           int workers = 0);
+    ~KernelContext();
+
+    KernelContext(const KernelContext &) = delete;
+    KernelContext &operator=(const KernelContext &) = delete;
+
+    Backend backend() const { return backend_; }
+    int workers() const;
+
+    /**
+     * Deterministically partitioned parallel loop (see ThreadPool). The
+     * serial backend runs the same partition inline, so per-range state is
+     * identical across backends.
+     */
+    void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)> &fn) const;
+
+    // -- GEMM kernels ------------------------------------------------------
+    Matrix gemm(const Matrix &a, const Matrix &b) const;
+    Matrix gemmTransposedB(const Matrix &a, const Matrix &b) const;
+    MatrixT<int64_t> gemmInt(const IntMatrix &a, const IntMatrix &b) const;
+
+    // -- Elementwise / row-wise kernels ------------------------------------
+    Matrix axpby(float alpha, const Matrix &a, float beta,
+                 const Matrix &b) const;
+    Matrix addRowVector(const Matrix &m, const Matrix &row) const;
+    Matrix relu(const Matrix &m) const;
+    Matrix gelu(const Matrix &m) const;
+    Matrix scale(const Matrix &m, float s) const;
+    Matrix softmaxRows(const Matrix &m) const;
+    Matrix layerNorm(const Matrix &m, const Matrix &gain, const Matrix &bias,
+                     float eps = 1e-5f) const;
+
+  private:
+    Backend backend_;
+    std::unique_ptr<ThreadPool> pool_; ///< null for the serial backend
+};
+
+/** Process-wide default context (env-configured on first use). */
+KernelContext &defaultKernels();
+
+/** Replace the default context (tests and benches). */
+void setDefaultKernels(Backend backend, int workers = 0);
+
+} // namespace tender
+
+#endif // TENDER_TENSOR_KERNELS_H

@@ -1,0 +1,176 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tender {
+
+namespace {
+
+thread_local bool tl_in_worker = false;
+
+/** One parallelFor invocation. Workers that straggle past the end of a job
+ *  only ever read `tasks` through their shared_ptr, so a finished job can
+ *  be dropped while a straggler is still draining its (empty) task queue. */
+struct Job
+{
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t grain = 1;
+    int64_t tasks = 0;
+    const std::function<void(int64_t, int64_t)> *fn = nullptr;
+    std::atomic<int64_t> next{0};
+    int64_t done = 0; ///< guarded by the pool mutex
+};
+
+} // namespace
+
+struct ThreadPool::Impl
+{
+    std::mutex mu;
+    std::condition_variable cv_job;
+    std::condition_variable cv_done;
+    std::vector<std::thread> threads;
+    std::shared_ptr<Job> job; ///< current generation's job (guarded by mu)
+    uint64_t generation = 0;
+    bool stop = false;
+    std::mutex submit_mu; ///< serializes parallelFor callers
+
+    void
+    runTasks(const std::shared_ptr<Job> &j)
+    {
+        int64_t completed = 0;
+        for (;;) {
+            const int64_t t = j->next.fetch_add(1, std::memory_order_relaxed);
+            if (t >= j->tasks)
+                break;
+            const int64_t b = j->begin + t * j->grain;
+            const int64_t e = std::min(b + j->grain, j->end);
+            (*j->fn)(b, e);
+            ++completed;
+        }
+        if (completed) {
+            std::lock_guard<std::mutex> lk(mu);
+            j->done += completed;
+            if (j->done == j->tasks)
+                cv_done.notify_all();
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        tl_in_worker = true;
+        uint64_t seen = 0;
+        for (;;) {
+            std::shared_ptr<Job> j;
+            {
+                std::unique_lock<std::mutex> lk(mu);
+                cv_job.wait(lk, [&] { return stop || generation != seen; });
+                if (stop)
+                    return;
+                seen = generation;
+                j = job;
+            }
+            if (j)
+                runTasks(j);
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int workers)
+    : impl_(new Impl),
+      workers_(workers > 0 ? workers : configuredWorkers())
+{
+    for (int i = 0; i < workers_ - 1; ++i)
+        impl_->threads.emplace_back([im = impl_.get()] { im->workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        impl_->stop = true;
+    }
+    impl_->cv_job.notify_all();
+    for (std::thread &t : impl_->threads)
+        t.join();
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)> &fn)
+{
+    const int64_t n = end - begin;
+    if (n <= 0)
+        return;
+    grain = resolveGrain(n, grain);
+    const int64_t tasks = (n + grain - 1) / grain;
+
+    // Inline paths: single worker, a single task, or a nested call from
+    // inside a pool task. The task partition is honored either way so the
+    // per-range arithmetic (and thus any per-range state) is identical.
+    if (tasks <= 1 || workers_ <= 1 || tl_in_worker ||
+        impl_->threads.empty()) {
+        for (int64_t t = 0; t < tasks; ++t)
+            fn(begin + t * grain,
+               std::min(begin + (t + 1) * grain, end));
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(impl_->submit_mu);
+    auto j = std::make_shared<Job>();
+    j->begin = begin;
+    j->end = end;
+    j->grain = grain;
+    j->tasks = tasks;
+    j->fn = &fn;
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        impl_->job = j;
+        ++impl_->generation;
+    }
+    impl_->cv_job.notify_all();
+
+    // The caller works the queue too (flagged as a worker so nested
+    // parallelFor calls from fn run inline).
+    tl_in_worker = true;
+    impl_->runTasks(j);
+    tl_in_worker = false;
+
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->cv_done.wait(lk, [&] { return j->done == j->tasks; });
+}
+
+int64_t
+ThreadPool::resolveGrain(int64_t n, int64_t grain)
+{
+    return grain > 0 ? grain : std::max<int64_t>(1, n / 64);
+}
+
+int
+ThreadPool::configuredWorkers()
+{
+    if (const char *env = std::getenv("TENDER_NUM_THREADS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? int(hw) : 1;
+}
+
+bool
+ThreadPool::inWorker()
+{
+    return tl_in_worker;
+}
+
+} // namespace tender

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Persistent worker-thread pool with a deterministic parallelFor.
+ *
+ * The partitioning of [begin, end) into tasks depends only on (begin, end,
+ * grain) — never on the worker count or on scheduling — so any computation
+ * whose tasks write disjoint outputs produces bit-identical results with
+ * 1, 2, or N workers. Workers pull task indices from a shared atomic
+ * counter; the calling thread participates, so a pool of W workers uses
+ * W OS threads total (W-1 spawned + the caller).
+ *
+ * parallelFor called from inside a pool task runs inline on the calling
+ * worker (no nested fan-out, no deadlock), which lets layered code —
+ * e.g. a chunk-parallel pipeline whose chunks call parallel kernels —
+ * parallelize at whichever level grabs the pool first.
+ */
+
+#ifndef TENDER_UTIL_THREAD_POOL_H
+#define TENDER_UTIL_THREAD_POOL_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace tender {
+
+class ThreadPool
+{
+  public:
+    /** workers <= 0 selects configuredWorkers(). A pool of 1 spawns no
+     *  threads and runs everything inline. */
+    explicit ThreadPool(int workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int workers() const { return workers_; }
+
+    /**
+     * Run fn(taskBegin, taskEnd) over a fixed partition of [begin, end)
+     * into ranges of `grain` indices (last range may be short). grain <= 0
+     * picks a fixed fraction of the range (see resolveGrain) — still
+     * independent of worker count. Blocks until every task has finished.
+     * Only one parallelFor may be in flight per pool; concurrent calls
+     * from different threads are serialized.
+     */
+    void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)> &fn);
+
+    /** The grain actually used for a range of n indices: `grain` when
+     *  positive, else max(1, n / 64). Depends only on the arguments, so
+     *  the partition is identical for every pool size and for the serial
+     *  inline fallback. */
+    static int64_t resolveGrain(int64_t n, int64_t grain);
+
+    /** Worker count from TENDER_NUM_THREADS, else hardware_concurrency. */
+    static int configuredWorkers();
+
+    /** True when the calling thread is executing a pool task. */
+    static bool inWorker();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    int workers_ = 1;
+};
+
+} // namespace tender
+
+#endif // TENDER_UTIL_THREAD_POOL_H

@@ -222,6 +222,31 @@ TEST(TenderGemm, CalibratedMatchesDynamicOnCalibrationData)
     EXPECT_LE(maxAbsDiff(y_dyn, y_cal), 1e-6f);
 }
 
+TEST(TenderGemm, CalibratedCountsMetaReuseForExtraChunks)
+{
+    // An eval tensor with more chunks than the calibration run reuses the
+    // final calibrated entry; the reuse must be accounted in the stats
+    // rather than clamped silently.
+    Rng rng(21);
+    Matrix x = outlierActivation(64, 32, rng);
+    Matrix w = randomGaussian(32, 16, rng, 0.f, 0.05f);
+    TenderConfig cfg;
+    cfg.rowChunk = 16; // 4 eval chunks
+    std::vector<ChunkMeta> metas = {decomposeChunk(x.rowSlice(0, 16), cfg)};
+    TenderGemmStats stats;
+    tenderMatmulCalibrated(x, w, metas, cfg, &stats);
+    EXPECT_EQ(stats.chunks, 4);
+    EXPECT_EQ(stats.metaReuses, 3);
+
+    // Full calibration coverage reports zero reuse.
+    std::vector<ChunkMeta> full;
+    for (const auto &[r0, r1] : chunkRanges(x.rows(), cfg.rowChunk))
+        full.push_back(decomposeChunk(x.rowSlice(r0, r1), cfg));
+    TenderGemmStats covered;
+    tenderMatmulCalibrated(x, w, full, cfg, &covered);
+    EXPECT_EQ(covered.metaReuses, 0);
+}
+
 TEST(TenderGemm, CalibratedClampsUnseenMagnitudes)
 {
     Rng rng(8);
