@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Decode-runtime performance recorder: continuous-batching tokens/s at
+ * batch 1/4/16 with fp32 and Tender-quantized KV caches, emitted as
+ * BENCH_decode.json so the serving-path perf trajectory is tracked PR
+ * over PR (run via scripts/bench_decode.sh).
+ *
+ * The batched gains come from the scheduler batching the QKV/O/FFN
+ * projections of all active requests into single GEMMs — one pass over
+ * the weights serves the whole batch — exactly the Section VI-D argument
+ * that batching restores decode utilization; attention stays per request
+ * over its own cache. The quantized-KV rows additionally record the
+ * requantize-at-append / dequantize-on-read overhead and the cache
+ * shrinkage.
+ *
+ * Usage: bench_decode_json [prompt new_tokens workers out.json]
+ * Defaults: 16 32 8 BENCH_decode.json
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "runtime/batch_scheduler.h"
+
+using namespace tender;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BatchPoint
+{
+    int batch = 0;
+    double tokensPerS = 0.0;
+    double stepsPerS = 0.0;
+    int64_t steps = 0;
+    size_t cacheBytesPerRequest = 0;
+};
+
+BatchPoint
+runBatchOnce(SyntheticModel &model, const KernelContext &kc, int batch,
+             int prompt_len, int new_tokens, KVCacheMode mode)
+{
+    SchedulerOptions options;
+    options.maxBatch = batch;
+    options.vocabSize = 256;
+    options.decode.kernels = &kc;
+    options.decode.cache.mode = mode;
+    options.decode.cache.tender.rowChunk = 16;
+    BatchScheduler scheduler(model, options);
+    for (int id = 0; id < batch; ++id) {
+        GenRequest r;
+        r.id = id;
+        for (int t = 0; t < prompt_len; ++t)
+            r.promptTokens.push_back((id * 37 + t * 13) %
+                                     options.vocabSize);
+        r.maxNewTokens = new_tokens;
+        scheduler.submit(r);
+    }
+    const auto t0 = Clock::now();
+    const auto results = scheduler.drain();
+    const double s = std::chrono::duration<double>(Clock::now() - t0)
+                         .count();
+    TENDER_CHECK(int(results.size()) == batch);
+    BatchPoint p;
+    p.batch = batch;
+    p.steps = scheduler.stats().steps;
+    p.tokensPerS = double(scheduler.stats().decodedTokens) / s;
+    p.stepsPerS = double(p.steps) / s;
+    // One request's end-of-run cache footprint (outside the timing).
+    DecodeOptions dopt;
+    dopt.kernels = &kc;
+    dopt.cache = options.decode.cache;
+    DecodeEngine engine(model, dopt);
+    GreedyVocab vocab(options.vocabSize, model.config().dModel,
+                      options.vocabSeed);
+    std::vector<int> prompt(size_t(prompt_len + new_tokens - 1), 1);
+    engine.prefill(vocab.embedAll(prompt));
+    p.cacheBytesPerRequest = engine.cache().storedBytes();
+    return p;
+}
+
+/** Best of two runs: decode steps are short, so a single scheduler drain
+ *  is noticeably jittery on an oversubscribed 1-hw-thread container. */
+BatchPoint
+runBatch(SyntheticModel &model, const KernelContext &kc, int batch,
+         int prompt_len, int new_tokens, KVCacheMode mode)
+{
+    BatchPoint best =
+        runBatchOnce(model, kc, batch, prompt_len, new_tokens, mode);
+    const BatchPoint again =
+        runBatchOnce(model, kc, batch, prompt_len, new_tokens, mode);
+    return again.tokensPerS > best.tokensPerS ? again : best;
+}
+
+void
+emitMode(FILE *f, const char *key, const std::vector<BatchPoint> &points,
+         bool trailing_comma)
+{
+    std::fprintf(f, "  \"%s\": {\n", key);
+    for (size_t i = 0; i < points.size(); ++i) {
+        const BatchPoint &p = points[i];
+        std::fprintf(f,
+                     "    \"batch_%d\": {\"tokens_per_s\": %.2f, "
+                     "\"steps_per_s\": %.2f, \"steps\": %lld, "
+                     "\"cache_bytes_per_request\": %zu}%s\n",
+                     p.batch, p.tokensPerS, p.stepsPerS,
+                     (long long)p.steps, p.cacheBytesPerRequest,
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  }%s\n", trailing_comma ? "," : "");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int prompt_len = argc > 1 ? std::atoi(argv[1]) : 16;
+    const int new_tokens = argc > 2 ? std::atoi(argv[2]) : 32;
+    const int workers = argc > 3 ? std::atoi(argv[3]) : 8;
+    const char *out_path = argc > 4 ? argv[4] : "BENCH_decode.json";
+
+    const ModelConfig config = replicaOf(modelByName("OPT-6.7B"), 32);
+    SyntheticModel model(config, 5);
+    KernelContext kc(Backend::Threaded, workers);
+
+    std::printf("== BENCH decode: %s (d=%d, layers=%d), prompt %d, "
+                "%d tokens/request, %d workers ==\n",
+                config.name.c_str(), config.dModel, config.nLayers,
+                prompt_len, new_tokens, workers);
+
+    // Warm the lazily generated weights out of the measurement.
+    runBatch(model, kc, 1, prompt_len, 2, KVCacheMode::Fp32);
+
+    const std::vector<int> batches = {1, 4, 16};
+    std::vector<BatchPoint> fp32, quant;
+    for (int b : batches) {
+        fp32.push_back(runBatch(model, kc, b, prompt_len, new_tokens,
+                                KVCacheMode::Fp32));
+        std::printf("fp32-KV   batch %2d: %8.1f tokens/s (%lld steps)\n",
+                    b, fp32.back().tokensPerS,
+                    (long long)fp32.back().steps);
+        quant.push_back(runBatch(model, kc, b, prompt_len, new_tokens,
+                                 KVCacheMode::TenderQuantized));
+        std::printf("tender-KV batch %2d: %8.1f tokens/s (%lld steps)\n",
+                    b, quant.back().tokensPerS,
+                    (long long)quant.back().steps);
+    }
+    const double speedup4 = fp32[1].tokensPerS / fp32[0].tokensPerS;
+    const double speedup16 = fp32[2].tokensPerS / fp32[0].tokensPerS;
+    std::printf("continuous batching speedup (fp32-KV): batch 4 %.2fx, "
+                "batch 16 %.2fx vs batch 1\n", speedup4, speedup16);
+
+    FILE *f = std::fopen(out_path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 "  \"model\": {\"name\": \"%s\", \"d_model\": %d, "
+                 "\"n_heads\": %d, \"n_layers\": %d, \"d_ffn\": %d},\n",
+                 config.name.c_str(), config.dModel, config.nHeads,
+                 config.nLayers, config.dFfn);
+    std::fprintf(f, "  \"prompt_tokens\": %d,\n", prompt_len);
+    std::fprintf(f, "  \"new_tokens_per_request\": %d,\n", new_tokens);
+    std::fprintf(f, "  \"workers\": %d,\n", workers);
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    emitMode(f, "fp32_kv", fp32, true);
+    emitMode(f, "tender_kv", quant, true);
+    std::fprintf(f,
+                 "  \"fp32_batched_speedup\": {\"batch_4\": %.3f, "
+                 "\"batch_16\": %.3f}\n",
+                 speedup4, speedup16);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+    return 0;
+}

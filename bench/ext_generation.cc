@@ -18,27 +18,6 @@
 
 using namespace tender;
 
-namespace {
-
-/** Batched decode: m = batch tokens against a shared context. */
-Workload
-batchedDecode(const ModelConfig &config, int context, int batch)
-{
-    Workload w = decodeWorkload(config, context);
-    for (GemmOp &op : w.blockOps) {
-        // Projections and FFN batch across requests; attention stays
-        // per-request (distinct KV caches), so its instance count scales.
-        if (op.actAct)
-            op.count *= batch;
-        else
-            op.m = batch;
-    }
-    w.seqLen = batch;
-    return w;
-}
-
-} // namespace
-
 int
 main()
 {
@@ -76,7 +55,8 @@ main()
     AcceleratorSim tender_sim(tenderConfig(), dram);
     double per_token_b1 = 0.0;
     for (int batch : {1, 2, 4, 8, 16, 32, 64}) {
-        SimResult r = tender_sim.run(batchedDecode(model, context, batch));
+        SimResult r =
+            tender_sim.run(batchedDecodeWorkload(model, context, batch));
         const double per_token = double(r.cycles) / double(batch);
         if (batch == 1)
             per_token_b1 = per_token;

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Decode-runtime bench runner: builds bench_bench_decode_json and records
+# continuous-batching tokens/s (batch 1/4/16, fp32 vs Tender-quantized KV
+# cache) into BENCH_decode.json at the repo root (serving-path perf
+# trajectory, PR over PR).
+#
+# Usage: scripts/bench_decode.sh [prompt new_tokens workers [out.json]]
+# Defaults: 16 32 8 BENCH_decode.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS" --target bench_bench_decode_json >/dev/null
+./build/bench_bench_decode_json "$@"

@@ -369,17 +369,29 @@ chunkAccumulateFast(const IntMatrix &codes, const Packed16 &w16,
 
 enum class RequantMode { Implicit, Explicit };
 
-/** Eq. 1 body for one chunk, accumulating straight into the output view
- *  (same per-element summation order as the historical copy-out code:
- *  group terms first, bias-correction row last). */
+void
+addRowsInto(const Matrix &row, Matrix &y, int r0, int rows)
+{
+    for (int r = 0; r < rows; ++r)
+        for (int j = 0; j < y.cols(); ++j)
+            y(r0 + r, j) += row(0, j);
+}
+
+/** Eq. 1 body for one chunk, accumulating straight into the output view:
+ *  one integer GEMM per group, dequantized with the group scale and added
+ *  in FP (groups ascending, bias-correction row last). The per-element FP
+ *  sequence — one add per group, then the bias row — is exactly what the
+ *  blocked variant below replays, so the two are bit-identical. */
 void
 processChunkExplicit(const ChunkMeta &meta, const QuantizedChunk &qc,
                      const QuantizedWeight &qw, const Matrix &w,
                      Matrix &y, int r0)
 {
     const int rows = qc.codes.rows();
+    const int n = qw.codes.cols();
+    MatrixT<int64_t> partial(rows, n, 0);
     for (int g = 0; g < meta.groups(); ++g) {
-        const double sg = meta.scale[size_t(g)];
+        std::fill(partial.data().begin(), partial.data().end(), int64_t{0});
         for (int idx = meta.groupStart[size_t(g)];
              idx < meta.groupStart[size_t(g) + 1]; ++idx) {
             const int c = meta.order[size_t(idx)];
@@ -387,18 +399,68 @@ processChunkExplicit(const ChunkMeta &meta, const QuantizedChunk &qc,
                 const int64_t a = qc.codes(r, c);
                 if (a == 0)
                     continue;
-                for (int j = 0; j < w.cols(); ++j) {
-                    const int64_t p = a * int64_t(qw.codes(c, j));
-                    y(r0 + r, j) += float(double(p) * sg *
-                                          double(qw.colScale[size_t(j)]));
+                const int32_t *wrow = qw.codes.rowPtr(c);
+                int64_t *prow = partial.rowPtr(r);
+                for (int j = 0; j < n; ++j)
+                    prow[j] += a * int64_t(wrow[j]);
+            }
+        }
+        const double sg = meta.scale[size_t(g)];
+        for (int r = 0; r < rows; ++r) {
+            const int64_t *prow = partial.rowPtr(r);
+            float *yrow = y.rowPtr(r0 + r);
+            for (int j = 0; j < n; ++j)
+                yrow[j] += float(double(prow[j]) * sg *
+                                 double(qw.colScale[size_t(j)]));
+        }
+    }
+    addRowsInto(biasCorrectionRow(meta, w), y, r0, rows);
+}
+
+/** Blocked Eq. 1 accumulate over output columns [j0, j1): the group
+ *  partial runs in the same L1-resident int32 band as the implicit fast
+ *  path (exact under the fastEligible bound), and each group's partial is
+ *  dequantized into y with one FP add per element — the identical FP
+ *  sequence as processChunkExplicit, hence bit parity (asserted in
+ *  tests/test_tender_gemm.cc). The caller adds the bias-correction row. */
+void
+fastExplicitCols(const Packed16 &xt, const Packed16 &w16,
+                 const ChunkMeta &meta, const std::vector<float> &col_scale,
+                 int j0, int j1, Matrix &y, int r0)
+{
+    const int rows = xt.cols;
+    const int jw = j1 - j0;
+    std::vector<int32_t> part(size_t(kFastRowBand) * size_t(jw));
+    for (int rb = 0; rb < rows; rb += kFastRowBand) {
+        const int rn = std::min(kFastRowBand, rows - rb);
+        const size_t cnt = size_t(rn) * size_t(jw);
+        for (int g = 0; g < meta.groups(); ++g) {
+            std::fill(part.begin(), part.begin() + cnt, 0);
+            for (int idx = meta.groupStart[size_t(g)];
+                 idx < meta.groupStart[size_t(g) + 1]; ++idx) {
+                const int c = meta.order[size_t(idx)];
+                const int16_t *__restrict wrow = w16.rowPtr(c) + j0;
+                const int16_t *__restrict xcol = xt.rowPtr(c) + rb;
+                for (int r = 0; r < rn; ++r) {
+                    const int32_t a = xcol[r];
+                    if (a == 0)
+                        continue;
+                    int32_t *__restrict prow =
+                        part.data() + size_t(r) * size_t(jw);
+                    for (int j = 0; j < jw; ++j)
+                        prow[j] += a * int32_t(wrow[j]);
                 }
+            }
+            const double sg = meta.scale[size_t(g)];
+            for (int r = 0; r < rn; ++r) {
+                const int32_t *prow = part.data() + size_t(r) * size_t(jw);
+                float *yrow = y.rowPtr(r0 + rb + r) + j0;
+                for (int j = 0; j < jw; ++j)
+                    yrow[j] += float(double(prow[j]) * sg *
+                                     double(col_scale[size_t(j0 + j)]));
             }
         }
     }
-    const Matrix correction = biasCorrectionRow(meta, w);
-    for (int r = 0; r < rows; ++r)
-        for (int j = 0; j < y.cols(); ++j)
-            y(r0 + r, j) += correction(0, j);
 }
 
 Matrix
@@ -409,8 +471,10 @@ runChunkPipeline(const Matrix &x, const Matrix &w,
 {
     TENDER_CHECK(x.cols() == w.rows());
     const QuantizedWeight qw = quantizeWeight(w, config.bits);
+    // Both requant modes share the blocked int16/int32 group accumulate
+    // under the threaded backend (bit-identical to their golden kernels).
     const bool fast_backend = kc.backend() == Backend::Threaded &&
-        mode == RequantMode::Implicit && config.bits <= 8;
+        config.bits <= 8;
     Packed16 w16;
     if (fast_backend)
         w16 = packCodes(qw.codes);
@@ -438,23 +502,37 @@ runChunkPipeline(const Matrix &x, const Matrix &w,
             meta = decomposeChunk(chunk, config);
         }
         const QuantizedChunk qc = quantizeChunk(chunk, meta, config.bits);
+        const bool fast = fast_backend && fastEligible(meta, config.bits);
         if (mode == RequantMode::Implicit) {
-            const MatrixT<int64_t> acc =
-                fast_backend && fastEligible(meta, config.bits)
+            const MatrixT<int64_t> acc = fast
                 ? chunkAccumulateFast(qc.codes, w16, meta, config, ls, kc)
                 : chunkAccumulateImplicit(qc, qw, config, ls);
             const Matrix correction = biasCorrectionRow(meta, w);
             finishChunkInto(acc, qc, qw, correction, y, r0);
+        } else if (fast) {
+            const Packed16 xt = packCodesTransposed(qc.codes);
+            const int n = w.cols();
+            const int64_t blocks = (n + kFastColBlock - 1) / kFastColBlock;
+            kc.parallelFor(0, blocks, 1, [&](int64_t b0, int64_t b1) {
+                for (int64_t b = b0; b < b1; ++b)
+                    fastExplicitCols(xt, w16, meta, qw.colScale,
+                                     int(b) * kFastColBlock,
+                                     std::min(int(b) * kFastColBlock +
+                                              kFastColBlock, n),
+                                     y, r0);
+            });
+            addRowsInto(biasCorrectionRow(meta, w), y, r0,
+                        qc.codes.rows());
         } else {
             processChunkExplicit(meta, qc, qw, w, y, r0);
         }
         ++local[ci].chunks;
     };
 
-    // Chunks are the primary parallel axis. Only the fast implicit
-    // accumulate has an inner (column-sliced) parallel axis, so fall back
-    // to serial-over-chunks only when that inner axis exists AND chunks
-    // alone cannot fill the pool; the golden/explicit bodies always
+    // Chunks are the primary parallel axis. The fast bodies of BOTH
+    // requant modes have an inner (column-sliced) parallel axis, so fall
+    // back to serial-over-chunks only when that inner axis exists AND
+    // chunks alone cannot fill the pool; the golden bodies always
     // parallelize over chunks, however few.
     if (!fast_backend || int64_t(ranges.size()) >= int64_t(kc.workers())) {
         kc.parallelFor(0, int64_t(ranges.size()), 1,

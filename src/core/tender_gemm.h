@@ -15,9 +15,12 @@
  * are dispatched over the KernelContext's thread pool: Tender's row-chunk
  * decomposition makes chunks embarrassingly parallel by construction. The
  * threaded backend additionally runs a cache-blocked int16/int32 variant of
- * the group accumulate; integer arithmetic is exact, so its results are
- * bit-identical to the golden serial kernel and the determinism tests
- * assert exact equality.
+ * the group accumulate — shared by the implicit AND explicit modes (the
+ * explicit golden kernel computes one integer partial per group, so the
+ * blocked integer partials slot into the identical per-element FP
+ * sequence); integer arithmetic is exact, so results are bit-identical to
+ * the golden serial kernels and the determinism tests assert exact
+ * equality.
  */
 
 #ifndef TENDER_CORE_TENDER_GEMM_H
@@ -88,7 +91,10 @@ Matrix tenderMatmulCalibrated(const Matrix &x, const Matrix &w,
                               const KernelContext *kernels = nullptr);
 
 /** Explicit-requantization reference (Eq. 1): one integer GEMM per group,
- *  each dequantized with its own scale and accumulated in FP. */
+ *  each dequantized with its own scale and accumulated in FP. Under the
+ *  threaded backend the group partials run through the same blocked
+ *  int16/int32 accumulate as the implicit path, bit-identical to the
+ *  serial kernel. */
 Matrix tenderMatmulExplicit(const Matrix &x, const Matrix &w,
                             const TenderConfig &config,
                             const KernelContext *kernels = nullptr);

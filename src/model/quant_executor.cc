@@ -15,13 +15,13 @@ struct Streams
     Matrix quant;
 };
 
-/** Apply one activation-weight GEMM to both streams and record the error
- *  of the quantized stream against the reference stream. */
+} // namespace
+
 Matrix
-trackedGemm(const std::string &op, int layer, const Matrix &x_ref,
-            const Matrix &x_quant, const Matrix &w, const GemmScheme &scheme,
-            const KernelContext &kc, std::vector<GemmRecord> &records,
-            Matrix *ref_out)
+quantizedOpGemm(const std::string &op, int layer, const Matrix &x_ref,
+                const Matrix &x_quant, const Matrix &w,
+                const GemmScheme &scheme, const KernelContext &kc,
+                std::vector<GemmRecord> &records, Matrix *ref_out)
 {
     Matrix y_ref = kc.gemm(x_ref, w);
     Matrix y_quant = scheme.matmul(x_quant, w);
@@ -31,8 +31,6 @@ trackedGemm(const std::string &op, int layer, const Matrix &x_ref,
         *ref_out = y_ref;
     return y_quant;
 }
-
-} // namespace
 
 QuantRunResult
 runQuantized(SyntheticModel &model, const Matrix &input,
@@ -52,12 +50,15 @@ runQuantized(SyntheticModel &model, const Matrix &input,
         const Matrix ln_q = kc.layerNorm(x.quant, w.ln1Gain, w.ln1Bias);
 
         Matrix q_ref, k_ref, v_ref;
-        const Matrix q_q = trackedGemm("q", l, ln_ref, ln_q, w.wq, scheme,
-                                       kc, result.records, &q_ref);
-        const Matrix k_q = trackedGemm("k", l, ln_ref, ln_q, w.wk, scheme,
-                                       kc, result.records, &k_ref);
-        const Matrix v_q = trackedGemm("v", l, ln_ref, ln_q, w.wv, scheme,
-                                       kc, result.records, &v_ref);
+        const Matrix q_q = quantizedOpGemm("q", l, ln_ref, ln_q, w.wq,
+                                           scheme, kc, result.records,
+                                           &q_ref);
+        const Matrix k_q = quantizedOpGemm("k", l, ln_ref, ln_q, w.wk,
+                                           scheme, kc, result.records,
+                                           &k_ref);
+        const Matrix v_q = quantizedOpGemm("v", l, ln_ref, ln_q, w.wv,
+                                           scheme, kc, result.records,
+                                           &v_ref);
 
         Matrix attn_ref(input.rows(), cfg.dModel);
         Matrix attn_q(input.rows(), cfg.dModel);
@@ -110,23 +111,25 @@ runQuantized(SyntheticModel &model, const Matrix &input,
         }
 
         Matrix proj_ref;
-        const Matrix proj_q = trackedGemm("o", l, attn_ref, attn_q, w.wo,
-                                          scheme, kc, result.records,
-                                          &proj_ref);
+        const Matrix proj_q = quantizedOpGemm("o", l, attn_ref, attn_q,
+                                              w.wo, scheme, kc,
+                                              result.records, &proj_ref);
         const Matrix xo_ref = kc.axpby(1.f, proj_ref, 1.f, x.ref);
         const Matrix xo_q = kc.axpby(1.f, proj_q, 1.f, x.quant);
 
         const Matrix ln2_ref = kc.layerNorm(xo_ref, w.ln2Gain, w.ln2Bias);
         const Matrix ln2_q = kc.layerNorm(xo_q, w.ln2Gain, w.ln2Bias);
         Matrix h1_ref;
-        const Matrix h1_q = trackedGemm("fc1", l, ln2_ref, ln2_q, w.wfc1,
-                                        scheme, kc, result.records, &h1_ref);
+        const Matrix h1_q = quantizedOpGemm("fc1", l, ln2_ref, ln2_q,
+                                            w.wfc1, scheme, kc,
+                                            result.records, &h1_ref);
         const bool is_bert = cfg.family == Family::Bert;
         const Matrix act_ref = is_bert ? kc.gelu(h1_ref) : kc.relu(h1_ref);
         const Matrix act_q = is_bert ? kc.gelu(h1_q) : kc.relu(h1_q);
         Matrix h2_ref;
-        const Matrix h2_q = trackedGemm("fc2", l, act_ref, act_q, w.wfc2,
-                                        scheme, kc, result.records, &h2_ref);
+        const Matrix h2_q = quantizedOpGemm("fc2", l, act_ref, act_q,
+                                            w.wfc2, scheme, kc,
+                                            result.records, &h2_ref);
 
         x.ref = kc.axpby(1.f, h2_ref, 1.f, xo_ref);
         x.quant = kc.axpby(1.f, h2_q, 1.f, xo_q);

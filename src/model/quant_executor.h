@@ -65,6 +65,22 @@ QuantRunResult runQuantized(SyntheticModel &model, const Matrix &input,
                             const GemmScheme &scheme,
                             const ExecOptions &options = {});
 
+/**
+ * One tracked activation-weight GEMM — the per-op unit of the executor's
+ * quantized stream, exposed so single-step (decode-shaped) inputs can run
+ * the same tracked quantized path outside a full-model run (exercised on
+ * 1-row activations by tests/test_runtime.cc; the decode runtime's
+ * untracked projections go through GemmScheme::matmul). Computes the
+ * reference output from x_ref on `kc`, the quantized output from x_quant
+ * through the scheme, appends a GemmRecord, and (optionally) hands the
+ * reference output back for the caller's dual-stream bookkeeping.
+ */
+Matrix quantizedOpGemm(const std::string &op, int layer, const Matrix &x_ref,
+                       const Matrix &x_quant, const Matrix &w,
+                       const GemmScheme &scheme, const KernelContext &kc,
+                       std::vector<GemmRecord> &records,
+                       Matrix *ref_out = nullptr);
+
 /** Mean of ln(1 + nmse + damage) over the records: the scalar error
  *  measure the accuracy proxies consume (log compression keeps one
  *  catastrophic GEMM from dominating the aggregate). */

@@ -31,6 +31,19 @@ attentionHead(const Matrix &q, const Matrix &k, const Matrix &v, bool causal)
 }
 
 Matrix
+attentionHeadIncremental(const Matrix &q, const Matrix &k, const Matrix &v,
+                         int pos0, const KernelContext *kernels)
+{
+    const KernelContext &kc = kernels ? *kernels : defaultKernels();
+    TENDER_CHECK(q.cols() == k.cols() && k.rows() == v.rows());
+    TENDER_CHECK(pos0 + q.rows() <= k.rows());
+    const float inv_sqrt = 1.f / std::sqrt(float(q.cols()));
+    Matrix scores = kc.scale(kc.gemmTransposedB(q, k), inv_sqrt);
+    scores = kc.causalMaskFrom(scores, pos0);
+    return kc.gemm(kc.softmaxRows(scores), v);
+}
+
+Matrix
 blockForward(const Matrix &x, const BlockWeights &w,
              const ModelConfig &config)
 {

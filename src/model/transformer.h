@@ -18,6 +18,7 @@
 #include "model/synthetic.h"
 #include "tensor/functional.h"
 #include "tensor/gemm.h"
+#include "tensor/kernels.h"
 
 namespace tender {
 
@@ -30,6 +31,20 @@ int kvHeadOf(int q_head, int n_heads, int kv_heads);
 /** Exact attention for one head (scaled scores, optional causal mask). */
 Matrix attentionHead(const Matrix &q, const Matrix &k, const Matrix &v,
                      bool causal);
+
+/**
+ * Incremental (decode) attention for one head: `q` holds the new queries
+ * at absolute positions pos0, pos0+1, ...; `k`/`v` hold the full key/value
+ * history including the new rows (e.g. materialized from a runtime
+ * KVCache). Query r attends keys 0..pos0+r. With pos0 = 0 and a history
+ * equal to the query rows this is bit-identical to the causal
+ * attentionHead, which is what makes fp32-KV decode reproduce prefill
+ * exactly (asserted in tests/test_runtime.cc). Uses kernels == nullptr ?
+ * defaultKernels() : *kernels.
+ */
+Matrix attentionHeadIncremental(const Matrix &q, const Matrix &k,
+                                const Matrix &v, int pos0,
+                                const KernelContext *kernels = nullptr);
 
 /** Full exact forward of one block. */
 Matrix blockForward(const Matrix &x, const BlockWeights &w,

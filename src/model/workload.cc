@@ -65,4 +65,19 @@ decodeWorkload(const ModelConfig &config, int context)
     return w;
 }
 
+Workload
+batchedDecodeWorkload(const ModelConfig &config, int context, int batch)
+{
+    TENDER_REQUIRE(batch > 0, "batch must be positive");
+    Workload w = decodeWorkload(config, context);
+    for (GemmOp &op : w.blockOps) {
+        if (op.actAct)
+            op.count *= batch;
+        else
+            op.m = batch;
+    }
+    w.seqLen = batch;
+    return w;
+}
+
 } // namespace tender

@@ -52,6 +52,18 @@ Workload prefillWorkload(const ModelConfig &config, int seq_len);
 /** Generation stage: one token against a KV cache of `context` tokens. */
 Workload decodeWorkload(const ModelConfig &config, int context);
 
+/**
+ * Batched decode (Section VI-D / continuous batching): `batch` requests
+ * each advance one token against their own `context`-token KV cache.
+ * Projections and FFN GEMMs batch across requests (m = batch); attention
+ * stays per request (distinct caches), so its instance count scales.
+ * batch = 1 reproduces decodeWorkload exactly. These are the shapes the
+ * functional runtime (runtime/batch_scheduler) executes, so the simulator
+ * and the runtime agree on what a decode step is.
+ */
+Workload batchedDecodeWorkload(const ModelConfig &config, int context,
+                               int batch);
+
 } // namespace tender
 
 #endif // TENDER_MODEL_WORKLOAD_H

@@ -1,0 +1,115 @@
+#include "runtime/batch_scheduler.h"
+
+#include <algorithm>
+
+namespace tender {
+
+BatchScheduler::BatchScheduler(SyntheticModel &model,
+                               const SchedulerOptions &options)
+    : model_(model), options_(options),
+      vocab_(options.vocabSize, model.config().dModel, options.vocabSeed)
+{
+    TENDER_REQUIRE(options.maxBatch > 0, "maxBatch must be positive");
+    TENDER_REQUIRE(model.config().decoder,
+                   "the decode runtime needs a causal decoder model");
+}
+
+const KernelContext &
+BatchScheduler::kernels() const
+{
+    return options_.decode.kernels ? *options_.decode.kernels
+                                   : defaultKernels();
+}
+
+void
+BatchScheduler::submit(const GenRequest &request)
+{
+    TENDER_REQUIRE(!request.promptTokens.empty(),
+                   "a request needs a non-empty prompt");
+    TENDER_REQUIRE(request.maxNewTokens > 0,
+                   "a request must generate at least one token");
+    pending_.push_back(request);
+}
+
+bool
+BatchScheduler::step()
+{
+    // Admit (FIFO) into free batch slots. Admission order only decides
+    // *when* a request runs, never what it computes: all per-request work
+    // is row-local or cache-local.
+    while (int(active_.size()) < options_.maxBatch && !pending_.empty()) {
+        Active a{pending_.front(), KVCache(model_.config(),
+                                           options_.decode.cache),
+                 vocab_.embedAll(pending_.front().promptTokens), true, {}, 0};
+        pending_.pop_front();
+        active_.push_back(std::move(a));
+        ++stats_.admitted;
+    }
+    if (active_.empty())
+        return false;
+
+    // Stack every active request's pending rows into one step input.
+    const int d = model_.config().dModel;
+    int rows = 0;
+    for (const Active &a : active_)
+        rows += a.nextInput.rows();
+    Matrix x(rows, d);
+    std::vector<DecodeSegment> segments;
+    segments.reserve(active_.size());
+    int row = 0;
+    for (Active &a : active_) {
+        const int t = a.nextInput.rows();
+        for (int r = 0; r < t; ++r)
+            std::copy(a.nextInput.rowPtr(r), a.nextInput.rowPtr(r) + d,
+                      x.rowPtr(row + r));
+        segments.push_back({&a.cache, row, t, a.cache.length()});
+        row += t;
+        if (a.prefilling)
+            stats_.prefillRows += t;
+    }
+
+    const Matrix hidden =
+        decodeStep(model_, x, segments, options_.decode.scheme, kernels());
+    ++stats_.steps;
+    stats_.batchedRows += rows;
+
+    // Sample one greedy token per request off its last hidden row, retire
+    // the finished, and stage single-row inputs for the rest.
+    std::vector<Active> still_active;
+    still_active.reserve(active_.size());
+    for (size_t i = 0; i < active_.size(); ++i) {
+        Active &a = active_[i];
+        const DecodeSegment &seg = segments[i];
+        const int token = vocab_.argmaxToken(hidden, seg.row0 + seg.rows - 1,
+                                             kernels());
+        a.generated.push_back(token);
+        ++a.steps;
+        ++stats_.decodedTokens;
+        a.prefilling = false;
+        if (int(a.generated.size()) >= a.request.maxNewTokens) {
+            finished_.push_back({a.request.id, a.generated, a.steps});
+            ++stats_.retired;
+        } else {
+            a.nextInput = vocab_.embed(token);
+            still_active.push_back(std::move(a));
+        }
+    }
+    active_ = std::move(still_active);
+    return !active_.empty() || !pending_.empty();
+}
+
+std::vector<GenResult>
+BatchScheduler::drain()
+{
+    while (step()) {
+    }
+    std::vector<GenResult> results = std::move(finished_);
+    finished_.clear();
+    std::sort(results.begin(), results.end(),
+              [](const GenResult &a, const GenResult &b) {
+                  return a.id < b.id;
+              });
+    return results;
+}
+
+} // namespace tender

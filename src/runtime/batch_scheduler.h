@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Continuous-batching decode scheduler (the Orca-style iteration-level
+ * scheduling the paper cites for restoring decode utilization,
+ * Section VI-D).
+ *
+ * Requests are admitted and retired *per step*, not per batch: every
+ * scheduler iteration stacks the pending rows of all active requests — a
+ * freshly admitted request contributes its whole prompt (its prefill), an
+ * established one contributes one row — into a single decodeStep(), so
+ * the QKV/O/FFN projections of all requests share one GEMM each while
+ * attention stays per request over its own KVCache (parallelized over the
+ * thread pool by decodeBlockForward). A request that reaches its token
+ * budget retires immediately and its batch slot is refilled on the next
+ * step.
+ *
+ * Every per-request computation is row-local or cache-local, so the
+ * generated tokens are independent of admission order, batch size, and
+ * worker count — asserted by tests/test_runtime.cc — which is what makes
+ * the scheduler safe to drive from an async serving frontend later.
+ */
+
+#ifndef TENDER_RUNTIME_BATCH_SCHEDULER_H
+#define TENDER_RUNTIME_BATCH_SCHEDULER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "runtime/decode_engine.h"
+
+namespace tender {
+
+/** One generation request. */
+struct GenRequest
+{
+    int id = 0;
+    std::vector<int> promptTokens; ///< GreedyVocab token ids
+    int maxNewTokens = 1;
+};
+
+/** One finished request. */
+struct GenResult
+{
+    int id = 0;
+    std::vector<int> tokens; ///< greedy-decoded tokens (maxNewTokens long)
+    int steps = 0;           ///< scheduler iterations spent active
+};
+
+struct SchedulerOptions
+{
+    int maxBatch = 8;      ///< active-request cap per step
+    DecodeOptions decode;  ///< cache mode, optional scheme, kernel context
+    int vocabSize = 512;
+    uint64_t vocabSeed = 1234;
+};
+
+/** Aggregate counters (bench/diagnostics). */
+struct SchedulerStats
+{
+    int64_t steps = 0;        ///< decodeStep() iterations run
+    int64_t batchedRows = 0;  ///< total rows stacked across all steps
+    int64_t prefillRows = 0;  ///< rows that were prompt (admission) rows
+    int64_t decodedTokens = 0;
+    int64_t admitted = 0;
+    int64_t retired = 0;
+};
+
+class BatchScheduler
+{
+  public:
+    BatchScheduler(SyntheticModel &model,
+                   const SchedulerOptions &options = {});
+
+    /** Queue a request (FIFO admission). */
+    void submit(const GenRequest &request);
+
+    /** Run one continuous-batching iteration: admit up to the batch cap,
+     *  execute one stacked decodeStep, sample one greedy token per active
+     *  request, retire the finished. Returns false once fully drained. */
+    bool step();
+
+    /** Step until drained; results sorted by request id. */
+    std::vector<GenResult> drain();
+
+    int activeCount() const { return int(active_.size()); }
+    int pendingCount() const { return int(pending_.size()); }
+    const SchedulerStats &stats() const { return stats_; }
+    const GreedyVocab &vocab() const { return vocab_; }
+
+  private:
+    struct Active
+    {
+        GenRequest request;
+        KVCache cache;
+        Matrix nextInput; ///< rows for the next step (prompt at admission)
+        bool prefilling = true;
+        std::vector<int> generated;
+        int steps = 0;
+    };
+
+    const KernelContext &kernels() const;
+
+    SyntheticModel &model_;
+    SchedulerOptions options_;
+    GreedyVocab vocab_;
+    std::deque<GenRequest> pending_;
+    std::vector<Active> active_;
+    std::vector<GenResult> finished_;
+    SchedulerStats stats_;
+};
+
+} // namespace tender
+
+#endif // TENDER_RUNTIME_BATCH_SCHEDULER_H

@@ -1,0 +1,210 @@
+#include "runtime/decode_engine.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace tender {
+
+namespace {
+
+/** Segments must tile the stacked input's rows exactly, in order. */
+void
+checkSegments(const Matrix &x, const std::vector<DecodeSegment> &segments)
+{
+    TENDER_CHECK(!segments.empty());
+    int row = 0;
+    for (const DecodeSegment &seg : segments) {
+        TENDER_CHECK(seg.cache != nullptr);
+        TENDER_CHECK(seg.rows > 0 && seg.row0 == row && seg.pos0 >= 0);
+        row += seg.rows;
+    }
+    TENDER_CHECK(row == x.rows());
+}
+
+} // namespace
+
+Matrix
+decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
+                   const ModelConfig &config,
+                   const std::vector<DecodeSegment> &segments,
+                   const GemmScheme *scheme, const KernelContext &kc)
+{
+    checkSegments(x, segments);
+    const int dh = config.headDim();
+    // Fp32 projections batch across segments: they are row-local, so one
+    // GEMM over the stacked rows computes every request's result exactly.
+    // A quantizing scheme is NOT row-local — its row-chunk decomposition
+    // derives scales from whole chunks — so it runs per segment, keeping
+    // each request's quantization metadata a function of its own rows
+    // (the admission-order/batch-size independence invariant).
+    const auto project = [&](const Matrix &a, const Matrix &wm) {
+        if (!scheme)
+            return kc.gemm(a, wm);
+        Matrix y(a.rows(), wm.cols());
+        for (const DecodeSegment &seg : segments) {
+            const Matrix ys =
+                scheme->matmul(a.rowSlice(seg.row0, seg.row0 + seg.rows),
+                               wm);
+            for (int r = 0; r < seg.rows; ++r)
+                std::copy(ys.rowPtr(r), ys.rowPtr(r) + ys.cols(),
+                          y.rowPtr(seg.row0 + r));
+        }
+        return y;
+    };
+
+    const Matrix ln1 = kc.layerNorm(x, w.ln1Gain, w.ln1Bias);
+    const Matrix xq = project(ln1, w.wq);
+    const Matrix xk = project(ln1, w.wk);
+    const Matrix xv = project(ln1, w.wv);
+
+    // Per-segment K/V appends (requantization in quantized caches) are
+    // independent — each task touches only its own cache.
+    kc.parallelFor(0, int64_t(segments.size()), 1,
+                   [&](int64_t s0, int64_t s1) {
+        for (int64_t si = s0; si < s1; ++si) {
+            const DecodeSegment &seg = segments[size_t(si)];
+            seg.cache->append(layer,
+                              xk.rowSlice(seg.row0, seg.row0 + seg.rows),
+                              xv.rowSlice(seg.row0, seg.row0 + seg.rows));
+        }
+    });
+
+    // Materialize each (segment, kv-head) history exactly once — under
+    // grouped-query attention several query heads share a kv head, and in
+    // quantized mode every materialization is a full dequantize pass.
+    const int kv_heads = config.kvHeads;
+    std::vector<Matrix> keys(segments.size() * size_t(kv_heads));
+    std::vector<Matrix> values(segments.size() * size_t(kv_heads));
+    kc.parallelFor(0, int64_t(segments.size()) * int64_t(kv_heads), 1,
+                   [&](int64_t t0, int64_t t1) {
+        for (int64_t t = t0; t < t1; ++t) {
+            const DecodeSegment &seg =
+                segments[size_t(t) / size_t(kv_heads)];
+            const int kvh = int(t % int64_t(kv_heads));
+            keys[size_t(t)] = seg.cache->keys(layer, kvh);
+            values[size_t(t)] = seg.cache->values(layer, kvh);
+        }
+    });
+
+    // Attention stays per request (distinct KV histories); (segment, head)
+    // tasks write disjoint output tiles, so the parallel fan-out is
+    // bit-reproducible with any worker count.
+    Matrix attn(x.rows(), config.dModel);
+    kc.parallelFor(0, int64_t(segments.size()) * int64_t(config.nHeads), 1,
+                   [&](int64_t t0, int64_t t1) {
+        for (int64_t t = t0; t < t1; ++t) {
+            const size_t si = size_t(t) / size_t(config.nHeads);
+            const DecodeSegment &seg = segments[si];
+            const int h = int(t % int64_t(config.nHeads));
+            const int kvh = kvHeadOf(h, config.nHeads, config.kvHeads);
+            const size_t ki = si * size_t(kv_heads) + size_t(kvh);
+            const Matrix qh =
+                headSlice(xq.rowSlice(seg.row0, seg.row0 + seg.rows), h, dh);
+            const Matrix out = attentionHeadIncremental(qh, keys[ki],
+                                                        values[ki],
+                                                        seg.pos0, &kc);
+            for (int r = 0; r < out.rows(); ++r)
+                for (int c = 0; c < dh; ++c)
+                    attn(seg.row0 + r, h * dh + c) = out(r, c);
+        }
+    });
+
+    const Matrix xo = kc.axpby(1.f, project(attn, w.wo), 1.f, x);
+    const Matrix ln2 = kc.layerNorm(xo, w.ln2Gain, w.ln2Bias);
+    const Matrix h1 = project(ln2, w.wfc1);
+    const Matrix hidden =
+        config.family == Family::Bert ? kc.gelu(h1) : kc.relu(h1);
+    return kc.axpby(1.f, project(hidden, w.wfc2), 1.f, xo);
+}
+
+Matrix
+decodeStep(SyntheticModel &model, const Matrix &x,
+           const std::vector<DecodeSegment> &segments,
+           const GemmScheme *scheme, const KernelContext &kc)
+{
+    const ModelConfig &cfg = model.config();
+    TENDER_REQUIRE(cfg.decoder,
+                   "the decode runtime needs a causal decoder model");
+    TENDER_CHECK(x.cols() == cfg.dModel);
+    checkSegments(x, segments);
+    Matrix h = x;
+    for (int l = 0; l < cfg.nLayers; ++l)
+        h = decodeBlockForward(h, l, model.blockWeights(l), cfg, segments,
+                               scheme, kc);
+    return h;
+}
+
+DecodeEngine::DecodeEngine(SyntheticModel &model,
+                           const DecodeOptions &options)
+    : model_(model), options_(options), cache_(model.config(), options.cache)
+{
+    TENDER_REQUIRE(model.config().decoder,
+                   "the decode runtime needs a causal decoder model");
+}
+
+Matrix
+DecodeEngine::prefill(const Matrix &prompt)
+{
+    TENDER_REQUIRE(cache_.length() == 0,
+                   "prefill must run before any decode step");
+    return step(prompt);
+}
+
+Matrix
+DecodeEngine::step(const Matrix &x_new)
+{
+    TENDER_CHECK(x_new.rows() > 0 &&
+                 x_new.cols() == model_.config().dModel);
+    const KernelContext &kc =
+        options_.kernels ? *options_.kernels : defaultKernels();
+    std::vector<DecodeSegment> segments{
+        {&cache_, 0, x_new.rows(), cache_.length()}};
+    return decodeStep(model_, x_new, segments, options_.scheme, kc);
+}
+
+GreedyVocab::GreedyVocab(int vocab_size, int d_model, uint64_t seed)
+{
+    TENDER_REQUIRE(vocab_size > 0 && d_model > 0,
+                   "GreedyVocab needs positive vocab and model dims");
+    Rng rng(seed);
+    embedding_ = randomGaussian(vocab_size, d_model, rng);
+    readout_ = randomGaussian(vocab_size, d_model, rng);
+}
+
+Matrix
+GreedyVocab::embed(int token) const
+{
+    TENDER_CHECK(token >= 0 && token < size());
+    return embedding_.rowSlice(token, token + 1);
+}
+
+Matrix
+GreedyVocab::embedAll(const std::vector<int> &tokens) const
+{
+    TENDER_CHECK(!tokens.empty());
+    Matrix out(int(tokens.size()), embedding_.cols());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        const Matrix row = embed(tokens[i]);
+        std::copy(row.rowPtr(0), row.rowPtr(0) + row.cols(),
+                  out.rowPtr(int(i)));
+    }
+    return out;
+}
+
+int
+GreedyVocab::argmaxToken(const Matrix &hidden, int row,
+                         const KernelContext &kc) const
+{
+    TENDER_CHECK(row >= 0 && row < hidden.rows());
+    TENDER_CHECK(hidden.cols() == embedding_.cols());
+    const Matrix logits =
+        kc.gemmTransposedB(hidden.rowSlice(row, row + 1), readout_);
+    int best = 0;
+    for (int t = 1; t < logits.cols(); ++t)
+        if (logits(0, t) > logits(0, best))
+            best = t;
+    return best;
+}
+
+} // namespace tender

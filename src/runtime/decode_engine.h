@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Token-by-token decode execution of a SyntheticModel against a KVCache.
+ *
+ * The core is decodeStep(): one prefill-or-decode iteration over a batch
+ * of *segments* — disjoint row ranges of a stacked input matrix, each
+ * belonging to one request's cache. Fp32 QKV/O/FFN projections run as
+ * single GEMMs over the stacked rows (they are row-local, so batching
+ * changes nothing numerically; a quantizing scheme runs per segment
+ * instead, because its chunk scales are not row-local), K/V rows are
+ * appended to each segment's cache, and
+ * attention runs per (segment, head) with attentionHeadIncremental over
+ * the materialized history — parallelized across the KernelContext's
+ * thread pool with disjoint output writes, so results are bit-identical
+ * for any worker count.
+ *
+ * DecodeEngine wraps one cache (one request): prefill() consumes the
+ * prompt in a single step, step() extends it. With an Fp32 cache the
+ * hidden states are bit-identical to modelForward over the concatenated
+ * input; with a TenderQuantized cache they carry exactly the cache's
+ * storage error. An optional GemmScheme routes the six weight GEMMs
+ * through the quantized per-op path (the executor's "quantized stream")
+ * so Tender itself can run the projections on single-step inputs.
+ *
+ * GreedyVocab closes the generation loop without a learned LM head: a
+ * deterministic synthetic embedding table maps hidden states to logits
+ * (tied weights) and token ids back to input rows.
+ */
+
+#ifndef TENDER_RUNTIME_DECODE_ENGINE_H
+#define TENDER_RUNTIME_DECODE_ENGINE_H
+
+#include <vector>
+
+#include "model/transformer.h"
+#include "quant/scheme.h"
+#include "runtime/kv_cache.h"
+
+namespace tender {
+
+/** One request's slice of a stacked decode-step input. */
+struct DecodeSegment
+{
+    KVCache *cache = nullptr;
+    int row0 = 0; ///< first row of this segment in the stacked input
+    int rows = 0; ///< new tokens this step (prompt length at admission)
+    int pos0 = 0; ///< absolute position of the first new token
+};
+
+/** Decode execution options. */
+struct DecodeOptions
+{
+    KVCacheConfig cache;
+    /** When set, the weight GEMMs (q/k/v/o/fc1/fc2) run through
+     *  scheme->matmul — the quantized per-op path — instead of the fp32
+     *  kernel. The scheme dispatches on its own KernelContext
+     *  (GemmScheme::kernels()); pin both contexts when a run must be
+     *  single-backend end to end. Must outlive the engine. */
+    const GemmScheme *scheme = nullptr;
+    /** Kernel context for everything else; nullptr = defaultKernels().
+     *  Must outlive the engine. */
+    const KernelContext *kernels = nullptr;
+};
+
+/**
+ * One transformer block over a stacked step input. Segments must tile
+ * x's rows exactly; each segment's cache gets its layer-`layer` K/V rows
+ * appended before attention reads them back.
+ */
+Matrix decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
+                          const ModelConfig &config,
+                          const std::vector<DecodeSegment> &segments,
+                          const GemmScheme *scheme, const KernelContext &kc);
+
+/** All blocks of the model over one stacked step input. */
+Matrix decodeStep(SyntheticModel &model, const Matrix &x,
+                  const std::vector<DecodeSegment> &segments,
+                  const GemmScheme *scheme, const KernelContext &kc);
+
+/** Single-request decode runtime. */
+class DecodeEngine
+{
+  public:
+    explicit DecodeEngine(SyntheticModel &model,
+                          const DecodeOptions &options = {});
+
+    /** Consume the prompt (t x dModel) in one batched step; returns the
+     *  t hidden rows. Callable once, before any step(). */
+    Matrix prefill(const Matrix &prompt);
+
+    /** Extend the sequence by t new embedding rows; returns t hidden
+     *  rows. */
+    Matrix step(const Matrix &x_new);
+
+    /** Tokens processed so far. */
+    int position() const { return cache_.length(); }
+
+    const KVCache &cache() const { return cache_; }
+
+  private:
+    SyntheticModel &model_;
+    DecodeOptions options_;
+    KVCache cache_;
+};
+
+/**
+ * Deterministic synthetic vocabulary for closed-loop greedy generation:
+ * embed() turns a token id into an input row, argmaxToken() projects a
+ * hidden row onto an *untied* readout matrix and returns the greedy token
+ * (ties break toward the lowest id, so generation is reproducible across
+ * backends by the kernel layer's bit-determinism). The readout is untied
+ * from the embedding on purpose: the residual stream preserves the input
+ * embedding, so a tied readout degenerates to echoing the previous token,
+ * whereas the untied head yields history-dependent trajectories that
+ * actually exercise the KV cache.
+ */
+class GreedyVocab
+{
+  public:
+    GreedyVocab(int vocab_size, int d_model, uint64_t seed);
+
+    int size() const { return embedding_.rows(); }
+
+    /** 1 x dModel input row for a token id. */
+    Matrix embed(int token) const;
+
+    /** Embedding rows for a token sequence (prompt construction). */
+    Matrix embedAll(const std::vector<int> &tokens) const;
+
+    /** Greedy next token from row `row` of a hidden-state matrix. */
+    int argmaxToken(const Matrix &hidden, int row,
+                    const KernelContext &kc) const;
+
+  private:
+    Matrix embedding_; ///< vocab x dModel input rows
+    Matrix readout_;   ///< vocab x dModel untied LM head
+};
+
+} // namespace tender
+
+#endif // TENDER_RUNTIME_DECODE_ENGINE_H

@@ -1,0 +1,184 @@
+#include "runtime/kv_cache.h"
+
+#include <algorithm>
+
+#include "core/decompose.h"
+
+namespace tender {
+
+KVCache::KVCache(const ModelConfig &model, const KVCacheConfig &config)
+    : model_(model), config_(config), headDim_(model.headDim()),
+      layerLength_(size_t(model.nLayers), 0),
+      stores_(size_t(model.nLayers) * size_t(model.kvHeads) * 2)
+{
+    TENDER_REQUIRE(model.nLayers > 0 && model.kvHeads > 0 &&
+                   model.headDim() > 0,
+                   "KVCache needs a concrete model configuration");
+}
+
+KVCache::Store &
+KVCache::storeOf(int layer, int head, bool value)
+{
+    TENDER_CHECK(layer >= 0 && layer < model_.nLayers);
+    TENDER_CHECK(head >= 0 && head < model_.kvHeads);
+    const size_t idx =
+        (size_t(layer) * size_t(model_.kvHeads) + size_t(head)) * 2 +
+        (value ? 1 : 0);
+    return stores_[idx];
+}
+
+const KVCache::Store &
+KVCache::storeOf(int layer, int head, bool value) const
+{
+    return const_cast<KVCache *>(this)->storeOf(layer, head, value);
+}
+
+void
+KVCache::appendStore(Store &store, const Matrix &rows, int head)
+{
+    const int dh = headDim_;
+    const int c0 = head * dh;
+    if (config_.mode == KVCacheMode::Fp32) {
+        for (int r = 0; r < rows.rows(); ++r) {
+            const float *src = rows.rowPtr(r) + c0;
+            store.rows.insert(store.rows.end(), src, src + dh);
+        }
+        return;
+    }
+
+    // TenderQuantized: stage the new rows into the open chunk, freezing
+    // full chunks as they complete. rowChunk <= 0 keeps one growing chunk
+    // whose whole history is requantized on every append.
+    const int row_chunk = config_.tender.rowChunk;
+    for (int r = 0; r < rows.rows(); ++r) {
+        const float *src = rows.rowPtr(r) + c0;
+        store.rows.insert(store.rows.end(), src, src + dh);
+        ++store.openRows;
+        if (row_chunk > 0 && store.openRows == row_chunk) {
+            Matrix chunk(store.openRows, dh);
+            std::copy(store.rows.begin(), store.rows.end(),
+                      chunk.data().begin());
+            const ChunkMeta meta = decomposeChunk(chunk, config_.tender);
+            store.frozen.push_back(
+                quantizeChunk(chunk, meta, config_.tender.bits));
+            store.rows.clear();
+            store.openRows = 0;
+        }
+    }
+    // Runtime requantization of the open chunk: its decomposition is
+    // recomputed over the rows present so far, so reads always see fully
+    // quantized storage (never the fp32 staging rows).
+    if (store.openRows > 0) {
+        Matrix chunk(store.openRows, dh);
+        std::copy(store.rows.begin(), store.rows.end(),
+                  chunk.data().begin());
+        const ChunkMeta meta = decomposeChunk(chunk, config_.tender);
+        store.open = quantizeChunk(chunk, meta, config_.tender.bits);
+    }
+}
+
+void
+KVCache::append(int layer, const Matrix &k_rows, const Matrix &v_rows)
+{
+    TENDER_CHECK(layer >= 0 && layer < model_.nLayers);
+    const int t = k_rows.rows();
+    TENDER_CHECK(t > 0 && v_rows.rows() == t);
+    TENDER_CHECK(k_rows.cols() == model_.kvHeads * headDim_);
+    TENDER_CHECK(v_rows.cols() == model_.kvHeads * headDim_);
+    // Either the first layer of a new step (advancing length) or a later
+    // layer catching up to it; anything else is a double/missed append.
+    TENDER_CHECK_MSG(layerLength_[size_t(layer)] == length_ ||
+                     layerLength_[size_t(layer)] + t == length_,
+                     "KVCache::append: layer " << layer
+                     << " out of step (layer length "
+                     << layerLength_[size_t(layer)] << ", cache length "
+                     << length_ << ", appending " << t << ")");
+
+    for (int h = 0; h < model_.kvHeads; ++h) {
+        appendStore(storeOf(layer, h, false), k_rows, h);
+        appendStore(storeOf(layer, h, true), v_rows, h);
+    }
+    layerLength_[size_t(layer)] += t;
+    length_ = std::max(length_, layerLength_[size_t(layer)]);
+}
+
+Matrix
+KVCache::materialize(const Store &store) const
+{
+    if (config_.mode == KVCacheMode::Fp32) {
+        const int rows = int(store.rows.size() / size_t(headDim_));
+        Matrix out(rows, headDim_);
+        std::copy(store.rows.begin(), store.rows.end(), out.data().begin());
+        return out;
+    }
+    int rows = store.openRows;
+    for (const QuantizedChunk &qc : store.frozen)
+        rows += qc.codes.rows();
+    Matrix out(rows, headDim_);
+    int r0 = 0;
+    auto emit = [&](const QuantizedChunk &qc) {
+        const Matrix deq = dequantizeChunk(qc);
+        for (int r = 0; r < deq.rows(); ++r)
+            std::copy(deq.rowPtr(r), deq.rowPtr(r) + headDim_,
+                      out.rowPtr(r0 + r));
+        r0 += deq.rows();
+    };
+    for (const QuantizedChunk &qc : store.frozen)
+        emit(qc);
+    if (store.openRows > 0)
+        emit(store.open);
+    return out;
+}
+
+Matrix
+KVCache::keys(int layer, int head) const
+{
+    return materialize(storeOf(layer, head, false));
+}
+
+Matrix
+KVCache::values(int layer, int head) const
+{
+    return materialize(storeOf(layer, head, true));
+}
+
+size_t
+KVCache::storedBytes() const
+{
+    size_t bytes = 0;
+    if (config_.mode == KVCacheMode::Fp32) {
+        for (const Store &s : stores_)
+            bytes += s.rows.size() * sizeof(float);
+        return bytes;
+    }
+    const int bits = config_.tender.bits;
+    const int groups = config_.tender.numGroups;
+    auto chunkBytes = [&](int rows) {
+        // Packed codes + per-chunk metadata: fp32 bias and a 1-byte scale
+        // index per channel, fp32 scale per group (the Index Buffer /
+        // scale-table contents of Section IV-D).
+        size_t b = (size_t(rows) * size_t(headDim_) * size_t(bits) + 7) / 8;
+        b += size_t(headDim_) * (sizeof(float) + 1);
+        b += size_t(groups) * sizeof(float);
+        return b;
+    };
+    for (const Store &s : stores_) {
+        for (const QuantizedChunk &qc : s.frozen)
+            bytes += chunkBytes(qc.codes.rows());
+        if (s.openRows > 0)
+            bytes += chunkBytes(s.openRows);
+    }
+    return bytes;
+}
+
+size_t
+KVCache::fp32Bytes() const
+{
+    size_t tokens = 0;
+    for (size_t l = 0; l < layerLength_.size(); ++l)
+        tokens += size_t(layerLength_[l]);
+    return tokens * size_t(model_.kvHeads) * size_t(headDim_) * 2 *
+        sizeof(float);
+}
+
+} // namespace tender

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Per-layer, per-head append-only K/V storage for the decode runtime.
+ *
+ * Two modes share one interface:
+ *
+ *  - Fp32: rows are stored verbatim — the numerical reference. Decode
+ *    against an Fp32 cache is bit-identical to running prefill over the
+ *    full sequence (asserted in tests/test_runtime.cc).
+ *  - TenderQuantized: rows are stored as int8 codes grouped into
+ *    row-chunks of `tender.rowChunk` tokens. Each chunk carries Tender
+ *    per-chunk metadata (channel decomposition into power-of-two scale
+ *    groups, per-channel scale indices, per-channel bias) produced by
+ *    core/decompose + core/tender_quant. A chunk is *requantized at append
+ *    time*: while it is still filling, its metadata is recomputed over the
+ *    rows present so far — the runtime-requantization analogue of the
+ *    paper's Section V-A claim that Tender "still works and provides
+ *    benefits" during generation — and frozen once the chunk is full.
+ *    Reads dequantize, so every consumer sees the storage error exactly
+ *    once.
+ *
+ * Storage is keyed (layer, kv-head, K|V); appends to different caches or
+ * different layers are independent, which is what lets the batch scheduler
+ * parallelize appends and attention across requests.
+ */
+
+#ifndef TENDER_RUNTIME_KV_CACHE_H
+#define TENDER_RUNTIME_KV_CACHE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/tender_quant.h"
+#include "model/config.h"
+#include "tensor/matrix.h"
+
+namespace tender {
+
+enum class KVCacheMode { Fp32, TenderQuantized };
+
+/** Cache configuration; `tender` is only consulted in quantized mode. */
+struct KVCacheConfig
+{
+    KVCacheMode mode = KVCacheMode::Fp32;
+    /** Quantization parameters for TenderQuantized. rowChunk counts cached
+     *  *tokens* per chunk (smaller chunks track per-token variance more
+     *  tightly at slightly more metadata; Section III-C's chunking
+     *  argument). checkOverflow is irrelevant here — the cache only
+     *  quantizes and dequantizes, it never runs the integer GEMM. */
+    TenderConfig tender;
+
+    KVCacheConfig() { tender.rowChunk = 32; }
+};
+
+class KVCache
+{
+  public:
+    KVCache(const ModelConfig &model, const KVCacheConfig &config);
+
+    const KVCacheConfig &config() const { return config_; }
+
+    /** Tokens stored (identical across layers once a step completes). */
+    int length() const { return length_; }
+
+    /**
+     * Append `t` projected rows (t x kvHeads*headDim) of keys and values
+     * for one layer. Every layer must see the same row count each step;
+     * the first completed append of a step advances length().
+     */
+    void append(int layer, const Matrix &k_rows, const Matrix &v_rows);
+
+    /** Materialized key history of (layer, kv-head): length() x headDim.
+     *  Fp32 mode returns the stored rows; quantized mode dequantizes. */
+    Matrix keys(int layer, int head) const;
+
+    /** Materialized value history, same contract as keys(). */
+    Matrix values(int layer, int head) const;
+
+    /** Modeled bytes held by the cache payload: 4 B/element for Fp32;
+     *  codes at bits/8 B/element plus per-chunk metadata (fp32 bias +
+     *  1-B scale index per channel, fp32 per-group scales) for
+     *  TenderQuantized. */
+    size_t storedBytes() const;
+
+    /** What Fp32 storage of the same history would cost (comparison). */
+    size_t fp32Bytes() const;
+
+  private:
+    /** One of K or V for one (layer, kv-head). */
+    struct Store
+    {
+        std::vector<float> rows;           ///< Fp32 payload / open-chunk rows
+        int openRows = 0;                  ///< rows pending in the open chunk
+        QuantizedChunk open;               ///< requantized on every append
+        std::vector<QuantizedChunk> frozen;
+    };
+
+    Store &storeOf(int layer, int head, bool value);
+    const Store &storeOf(int layer, int head, bool value) const;
+    void appendStore(Store &store, const Matrix &rows, int head);
+    Matrix materialize(const Store &store) const;
+
+    ModelConfig model_;
+    KVCacheConfig config_;
+    int headDim_ = 0;
+    int length_ = 0;
+    std::vector<int> layerLength_;  ///< per-layer appended rows
+    std::vector<Store> stores_;     ///< [layer][head][K,V] flattened
+};
+
+} // namespace tender
+
+#endif // TENDER_RUNTIME_KV_CACHE_H

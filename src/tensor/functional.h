@@ -34,6 +34,14 @@ Matrix scale(const Matrix &m, float s);
  */
 Matrix causalMask(const Matrix &scores);
 
+/**
+ * Causal mask for incremental (decode) attention: score rows are queries
+ * at absolute positions pos0, pos0+1, ...; columns are keys 0..len-1, so
+ * entry (r, c) is masked when c > pos0 + r. causalMaskFrom(m, 0) on a
+ * square m equals causalMask(m).
+ */
+Matrix causalMaskFrom(const Matrix &scores, int pos0);
+
 /** Range bodies shared by the serial functions above and the threaded
  *  backend of tensor/kernels.h (identical per-element arithmetic). */
 namespace functional_detail {
@@ -45,6 +53,8 @@ void layerNormRange(const Matrix &m, const Matrix &gain, const Matrix &bias,
 void reluRange(Matrix &out, size_t i0, size_t i1);
 void geluRange(Matrix &out, size_t i0, size_t i1);
 void scaleRange(Matrix &out, float s, size_t i0, size_t i1);
+/** Row-wise mask body over rows [r0, r1); out pre-filled with scores. */
+void causalMaskFromRange(Matrix &out, int pos0, int r0, int r1);
 
 } // namespace functional_detail
 

@@ -81,6 +81,9 @@ class KernelContext
     Matrix softmaxRows(const Matrix &m) const;
     Matrix layerNorm(const Matrix &m, const Matrix &gain, const Matrix &bias,
                      float eps = 1e-5f) const;
+    /** Decode-time causal mask (see causalMaskFrom in functional.h);
+     *  pos0 = 0 on a square input reproduces the prefill causalMask. */
+    Matrix causalMaskFrom(const Matrix &scores, int pos0) const;
 
   private:
     Backend backend_;

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Tests for the decode runtime (src/runtime/): KV cache modes, incremental
+ * attention, the decode engine's prefill/step equivalence with full
+ * prefill, quantized-cache error behaviour, and the continuous-batching
+ * scheduler's independence from admission order, batch size, and worker
+ * count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tender_scheme.h"
+#include "model/quant_executor.h"
+#include "model/workload.h"
+#include "quant/metrics.h"
+#include "runtime/batch_scheduler.h"
+#include "runtime/decode_engine.h"
+#include "util/rng.h"
+
+namespace tender {
+namespace {
+
+ModelConfig
+smallDecoder(int kv_heads = 4)
+{
+    ModelConfig cfg;
+    cfg.name = "runtime-test";
+    cfg.family = Family::Opt;
+    cfg.dModel = 64;
+    cfg.nHeads = 4;
+    cfg.kvHeads = kv_heads;
+    cfg.nLayers = 2;
+    cfg.dFfn = 128;
+    cfg.decoder = true;
+    return cfg;
+}
+
+/** Teacher-forced decode: prefill `prefill_rows`, then step the remaining
+ *  rows of `input` in steps of `step_rows`; returns the stacked hidden
+ *  rows in input order. */
+Matrix
+teacherForcedDecode(SyntheticModel &model, const Matrix &input,
+                    int prefill_rows, int step_rows,
+                    const DecodeOptions &options)
+{
+    DecodeEngine engine(model, options);
+    Matrix out(input.rows(), input.cols());
+    const Matrix pre = engine.prefill(input.rowSlice(0, prefill_rows));
+    for (int r = 0; r < prefill_rows; ++r)
+        for (int c = 0; c < input.cols(); ++c)
+            out(r, c) = pre(r, c);
+    int r = prefill_rows;
+    while (r < input.rows()) {
+        const int t = std::min(step_rows, input.rows() - r);
+        const Matrix h = engine.step(input.rowSlice(r, r + t));
+        for (int i = 0; i < t; ++i)
+            for (int c = 0; c < input.cols(); ++c)
+                out(r + i, c) = h(i, c);
+        r += t;
+    }
+    return out;
+}
+
+TEST(IncrementalAttention, MatchesCausalAttentionHead)
+{
+    Rng rng(1);
+    const Matrix q = randomGaussian(10, 16, rng);
+    const Matrix k = randomGaussian(10, 16, rng);
+    const Matrix v = randomGaussian(10, 16, rng);
+    setDefaultKernels(Backend::Serial);
+    const Matrix full = attentionHead(q, k, v, /*causal=*/true);
+    const Matrix inc = attentionHeadIncremental(q, k, v, /*pos0=*/0);
+    EXPECT_TRUE(full == inc);
+
+    // Row-by-row incremental against growing history: bit-identical rows.
+    for (int r = 0; r < q.rows(); ++r) {
+        const Matrix row = attentionHeadIncremental(
+            q.rowSlice(r, r + 1), k.rowSlice(0, r + 1),
+            v.rowSlice(0, r + 1), r);
+        EXPECT_TRUE(row == full.rowSlice(r, r + 1)) << "row " << r;
+    }
+}
+
+TEST(DecodeEngine, Fp32CacheMatchesPrefillBitExact)
+{
+    for (int kv_heads : {4, 2}) {
+        SyntheticModel model(smallDecoder(kv_heads), 7);
+        const Matrix input = model.sampleInput(24, 3);
+        for (int workers : {1, 3}) {
+            setDefaultKernels(Backend::Threaded, workers);
+            const Matrix full = modelForward(model, input);
+            const Matrix dec =
+                teacherForcedDecode(model, input, 8, 1, DecodeOptions{});
+            EXPECT_EQ(0.f, maxAbsDiff(full, dec))
+                << "kvHeads=" << kv_heads << " workers=" << workers;
+            EXPECT_TRUE(full == dec);
+        }
+        setDefaultKernels(Backend::Serial);
+        const Matrix full = modelForward(model, input);
+        // Multi-token steps (speculative-decode shape) are equally exact.
+        const Matrix dec =
+            teacherForcedDecode(model, input, 8, 3, DecodeOptions{});
+        EXPECT_TRUE(full == dec) << "kvHeads=" << kv_heads;
+    }
+}
+
+TEST(DecodeEngine, QuantizedCacheTracksFp32AndImprovesWithSmallerChunks)
+{
+    setDefaultKernels(Backend::Serial);
+    SyntheticModel model(smallDecoder(), 9);
+    const Matrix input = model.sampleInput(40, 5);
+    const Matrix ref = teacherForcedDecode(model, input, 8, 1,
+                                           DecodeOptions{});
+
+    auto quantized_error = [&](int row_chunk) {
+        DecodeOptions options;
+        options.cache.mode = KVCacheMode::TenderQuantized;
+        options.cache.tender.rowChunk = row_chunk;
+        const Matrix q = teacherForcedDecode(model, input, 8, 1, options);
+        return nmse(ref, q);
+    };
+
+    const double e_small = quantized_error(4);
+    const double e_large = quantized_error(32);
+    EXPECT_LT(e_large, 2e-3);
+    EXPECT_LT(e_small, e_large);
+}
+
+TEST(KVCache, QuantizedStorageIsSmallerThanFp32)
+{
+    setDefaultKernels(Backend::Serial);
+    SyntheticModel model(smallDecoder(), 13);
+    const Matrix input = model.sampleInput(32, 2);
+
+    DecodeOptions options;
+    options.cache.mode = KVCacheMode::TenderQuantized;
+    options.cache.tender.rowChunk = 16;
+    DecodeEngine engine(model, options);
+    engine.prefill(input);
+    EXPECT_EQ(32, engine.position());
+    const size_t quant = engine.cache().storedBytes();
+    const size_t fp32 = engine.cache().fp32Bytes();
+    EXPECT_LT(quant, fp32 / 2); // int8 codes + metadata vs 4 B/element
+    EXPECT_GT(quant, 0u);
+
+    DecodeEngine ref(model, DecodeOptions{});
+    ref.prefill(input);
+    EXPECT_EQ(ref.cache().storedBytes(), ref.cache().fp32Bytes());
+}
+
+TEST(BatchScheduler, OutputIndependentOfAdmissionOrderBatchAndWorkers)
+{
+    SyntheticModel model(smallDecoder(), 11);
+    std::vector<GenRequest> requests = {
+        {0, {1, 2, 3}, 4},
+        {1, {7, 5, 9, 11, 2}, 3},
+        {2, {4}, 6},
+        {3, {8, 8, 8, 1}, 2},
+        {4, {30, 31, 32, 33, 34, 35}, 5},
+    };
+
+    auto run = [&](bool reversed, int max_batch, Backend backend,
+                   int workers) {
+        KernelContext kc(backend, workers);
+        SchedulerOptions options;
+        options.maxBatch = max_batch;
+        options.vocabSize = 64;
+        options.decode.kernels = &kc;
+        BatchScheduler scheduler(model, options);
+        if (reversed)
+            for (auto it = requests.rbegin(); it != requests.rend(); ++it)
+                scheduler.submit(*it);
+        else
+            for (const GenRequest &r : requests)
+                scheduler.submit(r);
+        return scheduler.drain();
+    };
+
+    const auto baseline = run(false, 2, Backend::Serial, 1);
+    ASSERT_EQ(requests.size(), baseline.size());
+    for (size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(int(i), baseline[i].id);
+        EXPECT_EQ(size_t(requests[i].maxNewTokens),
+                  baseline[i].tokens.size());
+    }
+
+    for (const auto &result :
+         {run(true, 2, Backend::Serial, 1), run(false, 4, Backend::Serial, 1),
+          run(true, 8, Backend::Threaded, 1),
+          run(false, 3, Backend::Threaded, 3),
+          run(true, 5, Backend::Threaded, 4)}) {
+        ASSERT_EQ(baseline.size(), result.size());
+        for (size_t i = 0; i < baseline.size(); ++i) {
+            EXPECT_EQ(baseline[i].id, result[i].id);
+            EXPECT_EQ(baseline[i].tokens, result[i].tokens) << "id " << i;
+        }
+    }
+}
+
+TEST(BatchScheduler, QuantizedSchemeIsBatchIndependentToo)
+{
+    // A quantizing scheme's chunk scales are not row-local, so the
+    // runtime must apply it per segment: a request's tokens may not
+    // depend on which other requests shared its steps.
+    SyntheticModel model(smallDecoder(), 19);
+    std::vector<GenRequest> requests = {
+        {0, {3, 1, 4, 1, 5}, 3}, {1, {2, 7}, 4}, {2, {6, 6, 6}, 2}};
+
+    auto run = [&](bool reversed, int max_batch, Backend backend,
+                   int workers) {
+        KernelContext kc(backend, workers);
+        TenderConfig tcfg;
+        tcfg.rowChunk = 4;
+        TenderScheme scheme(tcfg);
+        scheme.setKernels(&kc);
+        SchedulerOptions options;
+        options.maxBatch = max_batch;
+        options.vocabSize = 64;
+        options.decode.kernels = &kc;
+        options.decode.scheme = &scheme;
+        options.decode.cache.mode = KVCacheMode::TenderQuantized;
+        options.decode.cache.tender.rowChunk = 8;
+        BatchScheduler scheduler(model, options);
+        if (reversed)
+            for (auto it = requests.rbegin(); it != requests.rend(); ++it)
+                scheduler.submit(*it);
+        else
+            for (const GenRequest &r : requests)
+                scheduler.submit(r);
+        return scheduler.drain();
+    };
+
+    const auto baseline = run(false, 1, Backend::Serial, 1); // unbatched
+    for (const auto &result :
+         {run(false, 3, Backend::Serial, 1),
+          run(true, 2, Backend::Serial, 1),
+          run(true, 3, Backend::Threaded, 3)}) {
+        ASSERT_EQ(baseline.size(), result.size());
+        for (size_t i = 0; i < baseline.size(); ++i) {
+            EXPECT_EQ(baseline[i].id, result[i].id);
+            EXPECT_EQ(baseline[i].tokens, result[i].tokens) << "id " << i;
+        }
+    }
+}
+
+TEST(BatchScheduler, MatchesUnbatchedDecodeEngine)
+{
+    SyntheticModel model(smallDecoder(), 11);
+    KernelContext kc(Backend::Serial);
+    SchedulerOptions options;
+    options.maxBatch = 3;
+    options.vocabSize = 64;
+    options.decode.kernels = &kc;
+
+    std::vector<GenRequest> requests = {
+        {0, {1, 2, 3}, 4}, {1, {9, 4}, 3}, {2, {5, 6, 7, 8}, 5}};
+    BatchScheduler scheduler(model, options);
+    for (const GenRequest &r : requests)
+        scheduler.submit(r);
+    const auto batched = scheduler.drain();
+
+    // The same vocabulary the scheduler built internally.
+    GreedyVocab vocab(options.vocabSize, model.config().dModel,
+                     options.vocabSeed);
+    for (size_t i = 0; i < requests.size(); ++i) {
+        DecodeOptions dopt;
+        dopt.kernels = &kc;
+        DecodeEngine engine(model, dopt);
+        std::vector<int> tokens;
+        Matrix h = engine.prefill(vocab.embedAll(requests[i].promptTokens));
+        int token = vocab.argmaxToken(h, h.rows() - 1, kc);
+        tokens.push_back(token);
+        while (int(tokens.size()) < requests[i].maxNewTokens) {
+            h = engine.step(vocab.embed(token));
+            token = vocab.argmaxToken(h, 0, kc);
+            tokens.push_back(token);
+        }
+        EXPECT_EQ(tokens, batched[i].tokens) << "request " << i;
+    }
+}
+
+TEST(BatchScheduler, ContinuousAdmissionRefillsSlots)
+{
+    SyntheticModel model(smallDecoder(), 17);
+    KernelContext kc(Backend::Serial);
+    SchedulerOptions options;
+    options.maxBatch = 2;
+    options.vocabSize = 32;
+    options.decode.kernels = &kc;
+    BatchScheduler scheduler(model, options);
+    for (int id = 0; id < 5; ++id)
+        scheduler.submit({id, {id + 1, id + 2}, 2 + id % 3});
+
+    int max_active = 0;
+    while (scheduler.step())
+        max_active = std::max(max_active, scheduler.activeCount());
+    EXPECT_EQ(2, max_active); // the cap binds...
+    const auto &stats = scheduler.stats();
+    EXPECT_EQ(5, stats.admitted);
+    EXPECT_EQ(5, stats.retired);
+    // ...and slots refill mid-run: admissions happen across many steps,
+    // not one up-front batch (steps strictly exceed the longest request).
+    EXPECT_GT(stats.steps, 4);
+    EXPECT_GT(stats.prefillRows, 0);
+}
+
+TEST(QuantExecutor, PerOpPathRunsSingleStepInputs)
+{
+    setDefaultKernels(Backend::Serial);
+    Rng rng(23);
+    const Matrix x = randomGaussian(1, 32, rng); // one decode-step row
+    const Matrix w = randomGaussian(32, 16, rng, 0.f, 0.05f);
+    TenderConfig cfg;
+    TenderScheme scheme(cfg);
+    std::vector<GemmRecord> records;
+    const Matrix y = quantizedOpGemm("q", 0, x, x, w, scheme,
+                                     defaultKernels(), records);
+    ASSERT_EQ(1u, records.size());
+    EXPECT_EQ("q", records[0].op);
+    EXPECT_GE(records[0].nmse, 0.0);
+    EXPECT_LT(records[0].nmse, 1e-2);
+    EXPECT_EQ(1, y.rows());
+    EXPECT_EQ(16, y.cols());
+}
+
+TEST(DecodeEngine, TenderSchemeProjectionsStayAccurate)
+{
+    setDefaultKernels(Backend::Serial);
+    SyntheticModel model(smallDecoder(), 29);
+    const Matrix input = model.sampleInput(16, 4);
+    const Matrix ref = teacherForcedDecode(model, input, 4, 1,
+                                           DecodeOptions{});
+
+    TenderConfig tcfg;
+    tcfg.rowChunk = 4; // single-step inputs quantize as short chunks
+    TenderScheme scheme(tcfg);
+    DecodeOptions options;
+    options.scheme = &scheme;
+    options.cache.mode = KVCacheMode::TenderQuantized;
+    options.cache.tender.rowChunk = 8;
+    const Matrix q = teacherForcedDecode(model, input, 4, 1, options);
+    EXPECT_LT(nmse(ref, q), 5e-2); // Tender decode tracks the fp32 runtime
+}
+
+TEST(Workload, BatchedDecodeAgreesWithDecodeShapes)
+{
+    const ModelConfig cfg = modelByName("OPT-6.7B");
+    const Workload one = decodeWorkload(cfg, 2048);
+    const Workload b1 = batchedDecodeWorkload(cfg, 2048, 1);
+    ASSERT_EQ(one.blockOps.size(), b1.blockOps.size());
+    for (size_t i = 0; i < one.blockOps.size(); ++i) {
+        EXPECT_EQ(one.blockOps[i].m, b1.blockOps[i].m);
+        EXPECT_EQ(one.blockOps[i].count, b1.blockOps[i].count);
+    }
+    EXPECT_EQ(one.blockMacs(), b1.blockMacs());
+
+    const Workload b8 = batchedDecodeWorkload(cfg, 2048, 8);
+    EXPECT_EQ(8 * one.blockMacs(), b8.blockMacs());
+    for (const GemmOp &op : b8.blockOps) {
+        if (op.actAct)
+            EXPECT_EQ(1, op.m); // attention stays per request
+        else
+            EXPECT_EQ(8, op.m); // projections batch across requests
+    }
+}
+
+} // namespace
+} // namespace tender

@@ -58,6 +58,41 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 2, 4, 8),
                        ::testing::Values(0, 16, 64)));
 
+TEST(TenderGemm, ExplicitBlockedAccumulateBitParity)
+{
+    // The explicit path shares the blocked int16/int32 group accumulate
+    // with the implicit path under the threaded backend (ROADMAP open
+    // item). Integer partials are exact and the per-element FP sequence
+    // (one add per group, bias row last) matches the golden kernel, so
+    // the outputs must be bit-identical — not merely close — for any
+    // worker count.
+    Rng rng(30);
+    // 80 rows x 200 cols exercises multiple row bands and column blocks.
+    Matrix x = outlierActivation(80, 64, rng);
+    Matrix w = randomGaussian(64, 200, rng, 0.f, 0.05f);
+    KernelContext serial(Backend::Serial);
+    for (int bits : {4, 8}) {
+        for (int chunk : {0, 32}) {
+            TenderConfig cfg;
+            cfg.bits = bits;
+            cfg.rowChunk = chunk;
+            const Matrix y_s = tenderMatmulExplicit(x, w, cfg, &serial);
+            for (int workers : {1, 3}) {
+                KernelContext threaded(Backend::Threaded, workers);
+                const Matrix y_t =
+                    tenderMatmulExplicit(x, w, cfg, &threaded);
+                EXPECT_TRUE(y_s == y_t)
+                    << "bits=" << bits << " chunk=" << chunk
+                    << " workers=" << workers << " maxAbsDiff="
+                    << maxAbsDiff(y_s, y_t);
+            }
+            // Still mathematically the implicit pipeline (Eq. 1 == Eq. 2).
+            const Matrix y_imp = tenderMatmul(x, w, cfg, nullptr, &serial);
+            EXPECT_LE(nmse(y_imp, y_s), 1e-8);
+        }
+    }
+}
+
 TEST(TenderGemm, MatchesExactForGridFriendlyData)
 {
     // Values exactly representable at the group scales: zero error.
