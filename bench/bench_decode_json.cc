@@ -1,9 +1,10 @@
 /**
  * @file
  * Decode-runtime performance recorder: continuous-batching tokens/s at
- * batch 1/4/16 with fp32 and Tender-quantized KV caches, emitted as
- * BENCH_decode.json so the serving-path perf trajectory is tracked PR
- * over PR (run via scripts/bench_decode.sh).
+ * batch 1/4/16 with fp32 and Tender-quantized KV caches, plus a churned
+ * mixed-batch scenario comparing the paged KV layout against contiguous
+ * per-request slabs, emitted as BENCH_decode.json so the serving-path
+ * perf trajectory is tracked PR over PR (run via scripts/bench_decode.sh).
  *
  * The batched gains come from the scheduler batching the QKV/O/FFN
  * projections of all active requests into single GEMMs — one pass over
@@ -13,16 +14,33 @@
  * requantize-at-append / dequantize-on-read overhead and the cache
  * shrinkage.
  *
- * Usage: bench_decode_json [prompt new_tokens workers out.json]
- * Defaults: 16 32 8 BENCH_decode.json
+ * The churn scenario interleaves mixed-length requests through a batch
+ * whose slots turn over continuously. Both arms run the same paged
+ * machinery; the "contiguous" arm sets blockTokens to the largest
+ * request's footprint so every store holds exactly one block — a
+ * per-request slab, which is what contiguous preallocation commits. Peak
+ * KV bytes are read from the BlockAllocator occupancy stats; the paged
+ * arm must be smaller at statistically equal tokens/s.
+ *
+ * The "correctness" block records machine-checkable invariants (fp32
+ * decode bit-parity with full prefill, quantized-KV NMSE under its
+ * bound, paged-vs-contiguous peak ratio > 1); scripts/check_bench.py
+ * gates CI on them.
+ *
+ * Usage: bench_decode_json [--smoke] [prompt new_tokens workers out.json]
+ * Defaults: 16 32 8 BENCH_decode.json (--smoke: 8 6 2, reduced batches
+ * and churn, for the CI smoke job).
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
+#include "model/transformer.h"
+#include "quant/metrics.h"
 #include "runtime/batch_scheduler.h"
 
 using namespace tender;
@@ -96,6 +114,148 @@ runBatch(SyntheticModel &model, const KernelContext &kc, int batch,
     return again.tokensPerS > best.tokensPerS ? again : best;
 }
 
+// ---- Churned mixed batch: paged vs contiguous slabs ---------------------
+
+struct ChurnSpec
+{
+    int maxBatch = 8;
+    int rowChunk = 16;
+    std::vector<GenRequest> requests;
+    int maxRequestTokens = 0; ///< largest prompt + new - 1, chunk-rounded
+};
+
+ChurnSpec
+churnSpec(bool smoke)
+{
+    ChurnSpec spec;
+    spec.maxBatch = smoke ? 4 : 8;
+    const int n_requests = smoke ? 10 : 24;
+    const int prompts[] = {8, 24, 48};
+    const int budgets[] = {8, 40};
+    for (int id = 0; id < n_requests; ++id) {
+        GenRequest r;
+        r.id = id;
+        const int prompt = prompts[id % 3] / (smoke ? 2 : 1);
+        const int budget = budgets[id % 2] / (smoke ? 2 : 1);
+        for (int t = 0; t < prompt; ++t)
+            r.promptTokens.push_back((id * 31 + t * 7) % 256);
+        r.maxNewTokens = budget;
+        spec.requests.push_back(r);
+        const int tokens = prompt + budget - 1;
+        spec.maxRequestTokens = std::max(spec.maxRequestTokens, tokens);
+    }
+    spec.maxRequestTokens =
+        (spec.maxRequestTokens + spec.rowChunk - 1) / spec.rowChunk *
+        spec.rowChunk;
+    return spec;
+}
+
+struct ChurnPoint
+{
+    double tokensPerS = 0.0;
+    size_t peakKvBytes = 0;
+    size_t peakCommittedBytes = 0;
+    size_t createdBlocks = 0;
+    int64_t allocations = 0;
+    int64_t reuses = 0;
+    size_t blockTokens = 0;
+};
+
+ChurnPoint
+runChurnOnce(SyntheticModel &model, const KernelContext &kc,
+             const ChurnSpec &spec, KVCacheMode mode, bool paged)
+{
+    SchedulerOptions options;
+    options.maxBatch = spec.maxBatch;
+    options.vocabSize = 256;
+    options.decode.kernels = &kc;
+    options.decode.cache.mode = mode;
+    options.decode.cache.tender.rowChunk = spec.rowChunk;
+    // Contiguous arm: one slab-sized block per store, allocated in full at
+    // the request's first append — what per-request contiguous buffers
+    // commit. Chunk size (and therefore numerics) is identical either way.
+    options.decode.cache.blockTokens =
+        paged ? spec.rowChunk : spec.maxRequestTokens;
+    BatchScheduler scheduler(model, options);
+    for (const GenRequest &r : spec.requests)
+        scheduler.submit(r);
+    const auto t0 = Clock::now();
+    const auto results = scheduler.drain();
+    const double s = std::chrono::duration<double>(Clock::now() - t0)
+                         .count();
+    TENDER_CHECK(results.size() == spec.requests.size());
+    const BlockPoolStats ps = scheduler.poolStats();
+    ChurnPoint p;
+    p.tokensPerS = double(scheduler.stats().decodedTokens) / s;
+    p.peakKvBytes = ps.peakAllocatedBytes();
+    p.peakCommittedBytes = ps.peakCommittedBytes();
+    p.createdBlocks = ps.createdBlocks;
+    p.allocations = ps.allocations;
+    p.reuses = ps.reuses;
+    p.blockTokens = ps.blockTokens;
+    return p;
+}
+
+ChurnPoint
+runChurn(SyntheticModel &model, const KernelContext &kc,
+         const ChurnSpec &spec, KVCacheMode mode, bool paged)
+{
+    ChurnPoint best = runChurnOnce(model, kc, spec, mode, paged);
+    for (int i = 0; i < 2; ++i) {
+        const ChurnPoint again = runChurnOnce(model, kc, spec, mode, paged);
+        if (again.tokensPerS > best.tokensPerS)
+            best = again;
+    }
+    return best;
+}
+
+// ---- Recorded correctness invariants ------------------------------------
+
+struct Correctness
+{
+    bool fp32BitExact = false;
+    double tenderNmse = 0.0;
+    double tenderNmseBound = 2e-3;
+};
+
+Correctness
+checkCorrectness(SyntheticModel &model, const KernelContext &kc)
+{
+    Correctness c;
+    const Matrix input = model.sampleInput(24, 3);
+    // defaultKernels vs kc is immaterial: the kernel layer is bit-identical
+    // across backends and worker counts (tests/test_kernels.cc).
+    const Matrix full = modelForward(model, input);
+
+    auto decode = [&](const DecodeOptions &base) {
+        DecodeOptions options = base;
+        options.kernels = &kc;
+        DecodeEngine engine(model, options);
+        Matrix out(input.rows(), input.cols());
+        const Matrix pre = engine.prefill(input.rowSlice(0, 8));
+        for (int r = 0; r < 8; ++r)
+            for (int col = 0; col < input.cols(); ++col)
+                out(r, col) = pre(r, col);
+        for (int r = 8; r < input.rows(); ++r) {
+            const Matrix h = engine.step(input.rowSlice(r, r + 1));
+            for (int col = 0; col < input.cols(); ++col)
+                out(r, col) = h(0, col);
+        }
+        return out;
+    };
+
+    const Matrix fp32 = decode(DecodeOptions{});
+    c.fp32BitExact = maxAbsDiff(full, fp32) == 0.f;
+
+    DecodeOptions quant;
+    quant.cache.mode = KVCacheMode::TenderQuantized;
+    quant.cache.tender.rowChunk = 16;
+    c.tenderNmse = nmse(fp32, decode(quant));
+    return c;
+}
+
+// ---- JSON emission ------------------------------------------------------
+
 void
 emitMode(FILE *f, const char *key, const std::vector<BatchPoint> &points,
          bool trailing_comma)
@@ -114,29 +274,71 @@ emitMode(FILE *f, const char *key, const std::vector<BatchPoint> &points,
     std::fprintf(f, "  }%s\n", trailing_comma ? "," : "");
 }
 
+void
+emitChurnArm(FILE *f, const char *key, const ChurnPoint &p,
+             bool trailing_comma)
+{
+    std::fprintf(f,
+                 "    \"%s\": {\"tokens_per_s\": %.2f, "
+                 "\"peak_kv_bytes\": %zu, \"peak_committed_bytes\": %zu, "
+                 "\"block_tokens\": %zu, \"created_blocks\": %zu, "
+                 "\"allocations\": %lld, \"reuses\": %lld}%s\n",
+                 key, p.tokensPerS, p.peakKvBytes, p.peakCommittedBytes,
+                 p.blockTokens, p.createdBlocks, (long long)p.allocations,
+                 (long long)p.reuses, trailing_comma ? "," : "");
+}
+
+void
+emitChurn(FILE *f, const char *key, const ChurnPoint &paged,
+          const ChurnPoint &contiguous, bool trailing_comma)
+{
+    std::fprintf(f, "  \"%s\": {\n", key);
+    emitChurnArm(f, "paged", paged, true);
+    emitChurnArm(f, "contiguous", contiguous, true);
+    std::fprintf(f, "    \"peak_kv_bytes_ratio\": %.3f,\n",
+                 double(contiguous.peakKvBytes) /
+                     double(paged.peakKvBytes));
+    std::fprintf(f, "    \"tokens_per_s_ratio\": %.3f\n",
+                 paged.tokensPerS / contiguous.tokensPerS);
+    std::fprintf(f, "  }%s\n", trailing_comma ? "," : "");
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const int prompt_len = argc > 1 ? std::atoi(argv[1]) : 16;
-    const int new_tokens = argc > 2 ? std::atoi(argv[2]) : 32;
-    const int workers = argc > 3 ? std::atoi(argv[3]) : 8;
-    const char *out_path = argc > 4 ? argv[4] : "BENCH_decode.json";
+    bool smoke = false;
+    std::vector<const char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else
+            positional.push_back(argv[i]);
+    }
+    const int prompt_len =
+        positional.size() > 0 ? std::atoi(positional[0]) : (smoke ? 8 : 16);
+    const int new_tokens =
+        positional.size() > 1 ? std::atoi(positional[1]) : (smoke ? 6 : 32);
+    const int workers =
+        positional.size() > 2 ? std::atoi(positional[2]) : (smoke ? 2 : 8);
+    const char *out_path =
+        positional.size() > 3 ? positional[3] : "BENCH_decode.json";
 
     const ModelConfig config = replicaOf(modelByName("OPT-6.7B"), 32);
     SyntheticModel model(config, 5);
     KernelContext kc(Backend::Threaded, workers);
 
-    std::printf("== BENCH decode: %s (d=%d, layers=%d), prompt %d, "
+    std::printf("== BENCH decode%s: %s (d=%d, layers=%d), prompt %d, "
                 "%d tokens/request, %d workers ==\n",
-                config.name.c_str(), config.dModel, config.nLayers,
-                prompt_len, new_tokens, workers);
+                smoke ? " (smoke)" : "", config.name.c_str(), config.dModel,
+                config.nLayers, prompt_len, new_tokens, workers);
 
     // Warm the lazily generated weights out of the measurement.
     runBatch(model, kc, 1, prompt_len, 2, KVCacheMode::Fp32);
 
-    const std::vector<int> batches = {1, 4, 16};
+    const std::vector<int> batches =
+        smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16};
     std::vector<BatchPoint> fp32, quant;
     for (int b : batches) {
         fp32.push_back(runBatch(model, kc, b, prompt_len, new_tokens,
@@ -150,10 +352,41 @@ main(int argc, char **argv)
                     b, quant.back().tokensPerS,
                     (long long)quant.back().steps);
     }
-    const double speedup4 = fp32[1].tokensPerS / fp32[0].tokensPerS;
-    const double speedup16 = fp32[2].tokensPerS / fp32[0].tokensPerS;
-    std::printf("continuous batching speedup (fp32-KV): batch 4 %.2fx, "
-                "batch 16 %.2fx vs batch 1\n", speedup4, speedup16);
+    std::printf("continuous batching speedup (fp32-KV) vs batch 1:");
+    for (size_t i = 1; i < fp32.size(); ++i)
+        std::printf(" batch %d %.2fx%s", fp32[i].batch,
+                    fp32[i].tokensPerS / fp32[0].tokensPerS,
+                    i + 1 < fp32.size() ? "," : "\n");
+
+    const ChurnSpec spec = churnSpec(smoke);
+    const ChurnPoint churn_fp32_paged =
+        runChurn(model, kc, spec, KVCacheMode::Fp32, true);
+    const ChurnPoint churn_fp32_contig =
+        runChurn(model, kc, spec, KVCacheMode::Fp32, false);
+    const ChurnPoint churn_tender_paged =
+        runChurn(model, kc, spec, KVCacheMode::TenderQuantized, true);
+    const ChurnPoint churn_tender_contig =
+        runChurn(model, kc, spec, KVCacheMode::TenderQuantized, false);
+    std::printf("churn (%zu mixed requests, maxBatch %d): fp32 paged "
+                "%.1f tok/s peak %zu B vs contiguous %.1f tok/s peak %zu B "
+                "(%.2fx smaller)\n",
+                spec.requests.size(), spec.maxBatch,
+                churn_fp32_paged.tokensPerS, churn_fp32_paged.peakKvBytes,
+                churn_fp32_contig.tokensPerS, churn_fp32_contig.peakKvBytes,
+                double(churn_fp32_contig.peakKvBytes) /
+                    double(churn_fp32_paged.peakKvBytes));
+    std::printf("churn tender-KV: paged peak %zu B vs contiguous %zu B "
+                "(%.2fx smaller)\n",
+                churn_tender_paged.peakKvBytes,
+                churn_tender_contig.peakKvBytes,
+                double(churn_tender_contig.peakKvBytes) /
+                    double(churn_tender_paged.peakKvBytes));
+
+    const Correctness correct = checkCorrectness(model, kc);
+    std::printf("correctness: fp32 decode %s full prefill, tender-KV "
+                "nmse %.3g (bound %.3g)\n",
+                correct.fp32BitExact ? "bit-identical to" : "DIVERGES from",
+                correct.tenderNmse, correct.tenderNmseBound);
 
     FILE *f = std::fopen(out_path, "w");
     if (!f) {
@@ -166,6 +399,7 @@ main(int argc, char **argv)
                  "\"n_heads\": %d, \"n_layers\": %d, \"d_ffn\": %d},\n",
                  config.name.c_str(), config.dModel, config.nHeads,
                  config.nLayers, config.dFfn);
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(f, "  \"prompt_tokens\": %d,\n", prompt_len);
     std::fprintf(f, "  \"new_tokens_per_request\": %d,\n", new_tokens);
     std::fprintf(f, "  \"workers\": %d,\n", workers);
@@ -173,12 +407,26 @@ main(int argc, char **argv)
                  std::thread::hardware_concurrency());
     emitMode(f, "fp32_kv", fp32, true);
     emitMode(f, "tender_kv", quant, true);
+    emitChurn(f, "churn_fp32", churn_fp32_paged, churn_fp32_contig, true);
+    emitChurn(f, "churn_tender", churn_tender_paged, churn_tender_contig,
+              true);
     std::fprintf(f,
-                 "  \"fp32_batched_speedup\": {\"batch_4\": %.3f, "
-                 "\"batch_16\": %.3f}\n",
-                 speedup4, speedup16);
+                 "  \"correctness\": {\"fp32_decode_bit_exact\": %s, "
+                 "\"tender_kv_nmse\": %.6g, "
+                 "\"tender_kv_nmse_bound\": %.3g},\n",
+                 correct.fp32BitExact ? "true" : "false",
+                 correct.tenderNmse, correct.tenderNmseBound);
+    std::fprintf(f, "  \"fp32_batched_speedup\": {");
+    for (size_t i = 1; i < fp32.size(); ++i)
+        std::fprintf(f, "\"batch_%d\": %.3f%s", fp32[i].batch,
+                     fp32[i].tokensPerS / fp32[0].tokensPerS,
+                     i + 1 < fp32.size() ? ", " : "");
+    std::fprintf(f, "}\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
-    return 0;
+    return correct.fp32BitExact &&
+                   correct.tenderNmse < correct.tenderNmseBound
+               ? 0
+               : 1;
 }

@@ -11,14 +11,21 @@
  * exactly 0 on every host). On single-core hosts only the second effect is
  * visible.
  *
- * Usage: bench_gemm_json [m k n workers out.json]
- * Defaults: 512 4096 4096 8 BENCH_gemm.json (the ISSUE-1 workload).
+ * Usage: bench_gemm_json [--smoke] [m k n workers out.json]
+ * Defaults: 512 4096 4096 8 BENCH_gemm.json (the ISSUE-1 workload);
+ * --smoke shrinks to 64x256x256 with 2 workers for the CI smoke job.
+ * The JSON records two machine-checkable correctness fields — fp32
+ * threaded-vs-serial max_abs_diff and the Tender pipeline's
+ * nmse_threaded_vs_serial, both exactly 0 by the kernel layer's
+ * bit-determinism — gated by scripts/check_bench.py.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
+#include <vector>
 
 #include "core/tender_gemm.h"
 #include "quant/metrics.h"
@@ -42,14 +49,27 @@ main(int argc, char **argv)
 {
     using namespace tender;
 
-    const int m = argc > 1 ? std::atoi(argv[1]) : 512;
-    const int k = argc > 2 ? std::atoi(argv[2]) : 4096;
-    const int n = argc > 3 ? std::atoi(argv[3]) : 4096;
-    const int workers = argc > 4 ? std::atoi(argv[4]) : 8;
-    const char *out_path = argc > 5 ? argv[5] : "BENCH_gemm.json";
+    bool smoke = false;
+    std::vector<const char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else
+            positional.push_back(argv[i]);
+    }
+    const int m =
+        positional.size() > 0 ? std::atoi(positional[0]) : (smoke ? 64 : 512);
+    const int k = positional.size() > 1 ? std::atoi(positional[1])
+                                        : (smoke ? 256 : 4096);
+    const int n = positional.size() > 2 ? std::atoi(positional[2])
+                                        : (smoke ? 256 : 4096);
+    const int workers =
+        positional.size() > 3 ? std::atoi(positional[3]) : (smoke ? 2 : 8);
+    const char *out_path =
+        positional.size() > 4 ? positional[4] : "BENCH_gemm.json";
 
-    std::printf("== BENCH gemm: %dx%dx%d, %d workers ==\n", m, k, n,
-                workers);
+    std::printf("== BENCH gemm%s: %dx%dx%d, %d workers ==\n",
+                smoke ? " (smoke)" : "", m, k, n, workers);
 
     Rng rng(42);
     const Matrix x = randomGaussian(m, k, rng);
@@ -67,11 +87,12 @@ main(int argc, char **argv)
     auto t2 = Clock::now();
     const double gemm_serial_s = seconds(t0, t1);
     const double gemm_threaded_s = seconds(t1, t2);
+    const double gemm_max_abs_diff = maxAbsDiff(y_s, y_t);
     std::printf("fp32 gemm: serial %.3fs (%.2f GFLOP/s), threaded %.3fs "
                 "(%.2f GFLOP/s), speedup %.2fx, maxAbsDiff %.3g\n",
                 gemm_serial_s, flops / gemm_serial_s * 1e-9,
                 gemm_threaded_s, flops / gemm_threaded_s * 1e-9,
-                gemm_serial_s / gemm_threaded_s, maxAbsDiff(y_s, y_t));
+                gemm_serial_s / gemm_threaded_s, gemm_max_abs_diff);
 
     // ---- Tender chunk pipeline ------------------------------------------
     TenderConfig cfg;
@@ -109,16 +130,17 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"workload\": {\"m\": %d, \"k\": %d, \"n\": %d, "
                  "\"row_chunk\": %d, \"bits\": %d, \"groups\": %d},\n",
                  m, k, n, cfg.rowChunk, cfg.bits, cfg.numGroups);
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(f, "  \"workers\": %d,\n", workers);
     std::fprintf(f, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
     std::fprintf(f, "  \"gemm\": {\"serial_s\": %.6f, \"threaded_s\": %.6f, "
                  "\"serial_gflops\": %.3f, \"threaded_gflops\": %.3f, "
-                 "\"speedup\": %.3f},\n",
+                 "\"speedup\": %.3f, \"max_abs_diff\": %.6g},\n",
                  gemm_serial_s, gemm_threaded_s,
                  flops / gemm_serial_s * 1e-9,
                  flops / gemm_threaded_s * 1e-9,
-                 gemm_serial_s / gemm_threaded_s);
+                 gemm_serial_s / gemm_threaded_s, gemm_max_abs_diff);
     std::fprintf(f, "  \"tender\": {\"serial_s\": %.6f, "
                  "\"threaded_s\": %.6f, \"serial_gmacs\": %.3f, "
                  "\"threaded_gmacs\": %.3f, \"serial_chunks_per_s\": %.3f, "
@@ -133,5 +155,7 @@ main(int argc, char **argv)
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
-    return 0;
+    // Both backends are bit-identical by construction; a nonzero diff is
+    // a kernel-layer regression and must fail the bench job outright.
+    return gemm_max_abs_diff == 0.0 && tender_nmse == 0.0 ? 0 : 1;
 }

@@ -43,8 +43,7 @@ struct GenRun
 {
     std::vector<int> tokens;
     std::vector<double> stepUs;
-    size_t cacheBytes = 0;
-    size_t fp32Bytes = 0;
+    BlockPoolStats pool; ///< KV block-pool occupancy after the run
 };
 
 /** Greedy-decode with the runtime: prefill the prompt, then step. */
@@ -68,8 +67,7 @@ runtimeGenerate(SyntheticModel &model, const GreedyVocab &vocab,
         run.stepUs.push_back(micros(t0, Clock::now()));
         run.tokens.push_back(token);
     }
-    run.cacheBytes = engine.cache().storedBytes();
-    run.fp32Bytes = engine.cache().fp32Bytes();
+    run.pool = engine.cache().poolStats();
     return run;
 }
 
@@ -151,12 +149,19 @@ main(int argc, char **argv)
                 "tender-KV %.1f us\n",
                 mean(fp32.stepUs, 1), mean(quant.stepUs, 1));
     // The final generated token is never fed back, so the cache holds
-    // prompt + n_tokens - 1 rows.
-    std::printf("KV cache bytes at %d tokens: fp32 %zu, tender %zu "
-                "(%.2fx smaller)\n",
-                int(prompt.size()) + n_tokens - 1, fp32.cacheBytes,
-                quant.cacheBytes,
-                double(fp32.cacheBytes) / double(quant.cacheBytes));
+    // prompt + n_tokens - 1 rows. Peak bytes come from the paged block
+    // pool's occupancy stats — what the allocator really committed — not
+    // from hand-computed sizes.
+    std::printf("peak KV cache bytes at %d tokens (block-pool occupancy): "
+                "fp32 %zu (%zu blocks of %zu tokens), tender %zu "
+                "(%zu blocks) — %.2fx smaller\n",
+                int(prompt.size()) + n_tokens - 1,
+                fp32.pool.peakAllocatedBytes(),
+                fp32.pool.peakAllocatedBlocks, fp32.pool.blockTokens,
+                quant.pool.peakAllocatedBytes(),
+                quant.pool.peakAllocatedBlocks,
+                double(fp32.pool.peakAllocatedBytes()) /
+                    double(quant.pool.peakAllocatedBytes()));
 
     // The acceptance property: fp32-KV incremental decode is *identical*
     // to full-sequence prefill, token for token.

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Decode-runtime bench runner: builds bench_bench_decode_json and records
 # continuous-batching tokens/s (batch 1/4/16, fp32 vs Tender-quantized KV
-# cache) into BENCH_decode.json at the repo root (serving-path perf
-# trajectory, PR over PR).
+# cache) plus the churned paged-vs-contiguous KV comparison into
+# BENCH_decode.json at the repo root (serving-path perf trajectory, PR
+# over PR).
 #
-# Usage: scripts/bench_decode.sh [prompt new_tokens workers [out.json]]
-# Defaults: 16 32 8 BENCH_decode.json.
+# Usage: scripts/bench_decode.sh [--smoke] [prompt new_tokens workers [out.json]]
+# Defaults: 16 32 8 BENCH_decode.json; --smoke runs the reduced CI sizes
+# and still records the gated correctness fields (scripts/check_bench.py).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -3,8 +3,10 @@
 # serial vs threaded GFLOP/s and tenderMatmul chunk throughput into
 # BENCH_gemm.json at the repo root (perf trajectory, PR over PR).
 #
-# Usage: scripts/bench_gemm.sh [m k n workers [out.json]]
-# Defaults to the ISSUE-1 workload: 512 4096 4096 8 BENCH_gemm.json.
+# Usage: scripts/bench_gemm.sh [--smoke] [m k n workers [out.json]]
+# Defaults to the ISSUE-1 workload: 512 4096 4096 8 BENCH_gemm.json;
+# --smoke runs the reduced CI sizes and still records the gated
+# correctness fields (scripts/check_bench.py).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

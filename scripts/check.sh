@@ -1,10 +1,38 @@
 #!/usr/bin/env bash
 # Tier-1 verify wrapper (see ROADMAP.md): configure, build, run ctest.
-# Extra arguments are forwarded to the cmake configure step.
+# Extra arguments are forwarded to the cmake configure step, e.g.
+#   scripts/check.sh -DTENDER_SANITIZE=ON        # CI sanitizer job
+# Environment:
+#   TENDER_BUILD_DIR    build directory (default: build)
+#   TENDER_BACKEND      serial|threaded, forwarded to the test processes
+#   TENDER_NUM_THREADS  worker count, forwarded to the test processes
+# Exits non-zero on any configure/build/ctest failure and prints the
+# ctest summary line for CI logs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+BUILD_DIR="${TENDER_BUILD_DIR:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
-cmake -B build -S . "$@"
-cmake --build build -j"$JOBS"
-ctest --test-dir build --output-on-failure -j"$JOBS"
+
+# Forward the kernel-layer selection explicitly so CI logs record exactly
+# what configuration the suite ran under (defaults mirror tensor/kernels.h).
+export TENDER_BACKEND="${TENDER_BACKEND:-threaded}"
+export TENDER_NUM_THREADS="${TENDER_NUM_THREADS:-$JOBS}"
+echo "check.sh: build_dir=${BUILD_DIR} jobs=${JOBS}" \
+     "TENDER_BACKEND=${TENDER_BACKEND}" \
+     "TENDER_NUM_THREADS=${TENDER_NUM_THREADS}"
+
+cmake -B "$BUILD_DIR" -S . "$@"
+cmake --build "$BUILD_DIR" -j"$JOBS"
+
+# --no-tests=error: a build where the suites silently failed to register
+# (e.g. GTest missing) must not pass vacuously. pipefail keeps ctest's
+# exit status through the tee.
+status=0
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
+      -j"$JOBS" 2>&1 | tee "$BUILD_DIR/ctest.log" || status=$?
+
+echo "ctest summary:" \
+     "$(grep -E '% tests passed' "$BUILD_DIR/ctest.log" | tail -1 ||
+        echo 'no summary line (ctest did not run)')"
+exit "$status"

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate the bench JSON artifacts for CI (the bench smoke job).
+
+Usage: scripts/check_bench.py BENCH_gemm.json BENCH_decode.json
+
+Fails (exit 1) when a file is missing or malformed JSON, or when any
+recorded correctness field regresses:
+
+  BENCH_gemm.json
+    gemm.max_abs_diff == 0            threaded fp32 GEMM is bit-identical
+    tender.nmse_threaded_vs_serial == 0   Tender pipeline is bit-identical
+
+  BENCH_decode.json
+    correctness.fp32_decode_bit_exact     paged fp32 KV decode == prefill
+    correctness.tender_kv_nmse <= bound   quantized-KV storage error
+    churn_*.peak_kv_bytes_ratio > 1       paged layout beats contiguous
+
+Perf numbers (tokens/s, GFLOP/s) are recorded but never gated here — they
+vary with the runner; correctness must not.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        fail(f"{path}: missing")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: malformed JSON: {e}")
+
+
+def check_gemm(path):
+    doc = load(path)
+    diff = doc["gemm"]["max_abs_diff"]
+    if diff != 0:
+        fail(f"{path}: gemm.max_abs_diff = {diff}, expected exactly 0 "
+             "(threaded backend must be bit-identical to serial)")
+    nmse = doc["tender"]["nmse_threaded_vs_serial"]
+    if nmse != 0:
+        fail(f"{path}: tender.nmse_threaded_vs_serial = {nmse}, expected "
+             "exactly 0 (blocked accumulate must be bit-identical)")
+    print(f"check_bench: {path}: gemm bit-parity OK")
+
+
+def check_decode(path):
+    doc = load(path)
+    correct = doc["correctness"]
+    if correct["fp32_decode_bit_exact"] is not True:
+        fail(f"{path}: correctness.fp32_decode_bit_exact is "
+             f"{correct['fp32_decode_bit_exact']} (paged fp32 KV decode "
+             "must be bit-identical to full prefill)")
+    nmse = correct["tender_kv_nmse"]
+    bound = correct["tender_kv_nmse_bound"]
+    if not (0 <= nmse <= bound):
+        fail(f"{path}: correctness.tender_kv_nmse = {nmse} outside "
+             f"[0, {bound}]")
+    for key in ("churn_fp32", "churn_tender"):
+        ratio = doc[key]["peak_kv_bytes_ratio"]
+        if not ratio > 1.0:
+            fail(f"{path}: {key}.peak_kv_bytes_ratio = {ratio}, expected "
+                 "> 1 (paged peak KV bytes must undercut contiguous slabs)")
+        tps = doc[key]["tokens_per_s_ratio"]
+        print(f"check_bench: {path}: {key} peak bytes {ratio:.2f}x smaller "
+              f"paged, tokens/s ratio {tps:.2f} (recorded, not gated)")
+    print(f"check_bench: {path}: decode correctness OK "
+          f"(fp32 bit-exact, tender nmse {nmse:.3g} <= {bound})")
+
+
+def main(argv):
+    if len(argv) != 3:
+        fail("usage: check_bench.py BENCH_gemm.json BENCH_decode.json")
+    try:
+        check_gemm(argv[1])
+        check_decode(argv[2])
+    except KeyError as e:
+        fail(f"missing expected field {e}")
+    print("check_bench: all bench correctness fields OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -7,6 +7,9 @@ namespace tender {
 BatchScheduler::BatchScheduler(SyntheticModel &model,
                                const SchedulerOptions &options)
     : model_(model), options_(options),
+      pool_(std::make_unique<BlockAllocator>(
+          blockPoolConfigFor(model.config(), options.decode.cache,
+                             options.kvPoolBlocks))),
       vocab_(options.vocabSize, model.config().dModel, options.vocabSeed)
 {
     TENDER_REQUIRE(options.maxBatch > 0, "maxBatch must be positive");
@@ -36,11 +39,28 @@ BatchScheduler::step()
 {
     // Admit (FIFO) into free batch slots. Admission order only decides
     // *when* a request runs, never what it computes: all per-request work
-    // is row-local or cache-local.
+    // is row-local or cache-local. Each admission reserves the request's
+    // worst-case KV block footprint; if the pool cannot commit it the
+    // head request waits (requeue) for retirements to return blocks.
     while (int(active_.size()) < options_.maxBatch && !pending_.empty()) {
-        Active a{pending_.front(), KVCache(model_.config(),
-                                           options_.decode.cache),
-                 vocab_.embedAll(pending_.front().promptTokens), true, {}, 0};
+        const GenRequest &req = pending_.front();
+        const int max_tokens =
+            int(req.promptTokens.size()) + req.maxNewTokens - 1;
+        const size_t needed = KVCache::blocksForTokens(
+            model_.config(), options_.decode.cache, max_tokens);
+        if (!pool_->tryReserve(needed)) {
+            TENDER_REQUIRE(!active_.empty(),
+                           "request " << req.id << " needs " << needed
+                           << " KV blocks but the empty pool holds only "
+                           << pool_->config().capacityBlocks
+                           << ": it can never be admitted");
+            ++stats_.deferred;
+            break;
+        }
+        Active a{req,
+                 KVCache(model_.config(), options_.decode.cache,
+                         pool_.get(), needed),
+                 vocab_.embedAll(req.promptTokens), true, {}, 0};
         pending_.pop_front();
         active_.push_back(std::move(a));
         ++stats_.admitted;

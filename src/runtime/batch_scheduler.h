@@ -18,6 +18,17 @@
  * generated tokens are independent of admission order, batch size, and
  * worker count — asserted by tests/test_runtime.cc — which is what makes
  * the scheduler safe to drive from an async serving frontend later.
+ *
+ * KV memory is paged: the scheduler owns one BlockAllocator and every
+ * request's KVCache pages into it. Admission is reservation-gated — a
+ * request is only admitted once its worst-case block count
+ * (KVCache::blocksForTokens over prompt + maxNewTokens - 1) fits in the
+ * pool, so appends mid-decode can never fail; otherwise it stays queued
+ * (FIFO head, counted in stats().deferred) until retirements return
+ * blocks to the free list. Retirement releases the request's blocks and
+ * undrawn reservation automatically. Because admission timing never
+ * changes what a request computes, a bounded pool changes *when* tokens
+ * are generated, never *which* (tests/test_paged_kv.cc).
  */
 
 #ifndef TENDER_RUNTIME_BATCH_SCHEDULER_H
@@ -53,6 +64,11 @@ struct SchedulerOptions
     DecodeOptions decode;  ///< cache mode, optional scheme, kernel context
     int vocabSize = 512;
     uint64_t vocabSeed = 1234;
+    /** KV block pool size shared by all requests; 0 = unbounded. A request
+     *  whose worst-case footprint cannot be reserved waits in the queue
+     *  (DecodeOptions::pool is ignored here — the scheduler owns its
+     *  pool). */
+    size_t kvPoolBlocks = 0;
 };
 
 /** Aggregate counters (bench/diagnostics). */
@@ -64,6 +80,9 @@ struct SchedulerStats
     int64_t decodedTokens = 0;
     int64_t admitted = 0;
     int64_t retired = 0;
+    /** Steps on which admission of the queue head was deferred because
+     *  its KV block reservation did not fit the pool. */
+    int64_t deferred = 0;
 };
 
 class BatchScheduler
@@ -88,6 +107,10 @@ class BatchScheduler
     const SchedulerStats &stats() const { return stats_; }
     const GreedyVocab &vocab() const { return vocab_; }
 
+    /** The shared KV block pool (capacity/occupancy stats surface). */
+    const BlockAllocator &pool() const { return *pool_; }
+    BlockPoolStats poolStats() const { return pool_->stats(); }
+
   private:
     struct Active
     {
@@ -103,6 +126,7 @@ class BatchScheduler
 
     SyntheticModel &model_;
     SchedulerOptions options_;
+    std::unique_ptr<BlockAllocator> pool_;
     GreedyVocab vocab_;
     std::deque<GenRequest> pending_;
     std::vector<Active> active_;

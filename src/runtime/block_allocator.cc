@@ -1,0 +1,167 @@
+#include "runtime/block_allocator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tender {
+
+BlockAllocator::BlockAllocator(const BlockPoolConfig &config)
+    : config_(config),
+      slabs_(std::make_unique<std::unique_ptr<Slab>[]>(kMaxSlabs))
+{
+    TENDER_REQUIRE(config.blockTokens > 0 && config.headDim > 0,
+                   "block pool needs positive block geometry");
+    TENDER_REQUIRE(config.mode == KVCacheMode::Fp32 ||
+                   config.chunksPerBlock > 0,
+                   "quantized block pool needs chunksPerBlock > 0");
+    TENDER_REQUIRE(config.capacityBlocks <= kSlabBlocks * kMaxSlabs,
+                   "block pool capacity exceeds the slab ceiling");
+    stats_.blockTokens = size_t(config.blockTokens);
+    stats_.blockBytes = config.blockBytes;
+    stats_.capacityBlocks = config.capacityBlocks;
+}
+
+BlockAllocator::Slab &
+BlockAllocator::slabOf(int block) const
+{
+    return *slabs_[size_t(block) / kSlabBlocks];
+}
+
+void
+BlockAllocator::checkBlock(int block) const
+{
+    TENDER_CHECK(block >= 0 &&
+                 size_t(block) < stats_.createdBlocks &&
+                 slabs_[size_t(block) / kSlabBlocks] != nullptr);
+}
+
+bool
+BlockAllocator::tryReserve(size_t blocks)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (config_.capacityBlocks > 0 &&
+        stats_.allocatedBlocks + stats_.reservedBlocks + blocks >
+            config_.capacityBlocks)
+        return false;
+    stats_.reservedBlocks += blocks;
+    stats_.peakCommittedBlocks =
+        std::max(stats_.peakCommittedBlocks,
+                 stats_.allocatedBlocks + stats_.reservedBlocks);
+    return true;
+}
+
+void
+BlockAllocator::unreserve(size_t blocks)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TENDER_CHECK(blocks <= stats_.reservedBlocks);
+    stats_.reservedBlocks -= blocks;
+}
+
+int
+BlockAllocator::allocate(bool reserved)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reserved) {
+        TENDER_CHECK(stats_.reservedBlocks > 0);
+        --stats_.reservedBlocks;
+    } else if (config_.capacityBlocks > 0 &&
+               stats_.allocatedBlocks + stats_.reservedBlocks >=
+                   config_.capacityBlocks) {
+        return -1; // exhausted: the caller defers/requeues
+    }
+
+    int id;
+    if (!freeList_.empty()) {
+        id = freeList_.back();
+        freeList_.pop_back();
+        ++stats_.reuses;
+    } else {
+        id = int(stats_.createdBlocks);
+        const size_t slab = size_t(id) / kSlabBlocks;
+        TENDER_REQUIRE(slab < kMaxSlabs,
+                       "block pool exceeded the slab ceiling ("
+                           << kSlabBlocks * kMaxSlabs << " blocks)");
+        if (!slabs_[slab]) {
+            auto s = std::make_unique<Slab>();
+            if (config_.mode == KVCacheMode::Fp32)
+                s->fp32.resize(size_t(kSlabBlocks) *
+                               size_t(config_.blockTokens) *
+                               size_t(config_.headDim));
+            else
+                s->chunks.resize(size_t(kSlabBlocks) *
+                                 size_t(config_.chunksPerBlock));
+            slabs_[slab] = std::move(s);
+        }
+        ++stats_.createdBlocks;
+    }
+    ++stats_.allocatedBlocks;
+    ++stats_.allocations;
+    stats_.peakAllocatedBlocks =
+        std::max(stats_.peakAllocatedBlocks, stats_.allocatedBlocks);
+    stats_.peakCommittedBlocks =
+        std::max(stats_.peakCommittedBlocks,
+                 stats_.allocatedBlocks + stats_.reservedBlocks);
+    return id;
+}
+
+void
+BlockAllocator::release(int block)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    checkBlock(block);
+    TENDER_CHECK(stats_.allocatedBlocks > 0);
+    if (config_.mode == KVCacheMode::TenderQuantized) {
+        Slab &slab = slabOf(block);
+        const size_t base = (size_t(block) % kSlabBlocks) *
+            size_t(config_.chunksPerBlock);
+        for (int s = 0; s < config_.chunksPerBlock; ++s)
+            slab.chunks[base + size_t(s)] = QuantizedChunk{};
+    }
+    freeList_.push_back(block);
+    --stats_.allocatedBlocks;
+    ++stats_.releases;
+}
+
+float *
+BlockAllocator::fp32Rows(int block)
+{
+    TENDER_CHECK(config_.mode == KVCacheMode::Fp32);
+    return slabOf(block).fp32.data() +
+        (size_t(block) % kSlabBlocks) * size_t(config_.blockTokens) *
+        size_t(config_.headDim);
+}
+
+const float *
+BlockAllocator::fp32Rows(int block) const
+{
+    return const_cast<BlockAllocator *>(this)->fp32Rows(block);
+}
+
+QuantizedChunk &
+BlockAllocator::chunkSlot(int block, int slot)
+{
+    TENDER_CHECK(config_.mode == KVCacheMode::TenderQuantized);
+    TENDER_CHECK(slot >= 0 && slot < config_.chunksPerBlock);
+    return slabOf(block).chunks[(size_t(block) % kSlabBlocks) *
+                                    size_t(config_.chunksPerBlock) +
+                                size_t(slot)];
+}
+
+const QuantizedChunk &
+BlockAllocator::chunkSlot(int block, int slot) const
+{
+    return const_cast<BlockAllocator *>(this)->chunkSlot(block, slot);
+}
+
+BlockPoolStats
+BlockAllocator::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    BlockPoolStats s = stats_;
+    s.freeBlocks = freeList_.size();
+    return s;
+}
+
+} // namespace tender

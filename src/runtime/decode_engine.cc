@@ -137,7 +137,8 @@ decodeStep(SyntheticModel &model, const Matrix &x,
 
 DecodeEngine::DecodeEngine(SyntheticModel &model,
                            const DecodeOptions &options)
-    : model_(model), options_(options), cache_(model.config(), options.cache)
+    : model_(model), options_(options),
+      cache_(model.config(), options.cache, options.pool)
 {
     TENDER_REQUIRE(model.config().decoder,
                    "the decode runtime needs a causal decoder model");

@@ -10,9 +10,11 @@
  * instead, because its chunk scales are not row-local), K/V rows are
  * appended to each segment's cache, and
  * attention runs per (segment, head) with attentionHeadIncremental over
- * the materialized history — parallelized across the KernelContext's
- * thread pool with disjoint output writes, so results are bit-identical
- * for any worker count.
+ * the materialized history — each read walks that segment's block table
+ * in the shared BlockAllocator pool (runtime/kv_cache.h), gathering pages
+ * in logical-row order so paging never perturbs the numerics —
+ * parallelized across the KernelContext's thread pool with disjoint
+ * output writes, so results are bit-identical for any worker count.
  *
  * DecodeEngine wraps one cache (one request): prefill() consumes the
  * prompt in a single step, step() extends it. With an Fp32 cache the
@@ -51,6 +53,11 @@ struct DecodeSegment
 struct DecodeOptions
 {
     KVCacheConfig cache;
+    /** Block pool the engine's cache pages into (shared across engines for
+     *  pooled serving); nullptr = a private unbounded pool. Must match
+     *  blockPoolConfigFor(model, cache, ...) geometry and outlive the
+     *  engine. */
+    BlockAllocator *pool = nullptr;
     /** When set, the weight GEMMs (q/k/v/o/fc1/fc2) run through
      *  scheme->matmul — the quantized per-op path — instead of the fp32
      *  kernel. The scheme dispatches on its own KernelContext

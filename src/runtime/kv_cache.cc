@@ -6,14 +6,151 @@
 
 namespace tender {
 
-KVCache::KVCache(const ModelConfig &model, const KVCacheConfig &config)
+int
+resolvedBlockTokens(const KVCacheConfig &config)
+{
+    if (config.mode == KVCacheMode::TenderQuantized) {
+        TENDER_REQUIRE(config.tender.rowChunk > 0,
+                       "a paged quantized KV cache needs tender.rowChunk > 0"
+                       " (chunks are the paging unit)");
+        const int bt = config.blockTokens > 0 ? config.blockTokens
+                                              : config.tender.rowChunk;
+        TENDER_REQUIRE(bt % config.tender.rowChunk == 0,
+                       "KV blockTokens (" << bt << ") must be a multiple of"
+                       " tender.rowChunk (" << config.tender.rowChunk
+                       << ") so paging never moves chunk boundaries");
+        return bt;
+    }
+    // Fp32 mode never consults `tender`; the page size is its own knob.
+    return config.blockTokens > 0 ? config.blockTokens
+                                  : KVCacheConfig::kDefaultFp32BlockTokens;
+}
+
+size_t
+tenderChunkBytes(int rows, int head_dim, const TenderConfig &config)
+{
+    size_t b = (size_t(rows) * size_t(head_dim) * size_t(config.bits) + 7) /
+        8;
+    b += size_t(head_dim) * (sizeof(float) + 1);
+    b += size_t(config.numGroups) * sizeof(float);
+    return b;
+}
+
+BlockPoolConfig
+blockPoolConfigFor(const ModelConfig &model, const KVCacheConfig &config,
+                   size_t capacity_blocks)
+{
+    BlockPoolConfig pc;
+    pc.mode = config.mode;
+    pc.blockTokens = resolvedBlockTokens(config);
+    pc.headDim = model.headDim();
+    pc.capacityBlocks = capacity_blocks;
+    if (config.mode == KVCacheMode::Fp32) {
+        pc.chunksPerBlock = 1;
+        pc.blockBytes = size_t(pc.blockTokens) * size_t(pc.headDim) *
+            sizeof(float);
+    } else {
+        pc.chunksPerBlock = pc.blockTokens / config.tender.rowChunk;
+        pc.blockBytes = size_t(pc.chunksPerBlock) *
+            tenderChunkBytes(config.tender.rowChunk, pc.headDim,
+                             config.tender);
+    }
+    return pc;
+}
+
+KVCache::KVCache(const ModelConfig &model, const KVCacheConfig &config,
+                 BlockAllocator *pool, size_t reserved_blocks)
     : model_(model), config_(config), headDim_(model.headDim()),
+      blockTokens_(resolvedBlockTokens(config)),
       layerLength_(size_t(model.nLayers), 0),
-      stores_(size_t(model.nLayers) * size_t(model.kvHeads) * 2)
+      stores_(size_t(model.nLayers) * size_t(model.kvHeads) * 2),
+      reservedRemaining_(reserved_blocks)
 {
     TENDER_REQUIRE(model.nLayers > 0 && model.kvHeads > 0 &&
                    model.headDim() > 0,
                    "KVCache needs a concrete model configuration");
+    if (config_.mode == KVCacheMode::TenderQuantized)
+        chunksPerBlock_ = blockTokens_ / config_.tender.rowChunk;
+    if (pool) {
+        pool_ = pool;
+        const BlockPoolConfig &pc = pool->config();
+        TENDER_REQUIRE(pc.mode == config_.mode &&
+                       pc.blockTokens == blockTokens_ &&
+                       pc.headDim == headDim_ &&
+                       pc.chunksPerBlock == chunksPerBlock_,
+                       "KV block pool geometry does not match this cache;"
+                       " build it with blockPoolConfigFor()");
+    } else {
+        TENDER_REQUIRE(reserved_blocks == 0,
+                       "a reservation needs an external pool");
+        ownedPool_ = std::make_unique<BlockAllocator>(
+            blockPoolConfigFor(model, config, /*capacity_blocks=*/0));
+        pool_ = ownedPool_.get();
+    }
+}
+
+KVCache::~KVCache()
+{
+    releaseAll();
+}
+
+KVCache::KVCache(KVCache &&other) noexcept
+    : model_(std::move(other.model_)), config_(other.config_),
+      headDim_(other.headDim_), blockTokens_(other.blockTokens_),
+      chunksPerBlock_(other.chunksPerBlock_), length_(other.length_),
+      layerLength_(std::move(other.layerLength_)),
+      stores_(std::move(other.stores_)),
+      ownedPool_(std::move(other.ownedPool_)), pool_(other.pool_),
+      reservedRemaining_(other.reservedRemaining_)
+{
+    other.pool_ = nullptr;
+    other.reservedRemaining_ = 0;
+    other.stores_.clear();
+}
+
+KVCache &
+KVCache::operator=(KVCache &&other) noexcept
+{
+    if (this != &other) {
+        releaseAll();
+        model_ = std::move(other.model_);
+        config_ = other.config_;
+        headDim_ = other.headDim_;
+        blockTokens_ = other.blockTokens_;
+        chunksPerBlock_ = other.chunksPerBlock_;
+        length_ = other.length_;
+        layerLength_ = std::move(other.layerLength_);
+        stores_ = std::move(other.stores_);
+        ownedPool_ = std::move(other.ownedPool_);
+        pool_ = other.pool_;
+        reservedRemaining_ = other.reservedRemaining_;
+        other.pool_ = nullptr;
+        other.reservedRemaining_ = 0;
+        other.stores_.clear();
+    }
+    return *this;
+}
+
+void
+KVCache::releaseAll()
+{
+    if (!pool_)
+        return; // moved-from
+    // A privately owned pool dies with the cache, but releasing through
+    // the same path keeps its stats (and the release bookkeeping) honest.
+    for (Store &s : stores_) {
+        for (int b : s.blocks)
+            pool_->release(b);
+        s.blocks.clear();
+        s.staging.clear();
+        s.rows = 0;
+    }
+    if (reservedRemaining_ > 0) {
+        pool_->unreserve(reservedRemaining_);
+        reservedRemaining_ = 0;
+    }
+    std::fill(layerLength_.begin(), layerLength_.end(), 0);
+    length_ = 0;
 }
 
 KVCache::Store &
@@ -33,6 +170,34 @@ KVCache::storeOf(int layer, int head, bool value) const
     return const_cast<KVCache *>(this)->storeOf(layer, head, value);
 }
 
+int
+KVCache::allocateBlock()
+{
+    const bool use_reserved = reservedRemaining_ > 0;
+    const int id = pool_->allocate(use_reserved);
+    if (use_reserved)
+        --reservedRemaining_;
+    TENDER_REQUIRE(id >= 0,
+                   "KV block pool exhausted (capacity "
+                       << pool_->config().capacityBlocks
+                       << " blocks): reserve at admission or grow the pool");
+    return id;
+}
+
+void
+KVCache::ensureBlocks(Store &store, int block_index)
+{
+    while (int(store.blocks.size()) <= block_index)
+        store.blocks.push_back(allocateBlock());
+}
+
+QuantizedChunk &
+KVCache::chunkSlotOf(const Store &store, int chunk) const
+{
+    const int block = store.blocks[size_t(chunk / chunksPerBlock_)];
+    return pool_->chunkSlot(block, chunk % chunksPerBlock_);
+}
+
 void
 KVCache::appendStore(Store &store, const Matrix &rows, int head)
 {
@@ -40,40 +205,50 @@ KVCache::appendStore(Store &store, const Matrix &rows, int head)
     const int c0 = head * dh;
     if (config_.mode == KVCacheMode::Fp32) {
         for (int r = 0; r < rows.rows(); ++r) {
+            const int tok = store.rows;
+            ensureBlocks(store, tok / blockTokens_);
+            float *dst = pool_->fp32Rows(store.blocks.back()) +
+                size_t(tok % blockTokens_) * size_t(dh);
             const float *src = rows.rowPtr(r) + c0;
-            store.rows.insert(store.rows.end(), src, src + dh);
+            std::copy(src, src + dh, dst);
+            ++store.rows;
         }
         return;
     }
 
-    // TenderQuantized: stage the new rows into the open chunk, freezing
-    // full chunks as they complete. rowChunk <= 0 keeps one growing chunk
-    // whose whole history is requantized on every append.
+    // TenderQuantized: stage the new rows, freezing full chunks into their
+    // pool slots as they complete. Chunk boundaries depend only on the
+    // store's own row count — never on paging or batching.
     const int row_chunk = config_.tender.rowChunk;
     for (int r = 0; r < rows.rows(); ++r) {
         const float *src = rows.rowPtr(r) + c0;
-        store.rows.insert(store.rows.end(), src, src + dh);
-        ++store.openRows;
-        if (row_chunk > 0 && store.openRows == row_chunk) {
-            Matrix chunk(store.openRows, dh);
-            std::copy(store.rows.begin(), store.rows.end(),
-                      chunk.data().begin());
-            const ChunkMeta meta = decomposeChunk(chunk, config_.tender);
-            store.frozen.push_back(
-                quantizeChunk(chunk, meta, config_.tender.bits));
-            store.rows.clear();
-            store.openRows = 0;
+        store.staging.insert(store.staging.end(), src, src + dh);
+        ++store.rows;
+        if (int(store.staging.size()) == row_chunk * dh) {
+            const int chunk = store.rows / row_chunk - 1;
+            ensureBlocks(store, chunk / chunksPerBlock_);
+            Matrix m(row_chunk, dh);
+            std::copy(store.staging.begin(), store.staging.end(),
+                      m.data().begin());
+            const ChunkMeta meta = decomposeChunk(m, config_.tender);
+            chunkSlotOf(store, chunk) =
+                quantizeChunk(m, meta, config_.tender.bits);
+            store.staging.clear();
         }
     }
     // Runtime requantization of the open chunk: its decomposition is
     // recomputed over the rows present so far, so reads always see fully
     // quantized storage (never the fp32 staging rows).
-    if (store.openRows > 0) {
-        Matrix chunk(store.openRows, dh);
-        std::copy(store.rows.begin(), store.rows.end(),
-                  chunk.data().begin());
-        const ChunkMeta meta = decomposeChunk(chunk, config_.tender);
-        store.open = quantizeChunk(chunk, meta, config_.tender.bits);
+    if (!store.staging.empty()) {
+        const int open_rows = int(store.staging.size()) / dh;
+        const int chunk = store.rows / row_chunk;
+        ensureBlocks(store, chunk / chunksPerBlock_);
+        Matrix m(open_rows, dh);
+        std::copy(store.staging.begin(), store.staging.end(),
+                  m.data().begin());
+        const ChunkMeta meta = decomposeChunk(m, config_.tender);
+        chunkSlotOf(store, chunk) =
+            quantizeChunk(m, meta, config_.tender.bits);
     }
 }
 
@@ -105,28 +280,29 @@ KVCache::append(int layer, const Matrix &k_rows, const Matrix &v_rows)
 Matrix
 KVCache::materialize(const Store &store) const
 {
+    Matrix out(store.rows, headDim_);
     if (config_.mode == KVCacheMode::Fp32) {
-        const int rows = int(store.rows.size() / size_t(headDim_));
-        Matrix out(rows, headDim_);
-        std::copy(store.rows.begin(), store.rows.end(), out.data().begin());
+        // Walk the block table, bulk-copying each page's occupied rows.
+        for (int tok = 0; tok < store.rows; tok += blockTokens_) {
+            const int n = std::min(blockTokens_, store.rows - tok);
+            const float *src =
+                pool_->fp32Rows(store.blocks[size_t(tok / blockTokens_)]);
+            std::copy(src, src + size_t(n) * size_t(headDim_),
+                      out.rowPtr(tok));
+        }
         return out;
     }
-    int rows = store.openRows;
-    for (const QuantizedChunk &qc : store.frozen)
-        rows += qc.codes.rows();
-    Matrix out(rows, headDim_);
+    const int row_chunk = config_.tender.rowChunk;
+    const int chunks = (store.rows + row_chunk - 1) / row_chunk;
     int r0 = 0;
-    auto emit = [&](const QuantizedChunk &qc) {
-        const Matrix deq = dequantizeChunk(qc);
+    for (int c = 0; c < chunks; ++c) {
+        const Matrix deq = dequantizeChunk(chunkSlotOf(store, c));
         for (int r = 0; r < deq.rows(); ++r)
             std::copy(deq.rowPtr(r), deq.rowPtr(r) + headDim_,
                       out.rowPtr(r0 + r));
         r0 += deq.rows();
-    };
-    for (const QuantizedChunk &qc : store.frozen)
-        emit(qc);
-    if (store.openRows > 0)
-        emit(store.open);
+    }
+    TENDER_CHECK(r0 == store.rows);
     return out;
 }
 
@@ -148,25 +324,17 @@ KVCache::storedBytes() const
     size_t bytes = 0;
     if (config_.mode == KVCacheMode::Fp32) {
         for (const Store &s : stores_)
-            bytes += s.rows.size() * sizeof(float);
+            bytes += size_t(s.rows) * size_t(headDim_) * sizeof(float);
         return bytes;
     }
-    const int bits = config_.tender.bits;
-    const int groups = config_.tender.numGroups;
-    auto chunkBytes = [&](int rows) {
-        // Packed codes + per-chunk metadata: fp32 bias and a 1-byte scale
-        // index per channel, fp32 scale per group (the Index Buffer /
-        // scale-table contents of Section IV-D).
-        size_t b = (size_t(rows) * size_t(headDim_) * size_t(bits) + 7) / 8;
-        b += size_t(headDim_) * (sizeof(float) + 1);
-        b += size_t(groups) * sizeof(float);
-        return b;
-    };
+    const int row_chunk = config_.tender.rowChunk;
     for (const Store &s : stores_) {
-        for (const QuantizedChunk &qc : s.frozen)
-            bytes += chunkBytes(qc.codes.rows());
-        if (s.openRows > 0)
-            bytes += chunkBytes(s.openRows);
+        const int full = s.rows / row_chunk;
+        const int open = s.rows % row_chunk;
+        bytes += size_t(full) *
+            tenderChunkBytes(row_chunk, headDim_, config_.tender);
+        if (open > 0)
+            bytes += tenderChunkBytes(open, headDim_, config_.tender);
     }
     return bytes;
 }
@@ -179,6 +347,26 @@ KVCache::fp32Bytes() const
         tokens += size_t(layerLength_[l]);
     return tokens * size_t(model_.kvHeads) * size_t(headDim_) * 2 *
         sizeof(float);
+}
+
+size_t
+KVCache::blocksInUse() const
+{
+    size_t blocks = 0;
+    for (const Store &s : stores_)
+        blocks += s.blocks.size();
+    return blocks;
+}
+
+size_t
+KVCache::blocksForTokens(const ModelConfig &model,
+                         const KVCacheConfig &config, int tokens)
+{
+    if (tokens <= 0)
+        return 0;
+    const int bt = resolvedBlockTokens(config);
+    const size_t per_store = size_t((tokens + bt - 1) / bt);
+    return per_store * size_t(model.nLayers) * size_t(model.kvHeads) * 2;
 }
 
 } // namespace tender

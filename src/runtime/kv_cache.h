@@ -1,12 +1,14 @@
 /**
  * @file
- * Per-layer, per-head append-only K/V storage for the decode runtime.
+ * Per-layer, per-head append-only K/V storage for the decode runtime,
+ * paged over a BlockAllocator.
  *
  * Two modes share one interface:
  *
  *  - Fp32: rows are stored verbatim — the numerical reference. Decode
  *    against an Fp32 cache is bit-identical to running prefill over the
- *    full sequence (asserted in tests/test_runtime.cc).
+ *    full sequence (asserted in tests/test_runtime.cc), and the paging
+ *    granularity never changes results (tests/test_paged_kv.cc).
  *  - TenderQuantized: rows are stored as int8 codes grouped into
  *    row-chunks of `tender.rowChunk` tokens. Each chunk carries Tender
  *    per-chunk metadata (channel decomposition into power-of-two scale
@@ -19,24 +21,35 @@
  *    Reads dequantize, so every consumer sees the storage error exactly
  *    once.
  *
+ * Paged layout: instead of owning contiguous buffers, every (layer,
+ * kv-head, K|V) store holds a *block table* into a BlockAllocator pool.
+ * A block covers `blockTokens` tokens — by default the Tender row-chunk,
+ * so a chunk IS a page — and logical row r of a store lives at
+ * (table[r / blockTokens], r % blockTokens). Blocks are allocated as rows
+ * arrive and returned to the pool's free list when the request retires,
+ * so long-lived mixed batches recycle pages instead of fragmenting (the
+ * vLLM-style serving layout). A cache constructed without an external
+ * pool owns a private unbounded one, preserving the standalone API.
+ *
  * Storage is keyed (layer, kv-head, K|V); appends to different caches or
  * different layers are independent, which is what lets the batch scheduler
- * parallelize appends and attention across requests.
+ * parallelize appends and attention across requests (the shared pool's
+ * free list is mutex-protected; payload writes stay disjoint).
  */
 
 #ifndef TENDER_RUNTIME_KV_CACHE_H
 #define TENDER_RUNTIME_KV_CACHE_H
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/tender_quant.h"
 #include "model/config.h"
+#include "runtime/block_allocator.h"
 #include "tensor/matrix.h"
 
 namespace tender {
-
-enum class KVCacheMode { Fp32, TenderQuantized };
 
 /** Cache configuration; `tender` is only consulted in quantized mode. */
 struct KVCacheConfig
@@ -45,17 +58,58 @@ struct KVCacheConfig
     /** Quantization parameters for TenderQuantized. rowChunk counts cached
      *  *tokens* per chunk (smaller chunks track per-token variance more
      *  tightly at slightly more metadata; Section III-C's chunking
-     *  argument). checkOverflow is irrelevant here — the cache only
-     *  quantizes and dequantizes, it never runs the integer GEMM. */
+     *  argument) and must be positive — paged storage has no
+     *  single-growing-chunk mode. checkOverflow is irrelevant here — the
+     *  cache only quantizes and dequantizes, it never runs the integer
+     *  GEMM. */
     TenderConfig tender;
+    /** Page size in tokens; 0 picks the default: tender.rowChunk in
+     *  quantized mode (page = chunk) and kDefaultFp32BlockTokens in Fp32
+     *  mode (where `tender` stays unconsulted). In quantized mode this
+     *  must be a multiple of rowChunk — chunk boundaries (and therefore
+     *  numerics) never depend on the paging granularity, only the
+     *  allocation granularity does. Large values emulate contiguous
+     *  per-request slabs (the bench baseline). */
+    int blockTokens = 0;
+
+    static constexpr int kDefaultFp32BlockTokens = 32;
 
     KVCacheConfig() { tender.rowChunk = 32; }
 };
 
+/** Resolved page size in tokens (validates the config). */
+int resolvedBlockTokens(const KVCacheConfig &config);
+
+/** Modeled bytes of one stored Tender chunk of `rows` tokens: packed
+ *  codes plus per-chunk metadata (fp32 bias and a 1-byte scale index per
+ *  channel, fp32 scale per group — the Index Buffer / scale-table
+ *  contents of Section IV-D). */
+size_t tenderChunkBytes(int rows, int head_dim, const TenderConfig &config);
+
+/** Pool geometry for caches of this model/config shape. */
+BlockPoolConfig blockPoolConfigFor(const ModelConfig &model,
+                                   const KVCacheConfig &config,
+                                   size_t capacity_blocks);
+
 class KVCache
 {
   public:
-    KVCache(const ModelConfig &model, const KVCacheConfig &config);
+    /**
+     * `pool` is the block pool to page into (must outlive the cache and
+     * match blockPoolConfigFor(model, config, ...) geometry); nullptr
+     * creates a private unbounded pool. `reserved_blocks` is headroom the
+     * caller already committed via BlockAllocator::tryReserve on this
+     * cache's behalf — allocation draws it down first, and the destructor
+     * returns whatever was never drawn.
+     */
+    KVCache(const ModelConfig &model, const KVCacheConfig &config,
+            BlockAllocator *pool = nullptr, size_t reserved_blocks = 0);
+    ~KVCache();
+
+    KVCache(const KVCache &) = delete;
+    KVCache &operator=(const KVCache &) = delete;
+    KVCache(KVCache &&other) noexcept;
+    KVCache &operator=(KVCache &&other) noexcept;
 
     const KVCacheConfig &config() const { return config_; }
 
@@ -70,42 +124,69 @@ class KVCache
     void append(int layer, const Matrix &k_rows, const Matrix &v_rows);
 
     /** Materialized key history of (layer, kv-head): length() x headDim.
-     *  Fp32 mode returns the stored rows; quantized mode dequantizes. */
+     *  Walks the store's block table; Fp32 blocks are copied verbatim,
+     *  quantized chunk slots are dequantized. */
     Matrix keys(int layer, int head) const;
 
     /** Materialized value history, same contract as keys(). */
     Matrix values(int layer, int head) const;
 
-    /** Modeled bytes held by the cache payload: 4 B/element for Fp32;
-     *  codes at bits/8 B/element plus per-chunk metadata (fp32 bias +
-     *  1-B scale index per channel, fp32 per-group scales) for
+    /** Modeled bytes held by the cache payload (actual rows, not block
+     *  capacity): 4 B/element for Fp32; tenderChunkBytes per chunk for
      *  TenderQuantized. */
     size_t storedBytes() const;
 
     /** What Fp32 storage of the same history would cost (comparison). */
     size_t fp32Bytes() const;
 
+    /** The pool this cache pages into (occupancy stats surface). */
+    const BlockAllocator &pool() const { return *pool_; }
+
+    /** Pool occupancy snapshot — peak bytes here are the serving-facing
+     *  "how much memory did KV really take" number. */
+    BlockPoolStats poolStats() const { return pool_->stats(); }
+
+    /** Blocks currently held by this cache across all stores. */
+    size_t blocksInUse() const;
+
+    /** Worst-case pool blocks a cache holding `tokens` rows needs across
+     *  all (layer, kv-head, K|V) stores — the admission reservation. */
+    static size_t blocksForTokens(const ModelConfig &model,
+                                  const KVCacheConfig &config, int tokens);
+
+    /** Return every block (and any undrawn reservation) to the pool and
+     *  reset to empty. Called by the destructor; idempotent. */
+    void releaseAll();
+
   private:
     /** One of K or V for one (layer, kv-head). */
     struct Store
     {
-        std::vector<float> rows;           ///< Fp32 payload / open-chunk rows
-        int openRows = 0;                  ///< rows pending in the open chunk
-        QuantizedChunk open;               ///< requantized on every append
-        std::vector<QuantizedChunk> frozen;
+        std::vector<int> blocks;    ///< block table, in logical-row order
+        std::vector<float> staging; ///< quantized: open-chunk fp32 rows
+        int rows = 0;               ///< tokens appended to this store
     };
 
     Store &storeOf(int layer, int head, bool value);
     const Store &storeOf(int layer, int head, bool value) const;
     void appendStore(Store &store, const Matrix &rows, int head);
     Matrix materialize(const Store &store) const;
+    int allocateBlock();
+    void ensureBlocks(Store &store, int block_index);
+    QuantizedChunk &chunkSlotOf(const Store &store, int chunk) const;
 
     ModelConfig model_;
     KVCacheConfig config_;
     int headDim_ = 0;
+    int blockTokens_ = 0;
+    int chunksPerBlock_ = 1;
     int length_ = 0;
     std::vector<int> layerLength_;  ///< per-layer appended rows
     std::vector<Store> stores_;     ///< [layer][head][K,V] flattened
+
+    std::unique_ptr<BlockAllocator> ownedPool_;
+    BlockAllocator *pool_ = nullptr; ///< null only in a moved-from cache
+    size_t reservedRemaining_ = 0;
 };
 
 } // namespace tender

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Tests for the paged KV cache (src/runtime/block_allocator.h +
+ * kv_cache block tables): allocator free-list/reservation semantics,
+ * paging-granularity invariance (fp32 bit-exact, quantized identical),
+ * pool exhaustion deferring admission without changing outputs, block
+ * reuse after retirement with no stale chunk metadata, and fragmentation
+ * churn with interleaved mixed-length requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/transformer.h"
+#include "runtime/batch_scheduler.h"
+#include "runtime/decode_engine.h"
+
+namespace tender {
+namespace {
+
+ModelConfig
+smallDecoder(int kv_heads = 4)
+{
+    ModelConfig cfg;
+    cfg.name = "paged-kv-test";
+    cfg.family = Family::Opt;
+    cfg.dModel = 64;
+    cfg.nHeads = 4;
+    cfg.kvHeads = kv_heads;
+    cfg.nLayers = 2;
+    cfg.dFfn = 128;
+    cfg.decoder = true;
+    return cfg;
+}
+
+std::vector<GenRequest>
+mixedRequests()
+{
+    // Interleaved short/long prompts and budgets so slots churn at
+    // different times and mixed-size footprints hit the free list.
+    return {
+        {0, {1, 2, 3}, 6},
+        {1, {7, 5, 9, 11, 2, 14, 3, 1}, 2},
+        {2, {4}, 9},
+        {3, {8, 8, 8, 1, 30, 2}, 4},
+        {4, {30, 31, 32, 33, 34, 35, 36, 37, 38, 39}, 3},
+        {5, {12, 13}, 7},
+        {6, {25, 24, 23, 22, 21}, 5},
+    };
+}
+
+std::vector<GenResult>
+runScheduler(SyntheticModel &model, const std::vector<GenRequest> &requests,
+             SchedulerOptions options, const KernelContext &kc)
+{
+    options.decode.kernels = &kc;
+    options.vocabSize = 64;
+    BatchScheduler scheduler(model, options);
+    for (const GenRequest &r : requests)
+        scheduler.submit(r);
+    return scheduler.drain();
+}
+
+TEST(BlockAllocator, FreeListReuseAndPeakTracking)
+{
+    BlockPoolConfig pc;
+    pc.mode = KVCacheMode::Fp32;
+    pc.blockTokens = 8;
+    pc.headDim = 16;
+    pc.blockBytes = 8 * 16 * sizeof(float);
+    pc.capacityBlocks = 4;
+    BlockAllocator pool(pc);
+
+    const int a = pool.allocate(false);
+    const int b = pool.allocate(false);
+    const int c = pool.allocate(false);
+    EXPECT_GE(a, 0);
+    EXPECT_GE(b, 0);
+    EXPECT_GE(c, 0);
+    EXPECT_EQ(3u, pool.stats().allocatedBlocks);
+    EXPECT_EQ(3u, pool.stats().createdBlocks);
+    EXPECT_EQ(3u, pool.stats().peakAllocatedBlocks);
+
+    pool.release(b);
+    pool.release(a);
+    EXPECT_EQ(1u, pool.stats().allocatedBlocks);
+    EXPECT_EQ(2u, pool.stats().freeBlocks);
+
+    // Freed blocks are recycled before any new storage is materialized.
+    const int d = pool.allocate(false);
+    const int e = pool.allocate(false);
+    EXPECT_TRUE((d == a && e == b) || (d == b && e == a));
+    EXPECT_EQ(3u, pool.stats().createdBlocks);
+    EXPECT_EQ(2, pool.stats().reuses);
+
+    // Capacity binds: 4th concurrent block fits, 5th does not.
+    EXPECT_GE(pool.allocate(false), 0);
+    EXPECT_EQ(-1, pool.allocate(false));
+    EXPECT_EQ(4u, pool.stats().peakAllocatedBlocks);
+    EXPECT_EQ(pc.blockBytes * 4, pool.stats().peakAllocatedBytes());
+}
+
+TEST(BlockAllocator, ReservationsGateCapacity)
+{
+    BlockPoolConfig pc;
+    pc.mode = KVCacheMode::Fp32;
+    pc.blockTokens = 4;
+    pc.headDim = 8;
+    pc.blockBytes = 4 * 8 * sizeof(float);
+    pc.capacityBlocks = 6;
+    BlockAllocator pool(pc);
+
+    EXPECT_TRUE(pool.tryReserve(4));
+    EXPECT_FALSE(pool.tryReserve(3)); // 4 + 3 > 6
+    EXPECT_TRUE(pool.tryReserve(2));
+    EXPECT_EQ(6u, pool.stats().reservedBlocks);
+    EXPECT_EQ(-1, pool.allocate(false)); // fully committed
+
+    // Reserved allocation draws down the reservation, not new headroom.
+    const int a = pool.allocate(true);
+    EXPECT_GE(a, 0);
+    EXPECT_EQ(5u, pool.stats().reservedBlocks);
+    EXPECT_EQ(1u, pool.stats().allocatedBlocks);
+    EXPECT_EQ(6u, pool.stats().peakCommittedBlocks);
+
+    pool.unreserve(5);
+    EXPECT_EQ(0u, pool.stats().reservedBlocks);
+    EXPECT_GE(pool.allocate(false), 0); // headroom is back
+}
+
+TEST(PagedKVCache, Fp32BitExactAcrossPageSizes)
+{
+    // Paging granularity must never change fp32 decode numerics: every
+    // block size yields hidden states bit-identical to full prefill.
+    SyntheticModel model(smallDecoder(2), 7);
+    const Matrix input = model.sampleInput(26, 3);
+    setDefaultKernels(Backend::Serial);
+    const Matrix full = modelForward(model, input);
+
+    for (int block_tokens : {1, 4, 32, 64}) {
+        DecodeOptions options;
+        options.cache.blockTokens = block_tokens;
+        DecodeEngine engine(model, options);
+        Matrix out(input.rows(), input.cols());
+        const Matrix pre = engine.prefill(input.rowSlice(0, 10));
+        for (int r = 0; r < 10; ++r)
+            for (int c = 0; c < input.cols(); ++c)
+                out(r, c) = pre(r, c);
+        for (int r = 10; r < input.rows(); ++r) {
+            const Matrix h = engine.step(input.rowSlice(r, r + 1));
+            for (int c = 0; c < input.cols(); ++c)
+                out(r, c) = h(0, c);
+        }
+        EXPECT_TRUE(full == out) << "blockTokens=" << block_tokens;
+        // 26 tokens / block size, over nLayers * kvHeads * 2 stores.
+        const int per_store = (26 + block_tokens - 1) / block_tokens;
+        EXPECT_EQ(size_t(per_store) * 2 * 2 * 2, engine.cache().blocksInUse());
+    }
+}
+
+TEST(PagedKVCache, QuantizedIndependentOfPageSize)
+{
+    // Chunk boundaries derive from the store's own rows, so pages holding
+    // 1 chunk or 4 chunks (or a contiguous-slab-sized block) must yield
+    // identical outputs — paging is allocation policy, not numerics.
+    SyntheticModel model(smallDecoder(), 9);
+    KernelContext kc(Backend::Serial);
+    const std::vector<GenRequest> requests = mixedRequests();
+
+    auto run = [&](int block_tokens) {
+        SchedulerOptions options;
+        options.decode.cache.mode = KVCacheMode::TenderQuantized;
+        options.decode.cache.tender.rowChunk = 8;
+        options.decode.cache.blockTokens = block_tokens;
+        return runScheduler(model, requests, options, kc);
+    };
+
+    const auto baseline = run(8);
+    for (int block_tokens : {16, 32, 64}) {
+        const auto result = run(block_tokens);
+        ASSERT_EQ(baseline.size(), result.size());
+        for (size_t i = 0; i < baseline.size(); ++i)
+            EXPECT_EQ(baseline[i].tokens, result[i].tokens)
+                << "blockTokens=" << block_tokens << " id=" << i;
+    }
+}
+
+TEST(PagedKVCache, PoolExhaustionDefersAdmissionWithoutChangingTokens)
+{
+    SyntheticModel model(smallDecoder(), 11);
+    KernelContext kc(Backend::Serial);
+    const std::vector<GenRequest> requests = mixedRequests();
+    const ModelConfig cfg = model.config();
+
+    SchedulerOptions unbounded;
+    unbounded.maxBatch = 4;
+    unbounded.decode.cache.blockTokens = 8; // fp32 page = 8 tokens
+    const auto baseline = runScheduler(model, requests, unbounded, kc);
+
+    // Size the pool for roughly two of the larger requests so admission
+    // must wait on retirements mid-run.
+    size_t worst = 0;
+    for (const GenRequest &r : requests)
+        worst = std::max(worst, KVCache::blocksForTokens(
+            cfg, unbounded.decode.cache,
+            int(r.promptTokens.size()) + r.maxNewTokens - 1));
+    SchedulerOptions bounded = unbounded;
+    bounded.kvPoolBlocks = 2 * worst;
+
+    SchedulerOptions opts = bounded;
+    opts.decode.kernels = &kc;
+    opts.vocabSize = 64;
+    BatchScheduler scheduler(model, opts);
+    for (const GenRequest &r : requests)
+        scheduler.submit(r);
+    int max_active = 0;
+    while (scheduler.step())
+        max_active = std::max(max_active, scheduler.activeCount());
+    auto results = scheduler.drain();
+
+    ASSERT_EQ(baseline.size(), results.size());
+    for (size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(baseline[i].id, results[i].id);
+        EXPECT_EQ(baseline[i].tokens, results[i].tokens) << "id " << i;
+    }
+    // The bound actually bit: some admissions were deferred, the pool
+    // never exceeded its capacity, and everything was returned at drain.
+    EXPECT_GT(scheduler.stats().deferred, 0);
+    const BlockPoolStats ps = scheduler.poolStats();
+    EXPECT_LE(ps.peakCommittedBlocks, ps.capacityBlocks);
+    EXPECT_EQ(0u, ps.allocatedBlocks);
+    EXPECT_EQ(0u, ps.reservedBlocks);
+    EXPECT_LT(max_active, int(requests.size()));
+}
+
+TEST(PagedKVCache, BlockReuseAfterRetirementHasNoStaleChunkState)
+{
+    // Quantized mode: a retired request's codes/metadata must never leak
+    // into a block's next owner. Run a churned bounded-pool workload and
+    // demand (a) the free list was actually exercised and (b) every
+    // request's tokens equal its unbatched single-request decode.
+    SyntheticModel model(smallDecoder(), 13);
+    KernelContext kc(Backend::Serial);
+    const std::vector<GenRequest> requests = mixedRequests();
+
+    SchedulerOptions options;
+    options.maxBatch = 3;
+    options.decode.cache.mode = KVCacheMode::TenderQuantized;
+    options.decode.cache.tender.rowChunk = 4;
+    options.decode.kernels = &kc;
+    options.vocabSize = 64;
+    size_t worst = 0;
+    for (const GenRequest &r : requests)
+        worst = std::max(worst, KVCache::blocksForTokens(
+            model.config(), options.decode.cache,
+            int(r.promptTokens.size()) + r.maxNewTokens - 1));
+    options.kvPoolBlocks = 3 * worst;
+
+    BatchScheduler scheduler(model, options);
+    for (const GenRequest &r : requests)
+        scheduler.submit(r);
+    const auto results = scheduler.drain();
+    const BlockPoolStats ps = scheduler.poolStats();
+    EXPECT_GT(ps.reuses, 0);
+    EXPECT_LT(ps.createdBlocks, size_t(ps.allocations));
+
+    GreedyVocab vocab(options.vocabSize, model.config().dModel,
+                      options.vocabSeed);
+    for (size_t i = 0; i < requests.size(); ++i) {
+        DecodeOptions dopt;
+        dopt.kernels = &kc;
+        dopt.cache = options.decode.cache;
+        DecodeEngine engine(model, dopt);
+        std::vector<int> tokens;
+        Matrix h = engine.prefill(vocab.embedAll(requests[i].promptTokens));
+        int token = vocab.argmaxToken(h, h.rows() - 1, kc);
+        tokens.push_back(token);
+        while (int(tokens.size()) < requests[i].maxNewTokens) {
+            h = engine.step(vocab.embed(token));
+            token = vocab.argmaxToken(h, 0, kc);
+            tokens.push_back(token);
+        }
+        EXPECT_EQ(tokens, results[i].tokens) << "request " << i;
+    }
+}
+
+TEST(PagedKVCache, FragmentationChurnStaysBitExactFp32)
+{
+    // Interleaved admit/retire of mixed-length requests under a tight
+    // pool and a threaded backend: fp32 decode must remain bit-exact
+    // (same tokens as the unbounded serial baseline) through arbitrary
+    // free-list orderings and concurrent appends.
+    SyntheticModel model(smallDecoder(), 17);
+    std::vector<GenRequest> requests;
+    for (int id = 0; id < 12; ++id) {
+        GenRequest r;
+        r.id = id;
+        const int prompt = 1 + (id * 5) % 11;
+        for (int t = 0; t < prompt; ++t)
+            r.promptTokens.push_back((id + 3 * t) % 64);
+        r.maxNewTokens = 2 + (id * 7) % 9;
+        requests.push_back(r);
+    }
+
+    KernelContext serial(Backend::Serial);
+    SchedulerOptions unbounded;
+    unbounded.maxBatch = 4;
+    unbounded.decode.cache.blockTokens = 4; // 4-token fp32 pages
+    const auto baseline = runScheduler(model, requests, unbounded, serial);
+
+    KernelContext threaded(Backend::Threaded, 3);
+    SchedulerOptions bounded = unbounded;
+    size_t worst = 0;
+    for (const GenRequest &r : requests)
+        worst = std::max(worst, KVCache::blocksForTokens(
+            model.config(), bounded.decode.cache,
+            int(r.promptTokens.size()) + r.maxNewTokens - 1));
+    bounded.kvPoolBlocks = 2 * worst + 8;
+    const auto churned = runScheduler(model, requests, bounded, threaded);
+
+    ASSERT_EQ(baseline.size(), churned.size());
+    for (size_t i = 0; i < baseline.size(); ++i)
+        EXPECT_EQ(baseline[i].tokens, churned[i].tokens) << "id " << i;
+}
+
+TEST(PagedKVCache, SharedPoolAcrossEnginesAndOccupancyStats)
+{
+    SyntheticModel model(smallDecoder(), 19);
+    setDefaultKernels(Backend::Serial);
+    KVCacheConfig cache;
+    cache.blockTokens = 8;
+    BlockAllocator pool(blockPoolConfigFor(model.config(), cache, 0));
+
+    DecodeOptions options;
+    options.cache = cache;
+    options.pool = &pool;
+    {
+        DecodeEngine a(model, options);
+        DecodeEngine b(model, options);
+        a.prefill(model.sampleInput(12, 2));
+        b.prefill(model.sampleInput(20, 4));
+        // 12 tokens -> 2 pages, 20 tokens -> 3 pages, per store.
+        const size_t stores = 2 * 4 * 2;
+        EXPECT_EQ((2 + 3) * stores, pool.stats().allocatedBlocks);
+        EXPECT_EQ(a.cache().poolStats().allocatedBlocks,
+                  pool.stats().allocatedBlocks);
+        const BlockPoolStats ps = pool.stats();
+        EXPECT_EQ(ps.blockBytes, 8u * 16u * sizeof(float));
+        EXPECT_EQ(ps.allocatedBytes(), ps.allocatedBlocks * ps.blockBytes);
+    }
+    // Engines retired: every page is back on the free list for reuse.
+    EXPECT_EQ(0u, pool.stats().allocatedBlocks);
+    EXPECT_EQ(pool.stats().createdBlocks, pool.stats().freeBlocks);
+    EXPECT_GT(pool.stats().peakAllocatedBlocks, 0u);
+}
+
+} // namespace
+} // namespace tender
