@@ -1,7 +1,9 @@
 /**
  * @file
  * Decode-runtime performance recorder: continuous-batching tokens/s at
- * batch 1/4/16 with fp32 and Tender-quantized KV caches, plus a churned
+ * batch 1/4/16 with fp32 and Tender-quantized KV caches — the latter both
+ * through the dequantize-on-read oracle and the fused integer-domain
+ * attention path (DecodeOptions::fusedQuantKv) — plus a churned
  * mixed-batch scenario comparing the paged KV layout against contiguous
  * per-request slabs, emitted as BENCH_decode.json so the serving-path
  * perf trajectory is tracked PR over PR (run via scripts/bench_decode.sh).
@@ -24,8 +26,10 @@
  *
  * The "correctness" block records machine-checkable invariants (fp32
  * decode bit-parity with full prefill, quantized-KV NMSE under its
- * bound, paged-vs-contiguous peak ratio > 1); scripts/check_bench.py
- * gates CI on them.
+ * bound, fused-vs-dequantize attention NMSE under its bound,
+ * paged-vs-contiguous peak ratio > 1); scripts/check_bench.py gates CI
+ * on them. The fused/dequantize tokens/s ratio is recorded (not gated)
+ * as fused_over_dequant_tokens_ratio.
  *
  * Usage: bench_decode_json [--smoke] [prompt new_tokens workers out.json]
  * Defaults: 16 32 8 BENCH_decode.json (--smoke: 8 6 2, reduced batches
@@ -60,7 +64,7 @@ struct BatchPoint
 
 BatchPoint
 runBatchOnce(SyntheticModel &model, const KernelContext &kc, int batch,
-             int prompt_len, int new_tokens, KVCacheMode mode)
+             int prompt_len, int new_tokens, KVCacheMode mode, bool fused)
 {
     SchedulerOptions options;
     options.maxBatch = batch;
@@ -68,6 +72,7 @@ runBatchOnce(SyntheticModel &model, const KernelContext &kc, int batch,
     options.decode.kernels = &kc;
     options.decode.cache.mode = mode;
     options.decode.cache.tender.rowChunk = 16;
+    options.decode.fusedQuantKv = fused;
     BatchScheduler scheduler(model, options);
     for (int id = 0; id < batch; ++id) {
         GenRequest r;
@@ -92,6 +97,7 @@ runBatchOnce(SyntheticModel &model, const KernelContext &kc, int batch,
     DecodeOptions dopt;
     dopt.kernels = &kc;
     dopt.cache = options.decode.cache;
+    dopt.fusedQuantKv = fused;
     DecodeEngine engine(model, dopt);
     GreedyVocab vocab(options.vocabSize, model.config().dModel,
                       options.vocabSeed);
@@ -105,12 +111,13 @@ runBatchOnce(SyntheticModel &model, const KernelContext &kc, int batch,
  *  is noticeably jittery on an oversubscribed 1-hw-thread container. */
 BatchPoint
 runBatch(SyntheticModel &model, const KernelContext &kc, int batch,
-         int prompt_len, int new_tokens, KVCacheMode mode)
+         int prompt_len, int new_tokens, KVCacheMode mode,
+         bool fused = false)
 {
     BatchPoint best =
-        runBatchOnce(model, kc, batch, prompt_len, new_tokens, mode);
+        runBatchOnce(model, kc, batch, prompt_len, new_tokens, mode, fused);
     const BatchPoint again =
-        runBatchOnce(model, kc, batch, prompt_len, new_tokens, mode);
+        runBatchOnce(model, kc, batch, prompt_len, new_tokens, mode, fused);
     return again.tokensPerS > best.tokensPerS ? again : best;
 }
 
@@ -216,6 +223,11 @@ struct Correctness
     bool fp32BitExact = false;
     double tenderNmse = 0.0;
     double tenderNmseBound = 2e-3;
+    /** Fused integer-domain attention vs the dequantize-on-read oracle,
+     *  same quantized cache — isolates the fused path's own error (query
+     *  quantization on frozen chunks). */
+    double fusedNmse = 0.0;
+    double fusedNmseBound = 2e-3;
 };
 
 Correctness
@@ -250,7 +262,12 @@ checkCorrectness(SyntheticModel &model, const KernelContext &kc)
     DecodeOptions quant;
     quant.cache.mode = KVCacheMode::TenderQuantized;
     quant.cache.tender.rowChunk = 16;
-    c.tenderNmse = nmse(fp32, decode(quant));
+    const Matrix dequant = decode(quant);
+    c.tenderNmse = nmse(fp32, dequant);
+
+    DecodeOptions fused = quant;
+    fused.fusedQuantKv = true;
+    c.fusedNmse = nmse(dequant, decode(fused));
     return c;
 }
 
@@ -339,7 +356,7 @@ main(int argc, char **argv)
 
     const std::vector<int> batches =
         smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16};
-    std::vector<BatchPoint> fp32, quant;
+    std::vector<BatchPoint> fp32, quant, fusedq;
     for (int b : batches) {
         fp32.push_back(runBatch(model, kc, b, prompt_len, new_tokens,
                                 KVCacheMode::Fp32));
@@ -351,7 +368,19 @@ main(int argc, char **argv)
         std::printf("tender-KV batch %2d: %8.1f tokens/s (%lld steps)\n",
                     b, quant.back().tokensPerS,
                     (long long)quant.back().steps);
+        fusedq.push_back(runBatch(model, kc, b, prompt_len, new_tokens,
+                                  KVCacheMode::TenderQuantized,
+                                  /*fused=*/true));
+        std::printf("fused-KV  batch %2d: %8.1f tokens/s (%lld steps)\n",
+                    b, fusedq.back().tokensPerS,
+                    (long long)fusedq.back().steps);
     }
+    // Fused vs dequantize-oracle tokens/s at the largest batch — the
+    // number the fused path exists to move.
+    const double fused_ratio =
+        fusedq.back().tokensPerS / quant.back().tokensPerS;
+    std::printf("fused/dequantize tokens/s ratio at batch %d: %.2fx\n",
+                batches.back(), fused_ratio);
     std::printf("continuous batching speedup (fp32-KV) vs batch 1:");
     for (size_t i = 1; i < fp32.size(); ++i)
         std::printf(" batch %d %.2fx%s", fp32[i].batch,
@@ -384,9 +413,11 @@ main(int argc, char **argv)
 
     const Correctness correct = checkCorrectness(model, kc);
     std::printf("correctness: fp32 decode %s full prefill, tender-KV "
-                "nmse %.3g (bound %.3g)\n",
+                "nmse %.3g (bound %.3g), fused-attention nmse %.3g "
+                "(bound %.3g)\n",
                 correct.fp32BitExact ? "bit-identical to" : "DIVERGES from",
-                correct.tenderNmse, correct.tenderNmseBound);
+                correct.tenderNmse, correct.tenderNmseBound,
+                correct.fusedNmse, correct.fusedNmseBound);
 
     FILE *f = std::fopen(out_path, "w");
     if (!f) {
@@ -407,15 +438,21 @@ main(int argc, char **argv)
                  std::thread::hardware_concurrency());
     emitMode(f, "fp32_kv", fp32, true);
     emitMode(f, "tender_kv", quant, true);
+    emitMode(f, "tender_kv_fused", fusedq, true);
+    std::fprintf(f, "  \"fused_over_dequant_tokens_ratio\": %.3f,\n",
+                 fused_ratio);
     emitChurn(f, "churn_fp32", churn_fp32_paged, churn_fp32_contig, true);
     emitChurn(f, "churn_tender", churn_tender_paged, churn_tender_contig,
               true);
     std::fprintf(f,
                  "  \"correctness\": {\"fp32_decode_bit_exact\": %s, "
                  "\"tender_kv_nmse\": %.6g, "
-                 "\"tender_kv_nmse_bound\": %.3g},\n",
+                 "\"tender_kv_nmse_bound\": %.3g, "
+                 "\"fused_attention_nmse\": %.6g, "
+                 "\"fused_attention_nmse_bound\": %.3g},\n",
                  correct.fp32BitExact ? "true" : "false",
-                 correct.tenderNmse, correct.tenderNmseBound);
+                 correct.tenderNmse, correct.tenderNmseBound,
+                 correct.fusedNmse, correct.fusedNmseBound);
     std::fprintf(f, "  \"fp32_batched_speedup\": {");
     for (size_t i = 1; i < fp32.size(); ++i)
         std::fprintf(f, "\"batch_%d\": %.3f%s", fp32[i].batch,
@@ -426,7 +463,8 @@ main(int argc, char **argv)
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
     return correct.fp32BitExact &&
-                   correct.tenderNmse < correct.tenderNmseBound
+                   correct.tenderNmse < correct.tenderNmseBound &&
+                   correct.fusedNmse < correct.fusedNmseBound
                ? 0
                : 1;
 }

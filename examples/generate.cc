@@ -15,13 +15,22 @@
  * pure reuse, not an approximation — while the Tender-quantized cache
  * trades a bounded perturbation for ~4x smaller KV storage.
  *
- *   $ ./examples/generate [n_tokens]
+ * With --fused-kv a third arm runs the quantized cache through the fused
+ * integer-domain attention path (attentionHeadFusedQuant): scores and
+ * probs*V consume the KV chunk codes in place, no fp32 materialization.
+ * Every arm reports a per-phase timing breakdown (projections, K/V
+ * append/requant, history materialization or view building, attention)
+ * so a perf regression is attributable to a phase, not just a blended
+ * mean latency.
+ *
+ *   $ ./examples/generate [n_tokens] [--fused-kv]
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "model/transformer.h"
@@ -43,16 +52,19 @@ struct GenRun
 {
     std::vector<int> tokens;
     std::vector<double> stepUs;
-    BlockPoolStats pool; ///< KV block-pool occupancy after the run
+    BlockPoolStats pool;     ///< KV block-pool occupancy after the run
+    size_t memoBytes = 0;    ///< fallback-path dequantization memo
+    DecodePhaseTimes phases; ///< per-phase breakdown across all steps
 };
 
 /** Greedy-decode with the runtime: prefill the prompt, then step. */
 GenRun
 runtimeGenerate(SyntheticModel &model, const GreedyVocab &vocab,
                 const std::vector<int> &prompt, int n_tokens,
-                const DecodeOptions &options)
+                DecodeOptions options)
 {
     GenRun run;
+    options.phases = &run.phases;
     DecodeEngine engine(model, options);
     const KernelContext &kc = defaultKernels();
     auto t0 = Clock::now();
@@ -68,6 +80,7 @@ runtimeGenerate(SyntheticModel &model, const GreedyVocab &vocab,
         run.tokens.push_back(token);
     }
     run.pool = engine.cache().poolStats();
+    run.memoBytes = engine.cache().dequantMemoBytes();
     return run;
 }
 
@@ -106,13 +119,42 @@ mean(const std::vector<double> &v, size_t from)
     return acc / double(v.size() - from);
 }
 
+void
+printPhases(const char *arm, const DecodePhaseTimes &p)
+{
+    const double total =
+        p.projectionsUs + p.appendUs + p.historyUs + p.attentionUs;
+    std::printf("%-10s projections %8.0f us (%4.1f%%), append/requant "
+                "%7.0f us (%4.1f%%), history %7.0f us (%4.1f%%), "
+                "attention %7.0f us (%4.1f%%)\n",
+                arm, p.projectionsUs, 100.0 * p.projectionsUs / total,
+                p.appendUs, 100.0 * p.appendUs / total, p.historyUs,
+                100.0 * p.historyUs / total, p.attentionUs,
+                100.0 * p.attentionUs / total);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    bool fused_kv = false;
+    int n_tokens = 20;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fused-kv") == 0) {
+            fused_kv = true;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr,
+                         "unknown option '%s'\nusage: %s [n_tokens] "
+                         "[--fused-kv]\n",
+                         argv[i], argv[0]);
+            return 2;
+        } else {
+            n_tokens = std::atoi(argv[i]);
+        }
+    }
     // The prefill always yields one token, so at least one is generated.
-    const int n_tokens = std::max(1, argc > 1 ? std::atoi(argv[1]) : 20);
+    n_tokens = std::max(1, n_tokens);
 
     const ModelConfig config = replicaOf(modelByName("OPT-6.7B"), 32);
     SyntheticModel model(config, /*seed=*/5);
@@ -129,11 +171,17 @@ main(int argc, char **argv)
     DecodeOptions quant_options;
     quant_options.cache.mode = KVCacheMode::TenderQuantized;
     quant_options.cache.tender.rowChunk = 16;
+    DecodeOptions fused_options = quant_options;
+    fused_options.fusedQuantKv = true;
 
     const GenRun fp32 =
         runtimeGenerate(model, vocab, prompt, n_tokens, fp32_options);
     const GenRun quant =
         runtimeGenerate(model, vocab, prompt, n_tokens, quant_options);
+    GenRun fused;
+    if (fused_kv)
+        fused = runtimeGenerate(model, vocab, prompt, n_tokens,
+                                fused_options);
     const std::vector<int> reference =
         prefillGenerate(model, vocab, prompt, n_tokens);
 
@@ -146,8 +194,15 @@ main(int argc, char **argv)
                     i == 0 ? "  (prefill)" : "");
 
     std::printf("\nmean decode latency (excl. prefill): fp32-KV %.1f us, "
-                "tender-KV %.1f us\n",
+                "tender-KV %.1f us",
                 mean(fp32.stepUs, 1), mean(quant.stepUs, 1));
+    if (fused_kv)
+        std::printf(", tender-KV fused %.1f us", mean(fused.stepUs, 1));
+    std::printf("\n\nper-phase breakdown (whole run):\n");
+    printPhases("fp32-KV", fp32.phases);
+    printPhases("tender-KV", quant.phases);
+    if (fused_kv)
+        printPhases("fused-KV", fused.phases);
     // The final generated token is never fed back, so the cache holds
     // prompt + n_tokens - 1 rows. Peak bytes come from the paged block
     // pool's occupancy stats — what the allocator really committed — not
@@ -162,6 +217,15 @@ main(int argc, char **argv)
                 quant.pool.peakAllocatedBlocks,
                 double(fp32.pool.peakAllocatedBytes()) /
                     double(quant.pool.peakAllocatedBytes()));
+    // The dequantize-on-read fallback memoizes frozen chunks in fp32 —
+    // runtime working memory on top of the quantized storage. The fused
+    // path reads codes in place and never grows it.
+    std::printf("dequantize-path frozen-chunk memo: tender %zu B%s\n",
+                quant.memoBytes,
+                fused_kv ? (fused.memoBytes == 0
+                                ? ", fused 0 B (reads codes in place)"
+                                : ", fused nonzero — unexpected")
+                         : "");
 
     // The acceptance property: fp32-KV incremental decode is *identical*
     // to full-sequence prefill, token for token.
@@ -174,5 +238,14 @@ main(int argc, char **argv)
                       : "MISMATCH — this is a bug");
     std::printf("tender-KV agreement with fp32-KV: %d/%d tokens\n",
                 quant_match, n_tokens);
+    if (fused_kv) {
+        int fused_match = 0;
+        for (int i = 0; i < n_tokens; ++i)
+            fused_match +=
+                fused.tokens[size_t(i)] == quant.tokens[size_t(i)];
+        std::printf("fused-KV agreement with tender-KV (dequantize "
+                    "oracle): %d/%d tokens\n",
+                    fused_match, n_tokens);
+    }
     return exact ? 0 : 1;
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Gate the bench JSON artifacts for CI (the bench smoke job).
 
-Usage: scripts/check_bench.py BENCH_gemm.json BENCH_decode.json
+Usage: scripts/check_bench.py BENCH_gemm.json BENCH_decode.json \
+           [--compare-baseline BASELINE_decode.json]
 
 Fails (exit 1) when a file is missing or malformed JSON, or when any
 recorded correctness field regresses:
@@ -13,14 +14,25 @@ recorded correctness field regresses:
   BENCH_decode.json
     correctness.fp32_decode_bit_exact     paged fp32 KV decode == prefill
     correctness.tender_kv_nmse <= bound   quantized-KV storage error
+    correctness.fused_attention_nmse <= bound   fused integer-domain
+        attention vs the dequantize-on-read oracle
     churn_*.peak_kv_bytes_ratio > 1       paged layout beats contiguous
 
 Perf numbers (tokens/s, GFLOP/s) are recorded but never gated here — they
 vary with the runner; correctness must not.
+
+--compare-baseline is the perf-tracking hook (warn, never fail): tokens/s
+fields of the checked decode JSON are compared against a committed
+baseline, and any drop past 20% is reported. The comparison only runs
+when both files were produced at the same scale (matching "smoke" flags);
+on a pinned runner with a committed same-scale baseline this becomes a
+usable regression signal, elsewhere it is informational.
 """
 
 import json
 import sys
+
+REGRESSION_TOLERANCE = 0.20
 
 
 def fail(msg):
@@ -58,11 +70,12 @@ def check_decode(path):
         fail(f"{path}: correctness.fp32_decode_bit_exact is "
              f"{correct['fp32_decode_bit_exact']} (paged fp32 KV decode "
              "must be bit-identical to full prefill)")
-    nmse = correct["tender_kv_nmse"]
-    bound = correct["tender_kv_nmse_bound"]
-    if not (0 <= nmse <= bound):
-        fail(f"{path}: correctness.tender_kv_nmse = {nmse} outside "
-             f"[0, {bound}]")
+    for field in ("tender_kv_nmse", "fused_attention_nmse"):
+        nmse = correct[field]
+        bound = correct[f"{field}_bound"]
+        if not (0 <= nmse <= bound):
+            fail(f"{path}: correctness.{field} = {nmse} outside "
+                 f"[0, {bound}]")
     for key in ("churn_fp32", "churn_tender"):
         ratio = doc[key]["peak_kv_bytes_ratio"]
         if not ratio > 1.0:
@@ -71,16 +84,82 @@ def check_decode(path):
         tps = doc[key]["tokens_per_s_ratio"]
         print(f"check_bench: {path}: {key} peak bytes {ratio:.2f}x smaller "
               f"paged, tokens/s ratio {tps:.2f} (recorded, not gated)")
-    print(f"check_bench: {path}: decode correctness OK "
-          f"(fp32 bit-exact, tender nmse {nmse:.3g} <= {bound})")
+    fused_ratio = doc["fused_over_dequant_tokens_ratio"]
+    print(f"check_bench: {path}: decode correctness OK (fp32 bit-exact, "
+          f"tender nmse {correct['tender_kv_nmse']:.3g}, fused nmse "
+          f"{correct['fused_attention_nmse']:.3g}, fused/dequant tokens/s "
+          f"{fused_ratio:.2f}x recorded)")
+    return doc
+
+
+def iter_tokens_per_s(doc):
+    """Yield (dotted-path, tokens/s) for every recorded throughput."""
+    for mode in ("fp32_kv", "tender_kv", "tender_kv_fused"):
+        for batch, point in doc.get(mode, {}).items():
+            yield f"{mode}.{batch}", point["tokens_per_s"]
+    for churn in ("churn_fp32", "churn_tender"):
+        for arm in ("paged", "contiguous"):
+            if churn in doc and arm in doc[churn]:
+                yield f"{churn}.{arm}", doc[churn][arm]["tokens_per_s"]
+
+
+def compare_baseline(doc, baseline_path):
+    # Perf comparison must never fail the gate: a missing/malformed
+    # baseline (or one predating a field) just skips the comparison.
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: baseline comparison skipped: {baseline_path}: "
+              f"{e}")
+        return
+    if baseline.get("smoke") != doc.get("smoke"):
+        print("check_bench: baseline comparison skipped: baseline "
+              f"({baseline_path}) and candidate were run at different "
+              "scales (smoke flags differ); tokens/s are not comparable")
+        return
+    try:
+        base = dict(iter_tokens_per_s(baseline))
+        points = list(iter_tokens_per_s(doc))
+    except (KeyError, TypeError, AttributeError) as e:
+        print("check_bench: baseline comparison skipped: baseline or "
+              f"candidate lacks expected tokens/s fields ({e})")
+        return
+    warned = 0
+    for key, tps in points:
+        ref = base.get(key)
+        if ref is None or ref <= 0:
+            continue
+        change = tps / ref - 1.0
+        if change < -REGRESSION_TOLERANCE:
+            warned += 1
+            print(f"check_bench: WARNING: {key} tokens/s {tps:.1f} is "
+                  f"{-change:.0%} below baseline {ref:.1f} "
+                  "(perf warning, not a failure)")
+    if warned == 0:
+        print(f"check_bench: baseline comparison vs {baseline_path}: no "
+              f"tokens/s drop beyond {REGRESSION_TOLERANCE:.0%}")
 
 
 def main(argv):
-    if len(argv) != 3:
-        fail("usage: check_bench.py BENCH_gemm.json BENCH_decode.json")
+    args = []
+    baseline = None
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--compare-baseline":
+            baseline = next(it, None)
+            if baseline is None:
+                fail("--compare-baseline needs a path")
+        else:
+            args.append(a)
+    if len(args) != 2:
+        fail("usage: check_bench.py BENCH_gemm.json BENCH_decode.json "
+             "[--compare-baseline BASELINE_decode.json]")
     try:
-        check_gemm(argv[1])
-        check_decode(argv[2])
+        check_gemm(args[0])
+        doc = check_decode(args[1])
+        if baseline is not None:
+            compare_baseline(doc, baseline)
     except KeyError as e:
         fail(f"missing expected field {e}")
     print("check_bench: all bench correctness fields OK")

@@ -17,8 +17,10 @@ finalize(ChannelStats &s)
     s.cmax.resize(size_t(d));
     s.tmax = 0.f;
     for (int c = 0; c < d; ++c) {
-        s.bias[size_t(c)] = 0.5f * (s.maxv[size_t(c)] + s.minv[size_t(c)]);
-        s.cmax[size_t(c)] = 0.5f * (s.maxv[size_t(c)] - s.minv[size_t(c)]);
+        s.bias[size_t(c)] = envelopeBias(s.minv[size_t(c)],
+                                         s.maxv[size_t(c)]);
+        s.cmax[size_t(c)] = envelopeCmax(s.minv[size_t(c)],
+                                         s.maxv[size_t(c)]);
         TENDER_CHECK(s.cmax[size_t(c)] >= 0.f);
         s.tmax = std::max(s.tmax, s.cmax[size_t(c)]);
     }
@@ -41,6 +43,17 @@ computeChannelStats(const Matrix &chunk)
             s.maxv[size_t(c)] = std::max(s.maxv[size_t(c)], row[c]);
         }
     }
+    finalize(s);
+    return s;
+}
+
+ChannelStats
+statsFromMinMax(std::vector<float> minv, std::vector<float> maxv)
+{
+    TENDER_CHECK(minv.size() == maxv.size() && !minv.empty());
+    ChannelStats s;
+    s.minv = std::move(minv);
+    s.maxv = std::move(maxv);
     finalize(s);
     return s;
 }

@@ -8,11 +8,37 @@
 #ifndef TENDER_CORE_CHANNEL_STATS_H
 #define TENDER_CORE_CHANNEL_STATS_H
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "tensor/matrix.h"
 
 namespace tender {
+
+/** Symmetrization bias of one channel envelope: (max + min) / 2. The
+ *  single definition shared by the full stats pass and the KV cache's
+ *  incremental runtime requantization — both must derive bit-identical
+ *  metadata from the same envelopes. */
+inline float
+envelopeBias(float minv, float maxv)
+{
+    return 0.5f * (maxv + minv);
+}
+
+/** Post-bias |.|max of one channel envelope: (max - min) / 2. */
+inline float
+envelopeCmax(float minv, float maxv)
+{
+    return 0.5f * (maxv - minv);
+}
+
+/** Raw |.|max of one channel envelope (no symmetrization). */
+inline float
+envelopeAbsMax(float minv, float maxv)
+{
+    return std::max(std::abs(minv), std::abs(maxv));
+}
 
 /** Channel-wise statistics for one row chunk of an activation tensor. */
 struct ChannelStats
@@ -28,6 +54,16 @@ struct ChannelStats
 
 /** Compute stats for all channels (columns) of chunk. */
 ChannelStats computeChannelStats(const Matrix &chunk);
+
+/**
+ * Build stats from per-channel min/max envelopes. Min/max accumulation is
+ * order-independent and exact, so a caller that maintains envelopes
+ * incrementally (the KV cache's runtime requantization appends one row at
+ * a time) gets stats bit-identical to computeChannelStats over the same
+ * rows — without rescanning the chunk each step.
+ */
+ChannelStats statsFromMinMax(std::vector<float> minv,
+                             std::vector<float> maxv);
 
 /**
  * Merge stats from another batch of the same shape (calibration): extends

@@ -74,22 +74,79 @@ buildChunkMeta(const ChannelStats &stats, const TenderConfig &config)
             classifyChannel(cmax, tmax, config.alpha, g_count);
     }
 
-    // Compute order: stable sort by group id preserves channel order inside
-    // a group, which the Index Buffer streams to the systolic array.
+    rebuildMetaOrder(meta);
+    return meta;
+}
+
+void
+rebuildMetaOrder(ChunkMeta &meta)
+{
+    // Counting sort by group id, visiting channels in ascending index per
+    // group — stable by construction, so the compute order matches the
+    // stable_sort definition exactly (the Index Buffer stream order).
+    const int d = meta.channels();
+    const int g_count = meta.groups();
     meta.order.resize(size_t(d));
-    for (int c = 0; c < d; ++c)
-        meta.order[size_t(c)] = c;
-    std::stable_sort(meta.order.begin(), meta.order.end(),
-                     [&](int a, int b) {
-                         return meta.group[size_t(a)] < meta.group[size_t(b)];
-                     });
     meta.groupStart.assign(size_t(g_count) + 1, 0);
     for (int c = 0; c < d; ++c)
         ++meta.groupStart[size_t(meta.group[size_t(c)]) + 1];
     for (int g = 0; g < g_count; ++g)
         meta.groupStart[size_t(g) + 1] += meta.groupStart[size_t(g)];
+    std::vector<int> cursor(meta.groupStart.begin(),
+                            meta.groupStart.end() - 1);
+    for (int c = 0; c < d; ++c)
+        meta.order[size_t(cursor[size_t(meta.group[size_t(c)])]++)] = c;
     TENDER_CHECK(meta.groupStart.back() == d);
-    return meta;
+}
+
+float
+envelopeTmax(const float *minv, const float *maxv, int channels,
+             const TenderConfig &config)
+{
+    float tmax = 0.f;
+    for (int c = 0; c < channels; ++c)
+        tmax = std::max(tmax, config.biasSubtract
+                                  ? envelopeCmax(minv[c], maxv[c])
+                                  : envelopeAbsMax(minv[c], maxv[c]));
+    return tmax;
+}
+
+void
+buildChunkMetaInto(ChunkMeta &meta, const float *minv, const float *maxv,
+                   int channels, const TenderConfig &config)
+{
+    const int d = channels;
+    const int g_count = config.numGroups;
+    TENDER_REQUIRE(g_count >= 1, "need at least one group");
+    TENDER_REQUIRE(config.alpha >= 2, "alpha must be an integer >= 2");
+    meta.bias.resize(size_t(d));
+    meta.group.resize(size_t(d));
+    meta.scale.resize(size_t(g_count));
+
+    // Identical arithmetic to computeChannelStats + buildChunkMeta: the
+    // per-channel bias/CMax and the TMax all come from the shared
+    // envelope helpers (channel_stats.h), so the incremental and
+    // from-scratch paths cannot drift apart.
+    const float tmax = envelopeTmax(minv, maxv, d, config);
+    const float k = float(maxCode(config.bits));
+    float s = tmax > 0.f ? tmax / k : 1.f;
+    for (int g = 0; g < g_count; ++g) {
+        meta.scale[size_t(g)] = s;
+        s /= float(config.alpha);
+    }
+    for (int c = 0; c < d; ++c) {
+        float cmax;
+        if (config.biasSubtract) {
+            meta.bias[size_t(c)] = envelopeBias(minv[c], maxv[c]);
+            cmax = envelopeCmax(minv[c], maxv[c]);
+        } else {
+            meta.bias[size_t(c)] = 0.f;
+            cmax = envelopeAbsMax(minv[c], maxv[c]);
+        }
+        meta.group[size_t(c)] =
+            classifyChannel(cmax, tmax, config.alpha, g_count);
+    }
+    rebuildMetaOrder(meta);
 }
 
 ChunkMeta

@@ -32,13 +32,20 @@ Matrix
 dequantizeChunk(const QuantizedChunk &qc)
 {
     Matrix out(qc.codes.rows(), qc.codes.cols());
+    const int d = qc.codes.cols();
+    // Same per-element arithmetic as the accessor-based loop, as a
+    // row-pointer walk with no scratch allocation: this runs once per
+    // store per decode step on the open chunk, concurrently across
+    // requests, so both the bounds checks and a per-call heap allocation
+    // are measurable.
+    const int *group = qc.meta.group.data();
+    const float *scale = qc.meta.scale.data();
+    const float *bias = qc.meta.bias.data();
     for (int r = 0; r < out.rows(); ++r) {
-        for (int c = 0; c < out.cols(); ++c) {
-            const int g = qc.meta.group[size_t(c)];
-            const float s = qc.meta.scale[size_t(g)];
-            out(r, c) = dequantizeValue(qc.codes(r, c), s) +
-                qc.meta.bias[size_t(c)];
-        }
+        const int32_t *codes = qc.codes.rowPtr(r);
+        float *dst = out.rowPtr(r);
+        for (int c = 0; c < d; ++c)
+            dst[c] = dequantizeValue(codes[c], scale[group[c]]) + bias[c];
     }
     return out;
 }

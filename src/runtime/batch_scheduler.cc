@@ -88,8 +88,11 @@ BatchScheduler::step()
             stats_.prefillRows += t;
     }
 
-    const Matrix hidden =
-        decodeStep(model_, x, segments, options_.decode.scheme, kernels());
+    DecodeStepConfig step;
+    step.scheme = options_.decode.scheme;
+    step.fusedQuantKv = options_.decode.fusedQuantKv;
+    step.phases = options_.decode.phases;
+    const Matrix hidden = decodeStep(model_, x, segments, step, kernels());
     ++stats_.steps;
     stats_.batchedRows += rows;
 

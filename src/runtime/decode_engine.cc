@@ -1,7 +1,11 @@
 #include "runtime/decode_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
 
+#include "quant/quantizer.h"
 #include "util/rng.h"
 
 namespace tender {
@@ -22,16 +26,225 @@ checkSegments(const Matrix &x, const std::vector<DecodeSegment> &segments)
     TENDER_CHECK(row == x.rows());
 }
 
+/** Phase stopwatch on the calling thread; no-op when `into` is null. */
+class PhaseTimer
+{
+  public:
+    explicit PhaseTimer(DecodePhaseTimes *into) : into_(into) { mark(); }
+
+    void mark()
+    {
+        if (into_)
+            t0_ = std::chrono::steady_clock::now();
+    }
+
+    void accumulate(double DecodePhaseTimes::*phase)
+    {
+        if (!into_)
+            return;
+        const auto t1 = std::chrono::steady_clock::now();
+        into_->*phase +=
+            std::chrono::duration<double, std::micro>(t1 - t0_).count();
+        t0_ = t1;
+    }
+
+  private:
+    DecodePhaseTimes *into_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
 } // namespace
+
+Matrix
+attentionHeadFusedQuant(const Matrix &q, const KVCodeView &keys,
+                        const KVCodeView &values, int pos0,
+                        const KernelContext &kc)
+{
+    const int dh = q.cols();
+    const int qrows = q.rows();
+    const int len = keys.rows;
+    TENDER_CHECK(values.rows == len &&
+                 values.frozenRows == keys.frozenRows);
+    TENDER_CHECK(keys.frozen.size() == values.frozen.size());
+    TENDER_CHECK(pos0 >= 0 && pos0 + qrows <= len);
+
+    // Quantize the query rows once per head (per-row symmetric, at the
+    // chunks' code width). A history shorter than one chunk has no frozen
+    // codes to multiply against, so the integer machinery is skipped
+    // entirely on that (short-history hot) path.
+    IntMatrix qcodes, qshift;
+    std::vector<float> qscale;
+    if (!keys.frozen.empty()) {
+        const int bits = keys.frozen.front()->bits;
+        qcodes = IntMatrix(qrows, dh);
+        qshift = IntMatrix(qrows, dh);
+        qscale.resize(static_cast<size_t>(qrows));
+        for (int r = 0; r < qrows; ++r) {
+            qscale[size_t(r)] = scaleFor(rowAbsMax(q, r), bits);
+            const float *src = q.rowPtr(r);
+            int32_t *dst = qcodes.rowPtr(r);
+            for (int c = 0; c < dh; ++c)
+                dst[c] = quantizeValue(src[c], qscale[size_t(r)], bits);
+        }
+    }
+
+    Matrix scores(qrows, len);
+    // Frozen chunks: one integer panel per chunk, reading the key codes in
+    // place, with the cross-group alpha-rescale folded into the query
+    // codes: qshift[c] = qcode[c] * alpha^(G-1-g(c)). Integer exactness
+    // makes the plain dot product of shifted codes equal the MSA
+    // shift-accumulate A_G of Eq. 2 (core/msa_functional's discipline),
+    // and the int32 partials are requantized across chunks through each
+    // chunk's scale table: score = acc * qscale * s_last + q·bias.
+    std::vector<int32_t> mult(static_cast<size_t>(dh));
+    int k0 = 0;
+    for (const QuantizedChunk *ch : keys.frozen) {
+        const ChunkMeta &meta = ch->meta;
+        TENDER_CHECK(meta.channels() == dh);
+        const int g_count = meta.groups();
+        const int64_t max_code = maxCode(ch->bits);
+        int64_t max_shifted = 0;
+        for (int c = 0; c < dh; ++c) {
+            int64_t m = 1;
+            for (int e = meta.group[size_t(c)]; e < g_count - 1; ++e)
+                m *= keys.alpha;
+            // The folded code magnitude (not just the multiplier) must fit
+            // int32, or the qshift multiply below would wrap before
+            // gemmInt8's accumulator check could see it.
+            TENDER_CHECK_MSG(
+                m * max_code <=
+                    int64_t(std::numeric_limits<int32_t>::max()),
+                "fused attention: alpha^(G-1) rescale (" << m << ") times "
+                "code range (" << max_code << ") overflows int32");
+            mult[size_t(c)] = int32_t(m);
+            max_shifted = std::max(max_shifted, m * max_code);
+        }
+        for (int r = 0; r < qrows; ++r) {
+            const int32_t *src = qcodes.rowPtr(r);
+            int32_t *dst = qshift.rowPtr(r);
+            for (int c = 0; c < dh; ++c)
+                dst[c] = src[c] * mult[size_t(c)];
+        }
+        // Codes are bounded by construction (chunk codes by the quantizer,
+        // shifted query codes by the fold above), so the kernel's
+        // eligibility check needs no rescan of the immutable chunk pages.
+        const IntMatrix panel =
+            kc.gemmInt8(qshift, ch->codes, max_shifted, max_code);
+        const double s_last = double(meta.scale[size_t(g_count - 1)]);
+        const int rows = ch->codes.rows();
+        for (int r = 0; r < qrows; ++r) {
+            // The key bias is per-channel constant within the chunk, so
+            // its score contribution is one fp dot per (chunk, query row)
+            // on the exact fp query — the bias term carries no query
+            // quantization error.
+            double qbias = 0.0;
+            const float *qrow = q.rowPtr(r);
+            for (int c = 0; c < dh; ++c)
+                qbias += double(qrow[c]) * double(meta.bias[size_t(c)]);
+            const int32_t *prow = panel.rowPtr(r);
+            float *srow = scores.rowPtr(r) + k0;
+            const double sq = double(qscale[size_t(r)]);
+            for (int j = 0; j < rows; ++j)
+                srow[j] = float(double(prow[j]) * sq * s_last + qbias);
+        }
+        k0 += rows;
+    }
+    TENDER_CHECK(k0 == keys.frozenRows);
+    // Open chunk: exact fp dot against the dequantized staging view (the
+    // newest tokens see no query quantization error, matching the
+    // dequantize path bit for bit on this tail).
+    const int open = len - keys.frozenRows;
+    TENDER_CHECK(keys.openDeq.rows() == open);
+    for (int r = 0; r < qrows; ++r) {
+        const float *qrow = q.rowPtr(r);
+        float *srow = scores.rowPtr(r) + keys.frozenRows;
+        for (int j = 0; j < open; ++j) {
+            const float *krow = keys.openDeq.rowPtr(j);
+            double dot = 0.0;
+            for (int c = 0; c < dh; ++c)
+                dot += double(qrow[c]) * double(krow[c]);
+            srow[j] = float(dot);
+        }
+    }
+
+    // Scale / causal-mask / softmax in place, replaying the oracle's
+    // kernel-chain arithmetic exactly: the chain scales every column, sets
+    // columns past pos0+r to -inf, then softmaxes the row — masked
+    // columns contribute exp(-inf) = +0.0 to the denominator (an exact
+    // identity) and come out as +0.0 probabilities, so skipping them here
+    // and writing 0 directly is bit-identical while saving the three
+    // intermediate matrices per head call.
+    const float inv_sqrt = 1.f / std::sqrt(float(dh));
+    for (int r = 0; r < qrows; ++r) {
+        float *row = scores.rowPtr(r);
+        const int limit = std::min(len, pos0 + r + 1);
+        float row_max = -std::numeric_limits<float>::infinity();
+        for (int j = 0; j < limit; ++j) {
+            row[j] *= inv_sqrt;
+            row_max = std::max(row_max, row[j]);
+        }
+        double denom = 0.0;
+        for (int j = 0; j < limit; ++j)
+            denom += std::exp(double(row[j]) - double(row_max));
+        for (int j = 0; j < limit; ++j)
+            row[j] = float(std::exp(double(row[j]) - double(row_max)) /
+                           denom);
+        for (int j = limit; j < len; ++j)
+            row[j] = 0.f;
+    }
+    const Matrix &probs = scores;
+
+    // probs * V chunk by chunk on the V codes, per-chunk dequantization
+    // folded into the double accumulate. The walk replays the oracle's
+    // per-element arithmetic — same dequantized float values, same row
+    // order, same double accumulation — so given equal probs the output
+    // matches the materialized-GEMM path.
+    Matrix out(qrows, dh);
+    std::vector<double> acc(static_cast<size_t>(dh));
+    std::vector<float> cs(static_cast<size_t>(dh));
+    for (int r = 0; r < qrows; ++r) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        const float *prow = probs.rowPtr(r);
+        int v0 = 0;
+        for (const QuantizedChunk *ch : values.frozen) {
+            const ChunkMeta &meta = ch->meta;
+            TENDER_CHECK(meta.channels() == dh);
+            for (int c = 0; c < dh; ++c)
+                cs[size_t(c)] = meta.scale[size_t(meta.group[size_t(c)])];
+            const float *bias = meta.bias.data();
+            const int rows = ch->codes.rows();
+            for (int j = 0; j < rows; ++j) {
+                const double w = double(prow[v0 + j]);
+                const int32_t *code = ch->codes.rowPtr(j);
+                for (int c = 0; c < dh; ++c)
+                    acc[size_t(c)] += w *
+                        double(float(code[c]) * cs[size_t(c)] + bias[c]);
+            }
+            v0 += rows;
+        }
+        for (int j = 0; j < values.openDeq.rows(); ++j) {
+            const double w = double(prow[v0 + j]);
+            const float *vrow = values.openDeq.rowPtr(j);
+            for (int c = 0; c < dh; ++c)
+                acc[size_t(c)] += w * double(vrow[c]);
+        }
+        float *orow = out.rowPtr(r);
+        for (int c = 0; c < dh; ++c)
+            orow[c] = float(acc[size_t(c)]);
+    }
+    return out;
+}
 
 Matrix
 decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
                    const ModelConfig &config,
                    const std::vector<DecodeSegment> &segments,
-                   const GemmScheme *scheme, const KernelContext &kc)
+                   const DecodeStepConfig &step, const KernelContext &kc)
 {
     checkSegments(x, segments);
     const int dh = config.headDim();
+    const GemmScheme *scheme = step.scheme;
+    PhaseTimer timer(step.phases);
     // Fp32 projections batch across segments: they are row-local, so one
     // GEMM over the stacked rows computes every request's result exactly.
     // A quantizing scheme is NOT row-local — its row-chunk decomposition
@@ -57,6 +270,7 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
     const Matrix xq = project(ln1, w.wq);
     const Matrix xk = project(ln1, w.wk);
     const Matrix xv = project(ln1, w.wv);
+    timer.accumulate(&DecodePhaseTimes::projectionsUs);
 
     // Per-segment K/V appends (requantization in quantized caches) are
     // independent — each task touches only its own cache.
@@ -64,28 +278,44 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
                    [&](int64_t s0, int64_t s1) {
         for (int64_t si = s0; si < s1; ++si) {
             const DecodeSegment &seg = segments[size_t(si)];
-            seg.cache->append(layer,
-                              xk.rowSlice(seg.row0, seg.row0 + seg.rows),
-                              xv.rowSlice(seg.row0, seg.row0 + seg.rows));
+            seg.cache->appendRows(layer, xk, xv, seg.row0, seg.rows);
         }
     });
+    timer.accumulate(&DecodePhaseTimes::appendUs);
 
-    // Materialize each (segment, kv-head) history exactly once — under
-    // grouped-query attention several query heads share a kv head, and in
-    // quantized mode every materialization is a full dequantize pass.
+    // Gather each (segment, kv-head) history exactly once — under
+    // grouped-query attention several query heads share a kv head. On the
+    // fused path a quantized history is a zero-copy chunk-code view into
+    // the pool pages (plus the small dequantized open chunk); otherwise it
+    // is fully materialized (a dequantize pass, frozen chunks memoized by
+    // the cache).
     const int kv_heads = config.kvHeads;
-    std::vector<Matrix> keys(segments.size() * size_t(kv_heads));
-    std::vector<Matrix> values(segments.size() * size_t(kv_heads));
+    struct HeadHistory
+    {
+        Matrix k, v;             ///< materialized (oracle path)
+        KVCodeView kCodes, vCodes; ///< fused path
+        bool fused = false;
+    };
+    std::vector<HeadHistory> hist(segments.size() * size_t(kv_heads));
     kc.parallelFor(0, int64_t(segments.size()) * int64_t(kv_heads), 1,
                    [&](int64_t t0, int64_t t1) {
         for (int64_t t = t0; t < t1; ++t) {
             const DecodeSegment &seg =
                 segments[size_t(t) / size_t(kv_heads)];
             const int kvh = int(t % int64_t(kv_heads));
-            keys[size_t(t)] = seg.cache->keys(layer, kvh);
-            values[size_t(t)] = seg.cache->values(layer, kvh);
+            HeadHistory &hh = hist[size_t(t)];
+            if (step.fusedQuantKv &&
+                seg.cache->config().mode == KVCacheMode::TenderQuantized) {
+                hh.kCodes = seg.cache->keyView(layer, kvh);
+                hh.vCodes = seg.cache->valueView(layer, kvh);
+                hh.fused = true;
+            } else {
+                hh.k = seg.cache->keys(layer, kvh);
+                hh.v = seg.cache->values(layer, kvh);
+            }
         }
     });
+    timer.accumulate(&DecodePhaseTimes::historyUs);
 
     // Attention stays per request (distinct KV histories); (segment, head)
     // tasks write disjoint output tiles, so the parallel fan-out is
@@ -98,30 +328,35 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
             const DecodeSegment &seg = segments[si];
             const int h = int(t % int64_t(config.nHeads));
             const int kvh = kvHeadOf(h, config.nHeads, config.kvHeads);
-            const size_t ki = si * size_t(kv_heads) + size_t(kvh);
+            const HeadHistory &hh =
+                hist[si * size_t(kv_heads) + size_t(kvh)];
             const Matrix qh =
                 headSlice(xq.rowSlice(seg.row0, seg.row0 + seg.rows), h, dh);
-            const Matrix out = attentionHeadIncremental(qh, keys[ki],
-                                                        values[ki],
-                                                        seg.pos0, &kc);
+            const Matrix out = hh.fused
+                ? attentionHeadFusedQuant(qh, hh.kCodes, hh.vCodes,
+                                          seg.pos0, kc)
+                : attentionHeadIncremental(qh, hh.k, hh.v, seg.pos0, &kc);
             for (int r = 0; r < out.rows(); ++r)
                 for (int c = 0; c < dh; ++c)
                     attn(seg.row0 + r, h * dh + c) = out(r, c);
         }
     });
+    timer.accumulate(&DecodePhaseTimes::attentionUs);
 
     const Matrix xo = kc.axpby(1.f, project(attn, w.wo), 1.f, x);
     const Matrix ln2 = kc.layerNorm(xo, w.ln2Gain, w.ln2Bias);
     const Matrix h1 = project(ln2, w.wfc1);
     const Matrix hidden =
         config.family == Family::Bert ? kc.gelu(h1) : kc.relu(h1);
-    return kc.axpby(1.f, project(hidden, w.wfc2), 1.f, xo);
+    const Matrix y = kc.axpby(1.f, project(hidden, w.wfc2), 1.f, xo);
+    timer.accumulate(&DecodePhaseTimes::projectionsUs);
+    return y;
 }
 
 Matrix
 decodeStep(SyntheticModel &model, const Matrix &x,
            const std::vector<DecodeSegment> &segments,
-           const GemmScheme *scheme, const KernelContext &kc)
+           const DecodeStepConfig &step, const KernelContext &kc)
 {
     const ModelConfig &cfg = model.config();
     TENDER_REQUIRE(cfg.decoder,
@@ -131,7 +366,9 @@ decodeStep(SyntheticModel &model, const Matrix &x,
     Matrix h = x;
     for (int l = 0; l < cfg.nLayers; ++l)
         h = decodeBlockForward(h, l, model.blockWeights(l), cfg, segments,
-                               scheme, kc);
+                               step, kc);
+    if (step.phases)
+        ++step.phases->steps;
     return h;
 }
 
@@ -161,7 +398,11 @@ DecodeEngine::step(const Matrix &x_new)
         options_.kernels ? *options_.kernels : defaultKernels();
     std::vector<DecodeSegment> segments{
         {&cache_, 0, x_new.rows(), cache_.length()}};
-    return decodeStep(model_, x_new, segments, options_.scheme, kc);
+    DecodeStepConfig step;
+    step.scheme = options_.scheme;
+    step.fusedQuantKv = options_.fusedQuantKv;
+    step.phases = options_.phases;
+    return decodeStep(model_, x_new, segments, step, kc);
 }
 
 GreedyVocab::GreedyVocab(int vocab_size, int d_model, uint64_t seed)

@@ -15,6 +15,11 @@
  * in logical-row order so paging never perturbs the numerics —
  * parallelized across the KernelContext's thread pool with disjoint
  * output writes, so results are bit-identical for any worker count.
+ * With DecodeOptions::fusedQuantKv, quantized-cache segments instead run
+ * attentionHeadFusedQuant directly on the KV chunk codes (KVCodeView),
+ * skipping the fp32 materialization entirely — the MSA-style dataflow the
+ * paper hardware implements for its GEMMs, applied to the decode
+ * attention ops.
  *
  * DecodeEngine wraps one cache (one request): prefill() consumes the
  * prompt in a single step, step() extends it. With an Fp32 cache the
@@ -49,6 +54,22 @@ struct DecodeSegment
     int pos0 = 0; ///< absolute position of the first new token
 };
 
+/**
+ * Wall-clock phase breakdown accumulated across decodeStep calls, so perf
+ * regressions are attributable to a phase instead of a blended tokens/s
+ * number. Timed on the calling thread around each phase's (possibly
+ * parallel) fan-out; attach one accumulator to at most one concurrently
+ * running engine/scheduler at a time.
+ */
+struct DecodePhaseTimes
+{
+    double projectionsUs = 0.0; ///< QKV/O/FFN GEMMs + norms/activations
+    double appendUs = 0.0;      ///< K/V appends incl. runtime requant
+    double historyUs = 0.0;     ///< history materialization / view building
+    double attentionUs = 0.0;   ///< per-(segment, head) attention
+    int64_t steps = 0;          ///< decodeStep calls accumulated
+};
+
 /** Decode execution options. */
 struct DecodeOptions
 {
@@ -67,6 +88,26 @@ struct DecodeOptions
     /** Kernel context for everything else; nullptr = defaultKernels().
      *  Must outlive the engine. */
     const KernelContext *kernels = nullptr;
+    /** Route TenderQuantized-cache attention through the fused
+     *  integer-domain path (attentionHeadFusedQuant): scores and probs*V
+     *  consume the KV chunk codes in place, with no fp32 materialization
+     *  of the history. Fp32-cache segments are unaffected (they keep the
+     *  bit-exact incremental path). The dequantize-on-read path remains
+     *  the reference oracle; fused output error vs that oracle is bounded
+     *  and recorded in BENCH_decode.json (fused_attention_nmse). */
+    bool fusedQuantKv = false;
+    /** Optional phase-timing accumulator (see DecodePhaseTimes). */
+    DecodePhaseTimes *phases = nullptr;
+};
+
+/** The per-step slice of DecodeOptions consumed by decodeStep /
+ *  decodeBlockForward (everything but the cache/pool, which the segments
+ *  carry). */
+struct DecodeStepConfig
+{
+    const GemmScheme *scheme = nullptr;
+    bool fusedQuantKv = false;
+    DecodePhaseTimes *phases = nullptr;
 };
 
 /**
@@ -77,12 +118,36 @@ struct DecodeOptions
 Matrix decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
                           const ModelConfig &config,
                           const std::vector<DecodeSegment> &segments,
-                          const GemmScheme *scheme, const KernelContext &kc);
+                          const DecodeStepConfig &step,
+                          const KernelContext &kc);
 
 /** All blocks of the model over one stacked step input. */
 Matrix decodeStep(SyntheticModel &model, const Matrix &x,
                   const std::vector<DecodeSegment> &segments,
-                  const GemmScheme *scheme, const KernelContext &kc);
+                  const DecodeStepConfig &step, const KernelContext &kc);
+
+/**
+ * Fused quantized-KV attention for one head: the integer-domain
+ * counterpart of attentionHeadIncremental, consuming KVCodeView chunk
+ * codes in place (no fp32 materialization of the history).
+ *
+ * The query rows are quantized once (per-row symmetric, the chunks' code
+ * width); each frozen key chunk is processed as one gemmInt8 panel with
+ * the cross-group alpha-rescale folded into the query codes — integer
+ * exactness makes the shifted-code dot product identical to the MSA
+ * shift-accumulate discipline of core/msa_functional — and the int32
+ * partial scores are requantized across chunks through each chunk's scale
+ * table (score = acc * qscale * s_last + q·bias). The open chunk and the
+ * softmax run in fp32, then probs*V walks the V chunk codes with the
+ * per-chunk dequantization folded into the double accumulate, replaying
+ * the oracle's per-element arithmetic — so when every value lands exactly
+ * on a power-of-two-scale code grid the fused result is bit-identical to
+ * the dequantize path (asserted in tests/test_fused_attention.cc); in
+ * general it differs only by the query quantization error.
+ */
+Matrix attentionHeadFusedQuant(const Matrix &q, const KVCodeView &keys,
+                               const KVCodeView &values, int pos0,
+                               const KernelContext &kc);
 
 /** Single-request decode runtime. */
 class DecodeEngine

@@ -1,10 +1,49 @@
 #include "runtime/kv_cache.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "core/decompose.h"
+#include "quant/quantizer.h"
 
 namespace tender {
+
+namespace {
+
+/** Quantize rows [r0, r1) of the staged fp32 panel into slot.codes (same
+ *  per-element arithmetic as quantizeChunk; the slot must already be
+ *  sized and carry its metadata). Allocation-free: per-store appends run
+ *  concurrently across requests, and per-call heap traffic serializes
+ *  them on the allocator lock. */
+void
+quantizeRowsInto(QuantizedChunk &slot, const float *staging, int r0, int r1,
+                 int dh, int bits)
+{
+    const ChunkMeta &meta = slot.meta;
+    const int *group = meta.group.data();
+    const float *scale = meta.scale.data();
+    const float *bias = meta.bias.data();
+    for (int r = r0; r < r1; ++r) {
+        const float *src = staging + size_t(r) * size_t(dh);
+        int32_t *dst = slot.codes.rowPtr(r);
+        for (int c = 0; c < dh; ++c)
+            dst[c] = quantizeValue(src[c] - bias[c], scale[group[c]],
+                                   bits);
+    }
+}
+
+/** Size the slot's code matrix in place (capacity reused, so per-step
+ *  open-chunk rewrites stop reallocating). */
+void
+sizeSlotCodes(QuantizedChunk &slot, int rows, int dh)
+{
+    if (slot.codes.cols() != dh)
+        slot.codes = IntMatrix(0, dh);
+    slot.codes.resizeRows(rows);
+}
+
+} // namespace
 
 int
 resolvedBlockTokens(const KVCacheConfig &config)
@@ -144,6 +183,14 @@ KVCache::releaseAll()
         s.blocks.clear();
         s.staging.clear();
         s.rows = 0;
+        s.deqFrozen.clear();
+        s.deqFrozen.shrink_to_fit();
+        s.deqFrozenRows = 0;
+        s.openMin.clear();
+        s.openMax.clear();
+        s.openChanged.clear();
+        s.openTmax = 0.f;
+        s.openSlotRows = 0;
     }
     if (reservedRemaining_ > 0) {
         pool_->unreserve(reservedRemaining_);
@@ -199,12 +246,13 @@ KVCache::chunkSlotOf(const Store &store, int chunk) const
 }
 
 void
-KVCache::appendStore(Store &store, const Matrix &rows, int head)
+KVCache::appendStore(Store &store, const Matrix &rows, int row0, int row1,
+                     int head)
 {
     const int dh = headDim_;
     const int c0 = head * dh;
     if (config_.mode == KVCacheMode::Fp32) {
-        for (int r = 0; r < rows.rows(); ++r) {
+        for (int r = row0; r < row1; ++r) {
             const int tok = store.rows;
             ensureBlocks(store, tok / blockTokens_);
             float *dst = pool_->fp32Rows(store.blocks.back()) +
@@ -218,48 +266,162 @@ KVCache::appendStore(Store &store, const Matrix &rows, int head)
 
     // TenderQuantized: stage the new rows, freezing full chunks into their
     // pool slots as they complete. Chunk boundaries depend only on the
-    // store's own row count — never on paging or batching.
+    // store's own row count — never on paging or batching. Per-channel
+    // min/max envelopes are maintained incrementally alongside the staging
+    // rows; they are exact (min/max is order-independent), so the derived
+    // decomposition equals a full rescan bit for bit while costing O(dh)
+    // per appended row instead of O(rows * dh) per step.
     const int row_chunk = config_.tender.rowChunk;
-    for (int r = 0; r < rows.rows(); ++r) {
+    if (store.openMin.empty()) {
+        store.openMin.assign(size_t(dh),
+                             std::numeric_limits<float>::infinity());
+        store.openMax.assign(size_t(dh),
+                             -std::numeric_limits<float>::infinity());
+        store.openChanged.assign(size_t(dh), 0);
+    }
+    for (int r = row0; r < row1; ++r) {
         const float *src = rows.rowPtr(r) + c0;
         store.staging.insert(store.staging.end(), src, src + dh);
         ++store.rows;
+        for (int c = 0; c < dh; ++c) {
+            const float v = src[c];
+            if (v < store.openMin[size_t(c)]) {
+                store.openMin[size_t(c)] = v;
+                store.openChanged[size_t(c)] = 1;
+            }
+            if (v > store.openMax[size_t(c)]) {
+                store.openMax[size_t(c)] = v;
+                store.openChanged[size_t(c)] = 1;
+            }
+        }
         if (int(store.staging.size()) == row_chunk * dh) {
+            // Freeze: the envelopes cover exactly this chunk's rows.
             const int chunk = store.rows / row_chunk - 1;
             ensureBlocks(store, chunk / chunksPerBlock_);
-            Matrix m(row_chunk, dh);
-            std::copy(store.staging.begin(), store.staging.end(),
-                      m.data().begin());
-            const ChunkMeta meta = decomposeChunk(m, config_.tender);
-            chunkSlotOf(store, chunk) =
-                quantizeChunk(m, meta, config_.tender.bits);
+            QuantizedChunk &slot = chunkSlotOf(store, chunk);
+            buildChunkMetaInto(slot.meta, store.openMin.data(),
+                               store.openMax.data(), dh, config_.tender);
+            slot.bits = config_.tender.bits;
+            sizeSlotCodes(slot, row_chunk, dh);
+            quantizeRowsInto(slot, store.staging.data(), 0, row_chunk, dh,
+                             config_.tender.bits);
             store.staging.clear();
+            store.openMin.assign(size_t(dh),
+                                 std::numeric_limits<float>::infinity());
+            store.openMax.assign(size_t(dh),
+                                 -std::numeric_limits<float>::infinity());
+            std::fill(store.openChanged.begin(), store.openChanged.end(),
+                      uint8_t{0});
+            store.openTmax = 0.f;
+            store.openSlotRows = 0;
         }
     }
     // Runtime requantization of the open chunk: its decomposition is
     // recomputed over the rows present so far, so reads always see fully
     // quantized storage (never the fp32 staging rows).
-    if (!store.staging.empty()) {
-        const int open_rows = int(store.staging.size()) / dh;
-        const int chunk = store.rows / row_chunk;
-        ensureBlocks(store, chunk / chunksPerBlock_);
-        Matrix m(open_rows, dh);
-        std::copy(store.staging.begin(), store.staging.end(),
-                  m.data().begin());
-        const ChunkMeta meta = decomposeChunk(m, config_.tender);
-        chunkSlotOf(store, chunk) =
-            quantizeChunk(m, meta, config_.tender.bits);
+    if (!store.staging.empty())
+        requantizeOpenChunk(store);
+}
+
+/**
+ * Requantize the open chunk after an append, doing only the work the new
+ * rows made necessary. The slot's metadata is a pure function of the
+ * channel envelopes, so:
+ *  - envelopes unchanged: metadata identical — quantize only the new rows
+ *    and append their codes;
+ *  - some channels moved but the effective TMax did not: group scales are
+ *    unchanged; reclassify and requantize just the moved channels (plus
+ *    the new rows) and rebuild the compute order;
+ *  - TMax moved (or the slot is fresh): every scale changes — full
+ *    redecompose + requantize, the original behavior.
+ * Every path produces storage bit-identical to a from-scratch
+ * requantization of the staged rows (asserted by
+ * tests/test_fused_attention.cc KVCacheMemo).
+ */
+void
+KVCache::requantizeOpenChunk(Store &store)
+{
+    const int dh = headDim_;
+    const int row_chunk = config_.tender.rowChunk;
+    const int bits = config_.tender.bits;
+    const int staged = int(store.staging.size()) / dh;
+    const int chunk = store.rows / row_chunk;
+    ensureBlocks(store, chunk / chunksPerBlock_);
+    QuantizedChunk &slot = chunkSlotOf(store, chunk);
+
+    // Effective TMax as buildChunkMeta computes it for either bias mode
+    // (shared envelope helpers, so the paths cannot drift).
+    const float tmax = envelopeTmax(store.openMin.data(),
+                                    store.openMax.data(), dh,
+                                    config_.tender);
+
+    const int existing = store.openSlotRows;
+    if (existing == 0 || tmax != store.openTmax) {
+        buildChunkMetaInto(slot.meta, store.openMin.data(),
+                           store.openMax.data(), dh, config_.tender);
+        slot.bits = bits;
+        sizeSlotCodes(slot, staged, dh);
+        quantizeRowsInto(slot, store.staging.data(), 0, staged, dh, bits);
+    } else {
+        ChunkMeta &meta = slot.meta;
+        bool reclassified = false;
+        for (int c = 0; c < dh; ++c) {
+            if (!store.openChanged[size_t(c)])
+                continue;
+            reclassified = true;
+            float cmax;
+            if (config_.tender.biasSubtract) {
+                meta.bias[size_t(c)] = envelopeBias(
+                    store.openMin[size_t(c)], store.openMax[size_t(c)]);
+                cmax = envelopeCmax(store.openMin[size_t(c)],
+                                    store.openMax[size_t(c)]);
+            } else {
+                cmax = envelopeAbsMax(store.openMin[size_t(c)],
+                                      store.openMax[size_t(c)]);
+            }
+            meta.group[size_t(c)] = classifyChannel(
+                cmax, tmax, config_.tender.alpha, config_.tender.numGroups);
+        }
+        if (reclassified)
+            rebuildMetaOrder(meta);
+        sizeSlotCodes(slot, staged, dh);
+        // Moved channels: bias/scale changed, so their existing codes must
+        // be recomputed; untouched channels keep bit-identical codes.
+        for (int c = 0; c < dh; ++c) {
+            if (!store.openChanged[size_t(c)])
+                continue;
+            const float s = meta.scale[size_t(meta.group[size_t(c)])];
+            const float b = meta.bias[size_t(c)];
+            for (int r = 0; r < existing; ++r)
+                slot.codes.rowPtr(r)[c] = quantizeValue(
+                    store.staging[size_t(r) * size_t(dh) + size_t(c)] - b,
+                    s, bits);
+        }
+        quantizeRowsInto(slot, store.staging.data(), existing, staged, dh,
+                         bits);
     }
+    store.openTmax = tmax;
+    store.openSlotRows = staged;
+    std::fill(store.openChanged.begin(), store.openChanged.end(),
+              uint8_t{0});
 }
 
 void
 KVCache::append(int layer, const Matrix &k_rows, const Matrix &v_rows)
 {
+    appendRows(layer, k_rows, v_rows, 0, k_rows.rows());
+}
+
+void
+KVCache::appendRows(int layer, const Matrix &k, const Matrix &v, int row0,
+                    int rows)
+{
     TENDER_CHECK(layer >= 0 && layer < model_.nLayers);
-    const int t = k_rows.rows();
-    TENDER_CHECK(t > 0 && v_rows.rows() == t);
-    TENDER_CHECK(k_rows.cols() == model_.kvHeads * headDim_);
-    TENDER_CHECK(v_rows.cols() == model_.kvHeads * headDim_);
+    const int t = rows;
+    TENDER_CHECK(t > 0 && row0 >= 0 && row0 + t <= k.rows() &&
+                 row0 + t <= v.rows());
+    TENDER_CHECK(k.cols() == model_.kvHeads * headDim_);
+    TENDER_CHECK(v.cols() == model_.kvHeads * headDim_);
     // Either the first layer of a new step (advancing length) or a later
     // layer catching up to it; anything else is a double/missed append.
     TENDER_CHECK_MSG(layerLength_[size_t(layer)] == length_ ||
@@ -270,8 +432,8 @@ KVCache::append(int layer, const Matrix &k_rows, const Matrix &v_rows)
                      << length_ << ", appending " << t << ")");
 
     for (int h = 0; h < model_.kvHeads; ++h) {
-        appendStore(storeOf(layer, h, false), k_rows, h);
-        appendStore(storeOf(layer, h, true), v_rows, h);
+        appendStore(storeOf(layer, h, false), k, row0, row0 + t, h);
+        appendStore(storeOf(layer, h, true), v, row0, row0 + t, h);
     }
     layerLength_[size_t(layer)] += t;
     length_ = std::max(length_, layerLength_[size_t(layer)]);
@@ -292,18 +454,55 @@ KVCache::materialize(const Store &store) const
         }
         return out;
     }
+    // Frozen chunks are immutable for the store's lifetime, so their fp32
+    // panel is dequantized once and extended as chunks freeze; every read
+    // then re-dequantizes only the open chunk. Without the memo this
+    // fallback path re-dequantized the whole history each decode step.
     const int row_chunk = config_.tender.rowChunk;
-    const int chunks = (store.rows + row_chunk - 1) / row_chunk;
-    int r0 = 0;
-    for (int c = 0; c < chunks; ++c) {
-        const Matrix deq = dequantizeChunk(chunkSlotOf(store, c));
-        for (int r = 0; r < deq.rows(); ++r)
-            std::copy(deq.rowPtr(r), deq.rowPtr(r) + headDim_,
-                      out.rowPtr(r0 + r));
-        r0 += deq.rows();
+    const int frozen_rows = store.rows / row_chunk * row_chunk;
+    if (store.deqFrozenRows < frozen_rows) {
+        store.deqFrozen.resize(size_t(frozen_rows) * size_t(headDim_));
+        for (int c = store.deqFrozenRows / row_chunk;
+             c < frozen_rows / row_chunk; ++c) {
+            const Matrix deq = dequantizeChunk(chunkSlotOf(store, c));
+            TENDER_CHECK(deq.rows() == row_chunk);
+            std::copy(deq.data().begin(), deq.data().end(),
+                      store.deqFrozen.begin() +
+                          size_t(c) * size_t(row_chunk) * size_t(headDim_));
+        }
+        store.deqFrozenRows = frozen_rows;
     }
-    TENDER_CHECK(r0 == store.rows);
+    std::copy(store.deqFrozen.begin(),
+              store.deqFrozen.begin() +
+                  size_t(frozen_rows) * size_t(headDim_),
+              out.data().begin());
+    if (store.rows > frozen_rows) {
+        const Matrix deq =
+            dequantizeChunk(chunkSlotOf(store, frozen_rows / row_chunk));
+        TENDER_CHECK(deq.rows() == store.rows - frozen_rows);
+        std::copy(deq.data().begin(), deq.data().end(),
+                  out.rowPtr(frozen_rows));
+    }
     return out;
+}
+
+KVCodeView
+KVCache::codeView(const Store &store) const
+{
+    TENDER_REQUIRE(config_.mode == KVCacheMode::TenderQuantized,
+                   "KV code views exist only for TenderQuantized caches");
+    KVCodeView v;
+    v.rowChunk = config_.tender.rowChunk;
+    v.rows = store.rows;
+    v.alpha = config_.tender.alpha;
+    const int frozen = store.rows / v.rowChunk;
+    v.frozenRows = frozen * v.rowChunk;
+    v.frozen.reserve(size_t(frozen));
+    for (int c = 0; c < frozen; ++c)
+        v.frozen.push_back(&chunkSlotOf(store, c));
+    if (store.rows > v.frozenRows)
+        v.openDeq = dequantizeChunk(chunkSlotOf(store, frozen));
+    return v;
 }
 
 Matrix
@@ -316,6 +515,18 @@ Matrix
 KVCache::values(int layer, int head) const
 {
     return materialize(storeOf(layer, head, true));
+}
+
+KVCodeView
+KVCache::keyView(int layer, int head) const
+{
+    return codeView(storeOf(layer, head, false));
+}
+
+KVCodeView
+KVCache::valueView(int layer, int head) const
+{
+    return codeView(storeOf(layer, head, true));
 }
 
 size_t
@@ -336,6 +547,15 @@ KVCache::storedBytes() const
         if (open > 0)
             bytes += tenderChunkBytes(open, headDim_, config_.tender);
     }
+    return bytes;
+}
+
+size_t
+KVCache::dequantMemoBytes() const
+{
+    size_t bytes = 0;
+    for (const Store &s : stores_)
+        bytes += s.deqFrozen.capacity() * sizeof(float);
     return bytes;
 }
 

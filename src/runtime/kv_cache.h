@@ -59,9 +59,9 @@ struct KVCacheConfig
      *  *tokens* per chunk (smaller chunks track per-token variance more
      *  tightly at slightly more metadata; Section III-C's chunking
      *  argument) and must be positive — paged storage has no
-     *  single-growing-chunk mode. checkOverflow is irrelevant here — the
-     *  cache only quantizes and dequantizes, it never runs the integer
-     *  GEMM. */
+     *  single-growing-chunk mode. checkOverflow is not consulted by the
+     *  cache itself; the fused attention path's integer kernel (gemmInt8)
+     *  always checks its 32-bit accumulator. */
     TenderConfig tender;
     /** Page size in tokens; 0 picks the default: tender.rowChunk in
      *  quantized mode (page = chunk) and kDefaultFp32BlockTokens in Fp32
@@ -90,6 +90,28 @@ size_t tenderChunkBytes(int rows, int head_dim, const TenderConfig &config);
 BlockPoolConfig blockPoolConfigFor(const ModelConfig &model,
                                    const KVCacheConfig &config,
                                    size_t capacity_blocks);
+
+/**
+ * Zero-copy read view of one (layer, kv-head, K|V) store's quantized
+ * history. `frozen` holds the full chunks in logical-row order — int8
+ * codes plus per-chunk Tender metadata (decomposition groups, scale
+ * table, per-channel bias) pointing straight into the block-allocator
+ * pages, no fp32 materialization — and `openDeq` is a dequantized copy of
+ * only the open (still-filling) chunk, whose metadata is requantized on
+ * every append. Consumed by the fused integer-domain attention path
+ * (attentionHeadFusedQuant in runtime/decode_engine). The view borrows
+ * the pool pages: it is invalidated by the next append to the store
+ * (which rewrites the open chunk slot in place) and by releaseAll().
+ */
+struct KVCodeView
+{
+    std::vector<const QuantizedChunk *> frozen; ///< full chunks, row order
+    int rowChunk = 0;   ///< rows per frozen chunk
+    int frozenRows = 0; ///< rows covered by `frozen`
+    int rows = 0;       ///< total history rows (frozen + open)
+    int alpha = 2;      ///< Tender rescale base (adjacent scale ratio)
+    Matrix openDeq;     ///< (rows - frozenRows) x headDim; may be empty
+};
 
 class KVCache
 {
@@ -123,18 +145,44 @@ class KVCache
      */
     void append(int layer, const Matrix &k_rows, const Matrix &v_rows);
 
+    /** Append rows [row0, row0 + rows) of stacked projection matrices —
+     *  the decode engine's segment slice, without materializing a
+     *  per-segment copy. Same contract as append() otherwise. */
+    void appendRows(int layer, const Matrix &k, const Matrix &v, int row0,
+                    int rows);
+
     /** Materialized key history of (layer, kv-head): length() x headDim.
      *  Walks the store's block table; Fp32 blocks are copied verbatim,
-     *  quantized chunk slots are dequantized. */
+     *  quantized chunk slots are dequantized. In quantized mode the
+     *  frozen-chunk fp32 panel is memoized per store (frozen chunks are
+     *  immutable for the store's lifetime), so repeated reads re-dequantize
+     *  only the open chunk. The memo makes concurrent materialization of
+     *  the SAME store unsafe; the decode runtime's (segment, kv-head) task
+     *  split never does that. */
     Matrix keys(int layer, int head) const;
 
     /** Materialized value history, same contract as keys(). */
     Matrix values(int layer, int head) const;
 
+    /** Zero-copy chunk-code view of the key history (quantized mode only);
+     *  see KVCodeView for lifetime rules. */
+    KVCodeView keyView(int layer, int head) const;
+
+    /** Chunk-code view of the value history, same contract as keyView. */
+    KVCodeView valueView(int layer, int head) const;
+
     /** Modeled bytes held by the cache payload (actual rows, not block
      *  capacity): 4 B/element for Fp32; tenderChunkBytes per chunk for
-     *  TenderQuantized. */
+     *  TenderQuantized. Excludes the dequantization memo — see
+     *  dequantMemoBytes(). */
     size_t storedBytes() const;
+
+    /** Resident bytes of the frozen-chunk fp32 dequantization memo that
+     *  the fallback keys()/values() path accumulates (runtime working
+     *  memory, not quantized storage — it can approach fp32Bytes() on a
+     *  long-lived cache that is read every step). The fused attention
+     *  path never materializes, so it never grows this. */
+    size_t dequantMemoBytes() const;
 
     /** What Fp32 storage of the same history would cost (comparison). */
     size_t fp32Bytes() const;
@@ -165,12 +213,32 @@ class KVCache
         std::vector<int> blocks;    ///< block table, in logical-row order
         std::vector<float> staging; ///< quantized: open-chunk fp32 rows
         int rows = 0;               ///< tokens appended to this store
+        /** Memoized fp32 panel of the frozen chunks (dequantize-on-read
+         *  fallback path); extended as chunks freeze, reset on release.
+         *  Mutable because materialize() is logically const: frozen chunks
+         *  never change, so the memo only caches, never alters, reads. */
+        mutable std::vector<float> deqFrozen;
+        mutable int deqFrozenRows = 0; ///< rows covered by deqFrozen
+        /** Incremental runtime-requantization state for the open chunk:
+         *  per-channel min/max envelopes over the staged rows (exact and
+         *  order-independent, so derived stats equal a full rescan bit for
+         *  bit), which channels moved since the open slot was last
+         *  written, and the tmax / row count the slot's metadata was built
+         *  with. Lets an append requantize only what the new rows actually
+         *  changed instead of redecomposing the whole open chunk. */
+        std::vector<float> openMin, openMax;
+        std::vector<uint8_t> openChanged;
+        float openTmax = 0.f;
+        int openSlotRows = 0;
     };
 
     Store &storeOf(int layer, int head, bool value);
     const Store &storeOf(int layer, int head, bool value) const;
-    void appendStore(Store &store, const Matrix &rows, int head);
+    void appendStore(Store &store, const Matrix &rows, int row0, int row1,
+                     int head);
+    void requantizeOpenChunk(Store &store);
     Matrix materialize(const Store &store) const;
+    KVCodeView codeView(const Store &store) const;
     int allocateBlock();
     void ensureBlocks(Store &store, int block_index);
     QuantizedChunk &chunkSlotOf(const Store &store, int chunk) const;

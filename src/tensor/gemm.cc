@@ -1,6 +1,8 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <limits>
 
 namespace tender {
 
@@ -78,6 +80,67 @@ gemmIntRows(const IntMatrix &a, const IntMatrix &b, MatrixT<int64_t> &c,
     }
 }
 
+bool
+gemmInt8NarrowOk(const IntMatrix &a, const IntMatrix &b,
+                 int64_t abs_bound_a, int64_t abs_bound_b)
+{
+    int64_t ma = abs_bound_a, mb = abs_bound_b;
+    if (ma < 0) {
+        ma = 0;
+        for (int32_t v : a.data())
+            ma = std::max(ma, std::abs(int64_t(v)));
+    }
+    if (mb < 0) {
+        mb = 0;
+        for (int32_t v : b.data())
+            mb = std::max(mb, std::abs(int64_t(v)));
+    }
+    // Shifted codes are at most a few bits over int8; anything bigger is
+    // not a code panel, so don't risk ma * mb * k overflowing the bound
+    // arithmetic itself.
+    if (ma >= (int64_t{1} << 20) || mb >= (int64_t{1} << 20))
+        return false;
+    return ma * mb * int64_t(a.cols()) <=
+        int64_t(std::numeric_limits<int32_t>::max());
+}
+
+void
+gemmInt8PanelRows(const IntMatrix &a, const IntMatrix &b, IntMatrix &c,
+                  bool narrow, int r0, int r1)
+{
+    const int k = a.cols(), n = b.rows();
+    if (narrow) {
+        for (int i = r0; i < r1; ++i) {
+            const int32_t *__restrict arow = a.rowPtr(i);
+            int32_t *__restrict crow = c.rowPtr(i);
+            for (int j = 0; j < n; ++j) {
+                const int32_t *__restrict brow = b.rowPtr(j);
+                int32_t acc = 0;
+                for (int p = 0; p < k; ++p)
+                    acc += arow[p] * brow[p];
+                crow[j] = acc;
+            }
+        }
+        return;
+    }
+    for (int i = r0; i < r1; ++i) {
+        const int32_t *arow = a.rowPtr(i);
+        int32_t *crow = c.rowPtr(i);
+        for (int j = 0; j < n; ++j) {
+            const int32_t *brow = b.rowPtr(j);
+            int64_t acc = 0;
+            for (int p = 0; p < k; ++p)
+                acc += int64_t(arow[p]) * int64_t(brow[p]);
+            TENDER_CHECK_MSG(
+                std::abs(acc) <=
+                    int64_t(std::numeric_limits<int32_t>::max()),
+                "gemmInt8: 32-bit accumulator overflow (panel " << a.rows()
+                << "x" << k << " * " << n << "x" << k << "^T)");
+            crow[j] = int32_t(acc);
+        }
+    }
+}
+
 void
 axpbyRange(float alpha, const Matrix &a, float beta, const Matrix &b,
            Matrix &out, size_t i0, size_t i1)
@@ -125,6 +188,22 @@ gemmInt(const IntMatrix &a, const IntMatrix &b)
     TENDER_CHECK(a.cols() == b.rows());
     MatrixT<int64_t> c(a.rows(), b.cols(), 0);
     gemm_detail::gemmIntRows(a, b, c, 0, a.rows());
+    return c;
+}
+
+IntMatrix
+gemmInt8(const IntMatrix &a, const IntMatrix &b, int64_t abs_bound_a,
+         int64_t abs_bound_b)
+{
+    TENDER_CHECK_MSG(a.cols() == b.cols(),
+                     "gemmInt8 shape mismatch: " << a.rows() << "x"
+                     << a.cols() << " * (" << b.rows() << "x" << b.cols()
+                     << ")^T");
+    IntMatrix c(a.rows(), b.rows());
+    gemm_detail::gemmInt8PanelRows(
+        a, b, c,
+        gemm_detail::gemmInt8NarrowOk(a, b, abs_bound_a, abs_bound_b), 0,
+        a.rows());
     return c;
 }
 

@@ -31,6 +31,30 @@ Matrix gemmTransposedB(const Matrix &a, const Matrix &b);
 /** Integer GEMM: int codes in, int64 accumulation out. */
 MatrixT<int64_t> gemmInt(const IntMatrix &a, const IntMatrix &b);
 
+/**
+ * Integer panel product C = A * B^T on quantized codes: A is m x k, B is
+ * n x k (row-major code panels — the attention layout, where B's rows are
+ * cached key vectors read in place), C is m x n in int32.
+ *
+ * This is the int8xint8->int32 kernel of the fused quantized-KV attention
+ * path. Codes stay widened in their int32 pages (repacking would defeat
+ * the zero-copy read), but the accumulate follows the blocked-kernel
+ * discipline of core/tender_gemm: when the worst-case |sum| provably
+ * fits, the inner product runs in an int32 accumulator (the modeled
+ * 32-bit hardware accumulator); otherwise it accumulates in int64 and
+ * *checks* the int32 narrowing rather than silently wrapping. Either way
+ * the result is exact, so serial and threaded backends are bit-identical
+ * by construction.
+ *
+ * `abs_bound_a` / `abs_bound_b` are optional caller-known |value| bounds
+ * (quantized codes are bounded by construction); pass -1 to have the
+ * eligibility scan read the operand instead. The attention hot path
+ * passes both bounds so the immutable chunk codes are not rescanned on
+ * every decode step.
+ */
+IntMatrix gemmInt8(const IntMatrix &a, const IntMatrix &b,
+                   int64_t abs_bound_a = -1, int64_t abs_bound_b = -1);
+
 /** C = alpha * A + beta * B elementwise. */
 Matrix axpby(float alpha, const Matrix &a, float beta, const Matrix &b);
 
@@ -55,6 +79,17 @@ void gemmTransposedBRows(const Matrix &a, const Matrix &b, Matrix &c, int r0,
 /** Integer kernel over output rows [r0, r1); c must be zeroed. */
 void gemmIntRows(const IntMatrix &a, const IntMatrix &b, MatrixT<int64_t> &c,
                  int r0, int r1);
+
+/** True when one gemmInt8 inner product provably fits an int32
+ *  accumulator at the panels' code magnitudes (the fastEligible
+ *  analogue). Operands whose bound is negative are scanned. */
+bool gemmInt8NarrowOk(const IntMatrix &a, const IntMatrix &b,
+                      int64_t abs_bound_a, int64_t abs_bound_b);
+
+/** gemmInt8 panel body over output rows [r0, r1); `narrow` selects the
+ *  int32 accumulator (caller must have proven eligibility). */
+void gemmInt8PanelRows(const IntMatrix &a, const IntMatrix &b, IntMatrix &c,
+                       bool narrow, int r0, int r1);
 
 /** axpby over flat elements [i0, i1). */
 void axpbyRange(float alpha, const Matrix &a, float beta, const Matrix &b,

@@ -123,6 +123,27 @@ KernelContext::gemmInt(const IntMatrix &a, const IntMatrix &b) const
     return c;
 }
 
+IntMatrix
+KernelContext::gemmInt8(const IntMatrix &a, const IntMatrix &b,
+                        int64_t abs_bound_a, int64_t abs_bound_b) const
+{
+    if (backend_ == Backend::Serial)
+        return tender::gemmInt8(a, b, abs_bound_a, abs_bound_b);
+    TENDER_CHECK_MSG(a.cols() == b.cols(),
+                     "gemmInt8 shape mismatch: " << a.rows() << "x"
+                     << a.cols() << " * (" << b.rows() << "x" << b.cols()
+                     << ")^T");
+    // The eligibility verdict is computed once; row bands share it so
+    // every band uses the same accumulator width as the serial kernel.
+    const bool narrow =
+        gemm_detail::gemmInt8NarrowOk(a, b, abs_bound_a, abs_bound_b);
+    IntMatrix c(a.rows(), b.rows());
+    pool_->parallelFor(0, a.rows(), 1, [&](int64_t r0, int64_t r1) {
+        gemm_detail::gemmInt8PanelRows(a, b, c, narrow, int(r0), int(r1));
+    });
+    return c;
+}
+
 Matrix
 KernelContext::axpby(float alpha, const Matrix &a, float beta,
                      const Matrix &b) const

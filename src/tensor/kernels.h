@@ -70,6 +70,13 @@ class KernelContext
     Matrix gemm(const Matrix &a, const Matrix &b) const;
     Matrix gemmTransposedB(const Matrix &a, const Matrix &b) const;
     MatrixT<int64_t> gemmInt(const IntMatrix &a, const IntMatrix &b) const;
+    /** Integer panel product C = A(m x k) * B(n x k)^T on int8-range codes
+     *  with int32 result — the fused quantized-KV attention kernel (see
+     *  tensor/gemm.h gemmInt8; negative bounds mean "scan the operand").
+     *  Exact, so backends are bit-identical. */
+    IntMatrix gemmInt8(const IntMatrix &a, const IntMatrix &b,
+                       int64_t abs_bound_a = -1,
+                       int64_t abs_bound_b = -1) const;
 
     // -- Elementwise / row-wise kernels ------------------------------------
     Matrix axpby(float alpha, const Matrix &a, float beta,

@@ -58,6 +58,18 @@ class MatrixT
     std::vector<T> &data() { return data_; }
     const std::vector<T> &data() const { return data_; }
 
+    /** Grow or shrink to `rows` rows in place, preserving the leading
+     *  content; the backing vector's capacity is reused, so repeated
+     *  one-row growth (the KV cache's open-chunk requantization) does not
+     *  reallocate every step. */
+    void
+    resizeRows(int rows)
+    {
+        TENDER_CHECK(rows >= 0 && cols_ > 0);
+        rows_ = rows;
+        data_.resize(size_t(rows) * size_t(cols_));
+    }
+
     /** Rows [r0, r1) as a copied sub-matrix (row chunking helper). */
     MatrixT<T>
     rowSlice(int r0, int r1) const
