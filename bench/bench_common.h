@@ -14,6 +14,8 @@
 #ifndef TENDER_BENCH_BENCH_COMMON_H
 #define TENDER_BENCH_BENCH_COMMON_H
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -22,10 +24,50 @@
 #include "model/perplexity.h"
 #include "model/quant_executor.h"
 #include "quant/granularity.h"
+#include "tensor/kernels.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 namespace tender {
 namespace bench {
+
+/** Name of the fixed reference workload behind calibrationScoreMflops(),
+ *  recorded next to the score so scale mismatches are detectable. */
+constexpr const char *kCalibrationWorkload = "serial_fp32_gemm_96x96x96_x4";
+
+/**
+ * Fixed reference-workload calibration score for the machine running a
+ * bench: best-of-3 timing of a deterministic single-threaded 96^3 GEMM
+ * repeated 4x, in MFLOP/s. scripts/check_bench.py --compare-baseline
+ * divides the baseline's score by the candidate's to normalize tokens/s
+ * before applying the regression threshold, so a slower (or noisy-shared)
+ * hosted runner stops reading as a perf regression. Single-threaded and
+ * allocation-light on purpose: the score must track the machine, not the
+ * worker count or the allocator.
+ */
+inline double
+calibrationScoreMflops()
+{
+    KernelContext serial(Backend::Serial);
+    Rng rng(7);
+    const int n = 96, reps = 4;
+    const Matrix a = randomGaussian(n, n, rng);
+    const Matrix b = randomGaussian(n, n, rng);
+    double best = 0.0;
+    double sink = 0.0; // keep the repeated GEMMs observable
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < reps; ++r)
+            sink += double(serial.gemm(a, b)(0, 0));
+        const double s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        best = std::max(best, 2.0 * n * n * n * reps / s * 1e-6);
+    }
+    if (sink == 0.12345) // never true; defeats dead-code elimination
+        std::printf("calibration sink %f\n", sink);
+    return best;
+}
 
 /** Replica shrink factor and evaluation sequence length used by all
  *  accuracy harnesses (printed in every harness header). */

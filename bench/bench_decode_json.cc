@@ -24,12 +24,29 @@
  * KV bytes are read from the BlockAllocator occupancy stats; the paged
  * arm must be smaller at statistically equal tokens/s.
  *
+ * The shared-system-prompt scenario exercises copy-on-write prefix
+ * caching (SchedulerOptions::prefixCache): a leader's prefill publishes
+ * the system prompt's KV blocks, followers adopt them and prefill only
+ * their private suffixes. Recorded: prefill rows skipped, peak KV bytes
+ * vs the no-sharing arm, COW fault counts, and two gated correctness
+ * fields — prefix_reuse_bitexact (shared-prefix decode produces the same
+ * tokens as cold decode in both KV modes, and adopted quantized pages
+ * carry bit-identical chunk codes) and refcounts_consistent (the pool's
+ * refcount audit passes and clearing the prefix cache returns every
+ * block).
+ *
  * The "correctness" block records machine-checkable invariants (fp32
  * decode bit-parity with full prefill, quantized-KV NMSE under its
  * bound, fused-vs-dequantize attention NMSE under its bound,
  * paged-vs-contiguous peak ratio > 1); scripts/check_bench.py gates CI
  * on them. The fused/dequantize tokens/s ratio is recorded (not gated)
  * as fused_over_dequant_tokens_ratio.
+ *
+ * A fixed reference-workload calibration score (bench_common.h) is
+ * recorded so check_bench.py --compare-baseline can normalize tokens/s
+ * across machine speeds; in --smoke mode every throughput point is the
+ * best of 3 repetitions, which together make the hosted-runner baseline
+ * comparison a usable signal instead of noise.
  *
  * Usage: bench_decode_json [--smoke] [prompt new_tokens workers out.json]
  * Defaults: 16 32 8 BENCH_decode.json (--smoke: 8 6 2, reduced batches
@@ -43,9 +60,11 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "model/transformer.h"
 #include "quant/metrics.h"
 #include "runtime/batch_scheduler.h"
+#include "util/rng.h"
 
 using namespace tender;
 
@@ -107,18 +126,25 @@ runBatchOnce(SyntheticModel &model, const KernelContext &kc, int batch,
     return p;
 }
 
-/** Best of two runs: decode steps are short, so a single scheduler drain
- *  is noticeably jittery on an oversubscribed 1-hw-thread container. */
+/** Best of `reps` runs: decode steps are short, so a single scheduler
+ *  drain is noticeably jittery on an oversubscribed 1-hw-thread
+ *  container. The CI smoke job uses 3 repetitions (vs 2 at full scale)
+ *  so the recorded tokens/s is stable enough for the baseline
+ *  comparison. */
 BatchPoint
 runBatch(SyntheticModel &model, const KernelContext &kc, int batch,
          int prompt_len, int new_tokens, KVCacheMode mode,
-         bool fused = false)
+         bool fused = false, int reps = 2)
 {
     BatchPoint best =
         runBatchOnce(model, kc, batch, prompt_len, new_tokens, mode, fused);
-    const BatchPoint again =
-        runBatchOnce(model, kc, batch, prompt_len, new_tokens, mode, fused);
-    return again.tokensPerS > best.tokensPerS ? again : best;
+    for (int r = 1; r < reps; ++r) {
+        const BatchPoint again = runBatchOnce(model, kc, batch, prompt_len,
+                                              new_tokens, mode, fused);
+        if (again.tokensPerS > best.tokensPerS)
+            best = again;
+    }
+    return best;
 }
 
 // ---- Churned mixed batch: paged vs contiguous slabs ---------------------
@@ -216,6 +242,198 @@ runChurn(SyntheticModel &model, const KernelContext &kc,
     return best;
 }
 
+// ---- Shared-system-prompt mixed batch: COW prefix caching ---------------
+
+struct PrefixSpec
+{
+    int sysLen = 40;
+    int maxBatch = 4;
+    std::vector<GenRequest> requests; ///< leader first
+};
+
+/** A leader whose prompt covers the system prompt with whole blocks plus
+ *  followers that share it and diverge in short private suffixes (kept
+ *  short so their own inserts deduplicate against the leader's entry
+ *  instead of pinning new blocks). blockTokens is 16 with rowChunk 8, so
+ *  the fp32 arm COW-faults on the mid-block divergence row and the
+ *  quantized arm on the chunk-aligned mid-page match. */
+PrefixSpec
+prefixSpec(bool smoke)
+{
+    PrefixSpec spec;
+    spec.sysLen = smoke ? 24 : 40;
+    spec.maxBatch = smoke ? 3 : 4;
+    const int followers = smoke ? 6 : 10;
+    const int new_tokens = smoke ? 5 : 8;
+    std::vector<int> sys;
+    for (int t = 0; t < spec.sysLen; ++t)
+        sys.push_back((11 + t * 3) % 256);
+    GenRequest leader;
+    leader.id = 0;
+    leader.promptTokens = sys;
+    for (int t = 0; t < 8; ++t)
+        leader.promptTokens.push_back((90 + t) % 256);
+    leader.maxNewTokens = new_tokens;
+    spec.requests.push_back(leader);
+    for (int id = 1; id <= followers; ++id) {
+        GenRequest r;
+        r.id = id;
+        r.promptTokens = sys;
+        const int suffix = 3 + (id - 1) % 5;
+        for (int t = 0; t < suffix; ++t)
+            r.promptTokens.push_back((130 + id * 11 + t) % 256);
+        r.maxNewTokens = new_tokens;
+        spec.requests.push_back(r);
+    }
+    return spec;
+}
+
+struct PrefixPoint
+{
+    double tokensPerS = 0.0;
+    size_t peakKvBytes = 0;
+    int64_t skippedRows = 0;
+    int64_t hits = 0;
+    int64_t cowCopies = 0;
+    int64_t shares = 0;
+    bool refcountsOk = true;
+    std::vector<GenResult> results;
+};
+
+PrefixPoint
+runPrefixOnce(SyntheticModel &model, const KernelContext &kc,
+              const PrefixSpec &spec, KVCacheMode mode, bool sharing)
+{
+    SchedulerOptions options;
+    options.maxBatch = spec.maxBatch;
+    options.vocabSize = 256;
+    options.decode.kernels = &kc;
+    options.decode.cache.mode = mode;
+    options.decode.cache.tender.rowChunk = 8;
+    options.decode.cache.blockTokens = 16;
+    options.prefixCache = sharing;
+    BatchScheduler scheduler(model, options);
+    const auto t0 = Clock::now();
+    // Warm the cache with the leader's prefill before the followers
+    // arrive — the serving pattern prefix caching exists for (a system
+    // prompt computed once, reused across the fleet).
+    scheduler.submit(spec.requests.front());
+    scheduler.step();
+    for (size_t i = 1; i < spec.requests.size(); ++i)
+        scheduler.submit(spec.requests[i]);
+    auto results = scheduler.drain();
+    const double s = std::chrono::duration<double>(Clock::now() - t0)
+                         .count();
+    TENDER_CHECK(results.size() == spec.requests.size());
+    PrefixPoint p;
+    p.tokensPerS = double(scheduler.stats().decodedTokens) / s;
+    const BlockPoolStats ps = scheduler.poolStats();
+    p.peakKvBytes = ps.peakAllocatedBytes();
+    p.skippedRows = scheduler.stats().prefillSkippedRows;
+    p.hits = scheduler.stats().prefixHits;
+    p.cowCopies = ps.cowCopies;
+    p.shares = ps.shares;
+    p.results = std::move(results);
+    // Refcount audit: after drain only entry-held blocks survive, and
+    // clearing the prefix cache must hand every block back to the pool.
+    p.refcountsOk = scheduler.pool().refcountsConsistent();
+    if (scheduler.prefixCache() != nullptr) {
+        scheduler.prefixCache()->clear();
+        const BlockPoolStats after = scheduler.poolStats();
+        p.refcountsOk = p.refcountsOk && after.allocatedBlocks == 0 &&
+            after.reservedBlocks == 0 && after.sharedBlocks == 0 &&
+            scheduler.pool().refcountsConsistent();
+    }
+    return p;
+}
+
+PrefixPoint
+runPrefix(SyntheticModel &model, const KernelContext &kc,
+          const PrefixSpec &spec, KVCacheMode mode, bool sharing, int reps)
+{
+    PrefixPoint best = runPrefixOnce(model, kc, spec, mode, sharing);
+    for (int r = 1; r < reps; ++r) {
+        PrefixPoint again = runPrefixOnce(model, kc, spec, mode, sharing);
+        again.refcountsOk = again.refcountsOk && best.refcountsOk;
+        if (again.tokensPerS > best.tokensPerS)
+            best = std::move(again);
+        else
+            best.refcountsOk = best.refcountsOk && again.refcountsOk;
+    }
+    return best;
+}
+
+/** Same per-request tokens with and without sharing (per id; drain sorts
+ *  by id, so positions correspond). */
+bool
+sameTokens(const std::vector<GenResult> &a, const std::vector<GenResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (a[i].id != b[i].id || a[i].tokens != b[i].tokens)
+            return false;
+    return true;
+}
+
+/** Adopted quantized pages must read bit-identically to a cold cache that
+ *  computed the same rows itself: same chunk codes, scale tables, biases,
+ *  groups — the codes-on-page half of prefix_reuse_bitexact. */
+bool
+sharedPagesBitIdentical(const ModelConfig &config)
+{
+    KVCacheConfig qc;
+    qc.mode = KVCacheMode::TenderQuantized;
+    qc.tender.rowChunk = 8;
+    qc.blockTokens = 16;
+    BlockAllocator pool(blockPoolConfigFor(config, qc, 0));
+    PrefixCache prefix(config, qc, &pool);
+    Rng rng(123);
+    const int rows = 48;
+    const int cols = config.kvHeads * config.headDim();
+    const Matrix k = randomGaussian(rows, cols, rng);
+    const Matrix v = randomGaussian(rows, cols, rng);
+    KVCache donor(config, qc, &pool);
+    for (int l = 0; l < config.nLayers; ++l)
+        donor.append(l, k, v);
+    std::vector<int> tokens;
+    for (int t = 0; t < rows; ++t)
+        tokens.push_back(t);
+    prefix.insert(tokens, donor);
+    std::vector<int> prompt = tokens;
+    prompt.push_back(999);
+    const PrefixMatch m = prefix.match(prompt);
+    if (m.rows != rows)
+        return false;
+    KVCache adopted(config, qc, &pool);
+    prefix.adopt(m, adopted);
+    KVCache cold(config, qc, &pool);
+    for (int l = 0; l < config.nLayers; ++l)
+        cold.append(l, k, v);
+    for (int l = 0; l < config.nLayers; ++l) {
+        for (int h = 0; h < config.kvHeads; ++h) {
+            for (const bool value : {false, true}) {
+                const KVCodeView a = value ? adopted.valueView(l, h)
+                                           : adopted.keyView(l, h);
+                const KVCodeView c = value ? cold.valueView(l, h)
+                                           : cold.keyView(l, h);
+                if (a.frozen.size() != c.frozen.size())
+                    return false;
+                for (size_t i = 0; i < a.frozen.size(); ++i) {
+                    const QuantizedChunk &qa = *a.frozen[i];
+                    const QuantizedChunk &qc2 = *c.frozen[i];
+                    if (!(qa.codes == qc2.codes) || qa.bits != qc2.bits ||
+                        qa.meta.scale != qc2.meta.scale ||
+                        qa.meta.bias != qc2.meta.bias ||
+                        qa.meta.group != qc2.meta.group)
+                        return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
 // ---- Recorded correctness invariants ------------------------------------
 
 struct Correctness
@@ -306,6 +524,30 @@ emitChurnArm(FILE *f, const char *key, const ChurnPoint &p,
 }
 
 void
+emitPrefixMode(FILE *f, const char *key, const PrefixPoint &shared,
+               const PrefixPoint &cold)
+{
+    std::fprintf(f, "    \"%s\": {\n", key);
+    std::fprintf(f,
+                 "      \"shared\": {\"tokens_per_s\": %.2f, "
+                 "\"peak_kv_bytes\": %zu, \"prefill_rows_skipped\": %lld, "
+                 "\"prefix_hits\": %lld, \"cow_copies\": %lld, "
+                 "\"shares\": %lld},\n",
+                 shared.tokensPerS, shared.peakKvBytes,
+                 (long long)shared.skippedRows, (long long)shared.hits,
+                 (long long)shared.cowCopies, (long long)shared.shares);
+    std::fprintf(f,
+                 "      \"cold\": {\"tokens_per_s\": %.2f, "
+                 "\"peak_kv_bytes\": %zu},\n",
+                 cold.tokensPerS, cold.peakKvBytes);
+    std::fprintf(f, "      \"peak_kv_bytes_ratio\": %.3f,\n",
+                 double(cold.peakKvBytes) / double(shared.peakKvBytes));
+    std::fprintf(f, "      \"tokens_per_s_ratio\": %.3f\n",
+                 shared.tokensPerS / cold.tokensPerS);
+    std::fprintf(f, "    },\n");
+}
+
+void
 emitChurn(FILE *f, const char *key, const ChurnPoint &paged,
           const ChurnPoint &contiguous, bool trailing_comma)
 {
@@ -351,26 +593,35 @@ main(int argc, char **argv)
                 smoke ? " (smoke)" : "", config.name.c_str(), config.dModel,
                 config.nLayers, prompt_len, new_tokens, workers);
 
+    // Machine-speed reference for check_bench.py's baseline comparison.
+    const double calibration = bench::calibrationScoreMflops();
+    std::printf("calibration (%s): %.1f MFLOP/s\n",
+                bench::kCalibrationWorkload, calibration);
+
     // Warm the lazily generated weights out of the measurement.
     runBatch(model, kc, 1, prompt_len, 2, KVCacheMode::Fp32);
 
+    // Smoke runs feed the CI baseline comparison; best-of-3 keeps the
+    // recorded tokens/s stable enough to compare across runs.
+    const int reps = smoke ? 3 : 2;
     const std::vector<int> batches =
         smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16};
     std::vector<BatchPoint> fp32, quant, fusedq;
     for (int b : batches) {
         fp32.push_back(runBatch(model, kc, b, prompt_len, new_tokens,
-                                KVCacheMode::Fp32));
+                                KVCacheMode::Fp32, /*fused=*/false, reps));
         std::printf("fp32-KV   batch %2d: %8.1f tokens/s (%lld steps)\n",
                     b, fp32.back().tokensPerS,
                     (long long)fp32.back().steps);
         quant.push_back(runBatch(model, kc, b, prompt_len, new_tokens,
-                                 KVCacheMode::TenderQuantized));
+                                 KVCacheMode::TenderQuantized,
+                                 /*fused=*/false, reps));
         std::printf("tender-KV batch %2d: %8.1f tokens/s (%lld steps)\n",
                     b, quant.back().tokensPerS,
                     (long long)quant.back().steps);
         fusedq.push_back(runBatch(model, kc, b, prompt_len, new_tokens,
                                   KVCacheMode::TenderQuantized,
-                                  /*fused=*/true));
+                                  /*fused=*/true, reps));
         std::printf("fused-KV  batch %2d: %8.1f tokens/s (%lld steps)\n",
                     b, fusedq.back().tokensPerS,
                     (long long)fusedq.back().steps);
@@ -411,6 +662,53 @@ main(int argc, char **argv)
                 double(churn_tender_contig.peakKvBytes) /
                     double(churn_tender_paged.peakKvBytes));
 
+    // Shared-system-prompt mixed batch: prefix caching on vs off, both KV
+    // modes. Sharing must preserve the generated tokens bit for bit while
+    // skipping prefill work and shrinking peak KV memory.
+    const PrefixSpec pspec = prefixSpec(smoke);
+    const PrefixPoint prefix_fp32_shared =
+        runPrefix(model, kc, pspec, KVCacheMode::Fp32, true, reps);
+    const PrefixPoint prefix_fp32_cold =
+        runPrefix(model, kc, pspec, KVCacheMode::Fp32, false, reps);
+    const PrefixPoint prefix_tender_shared = runPrefix(
+        model, kc, pspec, KVCacheMode::TenderQuantized, true, reps);
+    const PrefixPoint prefix_tender_cold = runPrefix(
+        model, kc, pspec, KVCacheMode::TenderQuantized, false, reps);
+    const bool prefix_bitexact =
+        sameTokens(prefix_fp32_shared.results, prefix_fp32_cold.results) &&
+        sameTokens(prefix_tender_shared.results,
+                   prefix_tender_cold.results) &&
+        sharedPagesBitIdentical(config);
+    const bool refcounts_ok = prefix_fp32_shared.refcountsOk &&
+        prefix_fp32_cold.refcountsOk && prefix_tender_shared.refcountsOk &&
+        prefix_tender_cold.refcountsOk;
+    std::printf("shared prefix (%d-token system prompt, %zu requests): "
+                "fp32 %.1f tok/s peak %zu B (cold %.1f tok/s peak %zu B, "
+                "%.2fx), %lld prefill rows skipped, %lld hits, %lld COW "
+                "copies\n",
+                pspec.sysLen, pspec.requests.size(),
+                prefix_fp32_shared.tokensPerS,
+                prefix_fp32_shared.peakKvBytes,
+                prefix_fp32_cold.tokensPerS, prefix_fp32_cold.peakKvBytes,
+                double(prefix_fp32_cold.peakKvBytes) /
+                    double(prefix_fp32_shared.peakKvBytes),
+                (long long)prefix_fp32_shared.skippedRows,
+                (long long)prefix_fp32_shared.hits,
+                (long long)prefix_fp32_shared.cowCopies);
+    std::printf("shared prefix tender-KV: %.1f tok/s peak %zu B (cold "
+                "%.1f tok/s peak %zu B, %.2fx), %lld rows skipped, "
+                "%lld COW copies; reuse %s, refcounts %s\n",
+                prefix_tender_shared.tokensPerS,
+                prefix_tender_shared.peakKvBytes,
+                prefix_tender_cold.tokensPerS,
+                prefix_tender_cold.peakKvBytes,
+                double(prefix_tender_cold.peakKvBytes) /
+                    double(prefix_tender_shared.peakKvBytes),
+                (long long)prefix_tender_shared.skippedRows,
+                (long long)prefix_tender_shared.cowCopies,
+                prefix_bitexact ? "bit-exact" : "DIVERGED",
+                refcounts_ok ? "consistent" : "INCONSISTENT");
+
     const Correctness correct = checkCorrectness(model, kc);
     std::printf("correctness: fp32 decode %s full prefill, tender-KV "
                 "nmse %.3g (bound %.3g), fused-attention nmse %.3g "
@@ -444,6 +742,24 @@ main(int argc, char **argv)
     emitChurn(f, "churn_fp32", churn_fp32_paged, churn_fp32_contig, true);
     emitChurn(f, "churn_tender", churn_tender_paged, churn_tender_contig,
               true);
+    std::fprintf(f, "  \"prefix_shared\": {\n");
+    std::fprintf(f, "    \"system_prompt_tokens\": %d,\n", pspec.sysLen);
+    std::fprintf(f, "    \"requests\": %zu,\n", pspec.requests.size());
+    emitPrefixMode(f, "fp32", prefix_fp32_shared, prefix_fp32_cold);
+    emitPrefixMode(f, "tender", prefix_tender_shared, prefix_tender_cold);
+    // Per-scenario-run value (both modes run the same workload and skip
+    // the same rows); the per-mode copies live under fp32/tender.shared.
+    std::fprintf(f, "    \"prefill_tokens_skipped\": %lld,\n",
+                 (long long)prefix_fp32_shared.skippedRows);
+    std::fprintf(f, "    \"prefix_reuse_bitexact\": %s,\n",
+                 prefix_bitexact ? "true" : "false");
+    std::fprintf(f, "    \"refcounts_consistent\": %s\n",
+                 refcounts_ok ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f,
+                 "  \"calibration\": {\"workload\": \"%s\", "
+                 "\"score_mflops\": %.1f},\n",
+                 bench::kCalibrationWorkload, calibration);
     std::fprintf(f,
                  "  \"correctness\": {\"fp32_decode_bit_exact\": %s, "
                  "\"tender_kv_nmse\": %.6g, "
@@ -464,7 +780,8 @@ main(int argc, char **argv)
     std::printf("wrote %s\n", out_path);
     return correct.fp32BitExact &&
                    correct.tenderNmse < correct.tenderNmseBound &&
-                   correct.fusedNmse < correct.fusedNmseBound
+                   correct.fusedNmse < correct.fusedNmseBound &&
+                   prefix_bitexact && refcounts_ok
                ? 0
                : 1;
 }

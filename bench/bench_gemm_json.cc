@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/tender_gemm.h"
 #include "quant/metrics.h"
 #include "tensor/kernels.h"
@@ -70,6 +71,12 @@ main(int argc, char **argv)
 
     std::printf("== BENCH gemm%s: %dx%dx%d, %d workers ==\n",
                 smoke ? " (smoke)" : "", m, k, n, workers);
+
+    // Machine-speed reference for check_bench.py's baseline comparison
+    // (normalizes perf fields recorded at a different host speed).
+    const double calibration = bench::calibrationScoreMflops();
+    std::printf("calibration (%s): %.1f MFLOP/s\n",
+                bench::kCalibrationWorkload, calibration);
 
     Rng rng(42);
     const Matrix x = randomGaussian(m, k, rng);
@@ -134,6 +141,10 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"workers\": %d,\n", workers);
     std::fprintf(f, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
+    std::fprintf(f,
+                 "  \"calibration\": {\"workload\": \"%s\", "
+                 "\"score_mflops\": %.1f},\n",
+                 bench::kCalibrationWorkload, calibration);
     std::fprintf(f, "  \"gemm\": {\"serial_s\": %.6f, \"threaded_s\": %.6f, "
                  "\"serial_gflops\": %.3f, \"threaded_gflops\": %.3f, "
                  "\"speedup\": %.3f, \"max_abs_diff\": %.6g},\n",

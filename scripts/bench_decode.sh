@@ -8,10 +8,12 @@
 # Usage: scripts/bench_decode.sh [--smoke] [prompt new_tokens workers [out.json]]
 # Defaults: 16 32 8 BENCH_decode.json; --smoke runs the reduced CI sizes
 # and still records the gated correctness fields (scripts/check_bench.py).
+# TENDER_CMAKE_ARGS adds configure flags (CI passes the ccache launcher).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
-cmake -B build -S . >/dev/null
+# shellcheck disable=SC2086  # word splitting of the extra args is intended
+cmake -B build -S . ${TENDER_CMAKE_ARGS:-} >/dev/null
 cmake --build build -j"$JOBS" --target bench_bench_decode_json >/dev/null
 ./build/bench_bench_decode_json "$@"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Shared CI dependency install (deduplicates what was copy-pasted into
+# every job of .github/workflows/ci.yml): toolchain, GoogleTest, python3
+# for the bench gate, and ccache for warm rebuilds across runs.
+#
+# Also exports CCACHE_DIR into $GITHUB_ENV so later steps (and the
+# actions/cache restore of ~/.ccache) agree on the cache location.
+set -euo pipefail
+
+sudo apt-get update
+sudo apt-get install -y cmake g++ python3 ccache libgtest-dev
+
+# Older images ship libgtest-dev as sources only; build+install them so
+# find_package(GTest) succeeds either way.
+if ! ls /usr/lib/*/libgtest*.a /usr/lib/libgtest*.a >/dev/null 2>&1; then
+  cmake -S /usr/src/googletest -B /tmp/gtest-build
+  cmake --build /tmp/gtest-build -j"$(nproc)"
+  sudo cmake --install /tmp/gtest-build
+fi
+
+# Pin the cache dir for THIS step (export) and for every later step
+# (GITHUB_ENV) — modern ccache otherwise defaults to ~/.cache/ccache,
+# which is not what actions/cache persists.
+export CCACHE_DIR="$HOME/.ccache"
+if [ -n "${GITHUB_ENV:-}" ]; then
+  echo "CCACHE_DIR=$CCACHE_DIR" >> "$GITHUB_ENV"
+fi
+ccache --max-size=500M >/dev/null 2>&1 || true
+ccache --zero-stats >/dev/null 2>&1 || true

@@ -15,6 +15,21 @@ BatchScheduler::BatchScheduler(SyntheticModel &model,
     TENDER_REQUIRE(options.maxBatch > 0, "maxBatch must be positive");
     TENDER_REQUIRE(model.config().decoder,
                    "the decode runtime needs a causal decoder model");
+    // A quantizing scheme derives its activation row-chunk scales from
+    // the rows a projection call actually sees; skipping the shared
+    // prefix would shrink the prefill segment and move those chunk
+    // boundaries, so a prefix hit would change the suffix's K/V (and
+    // tokens) vs a cold run — breaking the bit-exact reuse contract.
+    TENDER_REQUIRE(!(options.prefixCache && options.decode.scheme),
+                   "prefix caching cannot run with a quantizing GemmScheme:"
+                   " suffix-only prefill would shift the scheme's row-chunk"
+                   " scales and change generated tokens");
+    if (options.prefixCache) {
+        PrefixCacheConfig pc;
+        pc.maxEntries = options.prefixCacheEntries;
+        prefix_ = std::make_unique<PrefixCache>(
+            model.config(), options.decode.cache, pool_.get(), pc);
+    }
 }
 
 const KernelContext &
@@ -46,9 +61,37 @@ BatchScheduler::step()
         const GenRequest &req = pending_.front();
         const int max_tokens =
             int(req.promptTokens.size()) + req.maxNewTokens - 1;
-        const size_t needed = KVCache::blocksForTokens(
-            model_.config(), options_.decode.cache, max_tokens);
-        if (!pool_->tryReserve(needed)) {
+        // Prefix-cache lookup first: a hit shrinks both the prefill work
+        // (only suffix rows are stacked) and the reservation (full shared
+        // blocks are never written; the COW tail replacement is counted
+        // by blocksForSuffix).
+        PrefixMatch m;
+        if (prefix_)
+            m = prefix_->match(req.promptTokens);
+        size_t needed = KVCache::blocksForSuffix(
+            model_.config(), options_.decode.cache, max_tokens, m.rows);
+        bool reserved = pool_->tryReserve(needed);
+        // Pool pressure: cached prefixes are opportunistic memory — evict
+        // them LRU (keeping the entry this admission matched) until the
+        // reservation fits or nothing evictable remains.
+        while (!reserved && prefix_ && prefix_->evictLru(m.entry)) {
+            ++stats_.prefixEvictions;
+            reserved = pool_->tryReserve(needed);
+        }
+        if (!reserved && m.rows > 0 && active_.empty()) {
+            // Last resort: the matched entry's own blocks may be what is
+            // crowding the pool. Give up the match so the whole pool is
+            // available to a cold admission.
+            m = PrefixMatch{};
+            needed = KVCache::blocksForTokens(
+                model_.config(), options_.decode.cache, max_tokens);
+            reserved = pool_->tryReserve(needed);
+            while (!reserved && prefix_->evictLru()) {
+                ++stats_.prefixEvictions;
+                reserved = pool_->tryReserve(needed);
+            }
+        }
+        if (!reserved) {
             TENDER_REQUIRE(!active_.empty(),
                            "request " << req.id << " needs " << needed
                            << " KV blocks but the empty pool holds only "
@@ -57,10 +100,19 @@ BatchScheduler::step()
             ++stats_.deferred;
             break;
         }
-        Active a{req,
-                 KVCache(model_.config(), options_.decode.cache,
-                         pool_.get(), needed),
-                 vocab_.embedAll(req.promptTokens), true, {}, 0};
+        KVCache cache(model_.config(), options_.decode.cache, pool_.get(),
+                      needed);
+        if (m.rows > 0) {
+            prefix_->adopt(m, cache);
+            ++stats_.prefixHits;
+            stats_.prefillSkippedRows += m.rows;
+        } else if (prefix_) {
+            ++stats_.prefixMisses;
+        }
+        const std::vector<int> suffix(
+            req.promptTokens.begin() + m.rows, req.promptTokens.end());
+        Active a{req, std::move(cache), vocab_.embedAll(suffix), true, {},
+                 0};
         pending_.pop_front();
         active_.push_back(std::move(a));
         ++stats_.admitted;
@@ -108,6 +160,12 @@ BatchScheduler::step()
         a.generated.push_back(token);
         ++a.steps;
         ++stats_.decodedTokens;
+        // A completed prefill publishes its prompt's complete blocks for
+        // later admissions (entry refs keep them alive past retirement;
+        // identical prefixes deduplicate inside the cache).
+        if (a.prefilling && prefix_ &&
+            prefix_->insert(a.request.promptTokens, a.cache))
+            ++stats_.prefixInsertions;
         a.prefilling = false;
         if (int(a.generated.size()) >= a.request.maxNewTokens) {
             finished_.push_back({a.request.id, a.generated, a.steps});

@@ -29,6 +29,19 @@
  * undrawn reservation automatically. Because admission timing never
  * changes what a request computes, a bounded pool changes *when* tokens
  * are generated, never *which* (tests/test_paged_kv.cc).
+ *
+ * With SchedulerOptions::prefixCache the scheduler also owns a
+ * PrefixCache: every completed prefill publishes its leading complete
+ * blocks, and admission matches the incoming prompt against the cached
+ * prefixes first. On a hit the request adopts the shared blocks
+ * (copy-on-write), contributes only its private suffix rows to the
+ * prefill step (stats().prefillSkippedRows counts the rows served from
+ * shared pages), and reserves only the suffix's worst-case footprint
+ * (KVCache::blocksForSuffix). Under pool pressure cached prefixes are
+ * evicted LRU before admission is deferred. Shared pages are
+ * bit-identical to privately computed ones, so prefix caching never
+ * changes which tokens a request generates — only how much prefill work
+ * and KV memory it costs (tests/test_prefix_cache.cc).
  */
 
 #ifndef TENDER_RUNTIME_BATCH_SCHEDULER_H
@@ -36,9 +49,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "runtime/decode_engine.h"
+#include "runtime/prefix_cache.h"
 
 namespace tender {
 
@@ -69,6 +84,15 @@ struct SchedulerOptions
      *  (DecodeOptions::pool is ignored here — the scheduler owns its
      *  pool). */
     size_t kvPoolBlocks = 0;
+    /** Enable copy-on-write prefix caching: completed prefills publish
+     *  their leading complete blocks, later admissions with a matching
+     *  token prefix adopt them and skip that part of their prefill.
+     *  Incompatible with decode.scheme (rejected at construction): a
+     *  quantizing scheme's activation chunk scales depend on the rows a
+     *  projection sees, so suffix-only prefill would change tokens. */
+    bool prefixCache = false;
+    /** Live-entry cap of the prefix cache (LRU evicted past it). */
+    size_t prefixCacheEntries = 64;
 };
 
 /** Aggregate counters (bench/diagnostics). */
@@ -83,6 +107,12 @@ struct SchedulerStats
     /** Steps on which admission of the queue head was deferred because
      *  its KV block reservation did not fit the pool. */
     int64_t deferred = 0;
+    int64_t prefixHits = 0;      ///< admissions that adopted a cached prefix
+    int64_t prefixMisses = 0;    ///< admissions that looked up and missed
+    /** Prompt rows served from shared blocks instead of prefill compute. */
+    int64_t prefillSkippedRows = 0;
+    int64_t prefixInsertions = 0; ///< prefix-cache entries created
+    int64_t prefixEvictions = 0;  ///< entries evicted under pool pressure
 };
 
 class BatchScheduler
@@ -111,6 +141,11 @@ class BatchScheduler
     const BlockAllocator &pool() const { return *pool_; }
     BlockPoolStats poolStats() const { return pool_->stats(); }
 
+    /** The prefix cache, or nullptr when SchedulerOptions::prefixCache is
+     *  off (stats surface; clear() releases the held blocks). */
+    PrefixCache *prefixCache() { return prefix_.get(); }
+    const PrefixCache *prefixCache() const { return prefix_.get(); }
+
   private:
     struct Active
     {
@@ -127,6 +162,7 @@ class BatchScheduler
     SyntheticModel &model_;
     SchedulerOptions options_;
     std::unique_ptr<BlockAllocator> pool_;
+    std::unique_ptr<PrefixCache> prefix_;
     GreedyVocab vocab_;
     std::deque<GenRequest> pending_;
     std::vector<Active> active_;

@@ -76,6 +76,8 @@ BlockAllocator::allocate(bool reserved)
     if (!freeList_.empty()) {
         id = freeList_.back();
         freeList_.pop_back();
+        TENDER_CHECK(refcounts_[size_t(id)] == 0);
+        refcounts_[size_t(id)] = 1;
         ++stats_.reuses;
     } else {
         id = int(stats_.createdBlocks);
@@ -95,6 +97,7 @@ BlockAllocator::allocate(bool reserved)
             slabs_[slab] = std::move(s);
         }
         ++stats_.createdBlocks;
+        refcounts_.push_back(1);
     }
     ++stats_.allocatedBlocks;
     ++stats_.allocations;
@@ -111,6 +114,16 @@ BlockAllocator::release(int block)
 {
     std::lock_guard<std::mutex> lock(mu_);
     checkBlock(block);
+    TENDER_CHECK(refcounts_[size_t(block)] > 0);
+    if (--refcounts_[size_t(block)] > 0) {
+        // Another holder (a cache or a prefix-cache entry) remains; the
+        // block stays allocated and its payload stays live.
+        if (refcounts_[size_t(block)] == 1) {
+            TENDER_CHECK(stats_.sharedBlocks > 0);
+            --stats_.sharedBlocks;
+        }
+        return;
+    }
     TENDER_CHECK(stats_.allocatedBlocks > 0);
     if (config_.mode == KVCacheMode::TenderQuantized) {
         Slab &slab = slabOf(block);
@@ -122,6 +135,74 @@ BlockAllocator::release(int block)
     freeList_.push_back(block);
     --stats_.allocatedBlocks;
     ++stats_.releases;
+}
+
+void
+BlockAllocator::share(int block)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    checkBlock(block);
+    TENDER_CHECK(refcounts_[size_t(block)] > 0);
+    if (++refcounts_[size_t(block)] == 2)
+        ++stats_.sharedBlocks;
+    ++stats_.shares;
+}
+
+int
+BlockAllocator::refcount(int block) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    checkBlock(block);
+    return refcounts_[size_t(block)];
+}
+
+void
+BlockAllocator::copyBlock(int src, int dst)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        checkBlock(src);
+        checkBlock(dst);
+        TENDER_CHECK(src != dst);
+        TENDER_CHECK(refcounts_[size_t(src)] > 0 &&
+                     refcounts_[size_t(dst)] > 0);
+        ++stats_.cowCopies;
+    }
+    if (config_.mode == KVCacheMode::Fp32) {
+        const size_t n = size_t(config_.blockTokens) *
+            size_t(config_.headDim);
+        const float *from = fp32Rows(src);
+        std::copy(from, from + n, fp32Rows(dst));
+        return;
+    }
+    for (int s = 0; s < config_.chunksPerBlock; ++s)
+        chunkSlot(dst, s) = chunkSlot(src, s);
+}
+
+bool
+BlockAllocator::refcountsConsistent() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stats_.allocatedBlocks + freeList_.size() != stats_.createdBlocks)
+        return false;
+    std::vector<uint8_t> free_mark(stats_.createdBlocks, 0);
+    for (int b : freeList_) {
+        if (b < 0 || size_t(b) >= stats_.createdBlocks ||
+            free_mark[size_t(b)] || refcounts_[size_t(b)] != 0)
+            return false;
+        free_mark[size_t(b)] = 1;
+    }
+    size_t held = 0, shared = 0;
+    for (size_t b = 0; b < stats_.createdBlocks; ++b) {
+        if (free_mark[b])
+            continue;
+        if (refcounts_[b] < 1)
+            return false;
+        ++held;
+        if (refcounts_[b] > 1)
+            ++shared;
+    }
+    return held == stats_.allocatedBlocks && shared == stats_.sharedBlocks;
 }
 
 float *

@@ -17,6 +17,16 @@
  * so appends mid-decode can never fail — a full pool defers admission
  * instead (the graceful-requeue path asserted in tests/test_paged_kv.cc).
  *
+ * Blocks are refcounted for copy-on-write sharing (prefix caching / beam
+ * search): share() adds a holder, release() drops one, and the block only
+ * returns to the free list when the last holder lets go. A frozen block's
+ * payload is immutable while shared — any owner that must write a shared
+ * block copies it first (KVCache's COW fault path, counted in
+ * BlockPoolStats::cowCopies) — which is what makes a Tender row-chunk
+ * page safely shareable between requests: chunks are fixed-size and
+ * self-describing (codes + per-chunk scale-table metadata), so a shared
+ * page reads bit-identically to a private one.
+ *
  * Thread safety: allocate/release/reserve are mutex-protected (the decode
  * runtime appends to different requests' caches concurrently). Payload
  * lookups are lock-free: storage lives in fixed-capacity slabs whose
@@ -69,9 +79,13 @@ struct BlockPoolStats
     /** Peak of allocated + reserved: what contiguous per-request
      *  preallocation of the same admissions would have committed. */
     size_t peakCommittedBlocks = 0;
+    /** Blocks currently held by more than one owner (COW-protected). */
+    size_t sharedBlocks = 0;
     int64_t allocations = 0;
-    int64_t releases = 0;
+    int64_t releases = 0;           ///< blocks actually freed (refcount -> 0)
     int64_t reuses = 0;             ///< allocations served from the free list
+    int64_t shares = 0;             ///< share() calls (refs handed out)
+    int64_t cowCopies = 0;          ///< copy-on-write block copies
 
     size_t allocatedBytes() const { return allocatedBlocks * blockBytes; }
     size_t peakAllocatedBytes() const
@@ -112,10 +126,37 @@ class BlockAllocator
      */
     int allocate(bool reserved);
 
-    /** Return a block to the free list. Quantized payload slots are reset
-     *  so a retired request's codes/metadata cannot leak into the block's
-     *  next owner (and their heap memory is returned eagerly). */
+    /** Drop one reference to a block. Only the last release returns it to
+     *  the free list; quantized payload slots are then reset so a retired
+     *  request's codes/metadata cannot leak into the block's next owner
+     *  (and their heap memory is returned eagerly). */
     void release(int block);
+
+    /**
+     * Add a reference to an allocated block (copy-on-write sharing). While
+     * refcount(block) > 1 the payload is immutable: a holder that must
+     * write it copies first (allocate a fresh block + copyBlock + release
+     * the shared one). Callers sharing blocks out of a *live* cache must
+     * only share fully-written blocks that cache will never write again —
+     * PrefixCache::insert's complete-leading-blocks policy — so the
+     * cache's allocation-free append hot path needs no per-row refcount
+     * probe (only the adopted tail block is ever checked).
+     */
+    void share(int block);
+
+    /** Current reference count of an allocated block (1 = exclusive). */
+    int refcount(int block) const;
+
+    /** Copy src's payload into dst (the COW fault path; dst must be a
+     *  fresh allocation of this pool). Payload addresses are stable and a
+     *  shared src is never written, so the copy runs outside the pool
+     *  lock. Counted in stats().cowCopies. */
+    void copyBlock(int src, int dst);
+
+    /** Invariant audit for tests/bench: free blocks carry refcount 0 and
+     *  appear once, every non-free created block carries refcount >= 1,
+     *  and the allocated/free/shared gauges match a full rescan. */
+    bool refcountsConsistent() const;
 
     /** Fp32 payload of a block: blockTokens x headDim floats. */
     float *fp32Rows(int block);
@@ -151,6 +192,7 @@ class BlockAllocator
     mutable std::mutex mu_;
     size_t slabCount_ = 0;
     std::vector<int> freeList_;
+    std::vector<int> refcounts_; ///< per created block; 0 = on the free list
     BlockPoolStats stats_;
 };
 

@@ -101,6 +101,13 @@ attentionHeadFusedQuant(const Matrix &q, const KVCodeView &keys,
     for (const QuantizedChunk *ch : keys.frozen) {
         const ChunkMeta &meta = ch->meta;
         TENDER_CHECK(meta.channels() == dh);
+        // Frozen chunk pages are self-describing and immutable — whether
+        // privately owned or COW-shared from a prefix-cache donor, a page
+        // must present a complete rowChunk x headDim code panel (a shared
+        // page that could differ in shape from a private one would mean a
+        // partially frozen chunk leaked through adoptPrefix).
+        TENDER_CHECK(ch->codes.rows() == keys.rowChunk &&
+                     ch->codes.cols() == dh);
         const int g_count = meta.groups();
         const int64_t max_code = maxCode(ch->bits);
         int64_t max_shifted = 0;
@@ -209,6 +216,7 @@ attentionHeadFusedQuant(const Matrix &q, const KVCodeView &keys,
         for (const QuantizedChunk *ch : values.frozen) {
             const ChunkMeta &meta = ch->meta;
             TENDER_CHECK(meta.channels() == dh);
+            TENDER_CHECK(ch->codes.rows() == values.rowChunk);
             for (int c = 0; c < dh; ++c)
                 cs[size_t(c)] = meta.scale[size_t(meta.group[size_t(c)])];
             const float *bias = meta.bias.data();

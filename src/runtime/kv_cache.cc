@@ -191,6 +191,7 @@ KVCache::releaseAll()
         s.openChanged.clear();
         s.openTmax = 0.f;
         s.openSlotRows = 0;
+        s.sharedTailBlock = -1;
     }
     if (reservedRemaining_ > 0) {
         pool_->unreserve(reservedRemaining_);
@@ -238,6 +239,29 @@ KVCache::ensureBlocks(Store &store, int block_index)
         store.blocks.push_back(allocateBlock());
 }
 
+/**
+ * Copy-on-write fault for the adopted tail block: the only block a cache
+ * may ever write while another holder (the prefix cache or the donor)
+ * still references it. Copies the payload into a fresh private block,
+ * releases the shared one, and rewires the block table; the shared page
+ * is never mutated, so every other reader keeps a bit-identical view.
+ * Once resolved — or if every other holder already released — the store
+ * owns its whole tail exclusively and never probes refcounts again.
+ */
+void
+KVCache::cowTailBlock(Store &store)
+{
+    const int bi = store.sharedTailBlock;
+    store.sharedTailBlock = -1;
+    const int block = store.blocks[size_t(bi)];
+    if (pool_->refcount(block) <= 1)
+        return; // the other holders retired first; write in place
+    const int fresh = allocateBlock();
+    pool_->copyBlock(block, fresh);
+    pool_->release(block);
+    store.blocks[size_t(bi)] = fresh;
+}
+
 QuantizedChunk &
 KVCache::chunkSlotOf(const Store &store, int chunk) const
 {
@@ -255,6 +279,8 @@ KVCache::appendStore(Store &store, const Matrix &rows, int row0, int row1,
         for (int r = row0; r < row1; ++r) {
             const int tok = store.rows;
             ensureBlocks(store, tok / blockTokens_);
+            if (tok / blockTokens_ == store.sharedTailBlock)
+                cowTailBlock(store);
             float *dst = pool_->fp32Rows(store.blocks.back()) +
                 size_t(tok % blockTokens_) * size_t(dh);
             const float *src = rows.rowPtr(r) + c0;
@@ -298,6 +324,8 @@ KVCache::appendStore(Store &store, const Matrix &rows, int row0, int row1,
             // Freeze: the envelopes cover exactly this chunk's rows.
             const int chunk = store.rows / row_chunk - 1;
             ensureBlocks(store, chunk / chunksPerBlock_);
+            if (chunk / chunksPerBlock_ == store.sharedTailBlock)
+                cowTailBlock(store);
             QuantizedChunk &slot = chunkSlotOf(store, chunk);
             buildChunkMetaInto(slot.meta, store.openMin.data(),
                                store.openMax.data(), dh, config_.tender);
@@ -347,6 +375,11 @@ KVCache::requantizeOpenChunk(Store &store)
     const int staged = int(store.staging.size()) / dh;
     const int chunk = store.rows / row_chunk;
     ensureBlocks(store, chunk / chunksPerBlock_);
+    // The open chunk's slot is rewritten in place on every append; if it
+    // lives in the adopted (still shared) tail block, fault it private
+    // first so consumers of the shared page never see the rewrite.
+    if (chunk / chunksPerBlock_ == store.sharedTailBlock)
+        cowTailBlock(store);
     QuantizedChunk &slot = chunkSlotOf(store, chunk);
 
     // Effective TMax as buildChunkMeta computes it for either bias mode
@@ -587,6 +620,72 @@ KVCache::blocksForTokens(const ModelConfig &model,
     const int bt = resolvedBlockTokens(config);
     const size_t per_store = size_t((tokens + bt - 1) / bt);
     return per_store * size_t(model.nLayers) * size_t(model.kvHeads) * 2;
+}
+
+size_t
+KVCache::blocksForSuffix(const ModelConfig &model,
+                         const KVCacheConfig &config, int total_tokens,
+                         int shared_tokens)
+{
+    if (shared_tokens <= 0)
+        return blocksForTokens(model, config, total_tokens);
+    TENDER_CHECK(shared_tokens < total_tokens);
+    const int bt = resolvedBlockTokens(config);
+    // Blocks fully covered by the shared prefix stay shared for the
+    // cache's whole life; a partial tail block is COW-replaced (its
+    // replacement is part of the ceil(total/bt) count), and everything
+    // past the prefix is freshly allocated.
+    const size_t full_shared = size_t(shared_tokens / bt);
+    const size_t per_store = size_t((total_tokens + bt - 1) / bt);
+    TENDER_CHECK(per_store >= full_shared);
+    return (per_store - full_shared) * size_t(model.nLayers) *
+        size_t(model.kvHeads) * 2;
+}
+
+const std::vector<int> &
+KVCache::storeBlockTable(size_t idx) const
+{
+    TENDER_CHECK(idx < stores_.size());
+    return stores_[idx].blocks;
+}
+
+void
+KVCache::adoptPrefix(const std::vector<std::vector<int>> &blocks, int rows)
+{
+    TENDER_REQUIRE(length_ == 0 && rows > 0,
+                   "adoptPrefix needs an empty cache and a non-empty "
+                   "prefix");
+    TENDER_REQUIRE(blocks.size() == stores_.size(),
+                   "adoptPrefix needs one block table per store ("
+                       << stores_.size() << "), got " << blocks.size());
+    if (config_.mode == KVCacheMode::TenderQuantized)
+        TENDER_REQUIRE(rows % config_.tender.rowChunk == 0,
+                       "a shared quantized prefix must be chunk-aligned ("
+                           << rows << " rows, rowChunk "
+                           << config_.tender.rowChunk
+                           << "): only frozen chunks are shareable, the "
+                              "open staging chunk is always private");
+    const size_t n_blocks =
+        size_t((rows + blockTokens_ - 1) / blockTokens_);
+    const bool partial_tail = rows % blockTokens_ != 0;
+    for (size_t s = 0; s < stores_.size(); ++s) {
+        Store &store = stores_[s];
+        TENDER_CHECK(store.blocks.empty() && store.rows == 0);
+        TENDER_REQUIRE(blocks[s].size() == n_blocks,
+                       "adoptPrefix: store " << s << " got "
+                           << blocks[s].size() << " blocks for " << rows
+                           << " rows (expected " << n_blocks << ")");
+        store.blocks = blocks[s];
+        for (int b : store.blocks)
+            pool_->share(b);
+        store.rows = rows;
+        // A partially covered tail block is still writable by this cache
+        // (the suffix lands in it); mark it for the COW fault path.
+        store.sharedTailBlock =
+            partial_tail ? int(n_blocks) - 1 : -1;
+    }
+    std::fill(layerLength_.begin(), layerLength_.end(), rows);
+    length_ = rows;
 }
 
 } // namespace tender

@@ -35,6 +35,18 @@
  * different layers are independent, which is what lets the batch scheduler
  * parallelize appends and attention across requests (the shared pool's
  * free list is mutex-protected; payload writes stay disjoint).
+ *
+ * Prefix sharing (runtime/prefix_cache.h) is copy-on-write at block
+ * granularity: adoptPrefix() maps a cache's leading block-table entries
+ * onto already-populated blocks of another request's identical token
+ * prefix (refcounted via BlockAllocator::share). Fully covered blocks are
+ * never written again, so they are shared for the cache's whole life; a
+ * partially covered tail block is copied the first time this cache must
+ * write into it (the COW fault), so the shared payload — and therefore
+ * every other reader's view — is never mutated. In quantized mode only
+ * frozen chunks are shareable (the adopted length is chunk-aligned); the
+ * open staging chunk is always private, because its codes are rewritten
+ * in place on every append and its fp32 staging rows live in the owner.
  */
 
 #ifndef TENDER_RUNTIME_KV_CACHE_H
@@ -202,6 +214,38 @@ class KVCache
     static size_t blocksForTokens(const ModelConfig &model,
                                   const KVCacheConfig &config, int tokens);
 
+    /** Worst-case pool blocks a request needs beyond an adopted shared
+     *  prefix of `shared_tokens` rows: blocks fully covered by the prefix
+     *  are never written (no reservation), a partially covered tail block
+     *  is COW-replaced on first write (counted), and everything after is
+     *  freshly allocated. The scheduler reserves this instead of
+     *  blocksForTokens when admission matched a cached prefix. */
+    static size_t blocksForSuffix(const ModelConfig &model,
+                                  const KVCacheConfig &config,
+                                  int total_tokens, int shared_tokens);
+
+    /** Number of (layer, kv-head, K|V) stores (prefix-cache iteration
+     *  order; the same flattened [layer][head][K,V] order appends use). */
+    size_t storeCount() const { return stores_.size(); }
+
+    /** Block table of store `idx` in logical-row order. PrefixCache reads
+     *  the leading entries at insert; treat as read-only. */
+    const std::vector<int> &storeBlockTable(size_t idx) const;
+
+    /**
+     * Map the leading `rows` tokens of every store onto already-populated
+     * blocks of an identical token prefix (copy-on-write sharing). Must be
+     * called on an empty cache; acquires one reference per adopted block
+     * via BlockAllocator::share, released again by releaseAll(). `blocks`
+     * holds one table per store in storeCount() order, each covering
+     * ceil(rows / blockTokens) blocks. In quantized mode `rows` must be
+     * chunk-aligned — only frozen chunks are shareable; the open staging
+     * chunk is always private. A partially covered tail block is copied
+     * before this cache's first write into it, so the donor's payload is
+     * never mutated and shared pages read bit-identically to private ones.
+     */
+    void adoptPrefix(const std::vector<std::vector<int>> &blocks, int rows);
+
     /** Return every block (and any undrawn reservation) to the pool and
      *  reset to empty. Called by the destructor; idempotent. */
     void releaseAll();
@@ -230,6 +274,13 @@ class KVCache
         std::vector<uint8_t> openChanged;
         float openTmax = 0.f;
         int openSlotRows = 0;
+        /** Index of the adopted tail block this store may still write while
+         *  it is shared (adoptPrefix with a non-block-aligned prefix), or
+         *  -1. The write paths COW-copy it on first touch; every other
+         *  block is either fully shared (never written again) or private,
+         *  so the allocation-free append hot path pays no refcount probes
+         *  beyond this single adopted block. */
+        int sharedTailBlock = -1;
     };
 
     Store &storeOf(int layer, int head, bool value);
@@ -241,6 +292,7 @@ class KVCache
     KVCodeView codeView(const Store &store) const;
     int allocateBlock();
     void ensureBlocks(Store &store, int block_index);
+    void cowTailBlock(Store &store);
     QuantizedChunk &chunkSlotOf(const Store &store, int chunk) const;
 
     ModelConfig model_;

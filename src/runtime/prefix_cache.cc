@@ -1,0 +1,275 @@
+#include "runtime/prefix_cache.h"
+
+#include <algorithm>
+
+namespace tender {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/** Extend a running FNV-1a state by `n` tokens. FNV-1a is a left fold
+ *  over the bytes, so hash(prefix of length L+g) extends hash(L) — which
+ *  is what lets insert()/match() hash every prefix length of a prompt in
+ *  one O(n) forward pass instead of O(n^2) from-scratch rehashing. */
+uint64_t
+fnv1aExtend(uint64_t h, const int *tokens, size_t n)
+{
+    const unsigned char *bytes =
+        reinterpret_cast<const unsigned char *>(tokens);
+    for (size_t i = 0; i < n * sizeof(int); ++i) {
+        h ^= bytes[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** FNV-1a over the token bytes — the default prefix hasher. */
+uint64_t
+fnv1aTokens(const int *tokens, size_t n)
+{
+    return fnv1aExtend(kFnvOffset, tokens, n);
+}
+
+} // namespace
+
+PrefixCache::PrefixCache(const ModelConfig &model,
+                         const KVCacheConfig &config, BlockAllocator *pool,
+                         PrefixCacheConfig options)
+    : model_(model), config_(config), pool_(pool),
+      options_(std::move(options)),
+      blockTokens_(resolvedBlockTokens(config))
+{
+    TENDER_REQUIRE(pool_ != nullptr, "PrefixCache needs the shared pool");
+    TENDER_REQUIRE(options_.maxEntries > 0,
+                   "PrefixCache needs room for at least one entry");
+    if (config_.mode == KVCacheMode::TenderQuantized)
+        grain_ = config_.tender.rowChunk;
+}
+
+PrefixCache::~PrefixCache()
+{
+    clear();
+}
+
+uint64_t
+PrefixCache::hashPrefix(const int *tokens, size_t n) const
+{
+    return options_.hasher ? options_.hasher(tokens, n)
+                           : fnv1aTokens(tokens, n);
+}
+
+std::vector<std::pair<int, uint64_t>>
+PrefixCache::prefixHashes(const int *tokens, int max_rows) const
+{
+    std::vector<std::pair<int, uint64_t>> out;
+    out.reserve(size_t(max_rows / grain_));
+    if (options_.hasher) {
+        // Pluggable hasher (tests): no extendability contract, hash each
+        // length independently.
+        for (int rows = grain_; rows <= max_rows; rows += grain_)
+            out.emplace_back(rows, options_.hasher(tokens, size_t(rows)));
+        return out;
+    }
+    uint64_t h = kFnvOffset;
+    for (int rows = grain_; rows <= max_rows; rows += grain_) {
+        h = fnv1aExtend(h, tokens + (rows - grain_), size_t(grain_));
+        out.emplace_back(rows, h);
+    }
+    return out;
+}
+
+size_t
+PrefixCache::findVerified(const int *tokens, int rows) const
+{
+    const auto it = lookup_.find(hashPrefix(tokens, size_t(rows)));
+    if (it == lookup_.end())
+        return size_t(-1);
+    for (const Slot &slot : it->second) {
+        if (slot.rows != rows)
+            continue;
+        const Entry &e = entries_[slot.entry];
+        if (e.live &&
+            std::equal(tokens, tokens + rows, e.tokens.begin()))
+            return slot.entry;
+    }
+    return size_t(-1);
+}
+
+bool
+PrefixCache::insert(const std::vector<int> &prompt, const KVCache &cache)
+{
+    // Publish complete blocks only: the donor never writes a block it has
+    // fully filled, so shared pages stay immutable without the donor's
+    // append path ever probing refcounts.
+    const int rows = int(prompt.size()) / blockTokens_ * blockTokens_;
+    if (rows <= 0)
+        return false;
+    const size_t existing = findVerified(prompt.data(), rows);
+    if (existing != size_t(-1)) {
+        entries_[existing].lastUse = ++clock_;
+        ++stats_.duplicates;
+        return false;
+    }
+    while (liveEntries_ >= options_.maxEntries)
+        if (!evictLru())
+            break;
+
+    size_t id;
+    if (!freeSlots_.empty()) {
+        id = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        id = entries_.size();
+        entries_.emplace_back();
+    }
+    Entry &e = entries_[id];
+    e.tokens.assign(prompt.begin(), prompt.begin() + rows);
+    const size_t n_blocks = size_t(rows / blockTokens_);
+    e.blocks.resize(cache.storeCount());
+    for (size_t s = 0; s < cache.storeCount(); ++s) {
+        const std::vector<int> &table = cache.storeBlockTable(s);
+        TENDER_REQUIRE(table.size() >= n_blocks,
+                       "PrefixCache::insert: store " << s << " holds only "
+                           << table.size() << " blocks, prefix needs "
+                           << n_blocks);
+        e.blocks[s].assign(table.begin(), table.begin() + long(n_blocks));
+        for (int b : e.blocks[s])
+            pool_->share(b);
+    }
+    // Register every adoptable length (one rolling-hash pass), so a later
+    // prompt that diverges from this one mid-entry still shares the
+    // common part: any row boundary in fp32, frozen-chunk boundaries in
+    // quantized mode.
+    e.keys.clear();
+    for (const auto &[len, key] : prefixHashes(e.tokens.data(), rows)) {
+        lookup_[key].push_back({id, len});
+        e.keys.push_back(key);
+    }
+    e.lastUse = ++clock_;
+    e.live = true;
+    ++liveEntries_;
+    ++stats_.insertions;
+    return true;
+}
+
+PrefixMatch
+PrefixCache::match(const std::vector<int> &prompt)
+{
+    // At least one prompt row must stay private: the consumer's first
+    // step needs a real input row to produce the hidden state it samples
+    // from (and decodeStep segments must be non-empty).
+    int max_share = (int(prompt.size()) - 1) / grain_ * grain_;
+    if (liveEntries_ == 0 || max_share <= 0) {
+        ++stats_.misses;
+        return {};
+    }
+    const auto hashes = prefixHashes(prompt.data(), max_share);
+    for (auto cand = hashes.rbegin(); cand != hashes.rend(); ++cand) {
+        const auto [rows, key] = *cand;
+        const auto it = lookup_.find(key);
+        if (it == lookup_.end())
+            continue;
+        for (const Slot &slot : it->second) {
+            if (slot.rows != rows || !entries_[slot.entry].live)
+                continue;
+            // Hash-collision safety: a hit counts only if the actual
+            // tokens agree.
+            if (!std::equal(prompt.begin(), prompt.begin() + rows,
+                            entries_[slot.entry].tokens.begin())) {
+                ++stats_.verifyRejects;
+                continue;
+            }
+            entries_[slot.entry].lastUse = ++clock_;
+            ++stats_.hits;
+            return {rows, slot.entry};
+        }
+    }
+    ++stats_.misses;
+    return {};
+}
+
+void
+PrefixCache::adopt(const PrefixMatch &match, KVCache &cache) const
+{
+    TENDER_REQUIRE(match.rows > 0 && match.entry < entries_.size() &&
+                   entries_[match.entry].live,
+                   "PrefixCache::adopt needs a live match");
+    const Entry &e = entries_[match.entry];
+    TENDER_CHECK(match.rows <= int(e.tokens.size()));
+    const size_t n_blocks =
+        size_t((match.rows + blockTokens_ - 1) / blockTokens_);
+    std::vector<std::vector<int>> blocks(e.blocks.size());
+    for (size_t s = 0; s < e.blocks.size(); ++s)
+        blocks[s].assign(e.blocks[s].begin(),
+                         e.blocks[s].begin() + long(n_blocks));
+    cache.adoptPrefix(blocks, match.rows);
+}
+
+void
+PrefixCache::releaseEntry(size_t id)
+{
+    Entry &e = entries_[id];
+    TENDER_CHECK(e.live);
+    for (const std::vector<int> &store : e.blocks)
+        for (int b : store)
+            pool_->release(b);
+    for (uint64_t key : e.keys) {
+        const auto it = lookup_.find(key);
+        if (it == lookup_.end())
+            continue;
+        auto &slots = it->second;
+        slots.erase(std::remove_if(slots.begin(), slots.end(),
+                                   [id](const Slot &s) {
+                                       return s.entry == id;
+                                   }),
+                    slots.end());
+        if (slots.empty())
+            lookup_.erase(it);
+    }
+    e = Entry{};
+    freeSlots_.push_back(id);
+    --liveEntries_;
+    ++stats_.evictions;
+}
+
+bool
+PrefixCache::evictLru(size_t protect)
+{
+    size_t victim = size_t(-1);
+    uint64_t oldest = 0;
+    for (size_t id = 0; id < entries_.size(); ++id) {
+        if (!entries_[id].live || id == protect)
+            continue;
+        if (victim == size_t(-1) || entries_[id].lastUse < oldest) {
+            victim = id;
+            oldest = entries_[id].lastUse;
+        }
+    }
+    if (victim == size_t(-1))
+        return false;
+    releaseEntry(victim);
+    return true;
+}
+
+void
+PrefixCache::clear()
+{
+    for (size_t id = 0; id < entries_.size(); ++id)
+        if (entries_[id].live)
+            releaseEntry(id);
+}
+
+size_t
+PrefixCache::blocksHeld() const
+{
+    size_t held = 0;
+    for (const Entry &e : entries_)
+        if (e.live)
+            for (const std::vector<int> &store : e.blocks)
+                held += store.size();
+    return held;
+}
+
+} // namespace tender
