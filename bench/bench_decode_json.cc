@@ -35,12 +35,25 @@
  * refcount audit passes and clearing the prefix cache returns every
  * block).
  *
+ * The "mq_panels" scenario runs a GQA replica (Llama-2-70B/64: 4 query
+ * heads per kv head) with the multi-query attention panels
+ * (DecodeOptions::mqAttentionPanels) on vs off, in both KV modes — the
+ * panel batching only has something to amortize when several query heads
+ * share one kv history, which the OPT replica (kvHeads == nHeads) never
+ * exercises.
+ *
  * The "correctness" block records machine-checkable invariants (fp32
  * decode bit-parity with full prefill, quantized-KV NMSE under its
  * bound, fused-vs-dequantize attention NMSE under its bound,
- * paged-vs-contiguous peak ratio > 1); scripts/check_bench.py gates CI
- * on them. The fused/dequantize tokens/s ratio is recorded (not gated)
- * as fused_over_dequant_tokens_ratio.
+ * mq_panel_bitexact — MQ-panel decode reproduces per-head decode bit for
+ * bit in every KV mode on both model shapes, the row-locality contract —
+ * and paged-vs-contiguous peak ratio > 1); scripts/check_bench.py gates
+ * CI on them. The fused/dequantize tokens/s ratio is recorded (not
+ * gated) as fused_over_dequant_tokens_ratio. The decode kernel context
+ * is the packed arm (Backend::Packed), recorded in the "simd"/"backend"
+ * fields so every number is attributable to the kernel arm that produced
+ * it; the reference forward in the correctness check runs on the same
+ * context, so bit-parity claims compare like with like.
  *
  * A fixed reference-workload calibration score (bench_common.h) is
  * recorded so check_bench.py --compare-baseline can normalize tokens/s
@@ -64,6 +77,7 @@
 #include "model/transformer.h"
 #include "quant/metrics.h"
 #include "runtime/batch_scheduler.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
 
 using namespace tender;
@@ -83,7 +97,8 @@ struct BatchPoint
 
 BatchPoint
 runBatchOnce(SyntheticModel &model, const KernelContext &kc, int batch,
-             int prompt_len, int new_tokens, KVCacheMode mode, bool fused)
+             int prompt_len, int new_tokens, KVCacheMode mode, bool fused,
+             bool mq)
 {
     SchedulerOptions options;
     options.maxBatch = batch;
@@ -92,6 +107,7 @@ runBatchOnce(SyntheticModel &model, const KernelContext &kc, int batch,
     options.decode.cache.mode = mode;
     options.decode.cache.tender.rowChunk = 16;
     options.decode.fusedQuantKv = fused;
+    options.decode.mqAttentionPanels = mq;
     BatchScheduler scheduler(model, options);
     for (int id = 0; id < batch; ++id) {
         GenRequest r;
@@ -117,6 +133,7 @@ runBatchOnce(SyntheticModel &model, const KernelContext &kc, int batch,
     dopt.kernels = &kc;
     dopt.cache = options.decode.cache;
     dopt.fusedQuantKv = fused;
+    dopt.mqAttentionPanels = mq;
     DecodeEngine engine(model, dopt);
     GreedyVocab vocab(options.vocabSize, model.config().dModel,
                       options.vocabSeed);
@@ -134,13 +151,13 @@ runBatchOnce(SyntheticModel &model, const KernelContext &kc, int batch,
 BatchPoint
 runBatch(SyntheticModel &model, const KernelContext &kc, int batch,
          int prompt_len, int new_tokens, KVCacheMode mode,
-         bool fused = false, int reps = 2)
+         bool fused = false, int reps = 2, bool mq = true)
 {
-    BatchPoint best =
-        runBatchOnce(model, kc, batch, prompt_len, new_tokens, mode, fused);
+    BatchPoint best = runBatchOnce(model, kc, batch, prompt_len, new_tokens,
+                                   mode, fused, mq);
     for (int r = 1; r < reps; ++r) {
         const BatchPoint again = runBatchOnce(model, kc, batch, prompt_len,
-                                              new_tokens, mode, fused);
+                                              new_tokens, mode, fused, mq);
         if (again.tokensPerS > best.tokensPerS)
             best = again;
     }
@@ -446,32 +463,71 @@ struct Correctness
      *  quantization on frozen chunks). */
     double fusedNmse = 0.0;
     double fusedNmseBound = 2e-3;
+    /** MQ-panel decode == per-head decode, bit for bit, in every KV mode
+     *  on both model shapes (the panels' row-locality contract). */
+    bool mqPanelBitExact = false;
 };
 
+/** Teacher-forced decode of `input` under `base` on `kc` (prefill 8
+ *  rows, then row at a time). */
+Matrix
+teacherForcedDecode(SyntheticModel &model, const Matrix &input,
+                    const DecodeOptions &base, const KernelContext &kc)
+{
+    DecodeOptions options = base;
+    options.kernels = &kc;
+    DecodeEngine engine(model, options);
+    Matrix out(input.rows(), input.cols());
+    const Matrix pre = engine.prefill(input.rowSlice(0, 8));
+    for (int r = 0; r < 8; ++r)
+        for (int col = 0; col < input.cols(); ++col)
+            out(r, col) = pre(r, col);
+    for (int r = 8; r < input.rows(); ++r) {
+        const Matrix h = engine.step(input.rowSlice(r, r + 1));
+        for (int col = 0; col < input.cols(); ++col)
+            out(r, col) = h(0, col);
+    }
+    return out;
+}
+
+/** MQ-panel decode vs per-head decode over every KV mode for one model:
+ *  bit equality, the panels' row-locality contract made machine-checked. */
+bool
+mqPanelBitExactFor(SyntheticModel &model, const KernelContext &kc)
+{
+    const Matrix input = model.sampleInput(20, 7);
+    DecodeOptions fp32;
+    DecodeOptions quant;
+    quant.cache.mode = KVCacheMode::TenderQuantized;
+    quant.cache.tender.rowChunk = 8;
+    DecodeOptions fused = quant;
+    fused.fusedQuantKv = true;
+    for (const DecodeOptions &base : {fp32, quant, fused}) {
+        DecodeOptions mq_on = base, mq_off = base;
+        mq_on.mqAttentionPanels = true;
+        mq_off.mqAttentionPanels = false;
+        if (maxAbsDiff(teacherForcedDecode(model, input, mq_on, kc),
+                       teacherForcedDecode(model, input, mq_off, kc)) !=
+            0.f)
+            return false;
+    }
+    return true;
+}
+
 Correctness
-checkCorrectness(SyntheticModel &model, const KernelContext &kc)
+checkCorrectness(SyntheticModel &model, SyntheticModel &gqa_model,
+                 const KernelContext &kc)
 {
     Correctness c;
     const Matrix input = model.sampleInput(24, 3);
-    // defaultKernels vs kc is immaterial: the kernel layer is bit-identical
-    // across backends and worker counts (tests/test_kernels.cc).
-    const Matrix full = modelForward(model, input);
+    // The reference forward runs on the same context as the decode under
+    // test: the packed arm is NMSE-gated (not bit-parity) against the
+    // golden kernels, so comparing like with like is what makes the
+    // fp32_decode_bit_exact field a pure decode-vs-prefill invariant.
+    const Matrix full = modelForward(model, input, &kc);
 
     auto decode = [&](const DecodeOptions &base) {
-        DecodeOptions options = base;
-        options.kernels = &kc;
-        DecodeEngine engine(model, options);
-        Matrix out(input.rows(), input.cols());
-        const Matrix pre = engine.prefill(input.rowSlice(0, 8));
-        for (int r = 0; r < 8; ++r)
-            for (int col = 0; col < input.cols(); ++col)
-                out(r, col) = pre(r, col);
-        for (int r = 8; r < input.rows(); ++r) {
-            const Matrix h = engine.step(input.rowSlice(r, r + 1));
-            for (int col = 0; col < input.cols(); ++col)
-                out(r, col) = h(0, col);
-        }
-        return out;
+        return teacherForcedDecode(model, input, base, kc);
     };
 
     const Matrix fp32 = decode(DecodeOptions{});
@@ -486,6 +542,9 @@ checkCorrectness(SyntheticModel &model, const KernelContext &kc)
     DecodeOptions fused = quant;
     fused.fusedQuantKv = true;
     c.fusedNmse = nmse(dequant, decode(fused));
+
+    c.mqPanelBitExact =
+        mqPanelBitExactFor(model, kc) && mqPanelBitExactFor(gqa_model, kc);
     return c;
 }
 
@@ -586,12 +645,19 @@ main(int argc, char **argv)
 
     const ModelConfig config = replicaOf(modelByName("OPT-6.7B"), 32);
     SyntheticModel model(config, 5);
-    KernelContext kc(Backend::Threaded, workers);
+    // GQA shape for the multi-query panel scenario: 4 query heads share
+    // each kv head, so the panel batching has real work to amortize.
+    const ModelConfig gqa_config = replicaOf(modelByName("Llama-2-70B"), 64);
+    SyntheticModel gqa_model(gqa_config, 7);
+    KernelContext kc(Backend::Packed, workers);
 
     std::printf("== BENCH decode%s: %s (d=%d, layers=%d), prompt %d, "
                 "%d tokens/request, %d workers ==\n",
                 smoke ? " (smoke)" : "", config.name.c_str(), config.dModel,
                 config.nLayers, prompt_len, new_tokens, workers);
+    std::printf("kernel arm: %s (simd: %s)\n",
+                backendName(kc.backend()).c_str(),
+                simdDescription().c_str());
 
     // Machine-speed reference for check_bench.py's baseline comparison.
     const double calibration = bench::calibrationScoreMflops();
@@ -637,6 +703,33 @@ main(int argc, char **argv)
         std::printf(" batch %d %.2fx%s", fp32[i].batch,
                     fp32[i].tokensPerS / fp32[0].tokensPerS,
                     i + 1 < fp32.size() ? "," : "\n");
+
+    // GQA multi-query panels on vs off, both KV modes, at the largest
+    // batch — the panel amortization the MQ restructure exists to buy.
+    const int mq_batch = batches.back();
+    const BatchPoint mq_fp32_on =
+        runBatch(gqa_model, kc, mq_batch, prompt_len, new_tokens,
+                 KVCacheMode::Fp32, /*fused=*/false, reps, /*mq=*/true);
+    const BatchPoint mq_fp32_off =
+        runBatch(gqa_model, kc, mq_batch, prompt_len, new_tokens,
+                 KVCacheMode::Fp32, /*fused=*/false, reps, /*mq=*/false);
+    const BatchPoint mq_fused_on =
+        runBatch(gqa_model, kc, mq_batch, prompt_len, new_tokens,
+                 KVCacheMode::TenderQuantized, /*fused=*/true, reps,
+                 /*mq=*/true);
+    const BatchPoint mq_fused_off =
+        runBatch(gqa_model, kc, mq_batch, prompt_len, new_tokens,
+                 KVCacheMode::TenderQuantized, /*fused=*/true, reps,
+                 /*mq=*/false);
+    std::printf("mq panels (GQA %s, %d q-heads/kv-head, batch %d): fp32-KV "
+                "%.1f vs %.1f tok/s (%.2fx), fused-KV %.1f vs %.1f tok/s "
+                "(%.2fx)\n",
+                gqa_config.name.c_str(),
+                gqa_config.nHeads / gqa_config.kvHeads, mq_batch,
+                mq_fp32_on.tokensPerS, mq_fp32_off.tokensPerS,
+                mq_fp32_on.tokensPerS / mq_fp32_off.tokensPerS,
+                mq_fused_on.tokensPerS, mq_fused_off.tokensPerS,
+                mq_fused_on.tokensPerS / mq_fused_off.tokensPerS);
 
     const ChurnSpec spec = churnSpec(smoke);
     const ChurnPoint churn_fp32_paged =
@@ -709,13 +802,14 @@ main(int argc, char **argv)
                 prefix_bitexact ? "bit-exact" : "DIVERGED",
                 refcounts_ok ? "consistent" : "INCONSISTENT");
 
-    const Correctness correct = checkCorrectness(model, kc);
+    const Correctness correct = checkCorrectness(model, gqa_model, kc);
     std::printf("correctness: fp32 decode %s full prefill, tender-KV "
                 "nmse %.3g (bound %.3g), fused-attention nmse %.3g "
-                "(bound %.3g)\n",
+                "(bound %.3g), mq panels %s\n",
                 correct.fp32BitExact ? "bit-identical to" : "DIVERGES from",
                 correct.tenderNmse, correct.tenderNmseBound,
-                correct.fusedNmse, correct.fusedNmseBound);
+                correct.fusedNmse, correct.fusedNmseBound,
+                correct.mqPanelBitExact ? "bit-exact" : "DIVERGED");
 
     FILE *f = std::fopen(out_path, "w");
     if (!f) {
@@ -732,6 +826,9 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"prompt_tokens\": %d,\n", prompt_len);
     std::fprintf(f, "  \"new_tokens_per_request\": %d,\n", new_tokens);
     std::fprintf(f, "  \"workers\": %d,\n", workers);
+    std::fprintf(f, "  \"backend\": \"%s\",\n",
+                 backendName(kc.backend()).c_str());
+    std::fprintf(f, "  \"simd\": \"%s\",\n", simdDescription().c_str());
     std::fprintf(f, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
     emitMode(f, "fp32_kv", fp32, true);
@@ -739,6 +836,23 @@ main(int argc, char **argv)
     emitMode(f, "tender_kv_fused", fusedq, true);
     std::fprintf(f, "  \"fused_over_dequant_tokens_ratio\": %.3f,\n",
                  fused_ratio);
+    std::fprintf(f, "  \"mq_panels\": {\n");
+    std::fprintf(f,
+                 "    \"model\": \"%s\", \"q_heads_per_kv_head\": %d, "
+                 "\"batch\": %d,\n",
+                 gqa_config.name.c_str(),
+                 gqa_config.nHeads / gqa_config.kvHeads, mq_batch);
+    std::fprintf(f,
+                 "    \"fp32_kv\": {\"on_tokens_per_s\": %.2f, "
+                 "\"off_tokens_per_s\": %.2f, \"ratio\": %.3f},\n",
+                 mq_fp32_on.tokensPerS, mq_fp32_off.tokensPerS,
+                 mq_fp32_on.tokensPerS / mq_fp32_off.tokensPerS);
+    std::fprintf(f,
+                 "    \"tender_kv_fused\": {\"on_tokens_per_s\": %.2f, "
+                 "\"off_tokens_per_s\": %.2f, \"ratio\": %.3f}\n",
+                 mq_fused_on.tokensPerS, mq_fused_off.tokensPerS,
+                 mq_fused_on.tokensPerS / mq_fused_off.tokensPerS);
+    std::fprintf(f, "  },\n");
     emitChurn(f, "churn_fp32", churn_fp32_paged, churn_fp32_contig, true);
     emitChurn(f, "churn_tender", churn_tender_paged, churn_tender_contig,
               true);
@@ -765,10 +879,12 @@ main(int argc, char **argv)
                  "\"tender_kv_nmse\": %.6g, "
                  "\"tender_kv_nmse_bound\": %.3g, "
                  "\"fused_attention_nmse\": %.6g, "
-                 "\"fused_attention_nmse_bound\": %.3g},\n",
+                 "\"fused_attention_nmse_bound\": %.3g, "
+                 "\"mq_panel_bitexact\": %s},\n",
                  correct.fp32BitExact ? "true" : "false",
                  correct.tenderNmse, correct.tenderNmseBound,
-                 correct.fusedNmse, correct.fusedNmseBound);
+                 correct.fusedNmse, correct.fusedNmseBound,
+                 correct.mqPanelBitExact ? "true" : "false");
     std::fprintf(f, "  \"fp32_batched_speedup\": {");
     for (size_t i = 1; i < fp32.size(); ++i)
         std::fprintf(f, "\"batch_%d\": %.3f%s", fp32[i].batch,
@@ -781,7 +897,8 @@ main(int argc, char **argv)
     return correct.fp32BitExact &&
                    correct.tenderNmse < correct.tenderNmseBound &&
                    correct.fusedNmse < correct.fusedNmseBound &&
-                   prefix_bitexact && refcounts_ok
+                   correct.mqPanelBitExact && prefix_bitexact &&
+                   refcounts_ok
                ? 0
                : 1;
 }

@@ -1,23 +1,24 @@
 /**
  * @file
- * Kernel-layer performance recorder: serial vs threaded FP32 GEMM and
- * serial vs threaded Tender chunk pipeline on a transformer-scale
- * workload, emitted as BENCH_gemm.json so the perf trajectory of the
- * repo is tracked PR over PR (run via scripts/bench_gemm.sh).
+ * Kernel-layer performance recorder: serial vs threaded vs packed FP32
+ * GEMM and Tender chunk pipeline on a transformer-scale workload, emitted
+ * as BENCH_gemm.json so the perf trajectory of the repo is tracked PR
+ * over PR (run via scripts/bench_gemm.sh).
  *
  * The threaded tenderMatmul gains come from two places: chunk/column-slice
  * parallelism over the pool, and the cache-blocked int16/int32 group
  * accumulate (bit-identical to the golden kernel — the NMSE field below is
  * exactly 0 on every host). On single-core hosts only the second effect is
- * visible.
+ * visible. The packed arm adds the SIMD microkernels of
+ * tensor/packed_gemm: fp32 GEMM is NMSE-gated against the serial oracle
+ * (simd_gemm_nmse, bound recorded alongside), while the integer kernels
+ * stay bit-exact (int8_bitexact, and nmse_packed_vs_serial == 0 for the
+ * pipeline) — all machine-checked by scripts/check_bench.py and by this
+ * binary's own exit code.
  *
  * Usage: bench_gemm_json [--smoke] [m k n workers out.json]
  * Defaults: 512 4096 4096 8 BENCH_gemm.json (the ISSUE-1 workload);
  * --smoke shrinks to 64x256x256 with 2 workers for the CI smoke job.
- * The JSON records two machine-checkable correctness fields — fp32
- * threaded-vs-serial max_abs_diff and the Tender pipeline's
- * nmse_threaded_vs_serial, both exactly 0 by the kernel layer's
- * bit-determinism — gated by scripts/check_bench.py.
  */
 
 #include <chrono>
@@ -31,6 +32,7 @@
 #include "core/tender_gemm.h"
 #include "quant/metrics.h"
 #include "tensor/kernels.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
 
 namespace {
@@ -41,6 +43,36 @@ double
 seconds(Clock::time_point t0, Clock::time_point t1)
 {
     return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** gemmInt8 serial-vs-packed bit-exactness over decode-like panels,
+ *  including the folded-rescale (wide-code) and single-row shapes. */
+bool
+int8BitExact(const tender::KernelContext &serial,
+             const tender::KernelContext &packed)
+{
+    using namespace tender;
+    Rng rng(99);
+    struct Shape { int m, n, k, aAbs; };
+    const Shape shapes[] = {
+        {1, 64, 64, 127},     // single-query decode panel
+        {8, 33, 128, 127},    // multi-query panel, ragged history
+        {5, 16, 96, 16256},   // alpha-rescale folded into query codes
+    };
+    for (const Shape &sh : shapes) {
+        IntMatrix a(sh.m, sh.k), b(sh.n, sh.k);
+        for (auto &v : a.data())
+            v = int32_t(rng.randint(-sh.aAbs, sh.aAbs));
+        for (auto &v : b.data())
+            v = int32_t(rng.randint(-127, 127));
+        const IntMatrix cs = serial.gemmInt8(a, b);
+        const IntMatrix cp = packed.gemmInt8(a, b);
+        for (int i = 0; i < sh.m; ++i)
+            for (int j = 0; j < sh.n; ++j)
+                if (cs(i, j) != cp(i, j))
+                    return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -84,6 +116,10 @@ main(int argc, char **argv)
 
     KernelContext serial(Backend::Serial);
     KernelContext threaded(Backend::Threaded, workers);
+    KernelContext packed(Backend::Packed, workers);
+    std::printf("simd: %s, packed arm resolves to: %s\n",
+                simdDescription().c_str(),
+                backendName(packed.backend()).c_str());
 
     // ---- FP32 GEMM -------------------------------------------------------
     const double flops = 2.0 * double(m) * double(k) * double(n);
@@ -92,14 +128,29 @@ main(int argc, char **argv)
     auto t1 = Clock::now();
     const Matrix y_t = threaded.gemm(x, w);
     auto t2 = Clock::now();
+    const Matrix y_p = packed.gemm(x, w);
+    auto t3 = Clock::now();
     const double gemm_serial_s = seconds(t0, t1);
     const double gemm_threaded_s = seconds(t1, t2);
+    const double gemm_packed_s = seconds(t2, t3);
     const double gemm_max_abs_diff = maxAbsDiff(y_s, y_t);
+    // The packed fp32 arm reassociates the reduction, so it is NMSE-gated
+    // against the serial oracle instead of bit-compared.
+    const double simd_gemm_nmse = nmse(y_s, y_p);
+    const double simd_gemm_nmse_bound = 2e-3;
     std::printf("fp32 gemm: serial %.3fs (%.2f GFLOP/s), threaded %.3fs "
                 "(%.2f GFLOP/s), speedup %.2fx, maxAbsDiff %.3g\n",
                 gemm_serial_s, flops / gemm_serial_s * 1e-9,
                 gemm_threaded_s, flops / gemm_threaded_s * 1e-9,
                 gemm_serial_s / gemm_threaded_s, gemm_max_abs_diff);
+    std::printf("fp32 gemm packed: %.3fs (%.2f GFLOP/s), %.2fx vs serial, "
+                "nmse %.3g (bound %.1g)\n",
+                gemm_packed_s, flops / gemm_packed_s * 1e-9,
+                gemm_serial_s / gemm_packed_s, simd_gemm_nmse,
+                simd_gemm_nmse_bound);
+    const bool int8_bitexact = int8BitExact(serial, packed);
+    std::printf("gemmInt8 packed vs serial: %s\n",
+                int8_bitexact ? "bit-exact" : "MISMATCH");
 
     // ---- Tender chunk pipeline ------------------------------------------
     TenderConfig cfg;
@@ -116,9 +167,16 @@ main(int argc, char **argv)
     TenderGemmStats stats_t;
     const Matrix ty_t = tenderMatmul(x, w, cfg, &stats_t, &threaded);
     t2 = Clock::now();
+    TenderGemmStats stats_p;
+    const Matrix ty_p = tenderMatmul(x, w, cfg, &stats_p, &packed);
+    t3 = Clock::now();
     const double tender_serial_s = seconds(t0, t1);
     const double tender_threaded_s = seconds(t1, t2);
+    const double tender_packed_s = seconds(t2, t3);
     const double tender_nmse = nmse(ty_s, ty_t);
+    // The pipeline's packed arm only touches exact integer loops, so it is
+    // held to the same bit-parity bar as the threaded arm.
+    const double tender_packed_nmse = nmse(ty_s, ty_p);
     std::printf("tenderMatmul: serial %.3fs (%.2f GMAC/s, %.1f chunks/s), "
                 "threaded %.3fs (%.2f GMAC/s, %.1f chunks/s), "
                 "speedup %.2fx, nmse %.3g\n",
@@ -127,6 +185,10 @@ main(int argc, char **argv)
                 tender_threaded_s, macs / tender_threaded_s * 1e-9,
                 double(stats_t.chunks) / tender_threaded_s,
                 tender_serial_s / tender_threaded_s, tender_nmse);
+    std::printf("tenderMatmul packed: %.3fs (%.2f GMAC/s), %.2fx vs "
+                "serial, nmse %.3g\n",
+                tender_packed_s, macs / tender_packed_s * 1e-9,
+                tender_serial_s / tender_packed_s, tender_packed_nmse);
 
     FILE *f = std::fopen(out_path, "w");
     if (!f) {
@@ -139,6 +201,9 @@ main(int argc, char **argv)
                  m, k, n, cfg.rowChunk, cfg.bits, cfg.numGroups);
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(f, "  \"workers\": %d,\n", workers);
+    std::fprintf(f, "  \"simd\": \"%s\",\n", simdDescription().c_str());
+    std::fprintf(f, "  \"packed_backend\": \"%s\",\n",
+                 backendName(packed.backend()).c_str());
     std::fprintf(f, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
     std::fprintf(f,
@@ -152,21 +217,38 @@ main(int argc, char **argv)
                  flops / gemm_serial_s * 1e-9,
                  flops / gemm_threaded_s * 1e-9,
                  gemm_serial_s / gemm_threaded_s, gemm_max_abs_diff);
+    std::fprintf(f, "  \"gemm_packed\": {\"packed_s\": %.6f, "
+                 "\"packed_gflops\": %.3f, \"speedup_vs_serial\": %.3f, "
+                 "\"simd_gemm_nmse\": %.3g, "
+                 "\"simd_gemm_nmse_bound\": %.3g, "
+                 "\"int8_bitexact\": %s},\n",
+                 gemm_packed_s, flops / gemm_packed_s * 1e-9,
+                 gemm_serial_s / gemm_packed_s, simd_gemm_nmse,
+                 simd_gemm_nmse_bound, int8_bitexact ? "true" : "false");
     std::fprintf(f, "  \"tender\": {\"serial_s\": %.6f, "
                  "\"threaded_s\": %.6f, \"serial_gmacs\": %.3f, "
                  "\"threaded_gmacs\": %.3f, \"serial_chunks_per_s\": %.3f, "
                  "\"threaded_chunks_per_s\": %.3f, \"speedup\": %.3f, "
-                 "\"nmse_threaded_vs_serial\": %.3g}\n",
+                 "\"nmse_threaded_vs_serial\": %.3g},\n",
                  tender_serial_s, tender_threaded_s,
                  macs / tender_serial_s * 1e-9,
                  macs / tender_threaded_s * 1e-9,
                  double(stats_s.chunks) / tender_serial_s,
                  double(stats_t.chunks) / tender_threaded_s,
                  tender_serial_s / tender_threaded_s, tender_nmse);
+    std::fprintf(f, "  \"tender_packed\": {\"packed_s\": %.6f, "
+                 "\"packed_gmacs\": %.3f, \"speedup_vs_serial\": %.3f, "
+                 "\"nmse_packed_vs_serial\": %.6g}\n",
+                 tender_packed_s, macs / tender_packed_s * 1e-9,
+                 tender_serial_s / tender_packed_s, tender_packed_nmse);
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
-    // Both backends are bit-identical by construction; a nonzero diff is
-    // a kernel-layer regression and must fail the bench job outright.
-    return gemm_max_abs_diff == 0.0 && tender_nmse == 0.0 ? 0 : 1;
+    // The pooled bit-parity arms must be exactly the oracle, the packed
+    // fp32 arm must sit under its NMSE bound, and the packed integer
+    // kernels must be exact; any violation fails the bench job outright.
+    const bool ok = gemm_max_abs_diff == 0.0 && tender_nmse == 0.0 &&
+        simd_gemm_nmse >= 0.0 && simd_gemm_nmse <= simd_gemm_nmse_bound &&
+        int8_bitexact && tender_packed_nmse == 0.0;
+    return ok ? 0 : 1;
 }

@@ -15,13 +15,15 @@
  * pure reuse, not an approximation — while the Tender-quantized cache
  * trades a bounded perturbation for ~4x smaller KV storage.
  *
- * With --fused-kv a third arm runs the quantized cache through the fused
- * integer-domain attention path (attentionHeadFusedQuant): scores and
- * probs*V consume the KV chunk codes in place, no fp32 materialization.
+ * A third arm always runs the quantized cache through the fused
+ * integer-domain attention path (attentionFusedQuantPanel): scores and
+ * probs*V consume the KV chunk codes in place, no fp32 materialization
+ * (--fused-kv is accepted for compatibility but is no longer needed).
  * Every arm reports a per-phase timing breakdown (projections, K/V
  * append/requant, history materialization or view building, attention)
- * so a perf regression is attributable to a phase, not just a blended
- * mean latency.
+ * plus the achieved projection-GEMM MFLOP/s next to the kernel arm in
+ * use, so a perf regression is attributable to a phase and a kernel arm,
+ * not just a blended mean latency.
  *
  * With --shared-prefix the example additionally walks the serving-side
  * copy-on-write prefix cache: a fleet of requests sharing one system
@@ -44,6 +46,7 @@
 #include "model/transformer.h"
 #include "runtime/batch_scheduler.h"
 #include "runtime/decode_engine.h"
+#include "util/cpu_features.h"
 
 using namespace tender;
 
@@ -221,15 +224,19 @@ sharedPrefixDemo(SyntheticModel &model)
     return identical;
 }
 
+/** `proj_flops` is the analytic FLOP count of the run's weight
+ *  projections; divided by the measured projection phase time it gives
+ *  the achieved GEMM MFLOP/s on the kernel arm in use. */
 void
-printPhases(const char *arm, const DecodePhaseTimes &p)
+printPhases(const char *arm, const DecodePhaseTimes &p, double proj_flops)
 {
     const double total =
         p.projectionsUs + p.appendUs + p.historyUs + p.attentionUs;
-    std::printf("%-10s projections %8.0f us (%4.1f%%), append/requant "
-                "%7.0f us (%4.1f%%), history %7.0f us (%4.1f%%), "
-                "attention %7.0f us (%4.1f%%)\n",
+    std::printf("%-10s projections %8.0f us (%4.1f%%, %7.0f MFLOP/s), "
+                "append/requant %7.0f us (%4.1f%%), history %7.0f us "
+                "(%4.1f%%), attention %7.0f us (%4.1f%%)\n",
                 arm, p.projectionsUs, 100.0 * p.projectionsUs / total,
+                proj_flops / p.projectionsUs,
                 p.appendUs, 100.0 * p.appendUs / total, p.historyUs,
                 100.0 * p.historyUs / total, p.attentionUs,
                 100.0 * p.attentionUs / total);
@@ -245,7 +252,7 @@ main(int argc, char **argv)
     int n_tokens = 20;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--fused-kv") == 0) {
-            fused_kv = true;
+            fused_kv = true; // accepted for compatibility; always on now
         } else if (std::strcmp(argv[i], "--shared-prefix") == 0) {
             shared_prefix = true;
         } else if (argv[i][0] == '-') {
@@ -271,6 +278,9 @@ main(int argc, char **argv)
                 "%d new tokens ==\n",
                 config.name.c_str(), config.dModel, config.nHeads,
                 config.nLayers, int(prompt.size()), n_tokens);
+    std::printf("kernel arm: %s (simd: %s)\n",
+                backendName(defaultKernels().backend()).c_str(),
+                simdDescription().c_str());
 
     DecodeOptions fp32_options; // Fp32 cache is the default
     DecodeOptions quant_options;
@@ -283,10 +293,9 @@ main(int argc, char **argv)
         runtimeGenerate(model, vocab, prompt, n_tokens, fp32_options);
     const GenRun quant =
         runtimeGenerate(model, vocab, prompt, n_tokens, quant_options);
-    GenRun fused;
-    if (fused_kv)
-        fused = runtimeGenerate(model, vocab, prompt, n_tokens,
-                                fused_options);
+    const GenRun fused =
+        runtimeGenerate(model, vocab, prompt, n_tokens, fused_options);
+    (void)fused_kv;
     const std::vector<int> reference =
         prefillGenerate(model, vocab, prompt, n_tokens);
 
@@ -299,15 +308,24 @@ main(int argc, char **argv)
                     i == 0 ? "  (prefill)" : "");
 
     std::printf("\nmean decode latency (excl. prefill): fp32-KV %.1f us, "
-                "tender-KV %.1f us",
-                mean(fp32.stepUs, 1), mean(quant.stepUs, 1));
-    if (fused_kv)
-        std::printf(", tender-KV fused %.1f us", mean(fused.stepUs, 1));
+                "tender-KV %.1f us, tender-KV fused %.1f us",
+                mean(fp32.stepUs, 1), mean(quant.stepUs, 1),
+                mean(fused.stepUs, 1));
+    // Analytic FLOPs of the run's weight projections (q/k/v/o/fc1/fc2
+    // over every row each arm processed): prefill rows plus one row per
+    // later step, through every layer.
+    const double proj_rows =
+        double(prompt.size()) + double(n_tokens - 1);
+    const int dh = config.headDim();
+    const int kv_dim = config.kvHeads * dh;
+    const double proj_flops = 2.0 * proj_rows * double(config.nLayers) *
+        (2.0 * double(config.dModel) * double(config.dModel) +
+         2.0 * double(config.dModel) * double(kv_dim) +
+         2.0 * double(config.dModel) * double(config.dFfn));
     std::printf("\n\nper-phase breakdown (whole run):\n");
-    printPhases("fp32-KV", fp32.phases);
-    printPhases("tender-KV", quant.phases);
-    if (fused_kv)
-        printPhases("fused-KV", fused.phases);
+    printPhases("fp32-KV", fp32.phases, proj_flops);
+    printPhases("tender-KV", quant.phases, proj_flops);
+    printPhases("fused-KV", fused.phases, proj_flops);
     // The final generated token is never fed back, so the cache holds
     // prompt + n_tokens - 1 rows. Peak bytes come from the paged block
     // pool's occupancy stats — what the allocator really committed — not
@@ -327,10 +345,9 @@ main(int argc, char **argv)
     // path reads codes in place and never grows it.
     std::printf("dequantize-path frozen-chunk memo: tender %zu B%s\n",
                 quant.memoBytes,
-                fused_kv ? (fused.memoBytes == 0
-                                ? ", fused 0 B (reads codes in place)"
-                                : ", fused nonzero — unexpected")
-                         : "");
+                fused.memoBytes == 0
+                    ? ", fused 0 B (reads codes in place)"
+                    : ", fused nonzero — unexpected");
 
     // The acceptance property: fp32-KV incremental decode is *identical*
     // to full-sequence prefill, token for token.
@@ -343,7 +360,7 @@ main(int argc, char **argv)
                       : "MISMATCH — this is a bug");
     std::printf("tender-KV agreement with fp32-KV: %d/%d tokens\n",
                 quant_match, n_tokens);
-    if (fused_kv) {
+    {
         int fused_match = 0;
         for (int i = 0; i < n_tokens; ++i)
             fused_match +=

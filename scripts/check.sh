@@ -4,7 +4,8 @@
 #   scripts/check.sh -DTENDER_SANITIZE=ON        # CI sanitizer job
 # Environment:
 #   TENDER_BUILD_DIR    build directory (default: build)
-#   TENDER_BACKEND      serial|threaded, forwarded to the test processes
+#   TENDER_BACKEND      serial|threaded|packed, forwarded to the tests
+#   TENDER_SIMD         auto|off runtime SIMD policy (util/cpu_features.h)
 #   TENDER_NUM_THREADS  worker count, forwarded to the test processes
 # Exits non-zero on any configure/build/ctest failure and prints the
 # ctest summary line for CI logs.

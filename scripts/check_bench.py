@@ -10,12 +10,21 @@ recorded correctness field regresses:
   BENCH_gemm.json
     gemm.max_abs_diff == 0            threaded fp32 GEMM is bit-identical
     tender.nmse_threaded_vs_serial == 0   Tender pipeline is bit-identical
+    gemm_packed.simd_gemm_nmse <= bound   packed SIMD fp32 GEMM vs the
+        serial golden oracle (the packed arm trades bit-parity for speed)
+    gemm_packed.int8_bitexact             packed gemmInt8 stays bit-exact
+    tender_packed.nmse_packed_vs_serial == 0   the Tender pipeline under
+        the packed arm only touches exact integer loops, so it is held to
+        the threaded arm's bit-parity bar
 
   BENCH_decode.json
     correctness.fp32_decode_bit_exact     paged fp32 KV decode == prefill
     correctness.tender_kv_nmse <= bound   quantized-KV storage error
     correctness.fused_attention_nmse <= bound   fused integer-domain
         attention vs the dequantize-on-read oracle
+    correctness.mq_panel_bitexact         multi-query attention panels
+        reproduce the per-head fan-out bit for bit (every KV mode,
+        OPT-replica and GQA models)
     churn_*.peak_kv_bytes_ratio > 1       paged layout beats contiguous
     prefix_shared.prefix_reuse_bitexact   shared-prefix decode tokens ==
         cold decode (fp32 and quantized) and adopted quantized pages
@@ -68,7 +77,26 @@ def check_gemm(path):
     if nmse != 0:
         fail(f"{path}: tender.nmse_threaded_vs_serial = {nmse}, expected "
              "exactly 0 (blocked accumulate must be bit-identical)")
-    print(f"check_bench: {path}: gemm bit-parity OK")
+    packed = doc["gemm_packed"]
+    simd_nmse = packed["simd_gemm_nmse"]
+    simd_bound = packed["simd_gemm_nmse_bound"]
+    if not (0 <= simd_nmse <= simd_bound):
+        fail(f"{path}: gemm_packed.simd_gemm_nmse = {simd_nmse} outside "
+             f"[0, {simd_bound}] (packed SIMD fp32 GEMM drifted from the "
+             "serial golden oracle)")
+    if packed["int8_bitexact"] is not True:
+        fail(f"{path}: gemm_packed.int8_bitexact is "
+             f"{packed['int8_bitexact']} (packed gemmInt8 must be "
+             "bit-identical to the golden kernel on every path)")
+    tp_nmse = doc["tender_packed"]["nmse_packed_vs_serial"]
+    if tp_nmse != 0:
+        fail(f"{path}: tender_packed.nmse_packed_vs_serial = {tp_nmse}, "
+             "expected exactly 0 (the packed Tender pipeline only touches "
+             "exact integer loops)")
+    print(f"check_bench: {path}: gemm bit-parity OK; packed arm "
+          f"({doc.get('packed_backend', '?')}, simd {doc.get('simd', '?')}) "
+          f"simd_gemm_nmse {simd_nmse:.3g} <= {simd_bound:.3g}, int8 "
+          "bit-exact, tender packed bit-exact")
 
 
 def check_decode(path):
@@ -84,6 +112,10 @@ def check_decode(path):
         if not (0 <= nmse <= bound):
             fail(f"{path}: correctness.{field} = {nmse} outside "
                  f"[0, {bound}]")
+    if correct["mq_panel_bitexact"] is not True:
+        fail(f"{path}: correctness.mq_panel_bitexact is "
+             f"{correct['mq_panel_bitexact']} (multi-query attention "
+             "panels must reproduce the per-head fan-out bit for bit)")
     for key in ("churn_fp32", "churn_tender"):
         ratio = doc[key]["peak_kv_bytes_ratio"]
         if not ratio > 1.0:
@@ -110,11 +142,19 @@ def check_decode(path):
               f"tokens/s ratio {arm['tokens_per_s_ratio']:.2f} "
               "(recorded, not gated)")
     fused_ratio = doc["fused_over_dequant_tokens_ratio"]
+    mq = doc.get("mq_panels")
+    if mq is not None:
+        for mode in ("fp32_kv", "tender_kv_fused"):
+            arm = mq[mode]
+            print(f"check_bench: {path}: mq_panels.{mode} "
+                  f"({mq['model']}, batch {mq['batch']}) tokens/s ratio "
+                  f"on/off {arm['ratio']:.2f} (recorded, not gated)")
     print(f"check_bench: {path}: decode correctness OK (fp32 bit-exact, "
           f"tender nmse {correct['tender_kv_nmse']:.3g}, fused nmse "
-          f"{correct['fused_attention_nmse']:.3g}, prefix reuse bit-exact, "
-          f"refcounts consistent, fused/dequant tokens/s "
-          f"{fused_ratio:.2f}x recorded)")
+          f"{correct['fused_attention_nmse']:.3g}, mq panels bit-exact, "
+          f"prefix reuse bit-exact, refcounts consistent, fused/dequant "
+          f"tokens/s {fused_ratio:.2f}x recorded, backend "
+          f"{doc.get('backend', '?')}, simd {doc.get('simd', '?')})")
     return doc
 
 

@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "quant/quantizer.h"
+#include "util/cpu_features.h"
 
 namespace tender {
 
@@ -279,6 +280,7 @@ fastAccumulateCols(const Packed16 &xt, const Packed16 &w16,
                     int32_t *__restrict p1 = p0 + jw;
                     int32_t *__restrict p2 = p1 + jw;
                     int32_t *__restrict p3 = p2 + jw;
+                    TENDER_PRAGMA_SIMD
                     for (int j = 0; j < jw; ++j) {
                         const int32_t wv = wrow[j];
                         p0[j] += a0 * wv;
@@ -293,6 +295,7 @@ fastAccumulateCols(const Packed16 &xt, const Packed16 &w16,
                         continue;
                     int32_t *__restrict prow =
                         part.data() + size_t(r) * size_t(jw);
+                    TENDER_PRAGMA_SIMD
                     for (int j = 0; j < jw; ++j)
                         prow[j] += a * int32_t(wrow[j]);
                 }
@@ -447,6 +450,7 @@ fastExplicitCols(const Packed16 &xt, const Packed16 &w16,
                         continue;
                     int32_t *__restrict prow =
                         part.data() + size_t(r) * size_t(jw);
+                    TENDER_PRAGMA_SIMD
                     for (int j = 0; j < jw; ++j)
                         prow[j] += a * int32_t(wrow[j]);
                 }
@@ -472,8 +476,10 @@ runChunkPipeline(const Matrix &x, const Matrix &w,
     TENDER_CHECK(x.cols() == w.rows());
     const QuantizedWeight qw = quantizeWeight(w, config.bits);
     // Both requant modes share the blocked int16/int32 group accumulate
-    // under the threaded backend (bit-identical to their golden kernels).
-    const bool fast_backend = kc.backend() == Backend::Threaded &&
+    // under the pooled backends (bit-identical to their golden kernels —
+    // the accumulate is pure integer arithmetic, so the packed arm's SIMD
+    // lanes reorder an exact sum and change nothing).
+    const bool fast_backend = kc.backend() != Backend::Serial &&
         config.bits <= 8;
     Packed16 w16;
     if (fast_backend)

@@ -20,9 +20,10 @@ kvHeadOf(int q_head, int n_heads, int kv_heads)
 }
 
 Matrix
-attentionHead(const Matrix &q, const Matrix &k, const Matrix &v, bool causal)
+attentionHead(const Matrix &q, const Matrix &k, const Matrix &v, bool causal,
+              const KernelContext *kernels)
 {
-    const KernelContext &kc = defaultKernels();
+    const KernelContext &kc = kernels ? *kernels : defaultKernels();
     const float inv_sqrt = 1.f / std::sqrt(float(q.cols()));
     Matrix scores = kc.scale(kc.gemmTransposedB(q, k), inv_sqrt);
     if (causal)
@@ -45,9 +46,9 @@ attentionHeadIncremental(const Matrix &q, const Matrix &k, const Matrix &v,
 
 Matrix
 blockForward(const Matrix &x, const BlockWeights &w,
-             const ModelConfig &config)
+             const ModelConfig &config, const KernelContext *kernels)
 {
-    const KernelContext &kc = defaultKernels();
+    const KernelContext &kc = kernels ? *kernels : defaultKernels();
     const int dh = config.headDim();
     const Matrix ln1 = kc.layerNorm(x, w.ln1Gain, w.ln1Bias);
     const Matrix xq = kc.gemm(ln1, w.wq);
@@ -60,7 +61,7 @@ blockForward(const Matrix &x, const BlockWeights &w,
         const Matrix out = attentionHead(headSlice(xq, h, dh),
                                          headSlice(xk, kvh, dh),
                                          headSlice(xv, kvh, dh),
-                                         config.decoder);
+                                         config.decoder, &kc);
         for (int r = 0; r < out.rows(); ++r)
             for (int c = 0; c < dh; ++c)
                 attn(r, h * dh + c) = out(r, c);
@@ -75,11 +76,12 @@ blockForward(const Matrix &x, const BlockWeights &w,
 }
 
 Matrix
-modelForward(SyntheticModel &model, const Matrix &input)
+modelForward(SyntheticModel &model, const Matrix &input,
+             const KernelContext *kernels)
 {
     Matrix x = input;
     for (int l = 0; l < model.config().nLayers; ++l)
-        x = blockForward(x, model.blockWeights(l), model.config());
+        x = blockForward(x, model.blockWeights(l), model.config(), kernels);
     return x;
 }
 

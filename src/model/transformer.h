@@ -28,9 +28,10 @@ Matrix headSlice(const Matrix &m, int head, int head_dim);
 /** Map a query head to its KV head under grouped-query attention. */
 int kvHeadOf(int q_head, int n_heads, int kv_heads);
 
-/** Exact attention for one head (scaled scores, optional causal mask). */
+/** Exact attention for one head (scaled scores, optional causal mask).
+ *  Uses kernels == nullptr ? defaultKernels() : *kernels. */
 Matrix attentionHead(const Matrix &q, const Matrix &k, const Matrix &v,
-                     bool causal);
+                     bool causal, const KernelContext *kernels = nullptr);
 
 /**
  * Incremental (decode) attention for one head: `q` holds the new queries
@@ -46,12 +47,17 @@ Matrix attentionHeadIncremental(const Matrix &q, const Matrix &k,
                                 const Matrix &v, int pos0,
                                 const KernelContext *kernels = nullptr);
 
-/** Full exact forward of one block. */
+/** Full exact forward of one block. The kernel context is the arm the
+ *  whole chain (GEMMs, norms, softmax) dispatches on — pass the same
+ *  context a runtime under test uses so reference and runtime run
+ *  identical kernels (nullptr = defaultKernels()). */
 Matrix blockForward(const Matrix &x, const BlockWeights &w,
-                    const ModelConfig &config);
+                    const ModelConfig &config,
+                    const KernelContext *kernels = nullptr);
 
-/** Exact forward through all blocks of the model. */
-Matrix modelForward(SyntheticModel &model, const Matrix &input);
+/** Exact forward through all blocks of the model (kernels as above). */
+Matrix modelForward(SyntheticModel &model, const Matrix &input,
+                    const KernelContext *kernels = nullptr);
 
 } // namespace tender
 

@@ -53,22 +53,55 @@ class PhaseTimer
     std::chrono::steady_clock::time_point t0_;
 };
 
+/**
+ * Fp32 multi-query attention panel: attentionHeadIncremental for `heads`
+ * query heads sharing one kv history, stacked head-major like
+ * attentionFusedQuantPanel. One scores GEMM / softmax / probs*V GEMM per
+ * kv head instead of one per query head. The mask replays
+ * causalMaskFrom's per-row -inf writes with the panel's row -> position
+ * mapping (row r is new token r % t of its head); every kernel in the
+ * chain is row-local, so each panel row is bit-identical to a heads=1
+ * attentionHeadIncremental on that head alone — which keeps fp32-KV
+ * decode bit-identical to prefill with MQ panels on or off.
+ */
+Matrix
+attentionPanelIncremental(const Matrix &q, int heads, const Matrix &k,
+                          const Matrix &v, int pos0,
+                          const KernelContext &kc)
+{
+    TENDER_CHECK(heads >= 1 && q.rows() % heads == 0);
+    TENDER_CHECK(q.cols() == k.cols() && k.rows() == v.rows());
+    const int tnew = q.rows() / heads;
+    TENDER_CHECK(pos0 + tnew <= k.rows());
+    const float inv_sqrt = 1.f / std::sqrt(float(q.cols()));
+    Matrix scores = kc.scale(kc.gemmTransposedB(q, k), inv_sqrt);
+    const float neg_inf = -std::numeric_limits<float>::infinity();
+    for (int r = 0; r < scores.rows(); ++r) {
+        float *row = scores.rowPtr(r);
+        for (int c = pos0 + (r % tnew) + 1; c < scores.cols(); ++c)
+            row[c] = neg_inf;
+    }
+    return kc.gemm(kc.softmaxRows(scores), v);
+}
+
 } // namespace
 
 Matrix
-attentionHeadFusedQuant(const Matrix &q, const KVCodeView &keys,
-                        const KVCodeView &values, int pos0,
-                        const KernelContext &kc)
+attentionFusedQuantPanel(const Matrix &q, int heads, const KVCodeView &keys,
+                         const KVCodeView &values, int pos0,
+                         const KernelContext &kc)
 {
     const int dh = q.cols();
-    const int qrows = q.rows();
+    TENDER_CHECK(heads >= 1 && q.rows() % heads == 0);
+    const int tnew = q.rows() / heads; ///< new tokens per head
+    const int qrows = q.rows();        ///< panel rows (head-major)
     const int len = keys.rows;
     TENDER_CHECK(values.rows == len &&
                  values.frozenRows == keys.frozenRows);
     TENDER_CHECK(keys.frozen.size() == values.frozen.size());
-    TENDER_CHECK(pos0 >= 0 && pos0 + qrows <= len);
+    TENDER_CHECK(pos0 >= 0 && pos0 + tnew <= len);
 
-    // Quantize the query rows once per head (per-row symmetric, at the
+    // Quantize the query rows once per panel (per-row symmetric, at the
     // chunks' code width). A history shorter than one chunk has no frozen
     // codes to multiply against, so the integer machinery is skipped
     // entirely on that (short-history hot) path.
@@ -176,15 +209,16 @@ attentionHeadFusedQuant(const Matrix &q, const KVCodeView &keys,
 
     // Scale / causal-mask / softmax in place, replaying the oracle's
     // kernel-chain arithmetic exactly: the chain scales every column, sets
-    // columns past pos0+r to -inf, then softmaxes the row — masked
-    // columns contribute exp(-inf) = +0.0 to the denominator (an exact
-    // identity) and come out as +0.0 probabilities, so skipping them here
-    // and writing 0 directly is bit-identical while saving the three
-    // intermediate matrices per head call.
+    // columns past the row's position to -inf, then softmaxes the row —
+    // masked columns contribute exp(-inf) = +0.0 to the denominator (an
+    // exact identity) and come out as +0.0 probabilities, so skipping them
+    // here and writing 0 directly is bit-identical while saving the three
+    // intermediate matrices per panel call. Panel row r is new token
+    // r % tnew of its head, hence the per-row-group causal limit.
     const float inv_sqrt = 1.f / std::sqrt(float(dh));
     for (int r = 0; r < qrows; ++r) {
         float *row = scores.rowPtr(r);
-        const int limit = std::min(len, pos0 + r + 1);
+        const int limit = std::min(len, pos0 + (r % tnew) + 1);
         float row_max = -std::numeric_limits<float>::infinity();
         for (int j = 0; j < limit; ++j) {
             row[j] *= inv_sqrt;
@@ -202,45 +236,60 @@ attentionHeadFusedQuant(const Matrix &q, const KVCodeView &keys,
     const Matrix &probs = scores;
 
     // probs * V chunk by chunk on the V codes, per-chunk dequantization
-    // folded into the double accumulate. The walk replays the oracle's
-    // per-element arithmetic — same dequantized float values, same row
-    // order, same double accumulation — so given equal probs the output
-    // matches the materialized-GEMM path.
+    // folded into the double accumulate. Chunks are outermost so the
+    // per-chunk scale gather is paid once for the whole panel; each
+    // (row, channel) accumulator still sees the exact per-element
+    // arithmetic of the oracle in global row order — same dequantized
+    // float values, same double accumulation chain — so given equal probs
+    // the output matches the materialized-GEMM path, and every panel row
+    // matches a heads=1 call bit for bit.
     Matrix out(qrows, dh);
-    std::vector<double> acc(static_cast<size_t>(dh));
+    std::vector<double> acc(size_t(qrows) * size_t(dh), 0.0);
     std::vector<float> cs(static_cast<size_t>(dh));
-    for (int r = 0; r < qrows; ++r) {
-        std::fill(acc.begin(), acc.end(), 0.0);
-        const float *prow = probs.rowPtr(r);
-        int v0 = 0;
-        for (const QuantizedChunk *ch : values.frozen) {
-            const ChunkMeta &meta = ch->meta;
-            TENDER_CHECK(meta.channels() == dh);
-            TENDER_CHECK(ch->codes.rows() == values.rowChunk);
-            for (int c = 0; c < dh; ++c)
-                cs[size_t(c)] = meta.scale[size_t(meta.group[size_t(c)])];
-            const float *bias = meta.bias.data();
-            const int rows = ch->codes.rows();
+    int v0 = 0;
+    for (const QuantizedChunk *ch : values.frozen) {
+        const ChunkMeta &meta = ch->meta;
+        TENDER_CHECK(meta.channels() == dh);
+        TENDER_CHECK(ch->codes.rows() == values.rowChunk);
+        for (int c = 0; c < dh; ++c)
+            cs[size_t(c)] = meta.scale[size_t(meta.group[size_t(c)])];
+        const float *bias = meta.bias.data();
+        const int rows = ch->codes.rows();
+        for (int r = 0; r < qrows; ++r) {
+            const float *prow = probs.rowPtr(r) + v0;
+            double *arow = acc.data() + size_t(r) * size_t(dh);
             for (int j = 0; j < rows; ++j) {
-                const double w = double(prow[v0 + j]);
+                const double w = double(prow[j]);
                 const int32_t *code = ch->codes.rowPtr(j);
                 for (int c = 0; c < dh; ++c)
-                    acc[size_t(c)] += w *
+                    arow[c] += w *
                         double(float(code[c]) * cs[size_t(c)] + bias[c]);
             }
-            v0 += rows;
         }
+        v0 += rows;
+    }
+    for (int r = 0; r < qrows; ++r) {
+        const float *prow = probs.rowPtr(r) + v0;
+        double *arow = acc.data() + size_t(r) * size_t(dh);
         for (int j = 0; j < values.openDeq.rows(); ++j) {
-            const double w = double(prow[v0 + j]);
+            const double w = double(prow[j]);
             const float *vrow = values.openDeq.rowPtr(j);
             for (int c = 0; c < dh; ++c)
-                acc[size_t(c)] += w * double(vrow[c]);
+                arow[c] += w * double(vrow[c]);
         }
         float *orow = out.rowPtr(r);
         for (int c = 0; c < dh; ++c)
-            orow[c] = float(acc[size_t(c)]);
+            orow[c] = float(arow[c]);
     }
     return out;
+}
+
+Matrix
+attentionHeadFusedQuant(const Matrix &q, const KVCodeView &keys,
+                        const KVCodeView &values, int pos0,
+                        const KernelContext &kc)
+{
+    return attentionFusedQuantPanel(q, 1, keys, values, pos0, kc);
 }
 
 Matrix
@@ -325,30 +374,75 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
     });
     timer.accumulate(&DecodePhaseTimes::historyUs);
 
-    // Attention stays per request (distinct KV histories); (segment, head)
-    // tasks write disjoint output tiles, so the parallel fan-out is
-    // bit-reproducible with any worker count.
+    // Attention stays per request (distinct KV histories). With MQ panels
+    // on (the default), the fan-out is per (segment, kv-head): the
+    // nHeads/kvHeads query heads sharing a kv head run as one stacked
+    // panel call, so each frozen chunk is read (and its per-chunk
+    // fold/scale work paid) once per kv head instead of once per query
+    // head. Panels are row-local, so both fan-outs produce bit-identical
+    // output; either way tasks write disjoint output tiles, so the
+    // parallel fan-out is bit-reproducible with any worker count.
     Matrix attn(x.rows(), config.dModel);
-    kc.parallelFor(0, int64_t(segments.size()) * int64_t(config.nHeads), 1,
-                   [&](int64_t t0, int64_t t1) {
-        for (int64_t t = t0; t < t1; ++t) {
-            const size_t si = size_t(t) / size_t(config.nHeads);
-            const DecodeSegment &seg = segments[si];
-            const int h = int(t % int64_t(config.nHeads));
-            const int kvh = kvHeadOf(h, config.nHeads, config.kvHeads);
-            const HeadHistory &hh =
-                hist[si * size_t(kv_heads) + size_t(kvh)];
-            const Matrix qh =
-                headSlice(xq.rowSlice(seg.row0, seg.row0 + seg.rows), h, dh);
-            const Matrix out = hh.fused
-                ? attentionHeadFusedQuant(qh, hh.kCodes, hh.vCodes,
-                                          seg.pos0, kc)
-                : attentionHeadIncremental(qh, hh.k, hh.v, seg.pos0, &kc);
-            for (int r = 0; r < out.rows(); ++r)
-                for (int c = 0; c < dh; ++c)
-                    attn(seg.row0 + r, h * dh + c) = out(r, c);
-        }
-    });
+    if (step.mqAttentionPanels) {
+        const int group = config.nHeads / kv_heads;
+        kc.parallelFor(0, int64_t(segments.size()) * int64_t(kv_heads), 1,
+                       [&](int64_t t0, int64_t t1) {
+            for (int64_t t = t0; t < t1; ++t) {
+                const size_t si = size_t(t) / size_t(kv_heads);
+                const DecodeSegment &seg = segments[si];
+                const int kvh = int(t % int64_t(kv_heads));
+                const HeadHistory &hh =
+                    hist[si * size_t(kv_heads) + size_t(kvh)];
+                // Head-major query panel: rows [g*rows, (g+1)*rows) hold
+                // query head kvh*group+g's new-token queries.
+                Matrix qp(group * seg.rows, dh);
+                for (int g = 0; g < group; ++g) {
+                    const int h = kvh * group + g;
+                    for (int r = 0; r < seg.rows; ++r) {
+                        const float *src =
+                            xq.rowPtr(seg.row0 + r) + h * dh;
+                        std::copy(src, src + dh,
+                                  qp.rowPtr(g * seg.rows + r));
+                    }
+                }
+                const Matrix out = hh.fused
+                    ? attentionFusedQuantPanel(qp, group, hh.kCodes,
+                                               hh.vCodes, seg.pos0, kc)
+                    : attentionPanelIncremental(qp, group, hh.k, hh.v,
+                                                seg.pos0, kc);
+                for (int g = 0; g < group; ++g) {
+                    const int h = kvh * group + g;
+                    for (int r = 0; r < seg.rows; ++r)
+                        for (int c = 0; c < dh; ++c)
+                            attn(seg.row0 + r, h * dh + c) =
+                                out(g * seg.rows + r, c);
+                }
+            }
+        });
+    } else {
+        kc.parallelFor(0,
+                       int64_t(segments.size()) * int64_t(config.nHeads), 1,
+                       [&](int64_t t0, int64_t t1) {
+            for (int64_t t = t0; t < t1; ++t) {
+                const size_t si = size_t(t) / size_t(config.nHeads);
+                const DecodeSegment &seg = segments[si];
+                const int h = int(t % int64_t(config.nHeads));
+                const int kvh = kvHeadOf(h, config.nHeads, config.kvHeads);
+                const HeadHistory &hh =
+                    hist[si * size_t(kv_heads) + size_t(kvh)];
+                const Matrix qh = headSlice(
+                    xq.rowSlice(seg.row0, seg.row0 + seg.rows), h, dh);
+                const Matrix out = hh.fused
+                    ? attentionHeadFusedQuant(qh, hh.kCodes, hh.vCodes,
+                                              seg.pos0, kc)
+                    : attentionHeadIncremental(qh, hh.k, hh.v, seg.pos0,
+                                               &kc);
+                for (int r = 0; r < out.rows(); ++r)
+                    for (int c = 0; c < dh; ++c)
+                        attn(seg.row0 + r, h * dh + c) = out(r, c);
+            }
+        });
+    }
     timer.accumulate(&DecodePhaseTimes::attentionUs);
 
     const Matrix xo = kc.axpby(1.f, project(attn, w.wo), 1.f, x);
@@ -409,6 +503,7 @@ DecodeEngine::step(const Matrix &x_new)
     DecodeStepConfig step;
     step.scheme = options_.scheme;
     step.fusedQuantKv = options_.fusedQuantKv;
+    step.mqAttentionPanels = options_.mqAttentionPanels;
     step.phases = options_.phases;
     return decodeStep(model_, x_new, segments, step, kc);
 }

@@ -96,6 +96,15 @@ struct DecodeOptions
      *  the reference oracle; fused output error vs that oracle is bounded
      *  and recorded in BENCH_decode.json (fused_attention_nmse). */
     bool fusedQuantKv = false;
+    /** Batch the query heads sharing one kv head into a single multi-query
+     *  attention panel per (segment, kv-head) — one stacked score GEMM /
+     *  gemmInt8 panel per frozen chunk instead of one per query head, the
+     *  GQA amortization this runtime exists to measure. Every kernel in
+     *  the panel chain is row-local, so panel results are bit-identical to
+     *  the per-head fan-out on every backend (mq_panel_bitexact in
+     *  BENCH_decode.json); the switch exists for that A/B, not as a
+     *  numerics knob. */
+    bool mqAttentionPanels = true;
     /** Optional phase-timing accumulator (see DecodePhaseTimes). */
     DecodePhaseTimes *phases = nullptr;
 };
@@ -107,6 +116,7 @@ struct DecodeStepConfig
 {
     const GemmScheme *scheme = nullptr;
     bool fusedQuantKv = false;
+    bool mqAttentionPanels = true;
     DecodePhaseTimes *phases = nullptr;
 };
 
@@ -127,24 +137,41 @@ Matrix decodeStep(SyntheticModel &model, const Matrix &x,
                   const DecodeStepConfig &step, const KernelContext &kc);
 
 /**
- * Fused quantized-KV attention for one head: the integer-domain
- * counterpart of attentionHeadIncremental, consuming KVCodeView chunk
- * codes in place (no fp32 materialization of the history).
+ * Fused quantized-KV attention for a multi-query panel: the
+ * integer-domain counterpart of attentionHeadIncremental, consuming
+ * KVCodeView chunk codes in place (no fp32 materialization of the
+ * history), for `heads` query heads that share this kv head's history.
  *
- * The query rows are quantized once (per-row symmetric, the chunks' code
- * width); each frozen key chunk is processed as one gemmInt8 panel with
- * the cross-group alpha-rescale folded into the query codes — integer
- * exactness makes the shifted-code dot product identical to the MSA
- * shift-accumulate discipline of core/msa_functional — and the int32
- * partial scores are requantized across chunks through each chunk's scale
- * table (score = acc * qscale * s_last + q·bias). The open chunk and the
- * softmax run in fp32, then probs*V walks the V chunk codes with the
- * per-chunk dequantization folded into the double accumulate, replaying
- * the oracle's per-element arithmetic — so when every value lands exactly
- * on a power-of-two-scale code grid the fused result is bit-identical to
- * the dequantize path (asserted in tests/test_fused_attention.cc); in
- * general it differs only by the query quantization error.
+ * `q` stacks the heads head-major: rows [h*t, (h+1)*t) (t = q.rows() /
+ * heads) are head h's new-token queries at absolute positions pos0 ..
+ * pos0+t-1. The query rows are quantized once (per-row symmetric, the
+ * chunks' code width); each frozen key chunk is processed as ONE gemmInt8
+ * panel over all heads*t rows with the cross-group alpha-rescale folded
+ * into the query codes — integer exactness makes the shifted-code dot
+ * product identical to the MSA shift-accumulate discipline of
+ * core/msa_functional, and the per-chunk fold/scale work is paid once per
+ * kv head instead of once per query head — and the int32 partial scores
+ * are requantized across chunks through each chunk's scale table
+ * (score = acc * qscale * s_last + q·bias). The open chunk and the
+ * softmax run in fp32 (the causal limit of panel row r is that of new
+ * token r % t), then probs*V walks the V chunk codes chunk-outermost with
+ * the per-chunk dequantization folded into the double accumulate.
+ *
+ * Every step is row-local, so each panel row is bit-identical to a
+ * heads=1 call on that head alone — attentionHeadFusedQuant IS this
+ * function at heads=1, and the per-element arithmetic replays the
+ * dequantize oracle's: when every cached value lands exactly on a
+ * power-of-two-scale code grid the fused result is bit-identical to the
+ * dequantize path (asserted in tests/test_fused_attention.cc); in general
+ * it differs only by the query quantization error.
  */
+Matrix attentionFusedQuantPanel(const Matrix &q, int heads,
+                                const KVCodeView &keys,
+                                const KVCodeView &values, int pos0,
+                                const KernelContext &kc);
+
+/** Fused quantized-KV attention for one head: attentionFusedQuantPanel at
+ *  heads = 1 (see above for the full numerics contract). */
 Matrix attentionHeadFusedQuant(const Matrix &q, const KVCodeView &keys,
                                const KVCodeView &values, int pos0,
                                const KernelContext &kc);

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <mutex>
+
+#include "tensor/packed_gemm.h"
+#include "util/cpu_features.h"
 
 namespace tender {
 
@@ -24,8 +28,24 @@ backendFromEnv()
         return Backend::Serial;
     if (v == "threaded")
         return Backend::Threaded;
-    TENDER_FATAL("TENDER_BACKEND must be 'serial' or 'threaded', got '"
-                 << v << "'");
+    if (v == "packed")
+        return Backend::Packed;
+    TENDER_FATAL("TENDER_BACKEND must be 'serial', 'threaded' or "
+                 "'packed', got '" << v << "'");
+}
+
+/** |value| bound of an int matrix: the caller-known bound when given,
+ *  else one scan (mirrors gemmInt8NarrowOk's resolution, but the packed
+ *  dispatch also needs the values to pick the int16-panel kernel). */
+int64_t
+resolveAbsBound(const IntMatrix &m, int64_t bound)
+{
+    if (bound >= 0)
+        return bound;
+    int64_t mx = 0;
+    for (int32_t v : m.data())
+        mx = std::max(mx, std::abs(int64_t(v)));
+    return mx;
 }
 
 std::mutex g_default_mu;
@@ -39,6 +59,7 @@ backendName(Backend b)
     switch (b) {
       case Backend::Serial: return "serial";
       case Backend::Threaded: return "threaded";
+      case Backend::Packed: return "packed";
     }
     TENDER_PANIC("unknown backend");
 }
@@ -46,7 +67,13 @@ backendName(Backend b)
 KernelContext::KernelContext(Backend backend, int workers)
     : backend_(backend)
 {
-    if (backend_ == Backend::Threaded)
+    // TENDER_SIMD=off is the runtime kill switch for the NMSE-gated arm:
+    // every Packed request falls back to the bit-parity Threaded backend
+    // machine-wide (util/cpu_features.h). backend() reports the demotion
+    // so benches record the arm that actually ran.
+    if (backend_ == Backend::Packed && !simdEnabled())
+        backend_ = Backend::Threaded;
+    if (backend_ != Backend::Serial)
         pool_.reset(new ThreadPool(workers));
 }
 
@@ -84,6 +111,20 @@ KernelContext::gemm(const Matrix &a, const Matrix &b) const
     TENDER_CHECK_MSG(a.cols() == b.rows(),
                      "gemm shape mismatch: " << a.rows() << "x" << a.cols()
                      << " * " << b.rows() << "x" << b.cols());
+    if (backend_ == Backend::Packed) {
+        // Pack B once, then fan row tiles of the packed microkernel out
+        // over the pool (row-local, so any partition is bit-identical).
+        const packed_detail::PackedB bp = packed_detail::packB(b);
+        Matrix c(a.rows(), b.cols(), 0.f);
+        constexpr int kMr = packed_detail::kMr;
+        const int64_t tiles = (a.rows() + kMr - 1) / kMr;
+        pool_->parallelFor(0, tiles, 16, [&](int64_t t0, int64_t t1) {
+            packed_detail::packedGemmRows(a, bp, c, int(t0) * kMr,
+                                          std::min(int(t1) * kMr,
+                                                   a.rows()));
+        });
+        return c;
+    }
     constexpr int kBlock = gemm_detail::kGemmRowBlock;
     Matrix c(a.rows(), b.cols(), 0.f);
     const int64_t tiles = (a.rows() + kBlock - 1) / kBlock;
@@ -104,6 +145,13 @@ KernelContext::gemmTransposedB(const Matrix &a, const Matrix &b) const
                      << a.cols() << " * (" << b.rows() << "x" << b.cols()
                      << ")^T");
     Matrix c(a.rows(), b.rows(), 0.f);
+    if (backend_ == Backend::Packed) {
+        pool_->parallelFor(0, a.rows(), 1, [&](int64_t r0, int64_t r1) {
+            packed_detail::packedGemmTransposedBRows(a, b, c, int(r0),
+                                                     int(r1));
+        });
+        return c;
+    }
     pool_->parallelFor(0, a.rows(), 1, [&](int64_t r0, int64_t r1) {
         gemm_detail::gemmTransposedBRows(a, b, c, int(r0), int(r1));
     });
@@ -135,6 +183,35 @@ KernelContext::gemmInt8(const IntMatrix &a, const IntMatrix &b,
                      << ")^T");
     // The eligibility verdict is computed once; row bands share it so
     // every band uses the same accumulator width as the serial kernel.
+    if (backend_ == Backend::Packed) {
+        // Integer sums are exact under any order, so all three packed
+        // bodies below return the golden kernel's bits; the split is
+        // perf-only. int16 panels need the bound values, so resolve the
+        // caller bounds (the attention hot path passes both — no rescan
+        // of immutable chunk pages).
+        const int64_t ma = resolveAbsBound(a, abs_bound_a);
+        const int64_t mb = resolveAbsBound(b, abs_bound_b);
+        const bool narrow = gemm_detail::gemmInt8NarrowOk(a, b, ma, mb);
+        IntMatrix c(a.rows(), b.rows());
+        if (narrow &&
+            mb <= int64_t(std::numeric_limits<int16_t>::max()) &&
+            a.rows() >= packed_detail::kInt8PackMinRows) {
+            const packed_detail::PackedInt16B bp =
+                packed_detail::packBInt16(b);
+            pool_->parallelFor(0, a.rows(), 1,
+                               [&](int64_t r0, int64_t r1) {
+                packed_detail::packedGemmInt8PackedRows(a, bp, c, int(r0),
+                                                        int(r1));
+            });
+        } else {
+            pool_->parallelFor(0, a.rows(), 1,
+                               [&](int64_t r0, int64_t r1) {
+                packed_detail::packedGemmInt8DirectRows(a, b, c, narrow,
+                                                        int(r0), int(r1));
+            });
+        }
+        return c;
+    }
     const bool narrow =
         gemm_detail::gemmInt8NarrowOk(a, b, abs_bound_a, abs_bound_b);
     IntMatrix c(a.rows(), b.rows());

@@ -2,21 +2,36 @@
  * @file
  * Backend-dispatched kernel layer: every hot tensor op in one place.
  *
- * A KernelContext pairs a backend selection with (for the threaded
- * backend) a ThreadPool, and exposes the GEMM and elementwise kernels the
- * rest of the library calls. Two backends exist:
+ * A KernelContext pairs a backend selection with (for the pooled
+ * backends) a ThreadPool, and exposes the GEMM and elementwise kernels
+ * the rest of the library calls. The three-arm kernel policy:
  *
  *  - Serial:   the golden single-threaded reference kernels of
- *              tensor/gemm.cc / tensor/functional.cc, unchanged.
+ *              tensor/gemm.cc / tensor/functional.cc, unchanged — the
+ *              oracle every other arm is measured against.
  *  - Threaded: the same per-element arithmetic dispatched as row-band /
  *              row-tile tasks over the pool. The task partition is fixed
  *              by the problem shape (never by worker count), so threaded
  *              results are bit-identical to serial results with any
  *              number of workers — the determinism tests assert exact
  *              equality, not a tolerance.
+ *  - Packed:   the SIMD microkernels of tensor/packed_gemm over the same
+ *              pool. Integer kernels (gemmInt8) remain bit-identical
+ *              (integer arithmetic is exact under reassociation); the
+ *              fp32 GEMMs trade bit-parity with the oracle for packed
+ *              fp32-accumulating inner loops and are NMSE-gated instead
+ *              (simd_gemm_nmse in BENCH_gemm.json, bound 2e-3). Packed
+ *              kernels stay row-local and partition-independent, so the
+ *              runtime's determinism invariants (decode == prefill,
+ *              batch/order/worker independence) hold bit-exactly
+ *              *within* the arm. Every op without a packed microkernel
+ *              dispatches the threaded body. When SIMD is disabled at
+ *              runtime (TENDER_SIMD=off, util/cpu_features.h), asking
+ *              for Packed yields a Threaded context — the kill switch
+ *              back to full bit-parity.
  *
  * The process-wide default context is configured from the environment:
- *   TENDER_BACKEND     = serial | threaded   (default threaded)
+ *   TENDER_BACKEND     = serial | threaded | packed  (default threaded)
  *   TENDER_NUM_THREADS = N                   (default hardware threads)
  * Schemes (quant/scheme.h), the quantized executor (model/quant_executor),
  * the reference transformer, and the Tender chunk pipeline
@@ -39,7 +54,7 @@
 
 namespace tender {
 
-enum class Backend { Serial, Threaded };
+enum class Backend { Serial, Threaded, Packed };
 
 std::string backendName(Backend b);
 
@@ -47,7 +62,9 @@ class KernelContext
 {
   public:
     /** workers <= 0 selects ThreadPool::configuredWorkers(); ignored for
-     *  the serial backend. */
+     *  the serial backend. Backend::Packed demotes to Backend::Threaded
+     *  when SIMD is disabled at runtime (TENDER_SIMD=off) — backend()
+     *  reports the arm actually in effect. */
     explicit KernelContext(Backend backend = Backend::Serial,
                            int workers = 0);
     ~KernelContext();
@@ -73,7 +90,8 @@ class KernelContext
     /** Integer panel product C = A(m x k) * B(n x k)^T on int8-range codes
      *  with int32 result — the fused quantized-KV attention kernel (see
      *  tensor/gemm.h gemmInt8; negative bounds mean "scan the operand").
-     *  Exact, so backends are bit-identical. */
+     *  Exact, so ALL backends are bit-identical — including Packed, whose
+     *  int16-panel microkernel merely reorders an exact integer sum. */
     IntMatrix gemmInt8(const IntMatrix &a, const IntMatrix &b,
                        int64_t abs_bound_a = -1,
                        int64_t abs_bound_b = -1) const;

@@ -1,0 +1,218 @@
+#include "tensor/packed_gemm.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "util/check.h"
+#include "util/cpu_features.h"
+
+namespace tender {
+
+namespace packed_detail {
+
+PackedB
+packB(const Matrix &b)
+{
+    PackedB bp;
+    bp.k = b.rows();
+    bp.n = b.cols();
+    bp.panels = (bp.n + kNr - 1) / kNr;
+    // Zero padding makes the tail panel a full kNr lanes wide: the inner
+    // kernel always runs complete vectors and the dead lanes accumulate
+    // exact zeros that are never written back.
+    bp.data.assign(size_t(bp.panels) * size_t(bp.k) * size_t(kNr), 0.f);
+    for (int p = 0; p < bp.panels; ++p) {
+        const int j0 = p * kNr;
+        const int jw = std::min(kNr, bp.n - j0);
+        for (int kk = 0; kk < bp.k; ++kk) {
+            const float *brow = b.rowPtr(kk) + j0;
+            float *dst = bp.data.data() +
+                (size_t(p) * size_t(bp.k) + size_t(kk)) * size_t(kNr);
+            for (int j = 0; j < jw; ++j)
+                dst[j] = brow[j];
+        }
+    }
+    return bp;
+}
+
+void
+packedGemmRows(const Matrix &a, const PackedB &bp, Matrix &c, int r0, int r1)
+{
+    const int k = bp.k;
+    // k-blocks outermost: every row tile of this band passes over one
+    // cache-resident slab of panel rows before the next slab is touched.
+    // Accumulators spill to C between blocks; an fp32 store/load is exact,
+    // so each output element still sees one sequential fp32 sum in k
+    // order — the property the NMSE gate and the row-locality contract
+    // (see header) rely on.
+    for (int p0 = 0; p0 < k; p0 += kKc) {
+        const int p1 = std::min(p0 + kKc, k);
+        for (int i0 = r0; i0 < r1; i0 += kMr) {
+            const int im = std::min(i0 + kMr, r1) - i0;
+            const float *arows[kMr];
+            for (int i = 0; i < im; ++i)
+                arows[i] = a.rowPtr(i0 + i);
+            for (int p = 0; p < bp.panels; ++p) {
+                const int j0 = p * kNr;
+                const int jw = std::min(kNr, bp.n - j0);
+                float acc[kMr][kNr];
+                if (p0 == 0) {
+                    for (int i = 0; i < im; ++i)
+                        for (int j = 0; j < kNr; ++j)
+                            acc[i][j] = 0.f;
+                } else {
+                    for (int i = 0; i < im; ++i) {
+                        const float *crow = c.rowPtr(i0 + i) + j0;
+                        for (int j = 0; j < kNr; ++j)
+                            acc[i][j] = j < jw ? crow[j] : 0.f;
+                    }
+                }
+                for (int kk = p0; kk < p1; ++kk) {
+                    const float *brow = bp.panelRow(p, kk);
+                    for (int i = 0; i < im; ++i) {
+                        const float av = arows[i][kk];
+                        float *row = acc[i];
+                        TENDER_PRAGMA_SIMD
+                        for (int j = 0; j < kNr; ++j)
+                            row[j] += av * brow[j];
+                    }
+                }
+                for (int i = 0; i < im; ++i) {
+                    float *crow = c.rowPtr(i0 + i) + j0;
+                    for (int j = 0; j < jw; ++j)
+                        crow[j] = acc[i][j];
+                }
+            }
+        }
+    }
+}
+
+void
+packedGemmTransposedBRows(const Matrix &a, const Matrix &b, Matrix &c,
+                          int r0, int r1)
+{
+    const int k = a.cols(), n = b.rows();
+    // B rows are contiguous k-vectors already (the cached-key layout), so
+    // no repack: each output element is one SIMD dot reduction. j is
+    // tiled so a block of B rows stays cache-hot across the band's A
+    // rows. The reduction order is fixed by the compilation, not by the
+    // tile or band position, so the kernel stays row-local.
+    constexpr int kJTile = 64;
+    for (int j0 = 0; j0 < n; j0 += kJTile) {
+        const int j1 = std::min(j0 + kJTile, n);
+        for (int i = r0; i < r1; ++i) {
+            const float *arow = a.rowPtr(i);
+            float *crow = c.rowPtr(i);
+            for (int j = j0; j < j1; ++j) {
+                const float *brow = b.rowPtr(j);
+                float acc = 0.f;
+                TENDER_PRAGMA_SIMD_REDUCTION(acc)
+                for (int p = 0; p < k; ++p)
+                    acc += arow[p] * brow[p];
+                crow[j] = acc;
+            }
+        }
+    }
+}
+
+PackedInt16B
+packBInt16(const IntMatrix &b)
+{
+    PackedInt16B bp;
+    bp.k = b.cols(); // B is n x k (row-major code panels)
+    bp.n = b.rows();
+    bp.panels = (bp.n + kNr - 1) / kNr;
+    bp.data.assign(size_t(bp.panels) * size_t(bp.k) * size_t(kNr), 0);
+    for (int p = 0; p < bp.panels; ++p) {
+        const int j0 = p * kNr;
+        const int jw = std::min(kNr, bp.n - j0);
+        for (int j = 0; j < jw; ++j) {
+            const int32_t *brow = b.rowPtr(j0 + j);
+            for (int kk = 0; kk < bp.k; ++kk) {
+                TENDER_CHECK(std::abs(brow[kk]) <=
+                             int32_t(std::numeric_limits<int16_t>::max()));
+                bp.data[(size_t(p) * size_t(bp.k) + size_t(kk)) *
+                            size_t(kNr) +
+                        size_t(j)] = int16_t(brow[kk]);
+            }
+        }
+    }
+    return bp;
+}
+
+void
+packedGemmInt8PackedRows(const IntMatrix &a, const PackedInt16B &bp,
+                         IntMatrix &c, int r0, int r1)
+{
+    const int k = bp.k;
+    // Broadcast-A over kNr int32 lanes, B widened int16 -> int32
+    // in-register. Integer addition is associative, so this is exactly
+    // the golden kernel's result for any lane/loop order; the narrow
+    // int32 accumulator is safe because the caller proved
+    // gemmInt8NarrowOk, which bounds every partial sum, not just the
+    // total (|partial| <= sum |a_p * b_p| <= ma * mb * k).
+    for (int i = r0; i < r1; ++i) {
+        const int32_t *arow = a.rowPtr(i);
+        int32_t *crow = c.rowPtr(i);
+        for (int p = 0; p < bp.panels; ++p) {
+            const int j0 = p * kNr;
+            const int jw = std::min(kNr, bp.n - j0);
+            int32_t acc[kNr] = {0};
+            for (int kk = 0; kk < k; ++kk) {
+                const int32_t av = arow[kk];
+                if (av == 0)
+                    continue;
+                const int16_t *brow = bp.panelRow(p, kk);
+                TENDER_PRAGMA_SIMD
+                for (int j = 0; j < kNr; ++j)
+                    acc[j] += av * int32_t(brow[j]);
+            }
+            for (int j = 0; j < jw; ++j)
+                crow[j0 + j] = acc[j];
+        }
+    }
+}
+
+void
+packedGemmInt8DirectRows(const IntMatrix &a, const IntMatrix &b,
+                         IntMatrix &c, bool narrow, int r0, int r1)
+{
+    const int k = a.cols(), n = b.rows();
+    if (narrow) {
+        for (int i = r0; i < r1; ++i) {
+            const int32_t *__restrict arow = a.rowPtr(i);
+            int32_t *__restrict crow = c.rowPtr(i);
+            for (int j = 0; j < n; ++j) {
+                const int32_t *__restrict brow = b.rowPtr(j);
+                int32_t acc = 0;
+                TENDER_PRAGMA_SIMD_REDUCTION(acc)
+                for (int p = 0; p < k; ++p)
+                    acc += arow[p] * brow[p];
+                crow[j] = acc;
+            }
+        }
+        return;
+    }
+    for (int i = r0; i < r1; ++i) {
+        const int32_t *arow = a.rowPtr(i);
+        int32_t *crow = c.rowPtr(i);
+        for (int j = 0; j < n; ++j) {
+            const int32_t *brow = b.rowPtr(j);
+            int64_t acc = 0;
+            TENDER_PRAGMA_SIMD_REDUCTION(acc)
+            for (int p = 0; p < k; ++p)
+                acc += int64_t(arow[p]) * int64_t(brow[p]);
+            TENDER_CHECK_MSG(
+                std::abs(acc) <=
+                    int64_t(std::numeric_limits<int32_t>::max()),
+                "gemmInt8(packed): 32-bit accumulator overflow (panel "
+                << a.rows() << "x" << k << " * " << n << "x" << k << "^T)");
+            crow[j] = int32_t(acc);
+        }
+    }
+}
+
+} // namespace packed_detail
+
+} // namespace tender

@@ -1,0 +1,94 @@
+#include "util/cpu_features.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace tender {
+
+namespace {
+
+CpuFeatures
+probe()
+{
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    // __builtin_cpu_supports reads CPUID once under the hood; these are
+    // runtime probes, not compile-target assumptions, so a binary built
+    // with -march=native still reports the truth on the machine it runs
+    // on (useful when BENCH JSONs travel between hosts).
+    f.sse2 = __builtin_cpu_supports("sse2");
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.avx512f = __builtin_cpu_supports("avx512f");
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+    // NEON is architecturally mandatory on AArch64.
+    f.neon = true;
+#endif
+    return f;
+}
+
+bool
+simdEnvOn()
+{
+    const char *env = std::getenv("TENDER_SIMD");
+    if (!env)
+        return true;
+    const std::string v(env);
+    if (v == "auto")
+        return true;
+    if (v == "off")
+        return false;
+    TENDER_FATAL("TENDER_SIMD must be 'auto' or 'off', got '" << v << "'");
+}
+
+} // namespace
+
+std::string
+CpuFeatures::isa() const
+{
+    if (avx512f)
+        return "avx512f";
+    if (avx2)
+        return "avx2";
+    if (sse2)
+        return "sse2";
+    if (neon)
+        return "neon";
+    return "none";
+}
+
+const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures f = probe();
+    return f;
+}
+
+bool
+simdCompiledIn()
+{
+#if defined(TENDER_SIMD_ENABLED)
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+simdEnabled()
+{
+    static const bool on = simdEnvOn();
+    return on;
+}
+
+std::string
+simdDescription()
+{
+    if (!simdEnabled())
+        return "disabled(TENDER_SIMD=off)";
+    if (!simdCompiledIn())
+        return "scalar(no-simd-build)";
+    return "omp-simd(" + cpuFeatures().isa() + ")";
+}
+
+} // namespace tender

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * One-shot CPU capability probe + SIMD policy switches for the packed
+ * kernel arm (tensor/packed_gemm, Backend::Packed).
+ *
+ * Two independent switches select the packed arm's behaviour:
+ *
+ *  - Compile time: the TENDER_SIMD CMake option (default ON) defines
+ *    TENDER_SIMD_ENABLED and adds -fopenmp-simd, turning the
+ *    TENDER_PRAGMA_SIMD annotations below into `#pragma omp simd`. With
+ *    -DTENDER_SIMD=OFF the same packed loops compile as plain scalar
+ *    code — the CI "scalar fallback" leg builds and tests exactly that.
+ *
+ *  - Run time: TENDER_SIMD=auto|off (default auto). `off` is the kill
+ *    switch for the NMSE-gated arm: a KernelContext asked for
+ *    Backend::Packed demotes itself to the bit-parity Threaded backend,
+ *    so one environment variable restores golden-oracle parity
+ *    machine-wide without a rebuild.
+ *
+ * The probe itself (cpuFeatures()) is informational: it runs once, and
+ * both bench binaries record simdDescription() into their JSON ("simd"
+ * field) so every BENCH number is attributable to the kernel arm and ISA
+ * that produced it.
+ */
+
+#ifndef TENDER_UTIL_CPU_FEATURES_H
+#define TENDER_UTIL_CPU_FEATURES_H
+
+#include <string>
+
+#if defined(TENDER_SIMD_ENABLED)
+#define TENDER_PRAGMA_STR(x) _Pragma(#x)
+#define TENDER_PRAGMA_SIMD _Pragma("omp simd")
+/** SIMD reduction over `var` (+). The lane combination order is fixed by
+ *  the compilation — deterministic per binary, exact for integers, and
+ *  NMSE-gated (not bit-parity) for fp32. */
+#define TENDER_PRAGMA_SIMD_REDUCTION(var) \
+    TENDER_PRAGMA_STR(omp simd reduction(+ : var))
+#else
+#define TENDER_PRAGMA_SIMD
+#define TENDER_PRAGMA_SIMD_REDUCTION(var)
+#endif
+
+namespace tender {
+
+/** CPU SIMD capabilities, probed once per process. */
+struct CpuFeatures
+{
+    bool sse2 = false;
+    bool avx2 = false;
+    bool avx512f = false;
+    bool neon = false;
+
+    /** Widest probed ISA as a short tag ("avx512f", "avx2", "sse2",
+     *  "neon", or "none"). */
+    std::string isa() const;
+};
+
+/** The probe result (computed on first call, then cached). */
+const CpuFeatures &cpuFeatures();
+
+/** True when this build carries the SIMD pragmas (TENDER_SIMD=ON). */
+bool simdCompiledIn();
+
+/** Runtime policy: true unless TENDER_SIMD=off. `auto` (or unset) means
+ *  "use the packed arm where asked for"; any other value is fatal. */
+bool simdEnabled();
+
+/** One-line attribution string for bench JSON, e.g. "omp-simd(avx512f)",
+ *  "scalar(no-simd-build)", or "disabled(TENDER_SIMD=off)". */
+std::string simdDescription();
+
+} // namespace tender
+
+#endif // TENDER_UTIL_CPU_FEATURES_H
