@@ -42,6 +42,18 @@
  * share one kv history, which the OPT replica (kvHeads == nHeads) never
  * exercises.
  *
+ * The "mixed_traffic" scenario drives the serving front end
+ * (serve/serve_session.h) with the three traffic classes a real fleet
+ * mixes — chat turns sharing a system prompt (interactive, sampled),
+ * long-document prefills (batch class, greedy), and short completions
+ * (interactive, sampled) — with the prefix cache on and the block pool
+ * bounded, so prefix hits, pool pressure, priority overtakes, and seeded
+ * sampling are exercised together. Recorded: tokens/s, prefix hits,
+ * deferrals, overtakes, and per-priority-class TTFT and inter-token
+ * latency p50/p95; gated: sampling_order_independent — every request's
+ * sampled tokens are bit-identical under reversed admission order, a
+ * different batch cap, and a different worker count.
+ *
  * The "correctness" block records machine-checkable invariants (fp32
  * decode bit-parity with full prefill, quantized-KV NMSE under its
  * bound, fused-vs-dequantize attention NMSE under its bound,
@@ -77,6 +89,7 @@
 #include "model/transformer.h"
 #include "quant/metrics.h"
 #include "runtime/batch_scheduler.h"
+#include "serve/serve_session.h"
 #include "util/cpu_features.h"
 #include "util/rng.h"
 
@@ -135,8 +148,8 @@ runBatchOnce(SyntheticModel &model, const KernelContext &kc, int batch,
     dopt.fusedQuantKv = fused;
     dopt.mqAttentionPanels = mq;
     DecodeEngine engine(model, dopt);
-    GreedyVocab vocab(options.vocabSize, model.config().dModel,
-                      options.vocabSeed);
+    Vocab vocab(options.vocabSize, model.config().dModel,
+                options.vocabSeed);
     std::vector<int> prompt(size_t(prompt_len + new_tokens - 1), 1);
     engine.prefill(vocab.embedAll(prompt));
     p.cacheBytesPerRequest = engine.cache().storedBytes();
@@ -451,6 +464,166 @@ sharedPagesBitIdentical(const ModelConfig &config)
     return true;
 }
 
+// ---- Mixed-traffic serving scenario -------------------------------------
+
+/** Chat turns (interactive, shared system prompt, sampled), long-document
+ *  prefills (batch class, long unique prompts, short budgets), and short
+ *  completions (interactive, sampled) in one pot — prefix hits, pool
+ *  pressure, priority overtakes, and seeded sampling all at once. */
+struct TrafficSpec
+{
+    int maxBatch = 4;
+    size_t poolBlocks = 0;
+    int chat = 0, longDoc = 0, shortCompl = 0;
+    std::vector<ServeRequest> requests;
+};
+
+TrafficSpec
+trafficSpec(const ModelConfig &config, const KVCacheConfig &cache,
+            bool smoke)
+{
+    TrafficSpec spec;
+    spec.maxBatch = smoke ? 3 : 4;
+    spec.chat = smoke ? 4 : 8;
+    spec.longDoc = smoke ? 2 : 4;
+    spec.shortCompl = smoke ? 4 : 8;
+
+    std::vector<int> sys;
+    for (int t = 0; t < (smoke ? 16 : 32); ++t)
+        sys.push_back((17 + t * 5) % 256);
+    const int doc_len = smoke ? 48 : 96;
+
+    int max_tokens = 0;
+    auto add = [&](ServeRequest r) {
+        max_tokens = std::max(
+            max_tokens, int(r.promptTokens.size()) + r.maxNewTokens - 1);
+        spec.requests.push_back(std::move(r));
+    };
+    // Interleave the classes the way independent clients would arrive.
+    for (int i = 0;
+         i < std::max(spec.chat, std::max(spec.longDoc, spec.shortCompl));
+         ++i) {
+        if (i < spec.chat) {
+            ServeRequest r;
+            r.promptTokens = sys;
+            for (int t = 0; t < 5 + i % 4; ++t)
+                r.promptTokens.push_back((60 + i * 13 + t) % 256);
+            r.maxNewTokens = smoke ? 6 : 10;
+            r.priority = Priority::Interactive;
+            r.sampling.temperature = 0.8f;
+            r.sampling.topK = 20;
+            r.sampling.topP = 0.95f;
+            r.sampling.seed = 100 + uint64_t(i);
+            add(std::move(r));
+        }
+        if (i < spec.longDoc) {
+            ServeRequest r;
+            for (int t = 0; t < doc_len; ++t)
+                r.promptTokens.push_back((i * 41 + t * 3) % 256);
+            r.maxNewTokens = smoke ? 3 : 4; // summarize: long in, short out
+            r.priority = Priority::Batch;   // greedy (temperature 0)
+            add(std::move(r));
+        }
+        if (i < spec.shortCompl) {
+            ServeRequest r;
+            for (int t = 0; t < 4; ++t)
+                r.promptTokens.push_back((200 + i * 7 + t) % 256);
+            r.maxNewTokens = smoke ? 4 : 6;
+            r.priority = Priority::Interactive;
+            r.sampling.temperature = 1.0f;
+            r.sampling.topK = 8;
+            r.sampling.seed = 500 + uint64_t(i);
+            add(std::move(r));
+        }
+    }
+    // Pool sized to roughly half the batch's worst case: admission feels
+    // real pressure (deferrals, reservations) without ever rejecting.
+    const size_t worst =
+        KVCache::blocksForTokens(config, cache, max_tokens);
+    spec.poolBlocks = worst * size_t(spec.maxBatch) / 2 + worst;
+    return spec;
+}
+
+struct TrafficPoint
+{
+    double tokensPerS = 0.0;
+    int64_t overtakes = 0;
+    int64_t deferred = 0;
+    int64_t prefixHits = 0;
+    LatencyStats interactive;
+    LatencyStats batch;
+    std::vector<std::vector<int>> tokens; ///< by spec request index
+};
+
+TrafficPoint
+runTrafficOnce(SyntheticModel &model, const KernelContext &kc,
+               const TrafficSpec &spec, bool reversed, int max_batch)
+{
+    ServeSessionOptions options;
+    options.scheduler.maxBatch = max_batch;
+    options.scheduler.vocabSize = 256;
+    options.scheduler.decode.kernels = &kc;
+    options.scheduler.decode.cache.blockTokens = 16;
+    options.scheduler.kvPoolBlocks = spec.poolBlocks;
+    options.scheduler.prefixCache = true;
+    ServeSession session(model, options);
+
+    std::vector<int> ids(spec.requests.size(), -1);
+    const auto t0 = Clock::now();
+    if (reversed) {
+        for (size_t i = spec.requests.size(); i-- > 0;)
+            ids[i] = session.submit(spec.requests[i]);
+    } else {
+        for (size_t i = 0; i < spec.requests.size(); ++i)
+            ids[i] = session.submit(spec.requests[i]);
+    }
+    session.drain();
+    const double s = std::chrono::duration<double>(Clock::now() - t0)
+                         .count();
+
+    TrafficPoint p;
+    p.tokensPerS =
+        double(session.scheduler().stats().decodedTokens) / s;
+    p.overtakes = session.scheduler().stats().overtakes;
+    p.deferred = session.scheduler().stats().deferred;
+    p.prefixHits = session.scheduler().stats().prefixHits;
+    p.interactive = session.latency(Priority::Interactive);
+    p.batch = session.latency(Priority::Batch);
+    p.tokens.resize(spec.requests.size());
+    for (size_t i = 0; i < spec.requests.size(); ++i) {
+        const ServeResult *r = session.result(ids[i]);
+        TENDER_CHECK(r != nullptr &&
+                     r->state == RequestState::Finished);
+        p.tokens[i] = r->tokens;
+    }
+    return p;
+}
+
+/** The scenario's gated invariant: every request's sampled tokens are
+ *  identical under reversed admission, a different batch cap, and a
+ *  different worker count — the serving-layer extension of the runtime's
+ *  scheduling-independence contract. */
+bool
+trafficOrderIndependent(SyntheticModel &model, const KernelContext &kc,
+                        const TrafficSpec &spec, const TrafficPoint &base)
+{
+    const KernelContext alt(kc.backend(),
+                            std::max(1, kc.workers() / 2) + 1);
+    const TrafficPoint reversed =
+        runTrafficOnce(model, kc, spec, true, spec.maxBatch);
+    const TrafficPoint rebatched =
+        runTrafficOnce(model, kc, spec, false,
+                       std::max(1, spec.maxBatch - 1));
+    const TrafficPoint reworked =
+        runTrafficOnce(model, alt, spec, true, spec.maxBatch + 2);
+    for (size_t i = 0; i < spec.requests.size(); ++i)
+        if (base.tokens[i] != reversed.tokens[i] ||
+            base.tokens[i] != rebatched.tokens[i] ||
+            base.tokens[i] != reworked.tokens[i])
+            return false;
+    return true;
+}
+
 // ---- Recorded correctness invariants ------------------------------------
 
 struct Correctness
@@ -604,6 +777,17 @@ emitPrefixMode(FILE *f, const char *key, const PrefixPoint &shared,
     std::fprintf(f, "      \"tokens_per_s_ratio\": %.3f\n",
                  shared.tokensPerS / cold.tokensPerS);
     std::fprintf(f, "    },\n");
+}
+
+void
+emitTrafficClass(FILE *f, const char *key, const LatencyStats &l)
+{
+    std::fprintf(f,
+                 "    \"%s\": {\"requests\": %d, \"tokens\": %lld, "
+                 "\"ttft_p50_us\": %.1f, \"ttft_p95_us\": %.1f, "
+                 "\"itl_p50_us\": %.1f, \"itl_p95_us\": %.1f},\n",
+                 key, l.requests, (long long)l.tokens, l.ttftP50Us,
+                 l.ttftP95Us, l.itlP50Us, l.itlP95Us);
 }
 
 void
@@ -802,6 +986,36 @@ main(int argc, char **argv)
                 prefix_bitexact ? "bit-exact" : "DIVERGED",
                 refcounts_ok ? "consistent" : "INCONSISTENT");
 
+    // Mixed serving traffic through the new front end: chat + long-doc +
+    // short completions, prefix cache on, bounded pool, priorities live.
+    KVCacheConfig traffic_cache;
+    traffic_cache.blockTokens = 16;
+    const TrafficSpec tspec = trafficSpec(config, traffic_cache, smoke);
+    const TrafficPoint traffic =
+        runTrafficOnce(model, kc, tspec, false, tspec.maxBatch);
+    const bool order_independent =
+        trafficOrderIndependent(model, kc, tspec, traffic);
+    std::printf("mixed traffic (%zu requests: %d chat, %d long-doc, %d "
+                "short; maxBatch %d, pool %zu blocks): %.1f tok/s, "
+                "%lld prefix hits, %lld deferrals, %lld overtakes\n",
+                tspec.requests.size(), tspec.chat, tspec.longDoc,
+                tspec.shortCompl, tspec.maxBatch, tspec.poolBlocks,
+                traffic.tokensPerS, (long long)traffic.prefixHits,
+                (long long)traffic.deferred, (long long)traffic.overtakes);
+    std::printf("  interactive: TTFT p50 %.0f us p95 %.0f us, ITL p50 "
+                "%.0f us p95 %.0f us (%d requests)\n",
+                traffic.interactive.ttftP50Us, traffic.interactive.ttftP95Us,
+                traffic.interactive.itlP50Us, traffic.interactive.itlP95Us,
+                traffic.interactive.requests);
+    std::printf("  batch:       TTFT p50 %.0f us p95 %.0f us, ITL p50 "
+                "%.0f us p95 %.0f us (%d requests)\n",
+                traffic.batch.ttftP50Us, traffic.batch.ttftP95Us,
+                traffic.batch.itlP50Us, traffic.batch.itlP95Us,
+                traffic.batch.requests);
+    std::printf("  sampled tokens %s of admission order, batch size, and "
+                "worker count\n",
+                order_independent ? "independent" : "DEPEND ON");
+
     const Correctness correct = checkCorrectness(model, gqa_model, kc);
     std::printf("correctness: fp32 decode %s full prefill, tender-KV "
                 "nmse %.3g (bound %.3g), fused-attention nmse %.3g "
@@ -829,6 +1043,12 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"backend\": \"%s\",\n",
                  backendName(kc.backend()).c_str());
     std::fprintf(f, "  \"simd\": \"%s\",\n", simdDescription().c_str());
+    // TENDER_BACKEND / TENDER_NUM_THREADS as this process resolved them,
+    // so every recorded number is attributable to the environment arm.
+    std::fprintf(f, "  \"default_backend\": \"%s\",\n",
+                 backendName(defaultKernels().backend()).c_str());
+    std::fprintf(f, "  \"default_workers\": %d,\n",
+                 defaultKernels().workers());
     std::fprintf(f, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
     emitMode(f, "fp32_kv", fp32, true);
@@ -870,6 +1090,26 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"refcounts_consistent\": %s\n",
                  refcounts_ok ? "true" : "false");
     std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"mixed_traffic\": {\n");
+    std::fprintf(f,
+                 "    \"requests\": %zu, \"chat\": %d, \"long_doc\": %d, "
+                 "\"short_completion\": %d,\n",
+                 tspec.requests.size(), tspec.chat, tspec.longDoc,
+                 tspec.shortCompl);
+    std::fprintf(f,
+                 "    \"max_batch\": %d, \"kv_pool_blocks\": %zu,\n",
+                 tspec.maxBatch, tspec.poolBlocks);
+    std::fprintf(f, "    \"tokens_per_s\": %.2f,\n", traffic.tokensPerS);
+    std::fprintf(f,
+                 "    \"prefix_hits\": %lld, \"deferred\": %lld, "
+                 "\"overtakes\": %lld,\n",
+                 (long long)traffic.prefixHits, (long long)traffic.deferred,
+                 (long long)traffic.overtakes);
+    emitTrafficClass(f, "interactive", traffic.interactive);
+    emitTrafficClass(f, "batch", traffic.batch);
+    std::fprintf(f, "    \"sampling_order_independent\": %s\n",
+                 order_independent ? "true" : "false");
+    std::fprintf(f, "  },\n");
     std::fprintf(f,
                  "  \"calibration\": {\"workload\": \"%s\", "
                  "\"score_mflops\": %.1f},\n",
@@ -898,7 +1138,7 @@ main(int argc, char **argv)
                    correct.tenderNmse < correct.tenderNmseBound &&
                    correct.fusedNmse < correct.fusedNmseBound &&
                    correct.mqPanelBitExact && prefix_bitexact &&
-                   refcounts_ok
+                   refcounts_ok && order_independent
                ? 0
                : 1;
 }

@@ -204,6 +204,12 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"simd\": \"%s\",\n", simdDescription().c_str());
     std::fprintf(f, "  \"packed_backend\": \"%s\",\n",
                  backendName(packed.backend()).c_str());
+    // TENDER_BACKEND / TENDER_NUM_THREADS as this process resolved them,
+    // so every recorded number is attributable to the environment arm.
+    std::fprintf(f, "  \"default_backend\": \"%s\",\n",
+                 backendName(defaultKernels().backend()).c_str());
+    std::fprintf(f, "  \"default_workers\": %d,\n",
+                 defaultKernels().workers());
     std::fprintf(f, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
     std::fprintf(f,

@@ -7,7 +7,7 @@
  * storage; fp32 or Tender-requantized int8 chunks) under DecodeEngine
  * (prefill once, then step token by token, optionally pushing the weight
  * GEMMs through a GemmScheme), under BatchScheduler (continuous batching
- * across requests — see bench/bench_decode_json.cc). A GreedyVocab closes
+ * across requests — see bench/bench_decode_json.cc). A Vocab readout closes
  * the loop: hidden state -> greedy token -> next input row. This example
  * drives the single-request path and checks the runtime's defining
  * property: with an fp32 cache, incremental decode produces *identical*
@@ -33,7 +33,15 @@
  * the generated tokens are identical either way, because shared KV pages
  * are bit-identical to privately computed ones.
  *
+ * With --sample the example instead finishes by streaming one request
+ * through the serving front end (serve/serve_session.h):
+ * temperature/top-k/top-p sampling with a fixed seed, tokens printed by
+ * the per-token streaming callback, TTFT and inter-token latency
+ * reported, and a re-run with the same seed shown to reproduce the
+ * stream exactly.
+ *
  *   $ ./examples/generate [n_tokens] [--fused-kv] [--shared-prefix]
+ *                         [--sample]
  */
 
 #include <algorithm>
@@ -46,6 +54,7 @@
 #include "model/transformer.h"
 #include "runtime/batch_scheduler.h"
 #include "runtime/decode_engine.h"
+#include "serve/serve_session.h"
 #include "util/cpu_features.h"
 
 using namespace tender;
@@ -71,7 +80,7 @@ struct GenRun
 
 /** Greedy-decode with the runtime: prefill the prompt, then step. */
 GenRun
-runtimeGenerate(SyntheticModel &model, const GreedyVocab &vocab,
+runtimeGenerate(SyntheticModel &model, const Vocab &vocab,
                 const std::vector<int> &prompt, int n_tokens,
                 DecodeOptions options)
 {
@@ -98,7 +107,7 @@ runtimeGenerate(SyntheticModel &model, const GreedyVocab &vocab,
 
 /** The quadratic reference: re-run full-sequence prefill for each token. */
 std::vector<int>
-prefillGenerate(SyntheticModel &model, const GreedyVocab &vocab,
+prefillGenerate(SyntheticModel &model, const Vocab &vocab,
                 const std::vector<int> &prompt, int n_tokens)
 {
     const KernelContext &kc = defaultKernels();
@@ -224,6 +233,76 @@ sharedPrefixDemo(SyntheticModel &model)
     return identical;
 }
 
+/**
+ * --sample walkthrough: one streamed request through the serving front
+ * end (ServeSession) with temperature/top-k/top-p sampling and a fixed
+ * seed. Tokens print as the streaming callback delivers them, then the
+ * request's TTFT and per-token latency; a second run with the same seed
+ * must reproduce the stream token for token. Returns true when it does.
+ */
+bool
+sampleDemo(SyntheticModel &model, const std::vector<int> &prompt,
+           int n_tokens)
+{
+    ServeRequest request;
+    request.promptTokens = prompt;
+    request.maxNewTokens = n_tokens;
+    request.priority = Priority::Interactive;
+    request.sampling.temperature = 0.9f;
+    request.sampling.topK = 40;
+    request.sampling.topP = 0.95f;
+    request.sampling.seed = 2024;
+
+    std::printf("\n== --sample: temperature %.1f, top-k %d, top-p %.2f, "
+                "seed %llu ==\n",
+                double(request.sampling.temperature), request.sampling.topK,
+                double(request.sampling.topP),
+                (unsigned long long)request.sampling.seed);
+
+    auto run = [&](bool verbose) {
+        ServeSessionOptions options;
+        options.scheduler.vocabSize = 256;
+        ServeSession session(model, options);
+        ServeRequest req = request;
+        if (verbose) {
+            std::printf("stream: ");
+            req.onEvent = [](const StreamEvent &ev) {
+                if (ev.last)
+                    std::printf(" [%s]\n", finishReasonName(ev.reason));
+                else
+                    std::printf("%s%d", ev.index > 0 ? " " : "", ev.token);
+                std::fflush(stdout);
+            };
+        }
+        const int id = session.submit(req);
+        session.drain();
+        return *session.result(id);
+    };
+
+    const ServeResult first = run(true);
+    std::printf("TTFT %.1f us (queued %.1f us of it)\n",
+                first.metrics.ttftUs, first.metrics.queuedUs);
+    if (!first.metrics.interTokenUs.empty()) {
+        std::vector<double> itl = first.metrics.interTokenUs;
+        std::sort(itl.begin(), itl.end());
+        double acc = 0.0;
+        for (const double us : itl)
+            acc += us;
+        std::printf("inter-token latency over %zu tokens: mean %.1f us, "
+                    "min %.1f us, max %.1f us\n",
+                    itl.size() + 1, acc / double(itl.size()), itl.front(),
+                    itl.back());
+    }
+
+    const ServeResult second = run(false);
+    const bool reproducible = first.tokens == second.tokens;
+    std::printf("re-run with the same seed: %s\n",
+                reproducible
+                    ? "IDENTICAL stream (seeded sampling is deterministic)"
+                    : "MISMATCH — this is a bug");
+    return reproducible;
+}
+
 /** `proj_flops` is the analytic FLOP count of the run's weight
  *  projections; divided by the measured projection phase time it gives
  *  the achieved GEMM MFLOP/s on the kernel arm in use. */
@@ -249,16 +328,19 @@ main(int argc, char **argv)
 {
     bool fused_kv = false;
     bool shared_prefix = false;
+    bool sample = false;
     int n_tokens = 20;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--fused-kv") == 0) {
             fused_kv = true; // accepted for compatibility; always on now
         } else if (std::strcmp(argv[i], "--shared-prefix") == 0) {
             shared_prefix = true;
+        } else if (std::strcmp(argv[i], "--sample") == 0) {
+            sample = true;
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr,
                          "unknown option '%s'\nusage: %s [n_tokens] "
-                         "[--fused-kv] [--shared-prefix]\n",
+                         "[--fused-kv] [--shared-prefix] [--sample]\n",
                          argv[i], argv[0]);
             return 2;
         } else {
@@ -270,7 +352,7 @@ main(int argc, char **argv)
 
     const ModelConfig config = replicaOf(modelByName("OPT-6.7B"), 32);
     SyntheticModel model(config, /*seed=*/5);
-    GreedyVocab vocab(256, config.dModel, /*seed=*/1234);
+    Vocab vocab(256, config.dModel, /*seed=*/1234);
     const std::vector<int> prompt = {17, 3, 99, 4, 250, 8, 8, 31, 77, 5,
                                      120, 9};
 
@@ -372,5 +454,8 @@ main(int argc, char **argv)
     bool shared_ok = true;
     if (shared_prefix)
         shared_ok = sharedPrefixDemo(model);
-    return exact && shared_ok ? 0 : 1;
+    bool sample_ok = true;
+    if (sample)
+        sample_ok = sampleDemo(model, prompt, n_tokens);
+    return exact && shared_ok && sample_ok ? 0 : 1;
 }

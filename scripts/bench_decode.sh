@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Decode-runtime bench runner: builds bench_bench_decode_json and records
 # continuous-batching tokens/s (batch 1/4/16, fp32 vs Tender-quantized KV
-# cache) plus the churned paged-vs-contiguous KV comparison into
-# BENCH_decode.json at the repo root (serving-path perf trajectory, PR
-# over PR).
+# cache) plus the churned paged-vs-contiguous KV comparison and the
+# mixed-traffic serving scenario (chat + long-doc + short completions
+# through the serving front end: TTFT/ITL percentiles per priority class,
+# gated sampling_order_independent) into BENCH_decode.json at the repo
+# root (serving-path perf trajectory, PR over PR).
 #
 # Usage: scripts/bench_decode.sh [--smoke] [prompt new_tokens workers [out.json]]
 # Defaults: 16 32 8 BENCH_decode.json; --smoke runs the reduced CI sizes

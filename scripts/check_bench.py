@@ -31,6 +31,12 @@ recorded correctness field regresses:
         carry bit-identical chunk codes
     prefix_shared.refcounts_consistent    block-pool refcount audit holds
         and clearing the prefix cache returns every block
+    mixed_traffic.sampling_order_independent   every request's sampled
+        tokens are bit-identical under reversed admission order, a
+        different batch cap, and a different worker count (the serving
+        layer's extension of the scheduling-independence contract); the
+        per-priority-class TTFT/ITL percentile fields must be present
+        (their values are recorded, never gated — they are runner-speed)
 
 Perf numbers (tokens/s, GFLOP/s) are recorded but never gated here — they
 vary with the runner; correctness must not.
@@ -141,6 +147,31 @@ def check_decode(path):
               f"peak KV {arm['peak_kv_bytes_ratio']:.2f}x smaller shared, "
               f"tokens/s ratio {arm['tokens_per_s_ratio']:.2f} "
               "(recorded, not gated)")
+    traffic = doc["mixed_traffic"]
+    if traffic["sampling_order_independent"] is not True:
+        fail(f"{path}: mixed_traffic.sampling_order_independent is "
+             f"{traffic['sampling_order_independent']} (sampled tokens "
+             "must not depend on admission order, batch size, or worker "
+             "count)")
+    for cls in ("interactive", "batch"):
+        arm = traffic[cls]
+        # Presence is the gate; the values are runner-speed, so they are
+        # recorded but never thresholded.
+        for field in ("ttft_p50_us", "ttft_p95_us", "itl_p50_us",
+                      "itl_p95_us"):
+            if field not in arm:
+                fail(f"{path}: mixed_traffic.{cls}.{field} missing "
+                     "(TTFT/ITL percentiles must be recorded per "
+                     "priority class)")
+        print(f"check_bench: {path}: mixed_traffic.{cls} "
+              f"({arm['requests']} requests) TTFT p50/p95 "
+              f"{arm['ttft_p50_us']:.0f}/{arm['ttft_p95_us']:.0f} us, ITL "
+              f"p50/p95 {arm['itl_p50_us']:.0f}/{arm['itl_p95_us']:.0f} us "
+              "(recorded, not gated)")
+    print(f"check_bench: {path}: mixed_traffic sampled tokens independent "
+          f"of scheduling ({traffic['prefix_hits']} prefix hits, "
+          f"{traffic['overtakes']} overtakes, {traffic['deferred']} "
+          "deferrals)")
     fused_ratio = doc["fused_over_dequant_tokens_ratio"]
     mq = doc.get("mq_panels")
     if mq is not None:
@@ -172,6 +203,10 @@ def iter_tokens_per_s(doc):
             point = doc.get("prefix_shared", {}).get(mode, {}).get(arm)
             if point is not None:
                 yield f"prefix_shared.{mode}.{arm}", point["tokens_per_s"]
+    # .get-guarded: baselines predating the serving front end lack it.
+    traffic_tps = doc.get("mixed_traffic", {}).get("tokens_per_s")
+    if traffic_tps is not None:
+        yield "mixed_traffic", traffic_tps
 
 
 def compare_baseline(doc, baseline_path):

@@ -4,6 +4,18 @@
 
 namespace tender {
 
+const char *
+finishReasonName(FinishReason reason)
+{
+    switch (reason) {
+    case FinishReason::Length: return "length";
+    case FinishReason::Stopped: return "stopped";
+    case FinishReason::Cancelled: return "cancelled";
+    case FinishReason::Failed: return "failed";
+    }
+    return "?";
+}
+
 BatchScheduler::BatchScheduler(SyntheticModel &model,
                                const SchedulerOptions &options)
     : model_(model), options_(options),
@@ -13,6 +25,8 @@ BatchScheduler::BatchScheduler(SyntheticModel &model,
       vocab_(options.vocabSize, model.config().dModel, options.vocabSeed)
 {
     TENDER_REQUIRE(options.maxBatch > 0, "maxBatch must be positive");
+    TENDER_REQUIRE(options.maxHeadOvertakes >= 0,
+                   "maxHeadOvertakes must be non-negative");
     TENDER_REQUIRE(model.config().decoder,
                    "the decode runtime needs a causal decoder model");
     // A quantizing scheme derives its activation row-chunk scales from
@@ -50,72 +64,128 @@ BatchScheduler::submit(const GenRequest &request)
 }
 
 bool
-BatchScheduler::step()
+BatchScheduler::cancel(int id)
 {
-    // Admit (FIFO) into free batch slots. Admission order only decides
-    // *when* a request runs, never what it computes: all per-request work
-    // is row-local or cache-local. Each admission reserves the request's
-    // worst-case KV block footprint; if the pool cannot commit it the
-    // head request waits (requeue) for retirements to return blocks.
-    while (int(active_.size()) < options_.maxBatch && !pending_.empty()) {
-        const GenRequest &req = pending_.front();
-        const int max_tokens =
-            int(req.promptTokens.size()) + req.maxNewTokens - 1;
-        // Prefix-cache lookup first: a hit shrinks both the prefill work
-        // (only suffix rows are stacked) and the reservation (full shared
-        // blocks are never written; the COW tail replacement is counted
-        // by blocksForSuffix).
-        PrefixMatch m;
-        if (prefix_)
-            m = prefix_->match(req.promptTokens);
-        size_t needed = KVCache::blocksForSuffix(
-            model_.config(), options_.decode.cache, max_tokens, m.rows);
-        bool reserved = pool_->tryReserve(needed);
-        // Pool pressure: cached prefixes are opportunistic memory — evict
-        // them LRU (keeping the entry this admission matched) until the
-        // reservation fits or nothing evictable remains.
-        while (!reserved && prefix_ && prefix_->evictLru(m.entry)) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->id != id)
+            continue;
+        finished_.push_back({id, {}, 0, FinishReason::Cancelled});
+        pending_.erase(it);
+        ++stats_.cancelled;
+        return true;
+    }
+    for (auto it = active_.begin(); it != active_.end(); ++it) {
+        if (it->request.id != id)
+            continue;
+        finished_.push_back(
+            {id, std::move(it->generated), it->steps,
+             FinishReason::Cancelled});
+        // Erasing the Active destroys its KVCache, which hands every
+        // held block and any undrawn reservation back to the pool.
+        active_.erase(it);
+        ++stats_.cancelled;
+        ++stats_.retired;
+        return true;
+    }
+    return false;
+}
+
+bool
+BatchScheduler::tryAdmit(size_t index)
+{
+    const GenRequest &req = pending_[index];
+    const int max_tokens =
+        int(req.promptTokens.size()) + req.maxNewTokens - 1;
+    // Prefix-cache lookup first: a hit shrinks both the prefill work
+    // (only suffix rows are stacked) and the reservation (full shared
+    // blocks are never written; the COW tail replacement is counted
+    // by blocksForSuffix).
+    PrefixMatch m;
+    if (prefix_)
+        m = prefix_->match(req.promptTokens);
+    size_t needed = KVCache::blocksForSuffix(
+        model_.config(), options_.decode.cache, max_tokens, m.rows);
+    bool reserved = pool_->tryReserve(needed);
+    // Pool pressure: cached prefixes are opportunistic memory — evict
+    // them LRU (keeping the entry this admission matched) until the
+    // reservation fits or nothing evictable remains.
+    while (!reserved && prefix_ && prefix_->evictLru(m.entry)) {
+        ++stats_.prefixEvictions;
+        reserved = pool_->tryReserve(needed);
+    }
+    if (!reserved && m.rows > 0 && active_.empty()) {
+        // Last resort: the matched entry's own blocks may be what is
+        // crowding the pool. Give up the match so the whole pool is
+        // available to a cold admission.
+        m = PrefixMatch{};
+        needed = KVCache::blocksForTokens(
+            model_.config(), options_.decode.cache, max_tokens);
+        reserved = pool_->tryReserve(needed);
+        while (!reserved && prefix_->evictLru()) {
             ++stats_.prefixEvictions;
             reserved = pool_->tryReserve(needed);
         }
-        if (!reserved && m.rows > 0 && active_.empty()) {
-            // Last resort: the matched entry's own blocks may be what is
-            // crowding the pool. Give up the match so the whole pool is
-            // available to a cold admission.
-            m = PrefixMatch{};
-            needed = KVCache::blocksForTokens(
-                model_.config(), options_.decode.cache, max_tokens);
-            reserved = pool_->tryReserve(needed);
-            while (!reserved && prefix_->evictLru()) {
-                ++stats_.prefixEvictions;
-                reserved = pool_->tryReserve(needed);
+    }
+    if (!reserved) {
+        TENDER_REQUIRE(!active_.empty() || index > 0,
+                       "request " << req.id << " needs " << needed
+                       << " KV blocks but the empty pool holds only "
+                       << pool_->config().capacityBlocks
+                       << ": it can never be admitted");
+        return false;
+    }
+    KVCache cache(model_.config(), options_.decode.cache, pool_.get(),
+                  needed);
+    if (m.rows > 0) {
+        prefix_->adopt(m, cache);
+        ++stats_.prefixHits;
+        stats_.prefillSkippedRows += m.rows;
+    } else if (prefix_) {
+        ++stats_.prefixMisses;
+    }
+    const std::vector<int> suffix(
+        req.promptTokens.begin() + m.rows, req.promptTokens.end());
+    Active a{req, std::move(cache), vocab_.embedAll(suffix), true, {}, 0};
+    pending_.erase(pending_.begin() + index);
+    if (a.request.onAdmit)
+        a.request.onAdmit();
+    active_.push_back(std::move(a));
+    ++stats_.admitted;
+    return true;
+}
+
+bool
+BatchScheduler::step()
+{
+    // Admit into free batch slots. Base order is FIFO, but an Interactive
+    // request may overtake Batch requests queued ahead of it — including
+    // a head deferred by pool pressure — up to maxHeadOvertakes times in
+    // a row, after which the head must go first (delayed, never starved).
+    // Admission order only decides *when* a request runs, never what it
+    // computes: all per-request work is row-local or cache-local.
+    while (int(active_.size()) < options_.maxBatch && !pending_.empty()) {
+        size_t index = 0;
+        if (pending_.front().priority != Priority::Interactive &&
+            headOvertakes_ < options_.maxHeadOvertakes) {
+            for (size_t i = 1; i < pending_.size(); ++i) {
+                if (pending_[i].priority == Priority::Interactive) {
+                    index = i;
+                    break;
+                }
             }
         }
-        if (!reserved) {
-            TENDER_REQUIRE(!active_.empty(),
-                           "request " << req.id << " needs " << needed
-                           << " KV blocks but the empty pool holds only "
-                           << pool_->config().capacityBlocks
-                           << ": it can never be admitted");
-            ++stats_.deferred;
-            break;
+        if (index > 0 && tryAdmit(index)) {
+            ++headOvertakes_;
+            ++stats_.overtakes;
+            continue;
         }
-        KVCache cache(model_.config(), options_.decode.cache, pool_.get(),
-                      needed);
-        if (m.rows > 0) {
-            prefix_->adopt(m, cache);
-            ++stats_.prefixHits;
-            stats_.prefillSkippedRows += m.rows;
-        } else if (prefix_) {
-            ++stats_.prefixMisses;
+        // No overtake (or the overtaker did not fit either): the head.
+        if (tryAdmit(0)) {
+            headOvertakes_ = 0;
+            continue;
         }
-        const std::vector<int> suffix(
-            req.promptTokens.begin() + m.rows, req.promptTokens.end());
-        Active a{req, std::move(cache), vocab_.embedAll(suffix), true, {},
-                 0};
-        pending_.pop_front();
-        active_.push_back(std::move(a));
-        ++stats_.admitted;
+        ++stats_.deferred;
+        break;
     }
     if (active_.empty())
         return false;
@@ -149,18 +219,27 @@ BatchScheduler::step()
     ++stats_.steps;
     stats_.batchedRows += rows;
 
-    // Sample one greedy token per request off its last hidden row, retire
+    // Read one token per request off its last hidden row — greedy, or the
+    // request's own decode hook (the serving layer's sampler) — retire
     // the finished, and stage single-row inputs for the rest.
     std::vector<Active> still_active;
     still_active.reserve(active_.size());
     for (size_t i = 0; i < active_.size(); ++i) {
         Active &a = active_[i];
         const DecodeSegment &seg = segments[i];
-        const int token = vocab_.argmaxToken(hidden, seg.row0 + seg.rows - 1,
-                                             kernels());
+        const int last_row = seg.row0 + seg.rows - 1;
+        const int token = a.request.decode
+            ? a.request.decode(hidden, last_row, kernels())
+            : vocab_.argmaxToken(hidden, last_row, kernels());
+        TENDER_CHECK_MSG(token >= 0 && token < vocab_.size(),
+                         "request " << a.request.id
+                         << " decode hook returned out-of-vocab token "
+                         << token);
         a.generated.push_back(token);
         ++a.steps;
         ++stats_.decodedTokens;
+        const bool keep_going =
+            a.request.onToken ? a.request.onToken(token) : true;
         // A completed prefill publishes its prompt's complete blocks for
         // later admissions (entry refs keep them alive past retirement;
         // identical prefixes deduplicate inside the cache).
@@ -168,8 +247,14 @@ BatchScheduler::step()
             prefix_->insert(a.request.promptTokens, a.cache))
             ++stats_.prefixInsertions;
         a.prefilling = false;
-        if (int(a.generated.size()) >= a.request.maxNewTokens) {
-            finished_.push_back({a.request.id, a.generated, a.steps});
+        if (!keep_going ||
+            int(a.generated.size()) >= a.request.maxNewTokens) {
+            const FinishReason reason =
+                keep_going ? FinishReason::Length : FinishReason::Stopped;
+            if (!keep_going)
+                ++stats_.stoppedEarly;
+            finished_.push_back(
+                {a.request.id, a.generated, a.steps, reason});
             ++stats_.retired;
         } else {
             a.nextInput = vocab_.embed(token);
@@ -181,12 +266,19 @@ BatchScheduler::step()
 }
 
 std::vector<GenResult>
+BatchScheduler::takeFinished()
+{
+    std::vector<GenResult> results = std::move(finished_);
+    finished_.clear();
+    return results;
+}
+
+std::vector<GenResult>
 BatchScheduler::drain()
 {
     while (step()) {
     }
-    std::vector<GenResult> results = std::move(finished_);
-    finished_.clear();
+    std::vector<GenResult> results = takeFinished();
     std::sort(results.begin(), results.end(),
               [](const GenResult &a, const GenResult &b) {
                   return a.id < b.id;

@@ -42,6 +42,17 @@
  * bit-identical to privately computed ones, so prefix caching never
  * changes which tokens a request generates — only how much prefill work
  * and KV memory it costs (tests/test_prefix_cache.cc).
+ *
+ * Serving hooks (src/serve/ is the client): requests carry a priority
+ * class — Interactive admissions may overtake a waiting Batch FIFO head,
+ * bounded by SchedulerOptions::maxHeadOvertakes so the head is delayed
+ * but never starved — an optional decode override (the sampling seam: the
+ * scheduler hands the stacked hidden states to the request instead of
+ * greedy-argmaxing itself), a per-token callback that can finish the
+ * request early (stop sequences), and an admission notification. cancel()
+ * retires a request mid-flight, returning its KV blocks and undrawn
+ * reservation to the pool. All of these move *when* work happens, never
+ * what a request computes (tests/test_serving.cc).
  */
 
 #ifndef TENDER_RUNTIME_BATCH_SCHEDULER_H
@@ -49,6 +60,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -57,20 +69,63 @@
 
 namespace tender {
 
+/**
+ * Admission priority class. Interactive requests may overtake Batch
+ * requests waiting ahead of them in the queue — including a deferred FIFO
+ * head whose KV reservation does not fit the pool yet — up to
+ * SchedulerOptions::maxHeadOvertakes consecutive overtakes, after which
+ * the head is admitted before any further overtaking (so a large Batch
+ * request is delayed, never starved). Priority only moves admission
+ * timing; per-request computation is scheduling-independent, so it never
+ * changes which tokens a request generates.
+ */
+enum class Priority { Batch = 0, Interactive = 1 };
+
+/** Why a request left the scheduler. */
+enum class FinishReason
+{
+    Length,    ///< maxNewTokens generated
+    Stopped,   ///< the onToken callback ended it (stop sequence, client EOF)
+    Cancelled, ///< cancel() mid-flight
+    Failed,    ///< rejected before admission (serving-layer validation)
+};
+
+const char *finishReasonName(FinishReason reason);
+
 /** One generation request. */
 struct GenRequest
 {
     int id = 0;
-    std::vector<int> promptTokens; ///< GreedyVocab token ids
+    std::vector<int> promptTokens; ///< Vocab token ids
     int maxNewTokens = 1;
+    Priority priority = Priority::Batch;
+    /** Optional token readout override: given the stacked hidden states,
+     *  this request's last row index, and the kernel context, return the
+     *  next token id (the serving layer's sampling hook). Null = greedy
+     *  argmax through the scheduler's Vocab. Must be a pure function of
+     *  the hidden row (plus request-owned state) so generated tokens stay
+     *  independent of admission order, batch size, and worker count. */
+    std::function<int(const Matrix &hidden, int row, const KernelContext &kc)>
+        decode = nullptr;
+    /** Optional per-token streaming callback, invoked in generation order
+     *  right after each token is decoded. Returning false finishes the
+     *  request (FinishReason::Stopped) before its budget — the stop-
+     *  sequence / client-disconnect hook. */
+    std::function<bool(int token)> onToken = nullptr;
+    /** Optional admission notification (queued -> prefill transition). */
+    std::function<void()> onAdmit = nullptr;
 };
 
 /** One finished request. */
 struct GenResult
 {
     int id = 0;
-    std::vector<int> tokens; ///< greedy-decoded tokens (maxNewTokens long)
-    int steps = 0;           ///< scheduler iterations spent active
+    /** Decoded tokens: greedy unless GenRequest::decode overrode the
+     *  readout. maxNewTokens long for FinishReason::Length; shorter when
+     *  the request was stopped or cancelled mid-decode. */
+    std::vector<int> tokens;
+    int steps = 0; ///< scheduler iterations spent active
+    FinishReason reason = FinishReason::Length;
 };
 
 struct SchedulerOptions
@@ -93,6 +148,10 @@ struct SchedulerOptions
     bool prefixCache = false;
     /** Live-entry cap of the prefix cache (LRU evicted past it). */
     size_t prefixCacheEntries = 64;
+    /** Consecutive admissions an Interactive request may jump ahead of a
+     *  waiting Batch FIFO head before the head must be admitted first —
+     *  the anti-starvation bound on priority overtaking. */
+    int maxHeadOvertakes = 4;
 };
 
 /** Aggregate counters (bench/diagnostics). */
@@ -113,6 +172,11 @@ struct SchedulerStats
     int64_t prefillSkippedRows = 0;
     int64_t prefixInsertions = 0; ///< prefix-cache entries created
     int64_t prefixEvictions = 0;  ///< entries evicted under pool pressure
+    /** Admissions where an Interactive request jumped a waiting Batch
+     *  FIFO head (bounded by SchedulerOptions::maxHeadOvertakes). */
+    int64_t overtakes = 0;
+    int64_t cancelled = 0;    ///< requests removed via cancel()
+    int64_t stoppedEarly = 0; ///< requests finished by onToken (stop seq)
 };
 
 class BatchScheduler
@@ -132,10 +196,23 @@ class BatchScheduler
     /** Step until drained; results sorted by request id. */
     std::vector<GenResult> drain();
 
+    /** Move out every result finished so far (unsorted, retirement
+     *  order) — the serving layer's per-step collection hook. drain()
+     *  keeps its collect-everything-then-sort contract. */
+    std::vector<GenResult> takeFinished();
+
+    /** Cancel a request mid-flight by id: a queued request is dropped, an
+     *  active one retires immediately — its KV blocks and any undrawn
+     *  reservation return to the pool (KVCache destructor) before the
+     *  next step. Either way a FinishReason::Cancelled result (holding
+     *  the tokens generated so far) is recorded. Returns false when the
+     *  id is neither queued nor active (already finished or unknown). */
+    bool cancel(int id);
+
     int activeCount() const { return int(active_.size()); }
     int pendingCount() const { return int(pending_.size()); }
     const SchedulerStats &stats() const { return stats_; }
-    const GreedyVocab &vocab() const { return vocab_; }
+    const Vocab &vocab() const { return vocab_; }
 
     /** The shared KV block pool (capacity/occupancy stats surface). */
     const BlockAllocator &pool() const { return *pool_; }
@@ -159,15 +236,21 @@ class BatchScheduler
 
     const KernelContext &kernels() const;
 
+    /** Try to admit pending_[index]: prefix match, KV reservation (with
+     *  LRU eviction fallback), cache construction. On success the request
+     *  moves from pending_ to active_. */
+    bool tryAdmit(size_t index);
+
     SyntheticModel &model_;
     SchedulerOptions options_;
     std::unique_ptr<BlockAllocator> pool_;
     std::unique_ptr<PrefixCache> prefix_;
-    GreedyVocab vocab_;
+    Vocab vocab_;
     std::deque<GenRequest> pending_;
     std::vector<Active> active_;
     std::vector<GenResult> finished_;
     SchedulerStats stats_;
+    int headOvertakes_ = 0; ///< consecutive overtakes of the current head
 };
 
 } // namespace tender

@@ -508,24 +508,24 @@ DecodeEngine::step(const Matrix &x_new)
     return decodeStep(model_, x_new, segments, step, kc);
 }
 
-GreedyVocab::GreedyVocab(int vocab_size, int d_model, uint64_t seed)
+Vocab::Vocab(int vocab_size, int d_model, uint64_t seed)
 {
     TENDER_REQUIRE(vocab_size > 0 && d_model > 0,
-                   "GreedyVocab needs positive vocab and model dims");
+                   "Vocab needs positive vocab and model dims");
     Rng rng(seed);
     embedding_ = randomGaussian(vocab_size, d_model, rng);
     readout_ = randomGaussian(vocab_size, d_model, rng);
 }
 
 Matrix
-GreedyVocab::embed(int token) const
+Vocab::embed(int token) const
 {
     TENDER_CHECK(token >= 0 && token < size());
     return embedding_.rowSlice(token, token + 1);
 }
 
 Matrix
-GreedyVocab::embedAll(const std::vector<int> &tokens) const
+Vocab::embedAll(const std::vector<int> &tokens) const
 {
     TENDER_CHECK(!tokens.empty());
     Matrix out(int(tokens.size()), embedding_.cols());
@@ -537,17 +537,22 @@ GreedyVocab::embedAll(const std::vector<int> &tokens) const
     return out;
 }
 
-int
-GreedyVocab::argmaxToken(const Matrix &hidden, int row,
-                         const KernelContext &kc) const
+Matrix
+Vocab::logits(const Matrix &hidden, int row, const KernelContext &kc) const
 {
     TENDER_CHECK(row >= 0 && row < hidden.rows());
     TENDER_CHECK(hidden.cols() == embedding_.cols());
-    const Matrix logits =
-        kc.gemmTransposedB(hidden.rowSlice(row, row + 1), readout_);
+    return kc.gemmTransposedB(hidden.rowSlice(row, row + 1), readout_);
+}
+
+int
+Vocab::argmaxToken(const Matrix &hidden, int row,
+                   const KernelContext &kc) const
+{
+    const Matrix l = logits(hidden, row, kc);
     int best = 0;
-    for (int t = 1; t < logits.cols(); ++t)
-        if (logits(0, t) > logits(0, best))
+    for (int t = 1; t < l.cols(); ++t)
+        if (l(0, t) > l(0, best))
             best = t;
     return best;
 }

@@ -29,9 +29,10 @@
  * through the quantized per-op path (the executor's "quantized stream")
  * so Tender itself can run the projections on single-step inputs.
  *
- * GreedyVocab closes the generation loop without a learned LM head: a
- * deterministic synthetic embedding table maps hidden states to logits
- * (tied weights) and token ids back to input rows.
+ * Vocab closes the generation loop without a learned LM head: a
+ * deterministic synthetic embedding table maps token ids to input rows
+ * and hidden states to a logits row over an untied readout — greedy
+ * argmax or the serving layer's sampler picks the next token from it.
  */
 
 #ifndef TENDER_RUNTIME_DECODE_ENGINE_H
@@ -203,20 +204,23 @@ class DecodeEngine
 };
 
 /**
- * Deterministic synthetic vocabulary for closed-loop greedy generation:
- * embed() turns a token id into an input row, argmaxToken() projects a
- * hidden row onto an *untied* readout matrix and returns the greedy token
- * (ties break toward the lowest id, so generation is reproducible across
- * backends by the kernel layer's bit-determinism). The readout is untied
- * from the embedding on purpose: the residual stream preserves the input
- * embedding, so a tied readout degenerates to echoing the previous token,
- * whereas the untied head yields history-dependent trajectories that
- * actually exercise the KV cache.
+ * Deterministic synthetic vocabulary for closed-loop generation: embed()
+ * turns a token id into an input row, logits() projects a hidden row onto
+ * an *untied* readout matrix and returns the full logits row — the seam
+ * every decoder hangs off of: greedy decode is argmaxToken() (argmax on
+ * top, ties toward the lowest id so generation is reproducible across
+ * backends by the kernel layer's bit-determinism), and the serving
+ * layer's temperature/top-k/top-p sampler (serve/sampler.h) consumes the
+ * same row. The readout is untied from the embedding on purpose: the
+ * residual stream preserves the input embedding, so a tied readout
+ * degenerates to echoing the previous token, whereas the untied head
+ * yields history-dependent trajectories that actually exercise the KV
+ * cache.
  */
-class GreedyVocab
+class Vocab
 {
   public:
-    GreedyVocab(int vocab_size, int d_model, uint64_t seed);
+    Vocab(int vocab_size, int d_model, uint64_t seed);
 
     int size() const { return embedding_.rows(); }
 
@@ -226,7 +230,13 @@ class GreedyVocab
     /** Embedding rows for a token sequence (prompt construction). */
     Matrix embedAll(const std::vector<int> &tokens) const;
 
-    /** Greedy next token from row `row` of a hidden-state matrix. */
+    /** 1 x vocab logits of row `row` of a hidden-state matrix against the
+     *  untied readout head. */
+    Matrix logits(const Matrix &hidden, int row,
+                  const KernelContext &kc) const;
+
+    /** Greedy next token: argmax over logits(), ties toward the lowest
+     *  token id. */
     int argmaxToken(const Matrix &hidden, int row,
                     const KernelContext &kc) const;
 
@@ -234,6 +244,9 @@ class GreedyVocab
     Matrix embedding_; ///< vocab x dModel input rows
     Matrix readout_;   ///< vocab x dModel untied LM head
 };
+
+/** Historical name from when the readout could only greedy-decode. */
+using GreedyVocab = Vocab;
 
 } // namespace tender
 

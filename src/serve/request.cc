@@ -1,0 +1,46 @@
+#include "serve/request.h"
+
+namespace tender {
+
+const char *
+requestStateName(RequestState state)
+{
+    switch (state) {
+    case RequestState::Queued: return "queued";
+    case RequestState::Prefill: return "prefill";
+    case RequestState::Decoding: return "decoding";
+    case RequestState::Finished: return "finished";
+    case RequestState::Cancelled: return "cancelled";
+    case RequestState::Failed: return "failed";
+    }
+    return "?";
+}
+
+bool
+legalTransition(RequestState from, RequestState to)
+{
+    switch (from) {
+    case RequestState::Queued:
+        // Failed only at the front door: validation happens before a
+        // request ever reaches Prefill.
+        return to == RequestState::Prefill ||
+               to == RequestState::Cancelled || to == RequestState::Failed;
+    case RequestState::Prefill:
+        // The prefill step always yields the first token, so a request
+        // whose budget is 1 (or whose first token completes a stop
+        // sequence) passes through Decoding in the same step rather than
+        // finishing straight from Prefill.
+        return to == RequestState::Decoding ||
+               to == RequestState::Cancelled;
+    case RequestState::Decoding:
+        return to == RequestState::Finished ||
+               to == RequestState::Cancelled;
+    case RequestState::Finished:
+    case RequestState::Cancelled:
+    case RequestState::Failed:
+        return false; // terminal
+    }
+    return false;
+}
+
+} // namespace tender

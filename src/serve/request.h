@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Serving-request vocabulary: lifecycle states, sampling parameters,
+ * stream events, and per-request latency metrics.
+ *
+ * A ServeRequest is what a client hands the serving front end
+ * (serve/serve_session.h): prompt, token budget, stop sequences,
+ * sampling parameters, priority class, and an optional streaming
+ * callback. The session tracks each request through the lifecycle
+ *
+ *   Queued -> Prefill -> Decoding -> Finished
+ *      \         \           \----> Cancelled
+ *       \         \---------------> Cancelled | Failed
+ *        \------------------------> Prefill | Cancelled | Failed
+ *
+ * (legalTransition() is the authoritative table; every transition the
+ * session performs is checked against it, and tests/test_serving.cc
+ * asserts the table itself). Failed is entered only from submit-time
+ * validation — a request the scheduler could never run (empty prompt,
+ * non-positive budget, a KV footprint larger than the whole pool) is
+ * rejected at the front door instead of tripping the runtime's fatal
+ * checks mid-flight.
+ *
+ * Latency metrics are recorded per request: TTFT (submit to first decoded
+ * token) and the inter-token latencies of every following token, the raw
+ * samples behind the per-priority-class p50/p95 the mixed-traffic bench
+ * scenario reports in BENCH_decode.json.
+ */
+
+#ifndef TENDER_SERVE_REQUEST_H
+#define TENDER_SERVE_REQUEST_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/batch_scheduler.h"
+
+namespace tender {
+
+/** Where a request is in its life (see file comment for the legal
+ *  transitions). */
+enum class RequestState
+{
+    Queued,    ///< submitted, waiting for a batch slot / KV reservation
+    Prefill,   ///< admitted; prompt rows are being consumed
+    Decoding,  ///< first token produced; extending token by token
+    Finished,  ///< retired normally (budget or stop sequence)
+    Cancelled, ///< cancel() removed it (queued or mid-decode)
+    Failed,    ///< rejected by submit-time validation
+};
+
+const char *requestStateName(RequestState state);
+
+/** True when `from` -> `to` is a legal lifecycle transition. */
+bool legalTransition(RequestState from, RequestState to);
+
+/**
+ * Per-request sampling configuration. temperature == 0 is greedy argmax
+ * (topK/topP ignored); otherwise logits are divided by temperature, the
+ * candidate set is cut to the topK highest logits (0 = all) and then to
+ * the smallest probability-sorted prefix with cumulative mass >= topP,
+ * and one token is drawn from the renormalized distribution.
+ *
+ * `seed` is the request's sampling stream: the RNG for the token at
+ * position p is seeded from mix(seed, p) alone (serve/sampler.h), so the
+ * drawn tokens depend only on the request and the logits — never on
+ * admission order, batch size, or worker count. Two requests with the
+ * same prompt and seed sample identical continuations; give requests
+ * distinct seeds for independent ones.
+ */
+struct SamplingParams
+{
+    float temperature = 0.f; ///< 0 = greedy (topK/topP ignored)
+    int topK = 0;            ///< keep the k highest logits; 0 = all
+    float topP = 1.f;        ///< nucleus mass cutoff; 1 = no cut
+    uint64_t seed = 0;       ///< per-request sampling stream seed
+};
+
+/** One streamed token (or terminal notification) of one request. */
+struct StreamEvent
+{
+    int requestId = 0;
+    /** Token id, or -1 for a terminal event that carries no new visible
+     *  token (stop-sequence hit, cancellation, failure). */
+    int token = -1;
+    int index = 0; ///< position among the request's *visible* tokens
+    /** Set on the request's last event; `reason` says why it ended. */
+    bool last = false;
+    FinishReason reason = FinishReason::Length;
+};
+
+/** What a client submits to ServeSession::submit. */
+struct ServeRequest
+{
+    std::vector<int> promptTokens; ///< Vocab token ids
+    int maxNewTokens = 1;
+    /** Token sequences that end generation. The matched sequence is cut
+     *  from the result, and tokens are only streamed once they can no
+     *  longer be part of a match (the partial-match holdback), so a stop
+     *  sequence is never half-emitted to the client. */
+    std::vector<std::vector<int>> stopSequences;
+    SamplingParams sampling;
+    Priority priority = Priority::Batch;
+    /** Per-token streaming callback (generation order, holdback applied);
+     *  also receives the terminal event. Optional. */
+    std::function<void(const StreamEvent &)> onEvent;
+};
+
+/** Per-request latency record (microseconds, wall clock). */
+struct RequestMetrics
+{
+    double queuedUs = -1.0; ///< submit -> admission (Prefill entry)
+    double ttftUs = -1.0;   ///< submit -> first decoded token
+    std::vector<double> interTokenUs; ///< gap before each later token
+};
+
+/** One retired request: tokens (stop sequence truncated away), terminal
+ *  state, and latency metrics. */
+struct ServeResult
+{
+    int id = 0;
+    RequestState state = RequestState::Finished;
+    FinishReason reason = FinishReason::Length;
+    std::vector<int> tokens;
+    RequestMetrics metrics;
+    std::string error; ///< non-empty only for Failed
+};
+
+} // namespace tender
+
+#endif // TENDER_SERVE_REQUEST_H

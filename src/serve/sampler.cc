@@ -1,0 +1,98 @@
+#include "serve/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tender {
+
+uint64_t
+sampleStreamSeed(uint64_t request_seed, int position)
+{
+    // splitmix64 of (seed + golden-ratio stride per position): the
+    // standard cheap mixer whose outputs are independent enough to seed
+    // one mt19937_64 per drawn token.
+    uint64_t z = request_seed + uint64_t(position + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+int
+sampleToken(const Matrix &logits, const SamplingParams &params, int position)
+{
+    TENDER_CHECK(logits.rows() == 1 && logits.cols() > 0);
+    TENDER_REQUIRE(params.temperature >= 0.f,
+                   "sampling temperature must be non-negative");
+    TENDER_REQUIRE(params.topK >= 0, "topK must be non-negative");
+    TENDER_REQUIRE(params.topP > 0.f && params.topP <= 1.f,
+                   "topP must lie in (0, 1]");
+    const int vocab = logits.cols();
+
+    if (params.temperature == 0.f) {
+        int best = 0;
+        for (int t = 1; t < vocab; ++t)
+            if (logits(0, t) > logits(0, best))
+                best = t;
+        return best;
+    }
+
+    // Candidate order: logit descending, lower token id on ties — the
+    // explicit total order every cutoff below is defined against.
+    std::vector<int> order(static_cast<size_t>(vocab));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (logits(0, a) != logits(0, b))
+            return logits(0, a) > logits(0, b);
+        return a < b;
+    });
+    int keep = vocab;
+    if (params.topK > 0)
+        keep = std::min(keep, params.topK);
+
+    // Softmax over the kept candidates (max-subtracted; double
+    // accumulation keeps the CDF walk stable for large vocabularies).
+    const float inv_t = 1.f / params.temperature;
+    const float top = logits(0, order[0]);
+    std::vector<double> prob(static_cast<size_t>(keep));
+    double mass = 0.0;
+    for (int i = 0; i < keep; ++i) {
+        prob[size_t(i)] =
+            std::exp(double((logits(0, order[size_t(i)]) - top) * inv_t));
+        mass += prob[size_t(i)];
+    }
+
+    // Nucleus cut: the smallest probability-sorted prefix reaching topP
+    // (the candidate crossing the threshold is included).
+    if (params.topP < 1.f) {
+        double cum = 0.0;
+        int nucleus = keep;
+        for (int i = 0; i < keep; ++i) {
+            cum += prob[size_t(i)] / mass;
+            if (cum >= double(params.topP)) {
+                nucleus = i + 1;
+                break;
+            }
+        }
+        keep = nucleus;
+        mass = 0.0;
+        for (int i = 0; i < keep; ++i)
+            mass += prob[size_t(i)];
+    }
+
+    Rng rng(sampleStreamSeed(params.seed, position));
+    const double u = rng.uniform() * mass;
+    double cum = 0.0;
+    for (int i = 0; i < keep; ++i) {
+        cum += prob[size_t(i)];
+        if (u < cum)
+            return order[size_t(i)];
+    }
+    return order[size_t(keep - 1)]; // fp round-off: u landed past the sum
+}
+
+} // namespace tender

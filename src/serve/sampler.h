@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic temperature/top-k/top-p token sampling over a logits row.
+ *
+ * The invariant this file exists to keep: a sampled token is a pure
+ * function of (logits row, SamplingParams, token position). The RNG for
+ * position p is freshly seeded from splitmix64-mixing the request's seed
+ * with p — never from a shared stream, a global counter, or anything the
+ * scheduler touches — so sampled generations inherit the runtime's
+ * scheduling-independence contract: because the hidden states (and
+ * therefore the logits) are already bit-identical across admission
+ * orders, batch sizes, and worker counts, the sampled tokens are too
+ * (gated as sampling_order_independent in BENCH_decode.json, asserted in
+ * tests/test_serving.cc). Greedy decode is the temperature == 0 corner of
+ * the same function.
+ *
+ * All selection math is scalar, single-threaded, and explicitly
+ * tie-broken (equal logits order by lower token id), so a given
+ * (logits, params, position) triple draws the same token on every run.
+ */
+
+#ifndef TENDER_SERVE_SAMPLER_H
+#define TENDER_SERVE_SAMPLER_H
+
+#include <cstdint>
+
+#include "serve/request.h"
+#include "tensor/matrix.h"
+
+namespace tender {
+
+/** Sampling-stream seed for the token at `position` of a request whose
+ *  stream seed is `request_seed` (splitmix64 mix; depends on nothing
+ *  else). */
+uint64_t sampleStreamSeed(uint64_t request_seed, int position);
+
+/** Draw the token at `position` from `logits` (any single row of a
+ *  1 x vocab matrix — pass Vocab::logits output) under `params`.
+ *  temperature == 0 reduces to argmax with ties toward the lowest id. */
+int sampleToken(const Matrix &logits, const SamplingParams &params,
+                int position);
+
+} // namespace tender
+
+#endif // TENDER_SERVE_SAMPLER_H

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Serving front end over the continuous-batching scheduler: request
+ * lifecycle, streaming sampled decode, stop sequences, cancellation, and
+ * per-request latency metrics.
+ *
+ * ServeSession is the layer that turns the decode runtime into a
+ * service. A submitted ServeRequest is validated (impossible requests
+ * enter Failed instead of tripping the runtime's fatal checks), tracked
+ * through Queued -> Prefill -> Decoding -> Finished/Cancelled
+ * (serve/request.h), and wired into the scheduler through the per-request
+ * hooks: the decode hook samples the next token from the Vocab logits row
+ * with the request's seeded temperature/top-k/top-p stream
+ * (serve/sampler.h), the token hook timestamps TTFT and inter-token
+ * latency, matches stop sequences (with partial-match holdback, so a stop
+ * sequence is never half-streamed), and the admission hook marks the
+ * Prefill transition. Cancellation retires a request mid-decode, handing
+ * its KV blocks and undrawn reservation back to the pool.
+ *
+ * The invariant inherited from below and preserved here: everything the
+ * session adds (sampling seeds, stop matching, priorities, cancellation
+ * timing) is a pure function of the request itself, so the tokens a
+ * request generates are independent of admission order, batch size, and
+ * worker count — for sampled decode exactly as the runtime already
+ * proves for greedy (tests/test_serving.cc; sampling_order_independent
+ * in BENCH_decode.json).
+ *
+ * Latency accounting is per priority class: latency() aggregates the
+ * retired requests' TTFT and inter-token samples into p50/p95 — the
+ * SLA numbers the mixed_traffic bench scenario records.
+ */
+
+#ifndef TENDER_SERVE_SERVE_SESSION_H
+#define TENDER_SERVE_SERVE_SESSION_H
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "runtime/batch_scheduler.h"
+#include "serve/request.h"
+
+namespace tender {
+
+struct ServeSessionOptions
+{
+    /** The wrapped scheduler's configuration (batch cap, KV mode, pool
+     *  size, prefix cache, priority overtake bound, kernels). */
+    SchedulerOptions scheduler;
+};
+
+/** Aggregated latency percentiles of one priority class (microseconds;
+ *  -1 when no samples). */
+struct LatencyStats
+{
+    int requests = 0;    ///< retired requests that produced tokens
+    int64_t tokens = 0;  ///< decoded tokens across those requests
+    int ttftSamples = 0;
+    int itlSamples = 0;
+    double ttftP50Us = -1.0;
+    double ttftP95Us = -1.0;
+    double itlP50Us = -1.0;
+    double itlP95Us = -1.0;
+};
+
+class ServeSession
+{
+  public:
+    ServeSession(SyntheticModel &model,
+                 const ServeSessionOptions &options = {});
+
+    /** Validate and enqueue a request; returns its assigned id. An
+     *  invalid request (empty prompt, non-positive budget, out-of-vocab
+     *  prompt token, empty stop sequence, KV footprint larger than the
+     *  whole pool) never reaches the scheduler: it retires immediately
+     *  as Failed with ServeResult::error set. */
+    int submit(const ServeRequest &request);
+
+    /** Cancel a queued or running request. Queued requests are dropped;
+     *  a running one retires before the next step, returning its KV
+     *  blocks and undrawn reservation to the pool. Returns false when
+     *  the id is unknown or already terminal. */
+    bool cancel(int id);
+
+    /** One scheduler iteration plus retirement processing (streaming
+     *  flushes, terminal events, result capture). Returns false once
+     *  fully drained. */
+    bool step();
+
+    /** Step until drained; returns every result retired since the last
+     *  drain() call, sorted by id. */
+    std::vector<ServeResult> drain();
+
+    /** Lifecycle state of a known request id (terminal states persist). */
+    RequestState state(int id) const;
+
+    /** Terminal result of a request, or nullptr while it is still live. */
+    const ServeResult *result(int id) const;
+
+    /** Latency percentiles over the retired requests of one class. */
+    LatencyStats latency(Priority priority) const;
+
+    BatchScheduler &scheduler() { return scheduler_; }
+    const BatchScheduler &scheduler() const { return scheduler_; }
+    BlockPoolStats poolStats() const { return scheduler_.poolStats(); }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** Live bookkeeping of one request (stable address: the scheduler
+     *  hooks capture it). */
+    struct Track
+    {
+        int id = 0;
+        ServeRequest spec;
+        RequestState state = RequestState::Queued;
+        Clock::time_point submitTime;
+        Clock::time_point lastTokenTime;
+        std::vector<int> generated; ///< decoded tokens incl. held-back
+        int streamed = 0;           ///< visible tokens emitted so far
+        int stopLen = 0;            ///< matched stop-sequence length
+        RequestMetrics metrics;
+    };
+
+    void transition(Track &track, RequestState to);
+    /** Decode + timestamp + stop-match handling for one new token;
+     *  returns false when the request must stop. */
+    bool onToken(Track &track, int token);
+    void streamVisible(Track &track, int visible);
+    void emitTerminal(Track &track, FinishReason reason);
+    /** Move the scheduler's finished results into ServeResults. */
+    void collectFinished();
+    void fail(Track &track, const std::string &why);
+
+    SyntheticModel &model_;
+    ServeSessionOptions options_;
+    BatchScheduler scheduler_;
+    int nextId_ = 0;
+    std::map<int, std::unique_ptr<Track>> tracks_;
+    std::map<int, ServeResult> results_;
+    std::vector<int> undrained_; ///< result ids not yet returned by drain()
+};
+
+} // namespace tender
+
+#endif // TENDER_SERVE_SERVE_SESSION_H

@@ -263,8 +263,8 @@ TEST(PagedKVCache, BlockReuseAfterRetirementHasNoStaleChunkState)
     EXPECT_GT(ps.reuses, 0);
     EXPECT_LT(ps.createdBlocks, size_t(ps.allocations));
 
-    GreedyVocab vocab(options.vocabSize, model.config().dModel,
-                      options.vocabSeed);
+    Vocab vocab(options.vocabSize, model.config().dModel,
+                options.vocabSeed);
     for (size_t i = 0; i < requests.size(); ++i) {
         DecodeOptions dopt;
         dopt.kernels = &kc;

@@ -260,8 +260,8 @@ TEST(BatchScheduler, MatchesUnbatchedDecodeEngine)
     const auto batched = scheduler.drain();
 
     // The same vocabulary the scheduler built internally.
-    GreedyVocab vocab(options.vocabSize, model.config().dModel,
-                     options.vocabSeed);
+    Vocab vocab(options.vocabSize, model.config().dModel,
+                options.vocabSeed);
     for (size_t i = 0; i < requests.size(); ++i) {
         DecodeOptions dopt;
         dopt.kernels = &kc;
