@@ -54,6 +54,20 @@
  * sampled tokens are bit-identical under reversed admission order, a
  * different batch cap, and a different worker count.
  *
+ * The "preemption_pressure" scenario bounds the block pool so a burst of
+ * Interactive requests arriving mid-run cannot be seated while
+ * Batch-class requests with long budgets hold every reservation, and
+ * runs the identical workload with mid-decode preemption on
+ * (maxPreemptions 2) and off. Recorded: Interactive TTFT p95 for both
+ * arms (preemption on must not wait for a Batch budget to drain),
+ * preemption/resume/deferral counters, tokens/s; gated:
+ * preempt_resume_bitexact — every request's tokens are identical across
+ * arms (the off arm runs uninterrupted, so this is the freeze/park/
+ * resume replay contract in both KV modes, and the on arm must actually
+ * preempt for the gate to count) — and the park-accounting audit
+ * (refcounts consistent, parks == unparks, zero parked blocks at drain,
+ * every block returned once the prefix cache clears).
+ *
  * The "correctness" block records machine-checkable invariants (fp32
  * decode bit-parity with full prefill, quantized-KV NMSE under its
  * bound, fused-vs-dequantize attention NMSE under its bound,
@@ -624,6 +638,147 @@ trafficOrderIndependent(SyntheticModel &model, const KernelContext &kc,
     return true;
 }
 
+// ---- Preemption under pool pressure -------------------------------------
+
+/** Batch-class requests with long budgets fill a bounded pool; a burst of
+ *  sampled Interactive requests arrives a few steps later. With
+ *  maxPreemptions off they wait for a Batch request to run its budget
+ *  down; with it on, the scheduler freezes a victim (parking its KV in
+ *  the prefix cache) to seat them now. The off arm doubles as the
+ *  uninterrupted reference for the preempt_resume_bitexact gate. */
+struct PressureSpec
+{
+    int maxBatch = 4;
+    size_t poolBlocks = 0;
+    int warmSteps = 4;
+    std::vector<ServeRequest> batchReqs;    ///< submitted first
+    std::vector<ServeRequest> interactive;  ///< submitted after warmSteps
+};
+
+PressureSpec
+pressureSpec(const ModelConfig &config, const KVCacheConfig &cache,
+             bool smoke)
+{
+    PressureSpec spec;
+    const int n_batch = smoke ? 2 : 3;
+    const int n_inter = smoke ? 3 : 4;
+    // One slot stays free: admission is blocked by the pool alone, so the
+    // scenario isolates preemption from simple slot turnover.
+    spec.maxBatch = n_batch + 1;
+    // By the freeze the victims hold 16-17 cache rows: one complete
+    // 16-row block beyond what their own prefill published (the 12-token
+    // prompt rounds down to zero complete blocks), so parking has real
+    // pages to keep and the resume readopts them.
+    spec.warmSteps = smoke ? 5 : 6;
+    const int b_prompt = 12;
+    const int b_budget = smoke ? 20 : 40;
+    for (int i = 0; i < n_batch; ++i) {
+        ServeRequest r;
+        for (int t = 0; t < b_prompt; ++t)
+            r.promptTokens.push_back((i * 29 + t * 5) % 256);
+        r.maxNewTokens = b_budget;
+        r.priority = Priority::Batch; // greedy
+        spec.batchReqs.push_back(r);
+    }
+    const int i_prompt = 5;
+    const int i_budget = smoke ? 4 : 6;
+    for (int i = 0; i < n_inter; ++i) {
+        ServeRequest r;
+        for (int t = 0; t < i_prompt; ++t)
+            r.promptTokens.push_back((150 + i * 17 + t) % 256);
+        r.maxNewTokens = i_budget;
+        r.priority = Priority::Interactive;
+        r.sampling.temperature = 0.9f;
+        r.sampling.topK = 16;
+        r.sampling.topP = 0.95f;
+        r.sampling.seed = 900 + uint64_t(i);
+        spec.interactive.push_back(r);
+    }
+    const size_t worst_b = KVCache::blocksForTokens(
+        config, cache, b_prompt + b_budget - 1);
+    const size_t worst_i = KVCache::blocksForTokens(
+        config, cache, i_prompt + i_budget - 1);
+    // Every Batch reservation fits, and one interactive reservation is
+    // exactly one block short — blocks must come back before it seats.
+    spec.poolBlocks = worst_b * size_t(n_batch) + worst_i - 1;
+    return spec;
+}
+
+struct PressurePoint
+{
+    double tokensPerS = 0.0;
+    int64_t preemptions = 0;
+    int64_t resumes = 0;
+    int64_t deferred = 0;
+    int64_t reusedRows = 0;
+    bool accountingOk = true;
+    LatencyStats interactive;
+    LatencyStats batch;
+    std::vector<std::vector<int>> tokens; ///< by spec submit order
+};
+
+PressurePoint
+runPressure(SyntheticModel &model, const KernelContext &kc,
+            const PressureSpec &spec, KVCacheMode mode, int max_preemptions)
+{
+    ServeSessionOptions options;
+    options.scheduler.maxBatch = spec.maxBatch;
+    options.scheduler.vocabSize = 256;
+    options.scheduler.decode.kernels = &kc;
+    options.scheduler.decode.cache.mode = mode;
+    options.scheduler.decode.cache.blockTokens = 16;
+    options.scheduler.decode.cache.tender.rowChunk = 16;
+    options.scheduler.kvPoolBlocks = spec.poolBlocks;
+    options.scheduler.prefixCache = true;
+    options.scheduler.maxPreemptions = max_preemptions;
+    ServeSession session(model, options);
+
+    std::vector<int> ids;
+    const auto t0 = Clock::now();
+    for (const ServeRequest &r : spec.batchReqs)
+        ids.push_back(session.submit(r));
+    for (int s = 0; s < spec.warmSteps; ++s)
+        session.step();
+    for (const ServeRequest &r : spec.interactive)
+        ids.push_back(session.submit(r));
+    session.drain();
+    const double s = std::chrono::duration<double>(Clock::now() - t0)
+                         .count();
+
+    PressurePoint p;
+    const SchedulerStats &st = session.scheduler().stats();
+    p.tokensPerS = double(st.decodedTokens) / s;
+    p.preemptions = st.preemptions;
+    p.resumes = st.resumes;
+    p.deferred = st.deferred;
+    p.reusedRows = st.resumedRowsReused;
+    p.interactive = session.latency(Priority::Interactive);
+    p.batch = session.latency(Priority::Batch);
+    for (const int id : ids) {
+        const ServeResult *r = session.result(id);
+        TENDER_CHECK(r != nullptr && r->state == RequestState::Finished);
+        p.tokens.push_back(r->tokens);
+    }
+    // Park accounting must settle to zero and every block must come home
+    // once the prefix cache lets go of the parked pages.
+    BlockPoolStats ps = session.scheduler().poolStats();
+    p.accountingOk = session.scheduler().pool().refcountsConsistent() &&
+        ps.parkedBlocks == 0 && ps.parks == ps.unparks;
+    session.scheduler().prefixCache()->clear();
+    ps = session.scheduler().poolStats();
+    p.accountingOk = p.accountingOk && ps.allocatedBlocks == 0 &&
+        ps.reservedBlocks == 0 && ps.sharedBlocks == 0 &&
+        session.scheduler().pool().refcountsConsistent();
+    return p;
+}
+
+bool
+sameTokenVectors(const std::vector<std::vector<int>> &a,
+                 const std::vector<std::vector<int>> &b)
+{
+    return a == b;
+}
+
 // ---- Recorded correctness invariants ------------------------------------
 
 struct Correctness
@@ -788,6 +943,41 @@ emitTrafficClass(FILE *f, const char *key, const LatencyStats &l)
                  "\"itl_p50_us\": %.1f, \"itl_p95_us\": %.1f},\n",
                  key, l.requests, (long long)l.tokens, l.ttftP50Us,
                  l.ttftP95Us, l.itlP50Us, l.itlP95Us);
+}
+
+void
+emitPressureMode(FILE *f, const char *key, const PressurePoint &on,
+                 const PressurePoint &off, bool trailing_comma)
+{
+    std::fprintf(f, "    \"%s\": {\n", key);
+    for (const auto *arm : {&on, &off}) {
+        const bool is_on = arm == &on;
+        std::fprintf(f, "      \"%s\": {\n", is_on ? "on" : "off");
+        std::fprintf(f,
+                     "        \"tokens_per_s\": %.2f, "
+                     "\"preemptions\": %lld, \"resumes\": %lld, "
+                     "\"resumed_rows_reused\": %lld, \"deferred\": %lld,\n",
+                     arm->tokensPerS, (long long)arm->preemptions,
+                     (long long)arm->resumes, (long long)arm->reusedRows,
+                     (long long)arm->deferred);
+        for (const bool batch_class : {false, true}) {
+            const LatencyStats &l =
+                batch_class ? arm->batch : arm->interactive;
+            std::fprintf(f,
+                         "        \"%s\": {\"requests\": %d, "
+                         "\"tokens\": %lld, \"ttft_p50_us\": %.1f, "
+                         "\"ttft_p95_us\": %.1f, \"itl_p50_us\": %.1f, "
+                         "\"itl_p95_us\": %.1f, \"preemptions\": %d}%s\n",
+                         batch_class ? "batch" : "interactive", l.requests,
+                         (long long)l.tokens, l.ttftP50Us, l.ttftP95Us,
+                         l.itlP50Us, l.itlP95Us, l.preemptions,
+                         batch_class ? "" : ",");
+        }
+        std::fprintf(f, "      },\n");
+    }
+    std::fprintf(f, "      \"interactive_ttft_p95_ratio\": %.3f\n",
+                 off.interactive.ttftP95Us / on.interactive.ttftP95Us);
+    std::fprintf(f, "    }%s\n", trailing_comma ? "," : "");
 }
 
 void
@@ -1016,6 +1206,51 @@ main(int argc, char **argv)
                 "worker count\n",
                 order_independent ? "independent" : "DEPEND ON");
 
+    // Preemption under pool pressure: the same workload with mid-decode
+    // preemption on vs off, both KV modes. The off arm runs every request
+    // uninterrupted, so token equality across arms is exactly the
+    // freeze/park/resume bit-exactness contract.
+    const PressureSpec ppspec = pressureSpec(config, traffic_cache, smoke);
+    const PressurePoint press_fp32_on =
+        runPressure(model, kc, ppspec, KVCacheMode::Fp32, 2);
+    const PressurePoint press_fp32_off =
+        runPressure(model, kc, ppspec, KVCacheMode::Fp32, 0);
+    const PressurePoint press_tender_on =
+        runPressure(model, kc, ppspec, KVCacheMode::TenderQuantized, 2);
+    const PressurePoint press_tender_off =
+        runPressure(model, kc, ppspec, KVCacheMode::TenderQuantized, 0);
+    const bool preempt_bitexact =
+        sameTokenVectors(press_fp32_on.tokens, press_fp32_off.tokens) &&
+        sameTokenVectors(press_tender_on.tokens, press_tender_off.tokens) &&
+        press_fp32_on.preemptions > 0 && press_tender_on.preemptions > 0 &&
+        press_fp32_off.preemptions == 0 && press_tender_off.preemptions == 0;
+    const bool preempt_accounting_ok = press_fp32_on.accountingOk &&
+        press_fp32_off.accountingOk && press_tender_on.accountingOk &&
+        press_tender_off.accountingOk;
+    std::printf("preemption pressure (%zu batch + %zu interactive, pool "
+                "%zu blocks): fp32 on %lld preemptions/%lld resumes, "
+                "interactive TTFT p95 %.0f us vs %.0f us off (%.2fx); "
+                "tokens %s, accounting %s\n",
+                ppspec.batchReqs.size(), ppspec.interactive.size(),
+                ppspec.poolBlocks, (long long)press_fp32_on.preemptions,
+                (long long)press_fp32_on.resumes,
+                press_fp32_on.interactive.ttftP95Us,
+                press_fp32_off.interactive.ttftP95Us,
+                press_fp32_off.interactive.ttftP95Us /
+                    press_fp32_on.interactive.ttftP95Us,
+                preempt_bitexact ? "bit-exact across arms" : "DIVERGED",
+                preempt_accounting_ok ? "settled" : "LEAKED");
+    std::printf("  tender-KV: on %lld preemptions/%lld resumes "
+                "(%lld rows readopted), interactive TTFT p95 %.0f us vs "
+                "%.0f us off (%.2fx)\n",
+                (long long)press_tender_on.preemptions,
+                (long long)press_tender_on.resumes,
+                (long long)press_tender_on.reusedRows,
+                press_tender_on.interactive.ttftP95Us,
+                press_tender_off.interactive.ttftP95Us,
+                press_tender_off.interactive.ttftP95Us /
+                    press_tender_on.interactive.ttftP95Us);
+
     const Correctness correct = checkCorrectness(model, gqa_model, kc);
     std::printf("correctness: fp32 decode %s full prefill, tender-KV "
                 "nmse %.3g (bound %.3g), fused-attention nmse %.3g "
@@ -1110,6 +1345,21 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"sampling_order_independent\": %s\n",
                  order_independent ? "true" : "false");
     std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"preemption_pressure\": {\n");
+    std::fprintf(f,
+                 "    \"batch_requests\": %zu, "
+                 "\"interactive_requests\": %zu, \"max_batch\": %d, "
+                 "\"kv_pool_blocks\": %zu, \"warm_steps\": %d, "
+                 "\"max_preemptions\": 2,\n",
+                 ppspec.batchReqs.size(), ppspec.interactive.size(),
+                 ppspec.maxBatch, ppspec.poolBlocks, ppspec.warmSteps);
+    emitPressureMode(f, "fp32", press_fp32_on, press_fp32_off, true);
+    emitPressureMode(f, "tender", press_tender_on, press_tender_off, true);
+    std::fprintf(f, "    \"preempt_resume_bitexact\": %s,\n",
+                 preempt_bitexact ? "true" : "false");
+    std::fprintf(f, "    \"refcounts_consistent\": %s\n",
+                 preempt_accounting_ok ? "true" : "false");
+    std::fprintf(f, "  },\n");
     std::fprintf(f,
                  "  \"calibration\": {\"workload\": \"%s\", "
                  "\"score_mflops\": %.1f},\n",
@@ -1138,7 +1388,8 @@ main(int argc, char **argv)
                    correct.tenderNmse < correct.tenderNmseBound &&
                    correct.fusedNmse < correct.fusedNmseBound &&
                    correct.mqPanelBitExact && prefix_bitexact &&
-                   refcounts_ok && order_independent
+                   refcounts_ok && order_independent && preempt_bitexact &&
+                   preempt_accounting_ok
                ? 0
                : 1;
 }

@@ -4,8 +4,11 @@
 # cache) plus the churned paged-vs-contiguous KV comparison and the
 # mixed-traffic serving scenario (chat + long-doc + short completions
 # through the serving front end: TTFT/ITL percentiles per priority class,
-# gated sampling_order_independent) into BENCH_decode.json at the repo
-# root (serving-path perf trajectory, PR over PR).
+# gated sampling_order_independent) and the preemption_pressure scenario
+# (mid-decode freeze/park/resume on vs off under a bounded pool: gated
+# preempt_resume_bitexact + park accounting, recorded interactive TTFT
+# p95 per arm) into BENCH_decode.json at the repo root (serving-path
+# perf trajectory, PR over PR).
 #
 # Usage: scripts/bench_decode.sh [--smoke] [prompt new_tokens workers [out.json]]
 # Defaults: 16 32 8 BENCH_decode.json; --smoke runs the reduced CI sizes

@@ -37,6 +37,15 @@ recorded correctness field regresses:
         layer's extension of the scheduling-independence contract); the
         per-priority-class TTFT/ITL percentile fields must be present
         (their values are recorded, never gated — they are runner-speed)
+    preemption_pressure.preempt_resume_bitexact   the preemption-on arm
+        (which must actually preempt) produces the same tokens per
+        request as the uninterrupted preemption-off arm, in both KV
+        modes — the freeze/park/resume replay contract
+    preemption_pressure.refcounts_consistent   park accounting settles
+        (parks == unparks, zero parked blocks after drain) and every
+        block returns once the prefix cache is cleared; per-arm
+        Interactive TTFT percentiles must be present (recorded, not
+        gated)
 
 Perf numbers (tokens/s, GFLOP/s) are recorded but never gated here — they
 vary with the runner; correctness must not.
@@ -172,6 +181,36 @@ def check_decode(path):
           f"of scheduling ({traffic['prefix_hits']} prefix hits, "
           f"{traffic['overtakes']} overtakes, {traffic['deferred']} "
           "deferrals)")
+    pressure = doc["preemption_pressure"]
+    if pressure["preempt_resume_bitexact"] is not True:
+        fail(f"{path}: preemption_pressure.preempt_resume_bitexact is "
+             f"{pressure['preempt_resume_bitexact']} (preempted-and-"
+             "resumed requests must produce exactly the tokens of the "
+             "uninterrupted run, and the on arm must actually preempt)")
+    if pressure["refcounts_consistent"] is not True:
+        fail(f"{path}: preemption_pressure.refcounts_consistent is "
+             f"{pressure['refcounts_consistent']} (park accounting "
+             "leaked: refcount audit failed, parks != unparks, or "
+             "blocks stayed out after the prefix cache was cleared)")
+    for mode in ("fp32", "tender"):
+        arm = pressure[mode]
+        for side in ("on", "off"):
+            for field in ("ttft_p50_us", "ttft_p95_us"):
+                if field not in arm[side]["interactive"]:
+                    fail(f"{path}: preemption_pressure.{mode}.{side}."
+                         f"interactive.{field} missing (per-arm TTFT "
+                         "percentiles must be recorded)")
+        if not arm["on"]["preemptions"] > 0:
+            fail(f"{path}: preemption_pressure.{mode}.on.preemptions = "
+                 f"{arm['on']['preemptions']} (the on arm never "
+                 "preempted; the scenario exercised nothing)")
+        print(f"check_bench: {path}: preemption_pressure.{mode} "
+              f"{arm['on']['preemptions']} preemptions/"
+              f"{arm['on']['resumes']} resumes, interactive TTFT p95 "
+              f"{arm['on']['interactive']['ttft_p95_us']:.0f} us on vs "
+              f"{arm['off']['interactive']['ttft_p95_us']:.0f} us off "
+              f"({arm['interactive_ttft_p95_ratio']:.2f}x; recorded, "
+              "not gated)")
     fused_ratio = doc["fused_over_dequant_tokens_ratio"]
     mq = doc.get("mq_panels")
     if mq is not None:
@@ -207,6 +246,13 @@ def iter_tokens_per_s(doc):
     traffic_tps = doc.get("mixed_traffic", {}).get("tokens_per_s")
     if traffic_tps is not None:
         yield "mixed_traffic", traffic_tps
+    for mode in ("fp32", "tender"):
+        for side in ("on", "off"):
+            point = (doc.get("preemption_pressure", {}).get(mode, {})
+                     .get(side))
+            if point is not None:
+                yield (f"preemption_pressure.{mode}.{side}",
+                       point["tokens_per_s"])
 
 
 def compare_baseline(doc, baseline_path):

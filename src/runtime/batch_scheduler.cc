@@ -38,6 +38,14 @@ BatchScheduler::BatchScheduler(SyntheticModel &model,
                    "prefix caching cannot run with a quantizing GemmScheme:"
                    " suffix-only prefill would shift the scheme's row-chunk"
                    " scales and change generated tokens");
+    TENDER_REQUIRE(options.maxPreemptions >= 0,
+                   "maxPreemptions must be non-negative");
+    // Freezing a victim IS a prefix-cache insert (and resume an adopt),
+    // so preemption without the cache has nowhere to park the frozen KV.
+    TENDER_REQUIRE(options.maxPreemptions == 0 || options.prefixCache,
+                   "maxPreemptions > 0 requires prefixCache: preemption"
+                   " parks the victim's frozen KV in the prefix cache and"
+                   " resume adopts it back");
     if (options.prefixCache) {
         PrefixCacheConfig pc;
         pc.maxEntries = options.prefixCacheEntries;
@@ -60,16 +68,21 @@ BatchScheduler::submit(const GenRequest &request)
                    "a request needs a non-empty prompt");
     TENDER_REQUIRE(request.maxNewTokens > 0,
                    "a request must generate at least one token");
-    pending_.push_back(request);
+    pending_.push_back({request, {}, 0, 0, 0});
 }
 
 bool
 BatchScheduler::cancel(int id)
 {
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-        if (it->id != id)
+        if (it->request.id != id)
             continue;
-        finished_.push_back({id, {}, 0, FinishReason::Cancelled});
+        // A preempted request cancelled before resume keeps the tokens
+        // it generated; its park accounting is settled here while the
+        // parked blocks live on as an ordinary evictable cache entry.
+        pool_->noteUnpark(it->parkedBlocks);
+        finished_.push_back({id, std::move(it->generated), it->steps,
+                             FinishReason::Cancelled});
         pending_.erase(it);
         ++stats_.cancelled;
         return true;
@@ -93,16 +106,29 @@ BatchScheduler::cancel(int id)
 bool
 BatchScheduler::tryAdmit(size_t index)
 {
-    const GenRequest &req = pending_[index];
-    const int max_tokens =
-        int(req.promptTokens.size()) + req.maxNewTokens - 1;
+    Pending &p = pending_[index];
+    const GenRequest &req = p.request;
+    const bool resume = !p.generated.empty();
+    // Resume of a preempted request is ordinary admission of its
+    // *effective* prompt — the original prompt plus every token already
+    // generated — against a budget shrunk by those tokens. The worst-case
+    // reservation collapses back to |prompt| + maxNewTokens - 1 rows,
+    // exactly the request's original footprint, and the prefix match
+    // below is what finds the parked pages (its cap of complete blocks
+    // only is precisely the frozen-row bound, so resume recomputes only
+    // the partial-block tail the freeze could not park).
+    std::vector<int> effective = req.promptTokens;
+    effective.insert(effective.end(), p.generated.begin(),
+                     p.generated.end());
+    const int remaining = req.maxNewTokens - int(p.generated.size());
+    const int max_tokens = int(effective.size()) + remaining - 1;
     // Prefix-cache lookup first: a hit shrinks both the prefill work
     // (only suffix rows are stacked) and the reservation (full shared
     // blocks are never written; the COW tail replacement is counted
     // by blocksForSuffix).
     PrefixMatch m;
     if (prefix_)
-        m = prefix_->match(req.promptTokens);
+        m = prefix_->match(effective);
     size_t needed = KVCache::blocksForSuffix(
         model_.config(), options_.decode.cache, max_tokens, m.rows);
     bool reserved = pool_->tryReserve(needed);
@@ -143,9 +169,36 @@ BatchScheduler::tryAdmit(size_t index)
     } else if (prefix_) {
         ++stats_.prefixMisses;
     }
-    const std::vector<int> suffix(
-        req.promptTokens.begin() + m.rows, req.promptTokens.end());
-    Active a{req, std::move(cache), vocab_.embedAll(suffix), true, {}, 0};
+    // Stage everything past the adopted prefix. A fresh request prefills
+    // its remaining prompt in one segment. A resume must reproduce the
+    // original run's *step grouping*: a row's attention dequantizes the
+    // open quantized chunk as scaled over the rows present at its own
+    // step's end, so the unparked prompt tail (originally one prefill
+    // segment) is staged as one segment, and every decoded row
+    // (originally one single-row step each) is queued on Active::replay
+    // to be re-fed one step at a time. Grouping them differently would
+    // change what the replayed rows' attention reads — and with it the
+    // deeper layers' K/V — breaking bit-exact resume in quantized mode.
+    const size_t prompt_len = req.promptTokens.size();
+    size_t first_end = effective.size();
+    std::deque<int> replay;
+    if (resume) {
+        first_end = size_t(m.rows) < prompt_len ? prompt_len
+                                                : size_t(m.rows) + 1;
+        replay.assign(effective.begin() + ptrdiff_t(first_end),
+                      effective.end());
+    }
+    const std::vector<int> first_segment(
+        effective.begin() + m.rows,
+        effective.begin() + ptrdiff_t(first_end));
+    if (resume) {
+        pool_->noteUnpark(p.parkedBlocks);
+        ++stats_.resumes;
+        stats_.resumedRowsReused += m.rows;
+    }
+    Active a{std::move(p.request), std::move(cache),
+             vocab_.embedAll(first_segment), true, std::move(p.generated),
+             p.steps, p.preemptions, resume, std::move(replay)};
     pending_.erase(pending_.begin() + index);
     if (a.request.onAdmit)
         a.request.onAdmit();
@@ -154,8 +207,8 @@ BatchScheduler::tryAdmit(size_t index)
     return true;
 }
 
-bool
-BatchScheduler::step()
+void
+BatchScheduler::admit()
 {
     // Admit into free batch slots. Base order is FIFO, but an Interactive
     // request may overtake Batch requests queued ahead of it — including
@@ -165,10 +218,11 @@ BatchScheduler::step()
     // computes: all per-request work is row-local or cache-local.
     while (int(active_.size()) < options_.maxBatch && !pending_.empty()) {
         size_t index = 0;
-        if (pending_.front().priority != Priority::Interactive &&
+        if (pending_.front().request.priority != Priority::Interactive &&
             headOvertakes_ < options_.maxHeadOvertakes) {
             for (size_t i = 1; i < pending_.size(); ++i) {
-                if (pending_[i].priority == Priority::Interactive) {
+                if (pending_[i].request.priority ==
+                    Priority::Interactive) {
                     index = i;
                     break;
                 }
@@ -187,6 +241,105 @@ BatchScheduler::step()
         ++stats_.deferred;
         break;
     }
+    if (options_.maxPreemptions <= 0)
+        return;
+
+    // Preemption pass: an Interactive request the loop above left waiting
+    // — every slot taken, or its reservation blocked by pool pressure —
+    // may freeze a running Batch request instead of waiting out its whole
+    // decode. Each round either admits the first waiting Interactive
+    // request or preempts one victim (shrinking active_), so the loop
+    // terminates. The overtake bound still applies: preemption never
+    // becomes a starvation channel past a waiting Batch head.
+    while (!pending_.empty()) {
+        size_t ii = pending_.size();
+        for (size_t i = 0; i < pending_.size(); ++i) {
+            if (pending_[i].request.priority == Priority::Interactive) {
+                ii = i;
+                break;
+            }
+        }
+        if (ii == pending_.size())
+            break; // no Interactive request waiting
+        if (ii > 0 && headOvertakes_ >= options_.maxHeadOvertakes)
+            break; // anti-starvation: the Batch head must go next
+        if (int(active_.size()) < options_.maxBatch && tryAdmit(ii)) {
+            if (ii > 0) {
+                ++headOvertakes_;
+                ++stats_.overtakes;
+            } else {
+                headOvertakes_ = 0;
+            }
+            continue;
+        }
+        if (!preemptVictim())
+            break; // nothing (left) to preempt for it
+    }
+}
+
+bool
+BatchScheduler::preemptVictim()
+{
+    // Victim choice: Batch priority only (Interactive never preempts
+    // Interactive), past its first token (an unstarted prefill holds
+    // nothing worth parking — deferral already covers it), not mid-way
+    // through a resume replay (its cache does not yet hold the rows its
+    // `generated` implies, so the park bookkeeping would be wrong), and
+    // under its anti-thrash bound. Among candidates, the one holding the
+    // most KV blocks frees the most pool; ties go to the later admission
+    // (the earlier one is closer to finishing).
+    size_t victim = active_.size();
+    size_t victim_blocks = 0;
+    for (size_t i = 0; i < active_.size(); ++i) {
+        const Active &a = active_[i];
+        if (a.request.priority != Priority::Batch || a.generated.empty() ||
+            a.prefilling || !a.replay.empty() ||
+            a.preemptions >= options_.maxPreemptions)
+            continue;
+        const size_t blocks = a.cache.blocksInUse();
+        if (victim == active_.size() || blocks >= victim_blocks) {
+            victim = i;
+            victim_blocks = blocks;
+        }
+    }
+    if (victim == active_.size())
+        return false;
+    Active &a = active_[victim];
+
+    // Freeze. The cache holds the rows of prompt ++ generated minus the
+    // last token (whose row would only be computed by the next step), all
+    // already-immutable pages, so parking is one PrefixCache::insert:
+    // the entry's share() refs keep the complete leading blocks alive
+    // after the Active (and its KVCache) is destroyed. The partial-block
+    // tail cannot be parked — in quantized mode its open staging chunk
+    // would have to be sealed short, moving chunk boundaries and changing
+    // numerics — so resume recomputes it instead (bit-identically, since
+    // chunk boundaries are row-position-determined).
+    std::vector<int> parked_tokens = a.request.promptTokens;
+    parked_tokens.insert(parked_tokens.end(), a.generated.begin(),
+                         a.generated.end() - 1);
+    const size_t held_before = prefix_->blocksHeld();
+    if (prefix_->insert(parked_tokens, a.cache))
+        ++stats_.prefixInsertions;
+    const size_t parked = prefix_->blocksHeld() - held_before;
+    pool_->notePark(parked);
+    if (a.request.onPreempt)
+        a.request.onPreempt();
+    pending_.push_front({std::move(a.request), std::move(a.generated),
+                         a.steps, a.preemptions + 1, parked});
+    // Erasing the Active destroys its KVCache: every private block and
+    // any undrawn reservation return to the pool. The parked blocks live
+    // on under the cache entry's refs (and stay LRU-evictable — a resume
+    // after eviction just recomputes more).
+    active_.erase(active_.begin() + victim);
+    ++stats_.preemptions;
+    return true;
+}
+
+bool
+BatchScheduler::step()
+{
+    admit();
     if (active_.empty())
         return false;
 
@@ -226,6 +379,17 @@ BatchScheduler::step()
     still_active.reserve(active_.size());
     for (size_t i = 0; i < active_.size(); ++i) {
         Active &a = active_[i];
+        if (!a.replay.empty()) {
+            // Resume catch-up: this step rebuilt KV rows whose token is
+            // already in `generated`, so nothing is read out and no
+            // retirement check runs — the next original single-row step
+            // is simply re-staged until the replay reaches the live row.
+            a.nextInput = vocab_.embed(a.replay.front());
+            a.replay.pop_front();
+            a.prefilling = false;
+            still_active.push_back(std::move(a));
+            continue;
+        }
         const DecodeSegment &seg = segments[i];
         const int last_row = seg.row0 + seg.rows - 1;
         const int token = a.request.decode
@@ -242,8 +406,10 @@ BatchScheduler::step()
             a.request.onToken ? a.request.onToken(token) : true;
         // A completed prefill publishes its prompt's complete blocks for
         // later admissions (entry refs keep them alive past retirement;
-        // identical prefixes deduplicate inside the cache).
-        if (a.prefilling && prefix_ &&
+        // identical prefixes deduplicate inside the cache). A resumed
+        // request skips this: its park entry already covers a superset
+        // of the prompt.
+        if (a.prefilling && prefix_ && !a.resumed &&
             prefix_->insert(a.request.promptTokens, a.cache))
             ++stats_.prefixInsertions;
         a.prefilling = false;

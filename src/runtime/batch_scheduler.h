@@ -53,6 +53,34 @@
  * retires a request mid-flight, returning its KV blocks and undrawn
  * reservation to the pool. All of these move *when* work happens, never
  * what a request computes (tests/test_serving.cc).
+ *
+ * Mid-decode preemption (SchedulerOptions::maxPreemptions > 0, requires
+ * the prefix cache): when a pending Interactive request cannot be
+ * admitted — every batch slot taken or its KV reservation blocked by
+ * pool pressure — the scheduler may freeze a running Batch request
+ * instead of making the Interactive one wait out a long decode. The
+ * victim's computed KV rows are already immutable pages (fp32 blocks, or
+ * frozen quantized chunks; the open staging chunk is simply replayed on
+ * resume, because sealing a short chunk would move chunk boundaries and
+ * change numerics), so freezing is publishing them through the existing
+ * PrefixCache::insert / share() machinery, releasing the victim's blocks
+ * and undrawn reservation, and re-queueing it at the FIFO head in a
+ * Preempted state. Resume is ordinary re-admission: the effective prompt
+ * is the original prompt plus every token generated so far, the parked
+ * prefix is adopted via KVCache::adoptPrefix, and only the rows past the
+ * last complete parked block are recomputed — the unparked prompt tail
+ * as one prefill segment and each decoded row as its own single-row
+ * step, reproducing the original run's step grouping exactly (a row's
+ * attention reads the open quantized chunk as scaled over the rows
+ * present at its own step's end, so a different grouping would read
+ * different values). Because shared pages read bit-identically and every
+ * per-request computation is row-local, a preempted-and-resumed request
+ * generates exactly the tokens it would have uninterrupted
+ * (tests/test_preemption.cc; preempt_resume_bitexact in
+ * BENCH_decode.json). Victims are chosen lowest-priority first, most
+ * blocks held among those, and each request is preempted at most
+ * maxPreemptions times (anti-thrash); parked blocks are tracked in
+ * BlockPoolStats::parkedBlocks.
  */
 
 #ifndef TENDER_RUNTIME_BATCH_SCHEDULER_H
@@ -112,8 +140,13 @@ struct GenRequest
      *  request (FinishReason::Stopped) before its budget — the stop-
      *  sequence / client-disconnect hook. */
     std::function<bool(int token)> onToken = nullptr;
-    /** Optional admission notification (queued -> prefill transition). */
+    /** Optional admission notification (queued -> prefill transition;
+     *  also fired when a preempted request is re-admitted). */
     std::function<void()> onAdmit = nullptr;
+    /** Optional preemption notification: the request was frozen
+     *  mid-decode and returned to the queue (decoding -> preempted). Its
+     *  next onAdmit call is the resume. */
+    std::function<void()> onPreempt = nullptr;
 };
 
 /** One finished request. */
@@ -152,6 +185,14 @@ struct SchedulerOptions
      *  waiting Batch FIFO head before the head must be admitted first —
      *  the anti-starvation bound on priority overtaking. */
     int maxHeadOvertakes = 4;
+    /** Times one request may be frozen mid-decode (KV parked in the
+     *  prefix cache, slot and blocks reclaimed, re-queued for resume) to
+     *  admit a waiting Interactive request. 0 disables preemption; > 0
+     *  requires prefixCache (the park/resume machinery) and is therefore
+     *  incompatible with decode.scheme. The bound is the anti-thrash
+     *  guarantee: a Batch request can lose its slot at most this many
+     *  times, so it always eventually finishes. */
+    int maxPreemptions = 0;
 };
 
 /** Aggregate counters (bench/diagnostics). */
@@ -177,6 +218,15 @@ struct SchedulerStats
     int64_t overtakes = 0;
     int64_t cancelled = 0;    ///< requests removed via cancel()
     int64_t stoppedEarly = 0; ///< requests finished by onToken (stop seq)
+    /** Mid-decode freezes: a running request's KV was parked and its slot
+     *  and blocks handed to a waiting Interactive request. */
+    int64_t preemptions = 0;
+    /** Re-admissions of previously preempted requests. */
+    int64_t resumes = 0;
+    /** Prompt+generated rows of preempted requests served from parked
+     *  pages at resume instead of being recomputed (also counted in
+     *  prefillSkippedRows). */
+    int64_t resumedRowsReused = 0;
 };
 
 class BatchScheduler
@@ -224,6 +274,18 @@ class BatchScheduler
     const PrefixCache *prefixCache() const { return prefix_.get(); }
 
   private:
+    /** A queued request, possibly one frozen mid-decode awaiting resume
+     *  (generated non-empty): re-admission treats prompt + generated as
+     *  the effective prompt and adopts the parked prefix. */
+    struct Pending
+    {
+        GenRequest request;
+        std::vector<int> generated; ///< tokens decoded before preemption
+        int steps = 0;              ///< scheduler iterations already spent
+        int preemptions = 0;        ///< times frozen (anti-thrash bound)
+        size_t parkedBlocks = 0;    ///< pool blocks parked for this freeze
+    };
+
     struct Active
     {
         GenRequest request;
@@ -232,6 +294,15 @@ class BatchScheduler
         bool prefilling = true;
         std::vector<int> generated;
         int steps = 0;
+        int preemptions = 0;  ///< carried across freeze/resume cycles
+        bool resumed = false; ///< admitted with pre-generated tokens
+        /** Resume catch-up: decoded tokens still to be re-fed one
+         *  single-row step each (their tokens are already in `generated`,
+         *  so these steps read nothing out). Replay must reproduce the
+         *  original run's step grouping because a row's attention reads
+         *  the open quantized chunk as scaled over the rows present at
+         *  its own step's end — see tryAdmit. */
+        std::deque<int> replay;
     };
 
     const KernelContext &kernels() const;
@@ -241,12 +312,24 @@ class BatchScheduler
      *  moves from pending_ to active_. */
     bool tryAdmit(size_t index);
 
+    /** Freeze the best preemption victim (Batch-priority, past prefill,
+     *  under its maxPreemptions bound; most blocks held among those):
+     *  park its computed rows in the prefix cache, release its blocks and
+     *  undrawn reservation, and re-queue it at the FIFO head. Returns
+     *  false when no active request is preemptible. */
+    bool preemptVictim();
+
+    /** Admission loop run at the top of step(): FIFO with bounded
+     *  Interactive overtaking, then (with maxPreemptions > 0) preemption
+     *  of running Batch requests for still-waiting Interactive ones. */
+    void admit();
+
     SyntheticModel &model_;
     SchedulerOptions options_;
     std::unique_ptr<BlockAllocator> pool_;
     std::unique_ptr<PrefixCache> prefix_;
     Vocab vocab_;
-    std::deque<GenRequest> pending_;
+    std::deque<Pending> pending_;
     std::vector<Active> active_;
     std::vector<GenResult> finished_;
     SchedulerStats stats_;

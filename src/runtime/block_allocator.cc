@@ -157,6 +157,23 @@ BlockAllocator::refcount(int block) const
 }
 
 void
+BlockAllocator::notePark(size_t blocks)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.parkedBlocks += blocks;
+    ++stats_.parks;
+}
+
+void
+BlockAllocator::noteUnpark(size_t blocks)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TENDER_CHECK(blocks <= stats_.parkedBlocks);
+    stats_.parkedBlocks -= blocks;
+    ++stats_.unparks;
+}
+
+void
 BlockAllocator::copyBlock(int src, int dst)
 {
     {

@@ -81,11 +81,21 @@ struct BlockPoolStats
     size_t peakCommittedBlocks = 0;
     /** Blocks currently held by more than one owner (COW-protected). */
     size_t sharedBlocks = 0;
+    /** Blocks pinned on behalf of currently-preempted requests (their
+     *  frozen KV parked in prefix-cache entries awaiting resume). An
+     *  accounting gauge maintained by the scheduler via notePark /
+     *  noteUnpark — a parked entry may still be LRU-evicted under pool
+     *  pressure (resume then recomputes more), so this counts what the
+     *  scheduler parked, not a separate allocation class. Returns to 0
+     *  once every preempted request has resumed or been cancelled. */
+    size_t parkedBlocks = 0;
     int64_t allocations = 0;
     int64_t releases = 0;           ///< blocks actually freed (refcount -> 0)
     int64_t reuses = 0;             ///< allocations served from the free list
     int64_t shares = 0;             ///< share() calls (refs handed out)
     int64_t cowCopies = 0;          ///< copy-on-write block copies
+    int64_t parks = 0;              ///< notePark() events (preemptions)
+    int64_t unparks = 0;            ///< noteUnpark() events (resume/cancel)
 
     size_t allocatedBytes() const { return allocatedBlocks * blockBytes; }
     size_t peakAllocatedBytes() const
@@ -146,6 +156,14 @@ class BlockAllocator
 
     /** Current reference count of an allocated block (1 = exclusive). */
     int refcount(int block) const;
+
+    /** Record `blocks` as parked for a preempted request (pure accounting
+     *  over refs the caller already holds via share(); see
+     *  BlockPoolStats::parkedBlocks). */
+    void notePark(size_t blocks);
+
+    /** Undo a notePark when the preempted request resumes or cancels. */
+    void noteUnpark(size_t blocks);
 
     /** Copy src's payload into dst (the COW fault path; dst must be a
      *  fresh allocation of this pool). Payload addresses are stable and a

@@ -9,6 +9,7 @@ requestStateName(RequestState state)
     case RequestState::Queued: return "queued";
     case RequestState::Prefill: return "prefill";
     case RequestState::Decoding: return "decoding";
+    case RequestState::Preempted: return "preempted";
     case RequestState::Finished: return "finished";
     case RequestState::Cancelled: return "cancelled";
     case RequestState::Failed: return "failed";
@@ -34,6 +35,15 @@ legalTransition(RequestState from, RequestState to)
                to == RequestState::Cancelled;
     case RequestState::Decoding:
         return to == RequestState::Finished ||
+               to == RequestState::Cancelled ||
+               to == RequestState::Preempted;
+    case RequestState::Preempted:
+        // Resume is re-admission: the request re-enters Prefill to
+        // recompute whatever the freeze could not park (and to consume
+        // the last generated token as its next input row). Only
+        // mid-decode requests are preemptible, so Preempted is never
+        // entered from Queued or Prefill.
+        return to == RequestState::Prefill ||
                to == RequestState::Cancelled;
     case RequestState::Finished:
     case RequestState::Cancelled:

@@ -8,18 +8,23 @@
  * sampling parameters, priority class, and an optional streaming
  * callback. The session tracks each request through the lifecycle
  *
- *   Queued -> Prefill -> Decoding -> Finished
- *      \         \           \----> Cancelled
- *       \         \---------------> Cancelled | Failed
- *        \------------------------> Prefill | Cancelled | Failed
+ *   Queued -> Prefill -> Decoding -> Finished | Cancelled
+ *      |         |           |
+ *      |         |           +----> Preempted -> Prefill | Cancelled
+ *      |         +----------------> Cancelled
+ *      +--------------------------> Prefill | Cancelled | Failed
  *
  * (legalTransition() is the authoritative table; every transition the
- * session performs is checked against it, and tests/test_serving.cc
- * asserts the table itself). Failed is entered only from submit-time
- * validation — a request the scheduler could never run (empty prompt,
- * non-positive budget, a KV footprint larger than the whole pool) is
- * rejected at the front door instead of tripping the runtime's fatal
- * checks mid-flight.
+ * session performs is checked against it, and tests/test_serving.cc +
+ * tests/test_preemption.cc assert the table itself). Preempted is the
+ * mid-decode freeze/park state: the scheduler reclaimed the request's
+ * batch slot and KV blocks (parking the frozen prefix in the prefix
+ * cache), and resume re-enters Prefill to recompute only what was lost
+ * at the seal boundary — see docs/serving.md. Failed is entered only
+ * from submit-time validation — a request the scheduler could never run
+ * (empty prompt, non-positive budget, a KV footprint larger than the
+ * whole pool) is rejected at the front door instead of tripping the
+ * runtime's fatal checks mid-flight.
  *
  * Latency metrics are recorded per request: TTFT (submit to first decoded
  * token) and the inter-token latencies of every following token, the raw
@@ -46,8 +51,12 @@ enum class RequestState
     Queued,    ///< submitted, waiting for a batch slot / KV reservation
     Prefill,   ///< admitted; prompt rows are being consumed
     Decoding,  ///< first token produced; extending token by token
+    /** Mid-decode freeze: the scheduler reclaimed the batch slot and KV
+     *  blocks (frozen prefix parked for resume); re-admission re-enters
+     *  Prefill with the generated-so-far tokens intact. */
+    Preempted,
     Finished,  ///< retired normally (budget or stop sequence)
-    Cancelled, ///< cancel() removed it (queued or mid-decode)
+    Cancelled, ///< cancel() removed it (queued, preempted, or mid-decode)
     Failed,    ///< rejected by submit-time validation
 };
 
@@ -111,9 +120,11 @@ struct ServeRequest
 /** Per-request latency record (microseconds, wall clock). */
 struct RequestMetrics
 {
-    double queuedUs = -1.0; ///< submit -> admission (Prefill entry)
+    double queuedUs = -1.0; ///< submit -> first admission (Prefill entry)
     double ttftUs = -1.0;   ///< submit -> first decoded token
     std::vector<double> interTokenUs; ///< gap before each later token
+    int preemptions = 0;    ///< times this request was frozen mid-decode
+    double parkedUs = 0.0;  ///< total wall time spent in Preempted
 };
 
 /** One retired request: tokens (stop sequence truncated away), terminal

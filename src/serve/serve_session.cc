@@ -109,10 +109,15 @@ bool
 ServeSession::onToken(Track &track, int token)
 {
     const Clock::time_point now = Clock::now();
+    // Every prefill cycle — the first, and each resume after a preemption
+    // — ends at its first decoded token.
+    if (track.state == RequestState::Prefill)
+        transition(track, RequestState::Decoding);
     if (track.metrics.ttftUs < 0.0) {
         track.metrics.ttftUs = elapsedUs(track.submitTime, now);
-        transition(track, RequestState::Decoding);
     } else {
+        // For the first token after a resume this gap spans the whole
+        // frozen period: a preemption is an honest inter-token stall.
         track.metrics.interTokenUs.push_back(
             elapsedUs(track.lastTokenTime, now));
     }
@@ -208,8 +213,17 @@ ServeSession::submit(const ServeRequest &request)
     };
     gen.onToken = [this, t](int token) { return onToken(*t, token); };
     gen.onAdmit = [this, t]() {
-        t->metrics.queuedUs = elapsedUs(t->submitTime, Clock::now());
+        const Clock::time_point now = Clock::now();
+        if (t->state == RequestState::Queued)
+            t->metrics.queuedUs = elapsedUs(t->submitTime, now);
+        else // re-admission of a preempted request (the resume)
+            t->metrics.parkedUs += elapsedUs(t->preemptTime, now);
         transition(*t, RequestState::Prefill);
+    };
+    gen.onPreempt = [this, t]() {
+        t->preemptTime = Clock::now();
+        ++t->metrics.preemptions;
+        transition(*t, RequestState::Preempted);
     };
     scheduler_.submit(gen);
     return id;
@@ -326,6 +340,7 @@ ServeSession::latency(Priority priority) const
             continue; // cancelled before its first token
         ++stats.requests;
         stats.tokens += int64_t(track.generated.size());
+        stats.preemptions += track.metrics.preemptions;
         ttft.push_back(track.metrics.ttftUs);
         itl.insert(itl.end(), track.metrics.interTokenUs.begin(),
                    track.metrics.interTokenUs.end());

@@ -14,8 +14,13 @@
  * (serve/sampler.h), the token hook timestamps TTFT and inter-token
  * latency, matches stop sequences (with partial-match holdback, so a stop
  * sequence is never half-streamed), and the admission hook marks the
- * Prefill transition. Cancellation retires a request mid-decode, handing
- * its KV blocks and undrawn reservation back to the pool.
+ * Prefill transition — both the first one and the re-admission of a
+ * preempted request, whose time frozen is accumulated in
+ * RequestMetrics::parkedUs. The preemption hook marks Decoding ->
+ * Preempted when the scheduler freezes a request mid-decode
+ * (SchedulerOptions::maxPreemptions; docs/serving.md). Cancellation
+ * retires a request mid-decode, handing its KV blocks and undrawn
+ * reservation back to the pool.
  *
  * The invariant inherited from below and preserved here: everything the
  * session adds (sampling seeds, stop matching, priorities, cancellation
@@ -58,6 +63,9 @@ struct LatencyStats
     int64_t tokens = 0;  ///< decoded tokens across those requests
     int ttftSamples = 0;
     int itlSamples = 0;
+    /** Mid-decode freezes suffered across those requests (each one also
+     *  shows up as a long inter-token gap in the itl samples). */
+    int preemptions = 0;
     double ttftP50Us = -1.0;
     double ttftP95Us = -1.0;
     double itlP50Us = -1.0;
@@ -117,6 +125,7 @@ class ServeSession
         RequestState state = RequestState::Queued;
         Clock::time_point submitTime;
         Clock::time_point lastTokenTime;
+        Clock::time_point preemptTime; ///< set at each Preempted entry
         std::vector<int> generated; ///< decoded tokens incl. held-back
         int streamed = 0;           ///< visible tokens emitted so far
         int stopLen = 0;            ///< matched stop-sequence length

@@ -42,13 +42,16 @@ smallDecoder(int kv_heads = 4)
 TEST(RequestLifecycle, TransitionTableIsExact)
 {
     using S = RequestState;
-    const std::vector<S> all = {S::Queued,   S::Prefill,   S::Decoding,
-                                S::Finished, S::Cancelled, S::Failed};
+    const std::vector<S> all = {S::Queued,    S::Prefill,
+                                S::Decoding,  S::Preempted,
+                                S::Finished,  S::Cancelled,
+                                S::Failed};
     const std::set<std::pair<S, S>> legal = {
-        {S::Queued, S::Prefill},    {S::Queued, S::Cancelled},
-        {S::Queued, S::Failed},     {S::Prefill, S::Decoding},
-        {S::Prefill, S::Cancelled}, {S::Decoding, S::Finished},
-        {S::Decoding, S::Cancelled},
+        {S::Queued, S::Prefill},      {S::Queued, S::Cancelled},
+        {S::Queued, S::Failed},       {S::Prefill, S::Decoding},
+        {S::Prefill, S::Cancelled},   {S::Decoding, S::Finished},
+        {S::Decoding, S::Cancelled},  {S::Decoding, S::Preempted},
+        {S::Preempted, S::Prefill},   {S::Preempted, S::Cancelled},
     };
     for (const S from : all)
         for (const S to : all)
