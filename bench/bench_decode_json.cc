@@ -68,6 +68,20 @@
  * (refcounts consistent, parks == unparks, zero parked blocks at drain,
  * every block returned once the prefix cache clears).
  *
+ * The "fault_churn" scenario replays the mixed-traffic workload under a
+ * seeded fault plan (util/fault_injection.h: injected KV-allocation
+ * failures, throwing streaming callbacks, step-latency stalls) plus
+ * front-door shedding (a queue-depth bound sized to reject two
+ * submissions, and two requests whose 1 us deadline expires before
+ * admission), in all three decode arms (fp32, quantized, fused).
+ * Recorded per arm: survivor tokens/s, finished/failed counts, sheds by
+ * cause, and the injector's fired-trigger counts; gated:
+ * fault_isolation_bitexact — every request the plan did not fail
+ * generates bit-identical tokens to the fault-free reference run (the
+ * fail-one-not-the-batch containment contract, docs/robustness.md) —
+ * and the leak audit (refcounts consistent, every block and reservation
+ * home after drain in both arms of all three modes).
+ *
  * The "correctness" block records machine-checkable invariants (fp32
  * decode bit-parity with full prefill, quantized-KV NMSE under its
  * bound, fused-vs-dequantize attention NMSE under its bound,
@@ -105,6 +119,7 @@
 #include "runtime/batch_scheduler.h"
 #include "serve/serve_session.h"
 #include "util/cpu_features.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 
 using namespace tender;
@@ -779,6 +794,146 @@ sameTokenVectors(const std::vector<std::vector<int>> &a,
     return a == b;
 }
 
+// ---- Fault churn: containment under a seeded fault plan -----------------
+
+/** One decode arm of the fault-churn scenario. */
+struct FaultArm
+{
+    const char *name; ///< JSON key: fp32 | tender | tender_fused
+    KVCacheMode mode;
+    bool fused;
+    bool prefixCache; ///< off in quantized arms (scheme-free, but the
+                      ///< quantized prefix grain is exercised elsewhere)
+};
+
+/** One session run of the fault-churn workload (faulted or reference). */
+struct FaultRun
+{
+    std::vector<ServeResult> results; ///< spec order, then doomed extras
+    double seconds = 0.0;
+    bool accountingOk = true;
+};
+
+/** Aggregated fault-churn measurements of one arm. */
+struct FaultChurnPoint
+{
+    double survivorTokensPerS = 0.0;
+    int finished = 0;
+    int failed = 0;
+    int shedQueueFull = 0;
+    int shedDeadline = 0;
+    int64_t allocFaults = 0;    ///< injector triggers fired at "alloc"
+    int64_t callbackFaults = 0; ///< fired at "callback"
+    bool survivorsBitexact = true;
+    bool accountingOk = true;
+};
+
+FaultRun
+runFaultOnce(SyntheticModel &model, const KernelContext &kc,
+             const TrafficSpec &spec, const FaultArm &arm, bool shed)
+{
+    ServeSessionOptions options;
+    options.scheduler.maxBatch = spec.maxBatch;
+    options.scheduler.vocabSize = 256;
+    options.scheduler.decode.kernels = &kc;
+    options.scheduler.decode.cache.mode = arm.mode;
+    options.scheduler.decode.cache.blockTokens = 16;
+    options.scheduler.decode.cache.tender.rowChunk = 16;
+    options.scheduler.decode.fusedQuantKv = arm.fused;
+    options.scheduler.kvPoolBlocks = spec.poolBlocks;
+    options.scheduler.prefixCache = arm.prefixCache;
+    // Queue bound sized so exactly the last two workload submissions are
+    // shed at the front door (the two doomed requests below occupy two
+    // queue slots before the workload arrives, and nothing is admitted
+    // until the first step).
+    if (shed)
+        options.scheduler.maxQueueDepth = int(spec.requests.size());
+    ServeSession session(model, options);
+
+    std::vector<int> doomed_ids;
+    const auto t0 = Clock::now();
+    if (shed) {
+        // Two doomed stragglers submitted first: their 1 us deadline
+        // expires before the first step's sweep runs, so they are shed
+        // as DeadlineExceeded deterministically.
+        for (int i = 0; i < 2; ++i) {
+            ServeRequest r = spec.requests[size_t(i)];
+            r.deadlineUs = 1;
+            doomed_ids.push_back(session.submit(r));
+        }
+    }
+    std::vector<int> ids;
+    for (const ServeRequest &req : spec.requests) {
+        ServeRequest r = req;
+        r.onEvent = [](const StreamEvent &) {}; // exposes the callback site
+        ids.push_back(session.submit(r));
+    }
+    session.drain();
+    FaultRun run;
+    run.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    for (const int id : ids)
+        run.results.push_back(*session.result(id));
+    for (const int id : doomed_ids)
+        run.results.push_back(*session.result(id));
+
+    // Leak audit: whatever faulted, every block and reservation must be
+    // home once the session drains and the prefix cache lets go.
+    BlockPoolStats ps = session.poolStats();
+    run.accountingOk = session.scheduler().pool().refcountsConsistent() &&
+                       ps.parkedBlocks == 0;
+    if (session.scheduler().prefixCache())
+        session.scheduler().prefixCache()->clear();
+    ps = session.poolStats();
+    run.accountingOk = run.accountingOk && ps.allocatedBlocks == 0 &&
+                       ps.reservedBlocks == 0 && ps.sharedBlocks == 0;
+    return run;
+}
+
+FaultChurnPoint
+runFaultChurn(SyntheticModel &model, const KernelContext &kc,
+              const TrafficSpec &spec, const FaultArm &arm,
+              const std::string &plan)
+{
+    // Fault-free reference: every request must finish; its tokens are the
+    // survivors' bit-exactness baseline.
+    FaultInjector::instance().disarm();
+    const FaultRun base = runFaultOnce(model, kc, spec, arm, false);
+
+    FaultInjector::instance().arm(plan);
+    const FaultRun chaos = runFaultOnce(model, kc, spec, arm, true);
+    FaultChurnPoint p;
+    p.allocFaults = FaultInjector::instance().fired(FaultSite::AllocFail);
+    p.callbackFaults =
+        FaultInjector::instance().fired(FaultSite::CallbackThrow);
+    FaultInjector::instance().disarm();
+
+    p.accountingOk = base.accountingOk && chaos.accountingOk;
+    for (const ServeResult &r : base.results)
+        if (r.state != RequestState::Finished)
+            p.survivorsBitexact = false;
+    int64_t survivor_tokens = 0;
+    for (size_t i = 0; i < chaos.results.size(); ++i) {
+        const ServeResult &r = chaos.results[i];
+        if (r.state == RequestState::Finished) {
+            ++p.finished;
+            survivor_tokens += int64_t(r.tokens.size());
+            // The containment contract: a request the plan did not fail
+            // generates exactly the fault-free run's tokens.
+            if (i < base.results.size() &&
+                r.tokens != base.results[i].tokens)
+                p.survivorsBitexact = false;
+        } else {
+            ++p.failed;
+            if (r.failure == FailureReason::QueueOverflow)
+                ++p.shedQueueFull;
+            else if (r.failure == FailureReason::DeadlineExceeded)
+                ++p.shedDeadline;
+        }
+    }
+    p.survivorTokensPerS = double(survivor_tokens) / chaos.seconds;
+    return p;
+}
+
 // ---- Recorded correctness invariants ------------------------------------
 
 struct Correctness
@@ -978,6 +1133,19 @@ emitPressureMode(FILE *f, const char *key, const PressurePoint &on,
     std::fprintf(f, "      \"interactive_ttft_p95_ratio\": %.3f\n",
                  off.interactive.ttftP95Us / on.interactive.ttftP95Us);
     std::fprintf(f, "    }%s\n", trailing_comma ? "," : "");
+}
+
+void
+emitFaultArm(FILE *f, const char *key, const FaultChurnPoint &p)
+{
+    std::fprintf(f,
+                 "    \"%s\": {\"survivor_tokens_per_s\": %.2f, "
+                 "\"finished\": %d, \"failed\": %d, "
+                 "\"shed_queue_full\": %d, \"shed_deadline\": %d, "
+                 "\"alloc_faults\": %lld, \"callback_faults\": %lld},\n",
+                 key, p.survivorTokensPerS, p.finished, p.failed,
+                 p.shedQueueFull, p.shedDeadline,
+                 (long long)p.allocFaults, (long long)p.callbackFaults);
 }
 
 void
@@ -1251,6 +1419,40 @@ main(int argc, char **argv)
                 press_tender_off.interactive.ttftP95Us /
                     press_tender_on.interactive.ttftP95Us);
 
+    // Fault churn: the mixed-traffic workload under a seeded fault plan
+    // plus front-door shedding, in all three decode arms. The fault-free
+    // reference run of each arm doubles as the survivors' bit-exactness
+    // baseline.
+    const std::string fault_plan = FaultInjector::randomPlan(
+        2024,
+        {FaultSite::AllocFail, FaultSite::CallbackThrow,
+         FaultSite::StepLatency},
+        /*triggers=*/8, /*maxNth=*/60, /*latencyUs=*/300);
+    const FaultArm fault_arms[] = {
+        {"fp32", KVCacheMode::Fp32, false, true},
+        {"tender", KVCacheMode::TenderQuantized, false, false},
+        {"tender_fused", KVCacheMode::TenderQuantized, true, false},
+    };
+    FaultChurnPoint fault_points[3];
+    bool fault_bitexact = true, fault_accounting_ok = true;
+    for (int i = 0; i < 3; ++i) {
+        fault_points[i] =
+            runFaultChurn(model, kc, tspec, fault_arms[i], fault_plan);
+        fault_bitexact =
+            fault_bitexact && fault_points[i].survivorsBitexact;
+        fault_accounting_ok =
+            fault_accounting_ok && fault_points[i].accountingOk;
+    }
+    std::printf("fault churn (plan \"%s\", %zu requests + 2 doomed): ",
+                fault_plan.c_str(), tspec.requests.size());
+    for (int i = 0; i < 3; ++i)
+        std::printf("%s %d ok / %d failed%s", fault_arms[i].name,
+                    fault_points[i].finished, fault_points[i].failed,
+                    i < 2 ? ", " : "; ");
+    std::printf("survivors %s, accounting %s\n",
+                fault_bitexact ? "bit-exact" : "DIVERGED",
+                fault_accounting_ok ? "settled" : "LEAKED");
+
     const Correctness correct = checkCorrectness(model, gqa_model, kc);
     std::printf("correctness: fp32 decode %s full prefill, tender-KV "
                 "nmse %.3g (bound %.3g), fused-attention nmse %.3g "
@@ -1360,6 +1562,18 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"refcounts_consistent\": %s\n",
                  preempt_accounting_ok ? "true" : "false");
     std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"fault_churn\": {\n");
+    std::fprintf(f,
+                 "    \"requests\": %zu, \"doomed_requests\": 2, "
+                 "\"max_batch\": %d, \"plan\": \"%s\",\n",
+                 tspec.requests.size(), tspec.maxBatch, fault_plan.c_str());
+    for (int i = 0; i < 3; ++i)
+        emitFaultArm(f, fault_arms[i].name, fault_points[i]);
+    std::fprintf(f, "    \"fault_isolation_bitexact\": %s,\n",
+                 fault_bitexact ? "true" : "false");
+    std::fprintf(f, "    \"refcounts_consistent\": %s\n",
+                 fault_accounting_ok ? "true" : "false");
+    std::fprintf(f, "  },\n");
     std::fprintf(f,
                  "  \"calibration\": {\"workload\": \"%s\", "
                  "\"score_mflops\": %.1f},\n",
@@ -1389,7 +1603,8 @@ main(int argc, char **argv)
                    correct.fusedNmse < correct.fusedNmseBound &&
                    correct.mqPanelBitExact && prefix_bitexact &&
                    refcounts_ok && order_independent && preempt_bitexact &&
-                   preempt_accounting_ok
+                   preempt_accounting_ok && fault_bitexact &&
+                   fault_accounting_ok
                ? 0
                : 1;
 }

@@ -50,10 +50,19 @@
  * the defining property: the resumed request generates exactly the
  * tokens of an uninterrupted run.
  *
+ * With --faults the example walks the failure-containment layer
+ * (util/fault_injection.h; docs/robustness.md): a request fleet runs
+ * under a seeded fault plan — KV allocation failure, a throwing
+ * streaming callback — plus a deadline-doomed straggler and one request
+ * past the queue bound. Each failure retires as Failed with its
+ * structured FailureReason, and the walkthrough checks the containment
+ * contract: survivors decode bit-identical tokens to a fault-free run
+ * and the failed requests return every KV block.
+ *
  * Unknown flags are rejected with a usage line listing every mode.
  *
  *   $ ./examples/generate [n_tokens] [--fused-kv] [--shared-prefix]
- *                         [--sample] [--preempt]
+ *                         [--sample] [--preempt] [--faults]
  */
 
 #include <algorithm>
@@ -68,6 +77,7 @@
 #include "runtime/decode_engine.h"
 #include "serve/serve_session.h"
 #include "util/cpu_features.h"
+#include "util/fault_injection.h"
 
 using namespace tender;
 
@@ -390,6 +400,109 @@ preemptDemo(SyntheticModel &model)
     return identical;
 }
 
+/**
+ * --faults walkthrough: the failure-containment layer under a seeded
+ * fault plan (util/fault_injection.h). A small fleet runs twice — once
+ * fault-free as the reference, once with KV-allocation and
+ * streaming-callback faults armed, plus a deadline-doomed straggler and
+ * one request past the queue bound. Each failure retires as Failed with
+ * a structured reason; the defining property is containment: every
+ * surviving request's tokens are bit-identical to the fault-free run,
+ * and the failed requests leak nothing. Returns true when both hold.
+ */
+bool
+faultsDemo(SyntheticModel &model)
+{
+    std::vector<ServeRequest> fleet;
+    for (int id = 0; id < 4; ++id) {
+        ServeRequest r;
+        for (int t = 0; t < 10; ++t)
+            r.promptTokens.push_back((11 + id * 17 + t * 7) % 256);
+        r.maxNewTokens = 8;
+        r.onEvent = [](const StreamEvent &) {}; // exposes the callback site
+        fleet.push_back(r);
+    }
+
+    auto makeOptions = [&](bool shed) {
+        ServeSessionOptions o;
+        o.scheduler.maxBatch = 2;
+        o.scheduler.vocabSize = 256;
+        o.scheduler.decode.cache.blockTokens = 8;
+        // Front-door bound: doomed straggler + the fleet fill the queue,
+        // so the one submission past that is shed as QueueOverflow.
+        if (shed)
+            o.scheduler.maxQueueDepth = int(fleet.size()) + 1;
+        return o;
+    };
+
+    const char *plan = "alloc@6;callback@2";
+    std::printf("\n== --faults: plan \"%s\" (same grammar as the "
+                "TENDER_FAULT_PLAN env knob) ==\n",
+                plan);
+
+    // Fault-free reference: the survivors' bit-exactness baseline.
+    FaultInjector::instance().disarm();
+    ServeSession ref_session(model, makeOptions(false));
+    std::vector<int> ref_ids;
+    for (const ServeRequest &r : fleet)
+        ref_ids.push_back(ref_session.submit(r));
+    ref_session.drain();
+
+    FaultInjector::instance().arm(plan);
+    ServeSession session(model, makeOptions(true));
+    ServeRequest doomed = fleet.front();
+    doomed.deadlineUs = 1; // expires before the first step's shed sweep
+    const int doomed_id = session.submit(doomed);
+    std::vector<int> ids;
+    for (const ServeRequest &r : fleet)
+        ids.push_back(session.submit(r));
+    ServeRequest extra = fleet.back();
+    const int extra_id = session.submit(extra); // one past maxQueueDepth
+    std::printf("submitted %zu requests + 1 doomed (deadline 1 us) + 1 "
+                "past the queue bound (maxQueueDepth %zu)\n",
+                fleet.size(), fleet.size() + 1);
+    session.drain();
+    FaultInjector::instance().disarm();
+
+    ids.push_back(doomed_id);
+    ids.push_back(extra_id);
+    int finished = 0;
+    bool survivors_exact = true;
+    for (size_t i = 0; i < ids.size(); ++i) {
+        const ServeResult &r = *session.result(ids[i]);
+        if (r.state == RequestState::Finished) {
+            ++finished;
+            // Containment: a request the plan did not touch decodes the
+            // exact fault-free tokens, whoever failed around it.
+            const bool exact = i < ref_ids.size() &&
+                r.tokens ==
+                    ref_session.result(ref_ids[i])->tokens;
+            survivors_exact = survivors_exact && exact;
+            std::printf("request %d: Finished, %zu tokens, bit-exact vs "
+                        "fault-free run: %s\n",
+                        r.id, r.tokens.size(), exact ? "yes" : "NO (bug)");
+        } else {
+            std::printf("request %d: Failed (%s) after %zu tokens — %s\n",
+                        r.id, failureReasonName(r.failure), r.tokens.size(),
+                        r.error.c_str());
+        }
+    }
+
+    const BlockPoolStats pool = session.poolStats();
+    const bool clean = session.scheduler().pool().refcountsConsistent() &&
+        pool.allocatedBlocks == 0 && pool.reservedBlocks == 0;
+    std::printf("pool after drain: %zu blocks allocated, %zu reserved, "
+                "refcount audit %s — failed requests returned "
+                "everything\n",
+                pool.allocatedBlocks, pool.reservedBlocks,
+                clean ? "consistent" : "INCONSISTENT (leak)");
+    std::printf("containment: %d survivors, every one %s\n", finished,
+                survivors_exact ? "bit-exact (faults never crossed "
+                                  "request boundaries)"
+                                : "NOT bit-exact — this is a bug");
+    return survivors_exact && clean && finished > 0;
+}
+
 /** `proj_flops` is the analytic FLOP count of the run's weight
  *  projections; divided by the measured projection phase time it gives
  *  the achieved GEMM MFLOP/s on the kernel arm in use. */
@@ -411,12 +524,13 @@ printPhases(const char *arm, const DecodePhaseTimes &p, double proj_flops)
 } // namespace
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     bool fused_kv = false;
     bool shared_prefix = false;
     bool sample = false;
     bool preempt = false;
+    bool faults = false;
     int n_tokens = 20;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--fused-kv") == 0) {
@@ -427,11 +541,14 @@ main(int argc, char **argv)
             sample = true;
         } else if (std::strcmp(argv[i], "--preempt") == 0) {
             preempt = true;
+        } else if (std::strcmp(argv[i], "--faults") == 0) {
+            faults = true;
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr,
                          "unknown option '%s'\n"
                          "usage: %s [n_tokens] [--fused-kv] "
-                         "[--shared-prefix] [--sample] [--preempt]\n"
+                         "[--shared-prefix] [--sample] [--preempt] "
+                         "[--faults]\n"
                          "  n_tokens         tokens to generate per arm "
                          "(default 20)\n"
                          "  --fused-kv       accepted for compatibility; "
@@ -441,7 +558,9 @@ main(int argc, char **argv)
                          "  --sample         seeded-sampling streaming "
                          "walkthrough (ServeSession)\n"
                          "  --preempt        mid-decode preemption "
-                         "walkthrough (freeze/park/resume)\n",
+                         "walkthrough (freeze/park/resume)\n"
+                         "  --faults         failure-containment "
+                         "walkthrough (seeded fault plan, shedding)\n",
                          argv[i], argv[0]);
             return 2;
         } else {
@@ -561,5 +680,28 @@ main(int argc, char **argv)
     bool preempt_ok = true;
     if (preempt)
         preempt_ok = preemptDemo(model);
-    return exact && shared_ok && sample_ok && preempt_ok ? 0 : 1;
+    bool faults_ok = true;
+    if (faults)
+        faults_ok = faultsDemo(model);
+    return exact && shared_ok && sample_ok && preempt_ok && faults_ok
+        ? 0
+        : 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    // The single-request arms drive DecodeEngine directly — there is no
+    // containment layer below BatchScheduler, so a fault injected there
+    // (e.g. TENDER_FAULT_PLAN armed in the environment) surfaces as
+    // RequestFault to the caller. Exit cleanly instead of terminating.
+    try {
+        return run(argc, argv);
+    } catch (const RequestFault &fault) {
+        std::fprintf(stderr,
+                     "fatal: injected fault reached the single-request "
+                     "path (%s): %s\n",
+                     failureReasonName(fault.reason()), fault.what());
+        return 1;
+    }
 }

@@ -46,6 +46,14 @@ recorded correctness field regresses:
         block returns once the prefix cache is cleared; per-arm
         Interactive TTFT percentiles must be present (recorded, not
         gated)
+    fault_churn.fault_isolation_bitexact   under a seeded fault plan
+        (KV allocation failures, throwing callbacks, step latency) plus
+        queue-overflow and deadline shedding, every surviving request's
+        tokens are bit-identical to the fault-free run, in all three
+        decode arms (fp32, quantized, fused)
+    fault_churn.refcounts_consistent   every failed request returned all
+        its KV blocks and undrawn reservation: the pool settles to zero
+        after the faulted run drains
 
 Perf numbers (tokens/s, GFLOP/s) are recorded but never gated here — they
 vary with the runner; correctness must not.
@@ -211,6 +219,32 @@ def check_decode(path):
               f"{arm['off']['interactive']['ttft_p95_us']:.0f} us off "
               f"({arm['interactive_ttft_p95_ratio']:.2f}x; recorded, "
               "not gated)")
+    # .get-guarded: baselines predating the robustness layer lack it.
+    churn = doc.get("fault_churn")
+    if churn is not None:
+        if churn["fault_isolation_bitexact"] is not True:
+            fail(f"{path}: fault_churn.fault_isolation_bitexact is "
+                 f"{churn['fault_isolation_bitexact']} (a surviving "
+                 "request's tokens must be bit-identical to the "
+                 "fault-free run in every decode arm — a contained "
+                 "fault leaked into a co-scheduled request)")
+        if churn["refcounts_consistent"] is not True:
+            fail(f"{path}: fault_churn.refcounts_consistent is "
+                 f"{churn['refcounts_consistent']} (a failed request "
+                 "leaked KV blocks or reservation: the pool did not "
+                 "settle to zero after the faulted run drained)")
+        for mode in ("fp32", "tender", "tender_fused"):
+            arm = churn[mode]
+            print(f"check_bench: {path}: fault_churn.{mode} "
+                  f"{arm['finished']} finished / {arm['failed']} failed "
+                  f"({arm['shed_queue_full']} queue-full, "
+                  f"{arm['shed_deadline']} deadline, "
+                  f"{arm['alloc_faults']} alloc + "
+                  f"{arm['callback_faults']} callback faults injected), "
+                  f"survivors {arm['survivor_tokens_per_s']:.0f} tok/s "
+                  "(recorded, not gated)")
+        print(f"check_bench: {path}: fault_churn survivors bit-exact "
+              f"under plan \"{churn['plan']}\", accounting settled")
     fused_ratio = doc["fused_over_dequant_tokens_ratio"]
     mq = doc.get("mq_panels")
     if mq is not None:
@@ -253,6 +287,10 @@ def iter_tokens_per_s(doc):
             if point is not None:
                 yield (f"preemption_pressure.{mode}.{side}",
                        point["tokens_per_s"])
+    for mode in ("fp32", "tender", "tender_fused"):
+        point = doc.get("fault_churn", {}).get(mode)
+        if point is not None:
+            yield f"fault_churn.{mode}", point["survivor_tokens_per_s"]
 
 
 def compare_baseline(doc, baseline_path):

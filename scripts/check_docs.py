@@ -36,6 +36,10 @@ OPTION_STRUCTS = {
     "DecodeOptions": "src/runtime/decode_engine.h",
     "ServeSessionOptions": "src/serve/serve_session.h",
     "KVCacheConfig": "src/runtime/kv_cache.h",
+    # Per-request knobs are user-facing too (the std::function hook
+    # members are invisible to the field regex, which is fine — they are
+    # callbacks, not tunables).
+    "ServeRequest": "src/serve/request.h",
 }
 
 MARKDOWN_FILES = ["README.md", "ROADMAP.md", "CHANGES.md"]

@@ -1,8 +1,33 @@
 #include "runtime/batch_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/fault_injection.h"
 
 namespace tender {
+
+namespace {
+
+/** Assemble a GenResult field-by-field (GenResult grew optional failure
+ *  fields; partial aggregate init would warn on every call site). */
+GenResult
+makeResult(int id, std::vector<int> tokens, int steps, FinishReason reason,
+           FailureReason failure = FailureReason::None,
+           std::string detail = {})
+{
+    GenResult r;
+    r.id = id;
+    r.tokens = std::move(tokens);
+    r.steps = steps;
+    r.reason = reason;
+    r.failure = failure;
+    r.failureDetail = std::move(detail);
+    return r;
+}
+
+} // namespace
 
 const char *
 finishReasonName(FinishReason reason)
@@ -40,6 +65,8 @@ BatchScheduler::BatchScheduler(SyntheticModel &model,
                    " scales and change generated tokens");
     TENDER_REQUIRE(options.maxPreemptions >= 0,
                    "maxPreemptions must be non-negative");
+    TENDER_REQUIRE(options.maxQueueDepth >= 0,
+                   "maxQueueDepth must be non-negative (0 = unbounded)");
     // Freezing a victim IS a prefix-cache insert (and resume an adopt),
     // so preemption without the cache has nowhere to park the frozen KV.
     TENDER_REQUIRE(options.maxPreemptions == 0 || options.prefixCache,
@@ -68,6 +95,21 @@ BatchScheduler::submit(const GenRequest &request)
                    "a request needs a non-empty prompt");
     TENDER_REQUIRE(request.maxNewTokens > 0,
                    "a request must generate at least one token");
+    // Front-door load shedding: reject new work the moment the queue is
+    // at its bound, rather than letting latency grow without limit.
+    // Internal re-queues (preemption's push_front in preemptVictim) do
+    // not pass through here, so in-flight work is never shed.
+    if (options_.maxQueueDepth > 0 &&
+        int(pending_.size()) >= options_.maxQueueDepth) {
+        finished_.push_back(makeResult(
+            request.id, {}, 0, FinishReason::Failed,
+            FailureReason::QueueOverflow,
+            "queue depth " + std::to_string(pending_.size()) +
+                " at maxQueueDepth bound"));
+        ++stats_.failed;
+        ++stats_.shedQueueFull;
+        return;
+    }
     pending_.push_back({request, {}, 0, 0, 0});
 }
 
@@ -81,8 +123,8 @@ BatchScheduler::cancel(int id)
         // it generated; its park accounting is settled here while the
         // parked blocks live on as an ordinary evictable cache entry.
         pool_->noteUnpark(it->parkedBlocks);
-        finished_.push_back({id, std::move(it->generated), it->steps,
-                             FinishReason::Cancelled});
+        finished_.push_back(makeResult(id, std::move(it->generated),
+                                       it->steps, FinishReason::Cancelled));
         pending_.erase(it);
         ++stats_.cancelled;
         return true;
@@ -90,14 +132,51 @@ BatchScheduler::cancel(int id)
     for (auto it = active_.begin(); it != active_.end(); ++it) {
         if (it->request.id != id)
             continue;
-        finished_.push_back(
-            {id, std::move(it->generated), it->steps,
-             FinishReason::Cancelled});
+        finished_.push_back(makeResult(id, std::move(it->generated),
+                                       it->steps, FinishReason::Cancelled));
         // Erasing the Active destroys its KVCache, which hands every
         // held block and any undrawn reservation back to the pool.
         active_.erase(it);
         ++stats_.cancelled;
         ++stats_.retired;
+        return true;
+    }
+    return false;
+}
+
+bool
+BatchScheduler::failRequest(int id, FailureReason reason,
+                            const std::string &detail)
+{
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->request.id != id)
+            continue;
+        // Same park settlement as cancel(): a preempted request failed
+        // before resume leaves its parked blocks behind as an ordinary
+        // evictable cache entry.
+        pool_->noteUnpark(it->parkedBlocks);
+        finished_.push_back(makeResult(id, std::move(it->generated),
+                                       it->steps, FinishReason::Failed,
+                                       reason, detail));
+        pending_.erase(it);
+        ++stats_.failed;
+        if (reason == FailureReason::DeadlineExceeded)
+            ++stats_.shedDeadline;
+        return true;
+    }
+    for (auto it = active_.begin(); it != active_.end(); ++it) {
+        if (it->request.id != id)
+            continue;
+        finished_.push_back(makeResult(id, std::move(it->generated),
+                                       it->steps, FinishReason::Failed,
+                                       reason, detail));
+        // Erasing the Active destroys its KVCache, returning every held
+        // block and any undrawn reservation to the pool.
+        active_.erase(it);
+        ++stats_.retired;
+        ++stats_.failed;
+        if (reason == FailureReason::DeadlineExceeded)
+            ++stats_.shedDeadline;
         return true;
     }
     return false;
@@ -129,6 +208,15 @@ BatchScheduler::tryAdmit(size_t index)
     PrefixMatch m;
     if (prefix_)
         m = prefix_->match(effective);
+    // Integrity gate: never adopt pages whose content checksum drifted
+    // from the sum stamped when they were published/parked. A reject
+    // releases the corrupt entry and this admission prefills cold —
+    // recomputing the same rows, so tokens are unchanged (a resume just
+    // replays more).
+    if (m.rows > 0 && !prefix_->verifyMatch(m)) {
+        ++stats_.integrityFallbacks;
+        m = PrefixMatch{};
+    }
     size_t needed = KVCache::blocksForSuffix(
         model_.config(), options_.decode.cache, max_tokens, m.rows);
     bool reserved = pool_->tryReserve(needed);
@@ -339,6 +427,16 @@ BatchScheduler::preemptVictim()
 bool
 BatchScheduler::step()
 {
+    // Injected step latency (TENDER_FAULT_PLAN site "latency"): stalls
+    // this iteration by the trigger's payload so tests and the bench can
+    // exercise deadline shedding deterministically. Disarmed cost is one
+    // relaxed atomic load.
+    if (FaultInjector::instance().armed()) {
+        const int64_t us =
+            FaultInjector::instance().onHit(FaultSite::StepLatency);
+        if (us > 0)
+            std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
     admit();
     if (active_.empty())
         return false;
@@ -379,6 +477,26 @@ BatchScheduler::step()
     still_active.reserve(active_.size());
     for (size_t i = 0; i < active_.size(); ++i) {
         Active &a = active_[i];
+        // Containment boundary, part 1: a cache that faulted inside the
+        // step (KV block allocation failed mid-append — see
+        // KVCache::appendRows) holds uneven stores and must never be
+        // stepped or read again. Its last hidden row is garbage-but-
+        // row-local, so nothing was read out; retire the request as
+        // Failed. Dropping the Active destroys the KVCache, returning
+        // every held block and the undrawn reservation to the pool.
+        // Co-scheduled requests are untouched: decodeStep skipped the
+        // failed segment's attention and every shared projection is
+        // row-local, so their tokens are bit-identical to a fault-free
+        // run.
+        if (a.cache.failed()) {
+            finished_.push_back(makeResult(
+                a.request.id, std::move(a.generated), a.steps,
+                FinishReason::Failed, a.cache.failReason(),
+                a.cache.failDetail()));
+            ++stats_.retired;
+            ++stats_.failed;
+            continue;
+        }
         if (!a.replay.empty()) {
             // Resume catch-up: this step rebuilt KV rows whose token is
             // already in `generated`, so nothing is read out and no
@@ -392,18 +510,42 @@ BatchScheduler::step()
         }
         const DecodeSegment &seg = segments[i];
         const int last_row = seg.row0 + seg.rows - 1;
-        const int token = a.request.decode
-            ? a.request.decode(hidden, last_row, kernels())
-            : vocab_.argmaxToken(hidden, last_row, kernels());
-        TENDER_CHECK_MSG(token >= 0 && token < vocab_.size(),
-                         "request " << a.request.id
-                         << " decode hook returned out-of-vocab token "
-                         << token);
-        a.generated.push_back(token);
-        ++a.steps;
-        ++stats_.decodedTokens;
-        const bool keep_going =
-            a.request.onToken ? a.request.onToken(token) : true;
+        // Containment boundary, part 2: the request's own hooks — decode
+        // override and streaming onToken — run on the scheduler thread,
+        // so an exception from either is caught here and fails only this
+        // request. Other requests' rows were already appended and their
+        // readout is untouched; the batch survives.
+        FailureReason hook_fail = FailureReason::None;
+        std::string hook_detail;
+        bool keep_going = true;
+        try {
+            const int token = a.request.decode
+                ? a.request.decode(hidden, last_row, kernels())
+                : vocab_.argmaxToken(hidden, last_row, kernels());
+            TENDER_CHECK_MSG(token >= 0 && token < vocab_.size(),
+                             "request " << a.request.id
+                             << " decode hook returned out-of-vocab token "
+                             << token);
+            a.generated.push_back(token);
+            ++a.steps;
+            ++stats_.decodedTokens;
+            keep_going =
+                a.request.onToken ? a.request.onToken(token) : true;
+        } catch (const RequestFault &fault) {
+            hook_fail = fault.reason();
+            hook_detail = fault.what();
+        } catch (const std::exception &e) {
+            hook_fail = FailureReason::CallbackError;
+            hook_detail = std::string("request hook threw: ") + e.what();
+        }
+        if (hook_fail != FailureReason::None) {
+            finished_.push_back(makeResult(
+                a.request.id, std::move(a.generated), a.steps,
+                FinishReason::Failed, hook_fail, std::move(hook_detail)));
+            ++stats_.retired;
+            ++stats_.failed;
+            continue;
+        }
         // A completed prefill publishes its prompt's complete blocks for
         // later admissions (entry refs keep them alive past retirement;
         // identical prefixes deduplicate inside the cache). A resumed
@@ -420,10 +562,10 @@ BatchScheduler::step()
             if (!keep_going)
                 ++stats_.stoppedEarly;
             finished_.push_back(
-                {a.request.id, a.generated, a.steps, reason});
+                makeResult(a.request.id, a.generated, a.steps, reason));
             ++stats_.retired;
         } else {
-            a.nextInput = vocab_.embed(token);
+            a.nextInput = vocab_.embed(a.generated.back());
             still_active.push_back(std::move(a));
         }
     }

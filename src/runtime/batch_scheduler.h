@@ -115,7 +115,11 @@ enum class FinishReason
     Length,    ///< maxNewTokens generated
     Stopped,   ///< the onToken callback ended it (stop sequence, client EOF)
     Cancelled, ///< cancel() mid-flight
-    Failed,    ///< rejected before admission (serving-layer validation)
+    /** The request failed: front-door validation or load shedding,
+     *  a mid-flight fault (KV allocation failure, callback exception),
+     *  or a missed deadline — GenResult::failure says which. Contained
+     *  per request: co-scheduled requests' tokens are unaffected. */
+    Failed,
 };
 
 const char *finishReasonName(FinishReason reason);
@@ -159,6 +163,10 @@ struct GenResult
     std::vector<int> tokens;
     int steps = 0; ///< scheduler iterations spent active
     FinishReason reason = FinishReason::Length;
+    /** Structured cause when reason == Failed (None otherwise). */
+    FailureReason failure = FailureReason::None;
+    /** Human-readable fault detail for Failed results ("" otherwise). */
+    std::string failureDetail;
 };
 
 struct SchedulerOptions
@@ -193,6 +201,12 @@ struct SchedulerOptions
      *  guarantee: a Batch request can lose its slot at most this many
      *  times, so it always eventually finishes. */
     int maxPreemptions = 0;
+    /** Front-door load shedding: a submit() arriving while this many
+     *  requests are already queued is immediately retired as Failed /
+     *  QueueOverflow instead of growing the queue without bound. 0 =
+     *  unbounded. Internal re-queues (preemption) are exempt — shedding
+     *  bounds new work, never in-flight work. */
+    int maxQueueDepth = 0;
 };
 
 /** Aggregate counters (bench/diagnostics). */
@@ -227,6 +241,20 @@ struct SchedulerStats
      *  pages at resume instead of being recomputed (also counted in
      *  prefillSkippedRows). */
     int64_t resumedRowsReused = 0;
+    /** Requests retired FinishReason::Failed for any cause (shed, fault,
+     *  deadline); the per-cause counters below refine this. */
+    int64_t failed = 0;
+    /** Submissions shed at the front door because the queue already held
+     *  SchedulerOptions::maxQueueDepth requests (FailureReason::
+     *  QueueOverflow). */
+    int64_t shedQueueFull = 0;
+    /** Queued requests failed via failRequest with FailureReason::
+     *  DeadlineExceeded (the serving layer's deadline sweep). */
+    int64_t shedDeadline = 0;
+    /** Prefix matches dropped by PrefixCache::verifyMatch (page checksum
+     *  mismatch); the admission fell back to cold prefill, so tokens are
+     *  unaffected — only reuse is lost. */
+    int64_t integrityFallbacks = 0;
 };
 
 class BatchScheduler
@@ -258,6 +286,14 @@ class BatchScheduler
      *  the tokens generated so far) is recorded. Returns false when the
      *  id is neither queued nor active (already finished or unknown). */
     bool cancel(int id);
+
+    /** Fail a request by id with a structured reason: same teardown as
+     *  cancel() (queued → dropped, active → retired with blocks and
+     *  undrawn reservation returned), but the result is FinishReason::
+     *  Failed carrying `reason`/`detail`. The serving layer's deadline
+     *  sweep uses this (FailureReason::DeadlineExceeded). Returns false
+     *  when the id is neither queued nor active. */
+    bool failRequest(int id, FailureReason reason, const std::string &detail);
 
     int activeCount() const { return int(active_.size()); }
     int pendingCount() const { return int(pending_.size()); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace tender {
 
@@ -63,6 +64,14 @@ int
 BlockAllocator::allocate(bool reserved)
 {
     std::lock_guard<std::mutex> lock(mu_);
+    // Injected allocation failure (TENDER_FAULT_PLAN site "alloc"):
+    // modeled as the pool failing to produce a page even though the
+    // request holds reservation headroom — the class of fault a real
+    // fleet sees when memory is oversubscribed behind the reservation
+    // math. Checked before the reserved drawdown so the caller's
+    // reservation accounting is untouched by a failed allocation.
+    if (FaultInjector::instance().onHit(FaultSite::AllocFail) > 0)
+        return -1;
     if (reserved) {
         TENDER_CHECK(stats_.reservedBlocks > 0);
         --stats_.reservedBlocks;
@@ -220,6 +229,61 @@ BlockAllocator::refcountsConsistent() const
             ++shared;
     }
     return held == stats_.allocatedBlocks && shared == stats_.sharedBlocks;
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t
+hashBytes(uint64_t h, const void *p, size_t n)
+{
+    const unsigned char *bytes = static_cast<const unsigned char *>(p);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= bytes[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+template <typename T>
+uint64_t
+hashVector(uint64_t h, const std::vector<T> &v)
+{
+    const uint64_t n = v.size();
+    h = hashBytes(h, &n, sizeof(n));
+    return hashBytes(h, v.data(), v.size() * sizeof(T));
+}
+
+} // namespace
+
+uint64_t
+BlockAllocator::checksumBlock(int block) const
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        checkBlock(block);
+        TENDER_CHECK(refcounts_[size_t(block)] > 0);
+    }
+    // Frozen payloads are immutable (the COW discipline), so the hash
+    // runs lock-free like copyBlock's payload pass.
+    uint64_t h = kFnvOffset;
+    if (config_.mode == KVCacheMode::Fp32)
+        return hashBytes(h, fp32Rows(block),
+                         size_t(config_.blockTokens) *
+                             size_t(config_.headDim) * sizeof(float));
+    for (int s = 0; s < config_.chunksPerBlock; ++s) {
+        const QuantizedChunk &qc = chunkSlot(block, s);
+        h = hashBytes(h, &qc.bits, sizeof(qc.bits));
+        const int32_t shape[2] = {qc.codes.rows(), qc.codes.cols()};
+        h = hashBytes(h, shape, sizeof(shape));
+        h = hashVector(h, qc.codes.data());
+        h = hashVector(h, qc.meta.bias);
+        h = hashVector(h, qc.meta.group);
+        h = hashVector(h, qc.meta.scale);
+    }
+    return h;
 }
 
 float *

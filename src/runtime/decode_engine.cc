@@ -346,6 +346,15 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
     // the pool pages (plus the small dequantized open chunk); otherwise it
     // is fully materialized (a dequantize pass, frozen chunks memoized by
     // the cache).
+    //
+    // Failure containment: a cache whose append faulted this step (see
+    // KVCache::appendRows) may hold stores of uneven length, so its
+    // history must not be read — every fan-out below skips failed
+    // segments. Their attention rows stay zero (Matrix zero-initializes),
+    // the batched projections still run over them (row-local, so garbage
+    // rows influence nobody else's rows), and the scheduler retires the
+    // owning request after the step. Co-scheduled segments compute
+    // exactly what they would have computed in a fault-free run.
     const int kv_heads = config.kvHeads;
     struct HeadHistory
     {
@@ -360,6 +369,8 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
             const DecodeSegment &seg =
                 segments[size_t(t) / size_t(kv_heads)];
             const int kvh = int(t % int64_t(kv_heads));
+            if (seg.cache->failed())
+                continue;
             HeadHistory &hh = hist[size_t(t)];
             if (step.fusedQuantKv &&
                 seg.cache->config().mode == KVCacheMode::TenderQuantized) {
@@ -391,6 +402,8 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
                 const size_t si = size_t(t) / size_t(kv_heads);
                 const DecodeSegment &seg = segments[si];
                 const int kvh = int(t % int64_t(kv_heads));
+                if (seg.cache->failed())
+                    continue;
                 const HeadHistory &hh =
                     hist[si * size_t(kv_heads) + size_t(kvh)];
                 // Head-major query panel: rows [g*rows, (g+1)*rows) hold
@@ -426,6 +439,8 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
             for (int64_t t = t0; t < t1; ++t) {
                 const size_t si = size_t(t) / size_t(config.nHeads);
                 const DecodeSegment &seg = segments[si];
+                if (seg.cache->failed())
+                    continue;
                 const int h = int(t % int64_t(config.nHeads));
                 const int kvh = kvHeadOf(h, config.nHeads, config.kvHeads);
                 const HeadHistory &hh =
@@ -505,7 +520,13 @@ DecodeEngine::step(const Matrix &x_new)
     step.fusedQuantKv = options_.fusedQuantKv;
     step.mqAttentionPanels = options_.mqAttentionPanels;
     step.phases = options_.phases;
-    return decodeStep(model_, x_new, segments, step, kc);
+    Matrix h = decodeStep(model_, x_new, segments, step, kc);
+    // The single-request engine has no scheduler watching its cache, so
+    // a latched append fault surfaces here, after the step completed on
+    // every worker (the exception never crosses the pool boundary).
+    if (cache_.failed())
+        throw RequestFault(cache_.failReason(), cache_.failDetail());
+    return h;
 }
 
 Vocab::Vocab(int vocab_size, int d_model, uint64_t seed)

@@ -140,11 +140,15 @@ KVCache::KVCache(KVCache &&other) noexcept
       layerLength_(std::move(other.layerLength_)),
       stores_(std::move(other.stores_)),
       ownedPool_(std::move(other.ownedPool_)), pool_(other.pool_),
-      reservedRemaining_(other.reservedRemaining_)
+      reservedRemaining_(other.reservedRemaining_),
+      failReason_(other.failReason_),
+      failDetail_(std::move(other.failDetail_))
 {
     other.pool_ = nullptr;
     other.reservedRemaining_ = 0;
     other.stores_.clear();
+    other.failReason_ = FailureReason::None;
+    other.failDetail_.clear();
 }
 
 KVCache &
@@ -163,9 +167,13 @@ KVCache::operator=(KVCache &&other) noexcept
         ownedPool_ = std::move(other.ownedPool_);
         pool_ = other.pool_;
         reservedRemaining_ = other.reservedRemaining_;
+        failReason_ = other.failReason_;
+        failDetail_ = std::move(other.failDetail_);
         other.pool_ = nullptr;
         other.reservedRemaining_ = 0;
         other.stores_.clear();
+        other.failReason_ = FailureReason::None;
+        other.failDetail_.clear();
     }
     return *this;
 }
@@ -199,6 +207,8 @@ KVCache::releaseAll()
     }
     std::fill(layerLength_.begin(), layerLength_.end(), 0);
     length_ = 0;
+    failReason_ = FailureReason::None;
+    failDetail_.clear();
 }
 
 KVCache::Store &
@@ -223,12 +233,22 @@ KVCache::allocateBlock()
 {
     const bool use_reserved = reservedRemaining_ > 0;
     const int id = pool_->allocate(use_reserved);
+    if (id < 0)
+        // Reservation-gated admission makes this unreachable on the happy
+        // path; it fires when the pool genuinely reneges (fault injection,
+        // or a caller appending past its reservation on a bounded pool).
+        // Throw instead of exiting: appendRows latches the fault and the
+        // scheduler fails exactly this request, not the process. The
+        // reservation is NOT drawn down on failure, so the undrawn
+        // headroom goes back to the pool intact at release.
+        throw RequestFault(
+            FailureReason::AllocFailed,
+            "KV block allocation failed (pool capacity " +
+                std::to_string(pool_->config().capacityBlocks) +
+                " blocks, " + std::to_string(reservedRemaining_) +
+                " reserved blocks undrawn)");
     if (use_reserved)
         --reservedRemaining_;
-    TENDER_REQUIRE(id >= 0,
-                   "KV block pool exhausted (capacity "
-                       << pool_->config().capacityBlocks
-                       << " blocks): reserve at admission or grow the pool");
     return id;
 }
 
@@ -448,6 +468,26 @@ KVCache::append(int layer, const Matrix &k_rows, const Matrix &v_rows)
 void
 KVCache::appendRows(int layer, const Matrix &k, const Matrix &v, int row0,
                     int rows)
+{
+    if (failed())
+        return; // faulted mid-step: drop the remaining layers' appends
+    try {
+        appendRowsImpl(layer, k, v, row0, rows);
+    } catch (const RequestFault &fault) {
+        // Containment: latch the fault instead of letting it escape the
+        // thread-pool worker running this append. The store that faulted
+        // keeps whatever rows it managed (releaseAll returns them); the
+        // layer-consistency bookkeeping is left un-advanced for this
+        // layer, which is fine because a failed cache accepts no further
+        // appends and is never read for another token.
+        failReason_ = fault.reason();
+        failDetail_ = fault.what();
+    }
+}
+
+void
+KVCache::appendRowsImpl(int layer, const Matrix &k, const Matrix &v,
+                        int row0, int rows)
 {
     TENDER_CHECK(layer >= 0 && layer < model_.nLayers);
     const int t = rows;

@@ -60,6 +60,7 @@
 #include "model/config.h"
 #include "runtime/block_allocator.h"
 #include "tensor/matrix.h"
+#include "util/fault_injection.h"
 
 namespace tender {
 
@@ -159,9 +160,29 @@ class KVCache
 
     /** Append rows [row0, row0 + rows) of stacked projection matrices —
      *  the decode engine's segment slice, without materializing a
-     *  per-segment copy. Same contract as append() otherwise. */
+     *  per-segment copy. Same contract as append() otherwise.
+     *
+     *  Failure containment boundary: appends run inside thread-pool
+     *  workers, where an escaping exception would terminate the process.
+     *  A RequestFault raised underneath (a block allocation that could
+     *  not be satisfied, injected or real) is caught HERE and latched
+     *  into failed()/failReason(); the append becomes a no-op, the
+     *  decode engine skips this cache's remaining work for the step, and
+     *  the scheduler — on its own thread — retires the owning request as
+     *  Failed. Other caches' appends are untouched. */
     void appendRows(int layer, const Matrix &k, const Matrix &v, int row0,
                     int rows);
+
+    /** True once an append faulted. A failed cache drops further appends
+     *  and must not be read for new tokens; releaseAll() (or the
+     *  destructor) still returns every block and undrawn reservation. */
+    bool failed() const { return failReason_ != FailureReason::None; }
+
+    /** Why the cache failed (None while healthy). */
+    FailureReason failReason() const { return failReason_; }
+
+    /** Human-readable detail of the latched fault ("" while healthy). */
+    const std::string &failDetail() const { return failDetail_; }
 
     /** Materialized key history of (layer, kv-head): length() x headDim.
      *  Walks the store's block table; Fp32 blocks are copied verbatim,
@@ -285,6 +306,8 @@ class KVCache
 
     Store &storeOf(int layer, int head, bool value);
     const Store &storeOf(int layer, int head, bool value) const;
+    void appendRowsImpl(int layer, const Matrix &k, const Matrix &v,
+                        int row0, int rows);
     void appendStore(Store &store, const Matrix &rows, int row0, int row1,
                      int head);
     void requantizeOpenChunk(Store &store);
@@ -307,6 +330,8 @@ class KVCache
     std::unique_ptr<BlockAllocator> ownedPool_;
     BlockAllocator *pool_ = nullptr; ///< null only in a moved-from cache
     size_t reservedRemaining_ = 0;
+    FailureReason failReason_ = FailureReason::None;
+    std::string failDetail_;
 };
 
 } // namespace tender

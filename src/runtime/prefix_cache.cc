@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault_injection.h"
+
 namespace tender {
 
 namespace {
@@ -128,6 +130,7 @@ PrefixCache::insert(const std::vector<int> &prompt, const KVCache &cache)
     e.tokens.assign(prompt.begin(), prompt.begin() + rows);
     const size_t n_blocks = size_t(rows / blockTokens_);
     e.blocks.resize(cache.storeCount());
+    e.sums.assign(cache.storeCount(), {});
     for (size_t s = 0; s < cache.storeCount(); ++s) {
         const std::vector<int> &table = cache.storeBlockTable(s);
         TENDER_REQUIRE(table.size() >= n_blocks,
@@ -135,9 +138,22 @@ PrefixCache::insert(const std::vector<int> &prompt, const KVCache &cache)
                            << table.size() << " blocks, prefix needs "
                            << n_blocks);
         e.blocks[s].assign(table.begin(), table.begin() + long(n_blocks));
-        for (int b : e.blocks[s])
+        e.sums[s].reserve(n_blocks);
+        for (int b : e.blocks[s]) {
             pool_->share(b);
+            // Published pages are frozen; stamp their content checksum so
+            // verifyMatch can detect corruption before anyone adopts them.
+            e.sums[s].push_back(pool_->checksumBlock(b));
+        }
     }
+    // Injected page corruption (TENDER_FAULT_PLAN site "corrupt"): flip
+    // the RECORDED checksum rather than the payload, so the donor — which
+    // still reads these pages — is unaffected and the containment story
+    // stays honest: verification fails, the adopter recomputes cold, and
+    // every request's tokens remain bit-identical to a fault-free run.
+    if (FaultInjector::instance().onHit(FaultSite::ChecksumCorrupt) > 0 &&
+        !e.sums.empty() && !e.sums[0].empty())
+        e.sums[0][0] ^= 0x5a5a5a5a5a5a5a5aull;
     // Register every adoptable length (one rolling-hash pass), so a later
     // prompt that diverges from this one mid-entry still shares the
     // common part: any row boundary in fp32, frozen-chunk boundaries in
@@ -205,6 +221,28 @@ PrefixCache::adopt(const PrefixMatch &match, KVCache &cache) const
         blocks[s].assign(e.blocks[s].begin(),
                          e.blocks[s].begin() + long(n_blocks));
     cache.adoptPrefix(blocks, match.rows);
+}
+
+bool
+PrefixCache::verifyMatch(const PrefixMatch &match)
+{
+    TENDER_REQUIRE(match.rows > 0 && match.entry < entries_.size() &&
+                   entries_[match.entry].live,
+                   "PrefixCache::verifyMatch needs a live match");
+    const Entry &e = entries_[match.entry];
+    const size_t n_blocks =
+        size_t((match.rows + blockTokens_ - 1) / blockTokens_);
+    for (size_t s = 0; s < e.blocks.size(); ++s) {
+        TENDER_CHECK(n_blocks <= e.sums[s].size());
+        for (size_t b = 0; b < n_blocks; ++b) {
+            if (pool_->checksumBlock(e.blocks[s][b]) == e.sums[s][b])
+                continue;
+            ++stats_.integrityRejects;
+            releaseEntry(match.entry);
+            return false;
+        }
+    }
+    return true;
 }
 
 void

@@ -67,6 +67,11 @@ struct PrefixCacheStats
     int64_t misses = 0;
     int64_t evictions = 0;     ///< entries released (LRU or clear)
     int64_t verifyRejects = 0; ///< hash hits whose tokens did not match
+    /** Matches dropped because a covered page's content checksum no
+     *  longer equals the sum stamped at insert (corruption — injected
+     *  via TENDER_FAULT_PLAN site "corrupt", or real). The entry is
+     *  released so nothing else adopts it. */
+    int64_t integrityRejects = 0;
 };
 
 /** One successful lookup: how many leading prompt rows can be served
@@ -112,6 +117,17 @@ class PrefixCache
      *  covered blocks into its block tables via KVCache::adoptPrefix). */
     void adopt(const PrefixMatch &match, KVCache &cache) const;
 
+    /**
+     * KV page integrity gate: recompute the content checksum of every
+     * block `match` would adopt and compare against the sums stamped at
+     * insert. On a mismatch the entry is released (nothing else may
+     * adopt corrupted pages), stats().integrityRejects is bumped, and
+     * false is returned — the caller falls back to cold prefill (or
+     * cold replay on resume), which recomputes the same rows and keeps
+     * tokens bit-identical. Call between match() and adopt().
+     */
+    bool verifyMatch(const PrefixMatch &match);
+
     /** Release the least-recently-used entry (skipping `protect`).
      *  Returns false when nothing is evictable — the scheduler's
      *  pool-pressure loop stops there and defers admission. */
@@ -136,6 +152,10 @@ class PrefixCache
         /** Per store (KVCache::storeCount order), the blocks covering
          *  `tokens`, each carrying one pool reference. */
         std::vector<std::vector<int>> blocks;
+        /** Content checksum of each published block (same shape as
+         *  `blocks`), stamped at insert — frozen pages are immutable, so
+         *  any later divergence is corruption (verifyMatch). */
+        std::vector<std::vector<uint64_t>> sums;
         std::vector<uint64_t> keys; ///< hashes registered in lookup_
         uint64_t lastUse = 0;
     };

@@ -30,21 +30,23 @@ legalTransition(RequestState from, RequestState to)
         // The prefill step always yields the first token, so a request
         // whose budget is 1 (or whose first token completes a stop
         // sequence) passes through Decoding in the same step rather than
-        // finishing straight from Prefill.
+        // finishing straight from Prefill. Failed: a contained fault
+        // (KV allocation failure, throwing callback) mid-prefill.
         return to == RequestState::Decoding ||
-               to == RequestState::Cancelled;
+               to == RequestState::Cancelled || to == RequestState::Failed;
     case RequestState::Decoding:
         return to == RequestState::Finished ||
                to == RequestState::Cancelled ||
-               to == RequestState::Preempted;
+               to == RequestState::Preempted || to == RequestState::Failed;
     case RequestState::Preempted:
         // Resume is re-admission: the request re-enters Prefill to
         // recompute whatever the freeze could not park (and to consume
         // the last generated token as its next input row). Only
         // mid-decode requests are preemptible, so Preempted is never
-        // entered from Queued or Prefill.
+        // entered from Queued or Prefill. Failed: a deadline expiring
+        // while parked (re-admission waiting counts as waiting).
         return to == RequestState::Prefill ||
-               to == RequestState::Cancelled;
+               to == RequestState::Cancelled || to == RequestState::Failed;
     case RequestState::Finished:
     case RequestState::Cancelled:
     case RequestState::Failed:

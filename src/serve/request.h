@@ -14,17 +14,20 @@
  *      |         +----------------> Cancelled
  *      +--------------------------> Prefill | Cancelled | Failed
  *
+ * plus Prefill | Decoding | Preempted -> Failed for mid-flight faults
  * (legalTransition() is the authoritative table; every transition the
  * session performs is checked against it, and tests/test_serving.cc +
  * tests/test_preemption.cc assert the table itself). Preempted is the
  * mid-decode freeze/park state: the scheduler reclaimed the request's
  * batch slot and KV blocks (parking the frozen prefix in the prefix
  * cache), and resume re-enters Prefill to recompute only what was lost
- * at the seal boundary — see docs/serving.md. Failed is entered only
- * from submit-time validation — a request the scheduler could never run
- * (empty prompt, non-positive budget, a KV footprint larger than the
- * whole pool) is rejected at the front door instead of tripping the
- * runtime's fatal checks mid-flight.
+ * at the seal boundary — see docs/serving.md. Failed is entered from
+ * front-door rejection — submit-time validation (empty prompt,
+ * non-positive budget, a KV footprint larger than the whole pool),
+ * queue-overflow shedding, a missed deadline — or from a contained
+ * mid-flight fault (KV allocation failure, a throwing callback);
+ * ServeResult::failure carries the structured cause and
+ * docs/robustness.md the containment contract.
  *
  * Latency metrics are recorded per request: TTFT (submit to first decoded
  * token) and the inter-token latencies of every following token, the raw
@@ -57,7 +60,10 @@ enum class RequestState
     Preempted,
     Finished,  ///< retired normally (budget or stop sequence)
     Cancelled, ///< cancel() removed it (queued, preempted, or mid-decode)
-    Failed,    ///< rejected by submit-time validation
+    /** Rejected at the front door (validation, queue overflow, deadline)
+     *  or retired by a contained mid-flight fault — ServeResult::failure
+     *  says which. */
+    Failed,
 };
 
 const char *requestStateName(RequestState state);
@@ -112,6 +118,13 @@ struct ServeRequest
     std::vector<std::vector<int>> stopSequences;
     SamplingParams sampling;
     Priority priority = Priority::Batch;
+    /** Optional deadline, microseconds from submit. Checked while the
+     *  request is waiting (Queued or Preempted): a request still
+     *  unadmitted when its deadline passes is shed as Failed /
+     *  DeadlineExceeded at the next step. A request already computing is
+     *  allowed to finish — shedding bounds waiting, it never wastes work
+     *  in flight. 0 = no deadline. */
+    int64_t deadlineUs = 0;
     /** Per-token streaming callback (generation order, holdback applied);
      *  also receives the terminal event. Optional. */
     std::function<void(const StreamEvent &)> onEvent;
@@ -137,6 +150,8 @@ struct ServeResult
     std::vector<int> tokens;
     RequestMetrics metrics;
     std::string error; ///< non-empty only for Failed
+    /** Structured failure cause when state == Failed (None otherwise). */
+    FailureReason failure = FailureReason::None;
 };
 
 } // namespace tender

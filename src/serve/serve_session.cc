@@ -1,8 +1,10 @@
 #include "serve/serve_session.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "serve/sampler.h"
+#include "util/fault_injection.h"
 #include "util/stats.h"
 
 namespace tender {
@@ -86,7 +88,30 @@ ServeSession::streamVisible(Track &track, int visible)
         ev.requestId = track.id;
         ev.token = track.generated[size_t(i)];
         ev.index = i;
-        track.spec.onEvent(ev);
+        // Advance the cursor before invoking the client: a throwing
+        // callback consumed its event slot, so nothing is re-delivered
+        // if the track is flushed again during teardown.
+        track.streamed = i + 1;
+        // Client callbacks are untrusted code; contain anything they
+        // throw to this request (FailureReason::CallbackError) so the
+        // batch survives. The "callback" fault-plan site exercises this
+        // path without a misbehaving client.
+        try {
+            if (FaultInjector::instance().onHit(FaultSite::CallbackThrow) >
+                0)
+                throw std::runtime_error(
+                    "injected streaming-callback fault");
+            track.spec.onEvent(ev);
+        } catch (const RequestFault &) {
+            throw;
+        } catch (const std::exception &e) {
+            throw RequestFault(FailureReason::CallbackError,
+                               std::string("streaming callback threw: ") +
+                                   e.what());
+        } catch (...) {
+            throw RequestFault(FailureReason::CallbackError,
+                               "streaming callback threw a non-exception");
+        }
     }
     track.streamed = std::max(track.streamed, visible);
 }
@@ -102,7 +127,12 @@ ServeSession::emitTerminal(Track &track, FinishReason reason)
     ev.index = track.streamed;
     ev.last = true;
     ev.reason = reason;
-    track.spec.onEvent(ev);
+    // The terminal notification is best-effort: the request is already
+    // retired, so a client that throws here has nothing left to fail.
+    try {
+        track.spec.onEvent(ev);
+    } catch (...) {
+    }
 }
 
 bool
@@ -140,14 +170,17 @@ ServeSession::onToken(Track &track, int token)
 }
 
 void
-ServeSession::fail(Track &track, const std::string &why)
+ServeSession::fail(Track &track, const std::string &why,
+                   FailureReason reason)
 {
     transition(track, RequestState::Failed);
+    track.failure = reason;
     ServeResult result;
     result.id = track.id;
     result.state = RequestState::Failed;
     result.reason = FinishReason::Failed;
     result.error = why;
+    result.failure = reason;
     results_[track.id] = std::move(result);
     undrained_.push_back(track.id);
     emitTerminal(track, FinishReason::Failed);
@@ -185,6 +218,10 @@ ServeSession::submit(const ServeRequest &request)
             fail(track, "empty stop sequence");
             return id;
         }
+    }
+    if (request.deadlineUs < 0) {
+        fail(track, "deadlineUs must be non-negative (0 = none)");
+        return id;
     }
     const size_t cap = options_.scheduler.kvPoolBlocks;
     if (cap > 0) {
@@ -226,6 +263,10 @@ ServeSession::submit(const ServeRequest &request)
         transition(*t, RequestState::Preempted);
     };
     scheduler_.submit(gen);
+    // A submit shed at the scheduler's queue-depth bound produced a
+    // Failed result synchronously; surface it before the caller ever
+    // sees the id as live.
+    collectFinished();
     return id;
 }
 
@@ -259,8 +300,13 @@ ServeSession::collectFinished()
         switch (r.reason) {
         case FinishReason::Length:
             // Budget finish flushes any holdback: nothing can complete a
-            // stop sequence any more.
-            streamVisible(track, int(track.generated.size()));
+            // stop sequence any more. A callback breaking on this very
+            // last flush no longer has a request to fail — swallow it
+            // (the client simply misses its tail tokens).
+            try {
+                streamVisible(track, int(track.generated.size()));
+            } catch (const RequestFault &) {
+            }
             transition(track, RequestState::Finished);
             result.tokens = track.generated;
             break;
@@ -276,7 +322,17 @@ ServeSession::collectFinished()
             result.tokens = track.generated;
             break;
         case FinishReason::Failed:
-            TENDER_PANIC("scheduler never produces Failed results");
+            // A contained fault (queue-overflow shed, deadline shed, KV
+            // allocation failure, throwing callback) retired it in the
+            // scheduler; record the structured cause. No streaming flush:
+            // a failed request's callback is not to be trusted with more
+            // events (emitTerminal below is wrapped, best-effort).
+            transition(track, RequestState::Failed);
+            track.failure = r.failure;
+            result.tokens = track.generated;
+            result.error = r.failureDetail;
+            result.failure = r.failure;
+            break;
         }
         result.state = track.state;
         result.metrics = track.metrics;
@@ -286,9 +342,34 @@ ServeSession::collectFinished()
     }
 }
 
+void
+ServeSession::shedExpired()
+{
+    const Clock::time_point now = Clock::now();
+    for (auto &entry : tracks_) {
+        Track &track = *entry.second;
+        if (track.spec.deadlineUs <= 0)
+            continue;
+        // Only still-waiting requests are shed: Queued (never admitted)
+        // and Preempted (waiting for re-admission). A request already
+        // computing finishes — shedding bounds waiting, it never throws
+        // away in-flight work.
+        if (track.state != RequestState::Queued &&
+            track.state != RequestState::Preempted)
+            continue;
+        if (elapsedUs(track.submitTime, now) <=
+            double(track.spec.deadlineUs))
+            continue;
+        TENDER_CHECK(scheduler_.failRequest(
+            track.id, FailureReason::DeadlineExceeded,
+            "deadline expired before (re-)admission"));
+    }
+}
+
 bool
 ServeSession::step()
 {
+    shedExpired();
     const bool more = scheduler_.step();
     collectFinished();
     return more;
@@ -333,6 +414,19 @@ ServeSession::latency(Priority priority) const
         const Track &track = *entry.second;
         if (track.spec.priority != priority)
             continue;
+        // Failed requests are tallied per cause but excluded from the
+        // percentiles: a shed request has no token latencies, and a
+        // faulted one's samples would mix an aborted run into the SLA
+        // numbers.
+        if (track.state == RequestState::Failed) {
+            if (track.failure == FailureReason::QueueOverflow)
+                ++stats.shedQueueFull;
+            else if (track.failure == FailureReason::DeadlineExceeded)
+                ++stats.shedDeadline;
+            else
+                ++stats.failed;
+            continue;
+        }
         if (track.state != RequestState::Finished &&
             track.state != RequestState::Cancelled)
             continue;

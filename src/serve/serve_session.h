@@ -22,6 +22,16 @@
  * retires a request mid-decode, handing its KV blocks and undrawn
  * reservation back to the pool.
  *
+ * Failure containment (docs/robustness.md): a streaming callback that
+ * throws fails only its own request (FailureReason::CallbackError — the
+ * batch survives and every other request's tokens are untouched);
+ * mid-flight faults the scheduler contains (KV allocation failure)
+ * surface here as Failed results with their structured cause; requests
+ * carrying ServeRequest::deadlineUs are shed while still waiting
+ * (Queued/Preempted) once the deadline passes; and queue-overflow sheds
+ * from SchedulerOptions::maxQueueDepth retire as Failed/QueueOverflow at
+ * submit. latency() reports the shed/failed counts per priority class.
+ *
  * The invariant inherited from below and preserved here: everything the
  * session adds (sampling seeds, stop matching, priorities, cancellation
  * timing) is a pure function of the request itself, so the tokens a
@@ -70,6 +80,15 @@ struct LatencyStats
     double ttftP95Us = -1.0;
     double itlP50Us = -1.0;
     double itlP95Us = -1.0;
+    /** Requests shed at the front door because the scheduler queue was
+     *  at SchedulerOptions::maxQueueDepth. */
+    int shedQueueFull = 0;
+    /** Requests shed because ServeRequest::deadlineUs expired while they
+     *  were still waiting (Queued or Preempted). */
+    int shedDeadline = 0;
+    /** Requests that retired Failed for any other reason (validation,
+     *  contained mid-flight fault, throwing callback). */
+    int failed = 0;
 };
 
 class ServeSession
@@ -129,6 +148,8 @@ class ServeSession
         std::vector<int> generated; ///< decoded tokens incl. held-back
         int streamed = 0;           ///< visible tokens emitted so far
         int stopLen = 0;            ///< matched stop-sequence length
+        /** Structured cause once state == Failed (None otherwise). */
+        FailureReason failure = FailureReason::None;
         RequestMetrics metrics;
     };
 
@@ -136,11 +157,18 @@ class ServeSession
     /** Decode + timestamp + stop-match handling for one new token;
      *  returns false when the request must stop. */
     bool onToken(Track &track, int token);
+    /** Emit tokens [streamed, visible) to the client. A throwing client
+     *  callback surfaces as RequestFault(CallbackError) — the caller
+     *  (scheduler hook) fails only this request; the batch survives. */
     void streamVisible(Track &track, int visible);
     void emitTerminal(Track &track, FinishReason reason);
     /** Move the scheduler's finished results into ServeResults. */
     void collectFinished();
-    void fail(Track &track, const std::string &why);
+    /** Shed still-waiting requests (Queued/Preempted) whose deadlineUs
+     *  has expired — run before every scheduler step. */
+    void shedExpired();
+    void fail(Track &track, const std::string &why,
+              FailureReason reason = FailureReason::InvalidRequest);
 
     SyntheticModel &model_;
     ServeSessionOptions options_;

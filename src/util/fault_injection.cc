@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Fault-plan parsing and the hit-counting trigger machinery.
+ */
+
+#include "util/fault_injection.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace tender {
+
+const char *
+failureReasonName(FailureReason reason)
+{
+    switch (reason) {
+    case FailureReason::None: return "none";
+    case FailureReason::InvalidRequest: return "invalid_request";
+    case FailureReason::QueueOverflow: return "queue_overflow";
+    case FailureReason::DeadlineExceeded: return "deadline_exceeded";
+    case FailureReason::AllocFailed: return "alloc_failed";
+    case FailureReason::CallbackError: return "callback_error";
+    case FailureReason::IntegrityFault: return "integrity_fault";
+    }
+    TENDER_PANIC("unknown FailureReason " << int(reason));
+}
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+    case FaultSite::AllocFail: return "alloc";
+    case FaultSite::CallbackThrow: return "callback";
+    case FaultSite::StepLatency: return "latency";
+    case FaultSite::ChecksumCorrupt: return "corrupt";
+    }
+    TENDER_PANIC("unknown FaultSite " << int(site));
+}
+
+namespace {
+
+bool
+siteByName(const std::string &name, FaultSite *out)
+{
+    for (const FaultSite site :
+         {FaultSite::AllocFail, FaultSite::CallbackThrow,
+          FaultSite::StepLatency, FaultSite::ChecksumCorrupt}) {
+        if (name == faultSiteName(site)) {
+            *out = site;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** splitmix64: the seeded generator behind randomPlan. Small state,
+ *  good diffusion, and identical across platforms — which is all the
+ *  chaos scheduler needs. */
+uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector()
+{
+    const char *env = std::getenv("TENDER_FAULT_PLAN");
+    if (env != nullptr && env[0] != '\0')
+        arm(env);
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::arm(const std::string &plan)
+{
+    std::vector<FaultTrigger> parsed;
+    size_t pos = 0;
+    while (pos < plan.size()) {
+        size_t end = plan.find_first_of(";,", pos);
+        if (end == std::string::npos)
+            end = plan.size();
+        std::string entry = plan.substr(pos, end - pos);
+        pos = end + 1;
+        // Trim surrounding whitespace so "a@1; b@2" parses.
+        const size_t first = entry.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        entry = entry.substr(first, entry.find_last_not_of(" \t") - first + 1);
+
+        const size_t at = entry.find('@');
+        TENDER_REQUIRE(at != std::string::npos && at > 0,
+                       "fault plan entry '" << entry
+                           << "' is not site@nth[xpayload]");
+        FaultTrigger trigger;
+        TENDER_REQUIRE(siteByName(entry.substr(0, at), &trigger.site),
+                       "fault plan entry '" << entry
+                           << "' names an unknown site (want alloc, "
+                              "callback, latency, or corrupt)");
+        const std::string rest = entry.substr(at + 1);
+        const size_t x = rest.find('x');
+        size_t used = 0;
+        try {
+            trigger.nth = std::stoll(rest.substr(0, x), &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        TENDER_REQUIRE(used > 0 && used == (x == std::string::npos
+                                                ? rest.size() : x) &&
+                           trigger.nth >= 1,
+                       "fault plan entry '" << entry
+                           << "' needs a positive 1-based hit index");
+        if (x != std::string::npos) {
+            used = 0;
+            try {
+                trigger.payload = std::stoll(rest.substr(x + 1), &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            TENDER_REQUIRE(used > 0 && used == rest.size() - x - 1 &&
+                               trigger.payload >= 0,
+                           "fault plan entry '" << entry
+                               << "' has a malformed payload");
+        }
+        parsed.push_back(trigger);
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    triggers_ = std::move(parsed);
+    plan_ = triggers_.empty() ? std::string() : plan;
+    for (int s = 0; s < kFaultSiteCount; ++s)
+        hitCount_[s] = firedCount_[s] = 0;
+    armed_.store(!triggers_.empty(), std::memory_order_relaxed);
+}
+
+void
+FaultInjector::disarm()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    triggers_.clear();
+    plan_.clear();
+    for (int s = 0; s < kFaultSiteCount; ++s)
+        hitCount_[s] = firedCount_[s] = 0;
+    armed_.store(false, std::memory_order_relaxed);
+}
+
+int64_t
+FaultInjector::onHit(FaultSite site)
+{
+    if (!armed())
+        return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (triggers_.empty())
+        return 0; // lost the race with disarm(): nothing to count against
+    const int64_t hit = ++hitCount_[int(site)];
+    int64_t fire = 0;
+    for (FaultTrigger &trigger : triggers_) {
+        if (trigger.site != site || trigger.nth != hit)
+            continue;
+        trigger.fired = true;
+        fire = trigger.payload > 0 ? trigger.payload : 1;
+    }
+    if (fire > 0)
+        ++firedCount_[int(site)];
+    return fire;
+}
+
+int64_t
+FaultInjector::hits(FaultSite site) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hitCount_[int(site)];
+}
+
+int64_t
+FaultInjector::fired(FaultSite site) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return firedCount_[int(site)];
+}
+
+std::string
+FaultInjector::plan() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return plan_;
+}
+
+std::string
+FaultInjector::randomPlan(uint64_t seed, const std::vector<FaultSite> &sites,
+                          int triggers, int64_t maxNth, int64_t latencyUs)
+{
+    TENDER_REQUIRE(!sites.empty() && triggers > 0 && maxNth >= 1,
+                   "randomPlan needs sites, a trigger count, and a "
+                   "positive hit range");
+    uint64_t state = seed;
+    std::string plan;
+    for (int i = 0; i < triggers; ++i) {
+        const FaultSite site =
+            sites[size_t(splitmix64(state) % sites.size())];
+        const int64_t nth = int64_t(splitmix64(state) % uint64_t(maxNth)) + 1;
+        if (!plan.empty())
+            plan += ';';
+        plan += faultSiteName(site);
+        plan += '@';
+        plan += std::to_string(nth);
+        if (site == FaultSite::StepLatency) {
+            plan += 'x';
+            plan += std::to_string(latencyUs);
+        }
+    }
+    return plan;
+}
+
+} // namespace tender

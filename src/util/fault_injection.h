@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Deterministic fault injection and the request failure taxonomy.
+ *
+ * The serving stack's containment contract ("fail one request, not the
+ * batch") is only testable if faults can be provoked on demand, at a
+ * precise point, repeatably. This header provides both halves:
+ *
+ *  - FailureReason / RequestFault: the structured failure taxonomy every
+ *    layer speaks. A fault deep in the runtime (a KV block allocation
+ *    that could not be satisfied, a streaming callback that threw)
+ *    surfaces as a RequestFault carrying a FailureReason, and the
+ *    scheduler retires exactly the affected request as Failed.
+ *
+ *  - FaultInjector: a process-wide registry of seeded fault triggers.
+ *    A plan is a list of (site, nth-hit[, payload]) entries: "the 3rd
+ *    block allocation fails", "the 2nd streaming callback throws", "the
+ *    5th scheduler step stalls 500 us". Sites count their hits under a
+ *    mutex, so a given plan over a given workload fires at exactly the
+ *    same points run after run (single-threaded sites are fully
+ *    deterministic; the allocation site is hit from pool workers, where
+ *    the plan still fires at the same global hit index but the owning
+ *    request may vary — every containment invariant is written to hold
+ *    regardless of which request takes the hit).
+ *
+ * Plan grammar (also accepted from the TENDER_FAULT_PLAN environment
+ * variable, parsed on first use):
+ *
+ *     plan    := entry ((';' | ',') entry)*
+ *     entry   := site '@' nth ['x' payload]
+ *     site    := "alloc" | "callback" | "latency" | "corrupt"
+ *     nth     := 1-based hit index at which the trigger fires once
+ *     payload := site-specific integer (latency: stall microseconds)
+ *
+ * Example: TENDER_FAULT_PLAN="alloc@7;callback@2;latency@3x500"
+ *
+ * When no plan is armed the injector is a single relaxed atomic load at
+ * every site — cheap enough to leave compiled into production paths.
+ */
+
+#ifndef TENDER_UTIL_FAULT_INJECTION_H
+#define TENDER_UTIL_FAULT_INJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tender {
+
+/** Why a request retired as Failed. The None value is reserved for
+ *  "not failed" so results can carry the field unconditionally. */
+enum class FailureReason {
+    None = 0,
+    InvalidRequest,   ///< rejected by front-door validation (serve layer)
+    QueueOverflow,    ///< shed at submit: queue past SchedulerOptions::maxQueueDepth
+    DeadlineExceeded, ///< shed while queued: ServeRequest::deadlineUs expired
+    AllocFailed,      ///< a KV block allocation failed mid-prefill/mid-decode
+    CallbackError,    ///< the request's streaming callback threw
+    IntegrityFault,   ///< a shared/parked KV page failed checksum verification
+};
+
+/** Stable lowercase name for logs, JSON, and test assertions. */
+const char *failureReasonName(FailureReason reason);
+
+/** The exception a fault raises on the faulted request's control path.
+ *  Layers catch it at their containment boundary (KVCache::appendRows
+ *  inside pool workers, BatchScheduler::step in the readout loop) and
+ *  convert it into a Failed retirement — it must never cross a thread
+ *  pool boundary or take down co-scheduled requests. */
+class RequestFault : public std::runtime_error {
+  public:
+    RequestFault(FailureReason reason, const std::string &detail)
+        : std::runtime_error(detail), reason_(reason)
+    {
+    }
+
+    FailureReason reason() const { return reason_; }
+
+  private:
+    FailureReason reason_;
+};
+
+/** Injection points the runtime exposes. Each site counts its hits
+ *  independently; a trigger names a site and the hit index to fire at. */
+enum class FaultSite {
+    AllocFail = 0,   ///< BlockAllocator::allocate returns -1 ("alloc")
+    CallbackThrow,   ///< ServeSession streaming callback throws ("callback")
+    StepLatency,     ///< BatchScheduler::step stalls payload us ("latency")
+    ChecksumCorrupt, ///< PrefixCache::insert stamps a wrong checksum ("corrupt")
+};
+
+constexpr int kFaultSiteCount = 4;
+
+/** Plan-grammar name of a site ("alloc", "callback", ...). */
+const char *faultSiteName(FaultSite site);
+
+/** One parsed plan entry: fire once when `site` reaches hit `nth`. */
+struct FaultTrigger {
+    FaultSite site = FaultSite::AllocFail;
+    int64_t nth = 0;     ///< 1-based hit index
+    int64_t payload = 0; ///< site-specific (latency: microseconds)
+    bool fired = false;
+};
+
+/**
+ * Process-wide deterministic fault plan.
+ *
+ * Sites call onHit() unconditionally; the disarmed fast path is one
+ * relaxed atomic load. An armed injector counts the hit under its mutex
+ * and reports whether a trigger fires at this exact index. arm() resets
+ * all hit counters, so "the 3rd allocation" always means the 3rd
+ * allocation after arming — which is what makes a plan replayable.
+ */
+class FaultInjector {
+  public:
+    /** The process-wide instance. First use arms from TENDER_FAULT_PLAN
+     *  if that variable is set (empty/unset leaves it disarmed). */
+    static FaultInjector &instance();
+
+    /** Parse and install `plan` (grammar in the file comment), resetting
+     *  every hit counter. An empty plan disarms. A malformed plan is a
+     *  user configuration error (TENDER_FATAL). */
+    void arm(const std::string &plan);
+
+    /** Drop the plan and reset counters; sites go back to the one-load
+     *  fast path. */
+    void disarm();
+
+    /** True when a plan is installed (lock-free). */
+    bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+    /**
+     * Record a hit at `site`. Returns 0 when nothing fires; when a
+     * trigger fires, returns its payload if positive and 1 otherwise,
+     * so every call site can treat "> 0" as "fault now". Disarmed
+     * injectors return 0 without counting.
+     */
+    int64_t onHit(FaultSite site);
+
+    /** Hits counted at `site` since the last arm(). */
+    int64_t hits(FaultSite site) const;
+
+    /** Triggers fired at `site` since the last arm(). */
+    int64_t fired(FaultSite site) const;
+
+    /** The installed plan string ("" when disarmed). */
+    std::string plan() const;
+
+    /**
+     * Build a seeded random plan over `sites`: `triggers` entries with
+     * hit indices in [1, maxNth], latency entries carrying `latencyUs`.
+     * Same seed, same plan — this is the chaos-soak scheduler, shared by
+     * tests, the bench harness, and the example so their runs replay.
+     */
+    static std::string randomPlan(uint64_t seed,
+                                  const std::vector<FaultSite> &sites,
+                                  int triggers, int64_t maxNth,
+                                  int64_t latencyUs = 200);
+
+  private:
+    FaultInjector();
+
+    mutable std::mutex mu_;
+    std::atomic<bool> armed_{false};
+    std::vector<FaultTrigger> triggers_;
+    int64_t hitCount_[kFaultSiteCount] = {};
+    int64_t firedCount_[kFaultSiteCount] = {};
+    std::string plan_;
+};
+
+} // namespace tender
+
+#endif // TENDER_UTIL_FAULT_INJECTION_H

@@ -49,9 +49,11 @@ TEST(RequestLifecycle, TransitionTableIsExact)
     const std::set<std::pair<S, S>> legal = {
         {S::Queued, S::Prefill},      {S::Queued, S::Cancelled},
         {S::Queued, S::Failed},       {S::Prefill, S::Decoding},
-        {S::Prefill, S::Cancelled},   {S::Decoding, S::Finished},
-        {S::Decoding, S::Cancelled},  {S::Decoding, S::Preempted},
+        {S::Prefill, S::Cancelled},   {S::Prefill, S::Failed},
+        {S::Decoding, S::Finished},   {S::Decoding, S::Cancelled},
+        {S::Decoding, S::Preempted},  {S::Decoding, S::Failed},
         {S::Preempted, S::Prefill},   {S::Preempted, S::Cancelled},
+        {S::Preempted, S::Failed},
     };
     for (const S from : all)
         for (const S to : all)
