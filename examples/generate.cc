@@ -59,10 +59,18 @@
  * contract: survivors decode bit-identical tokens to a fault-free run
  * and the failed requests return every KV block.
  *
+ * With --speculate the example walks speculative decoding
+ * (runtime/draft.h; docs/speculation.md): a repetitive prompt decodes
+ * with the prompt-lookup drafter, printing per verification step how
+ * many draft tokens were proposed and how long the accepted prefix
+ * was, then the acceptance-rate summary and the defining property —
+ * the tokens are bit-identical to the plain run's; only the step
+ * count changed.
+ *
  * Unknown flags are rejected with a usage line listing every mode.
  *
  *   $ ./examples/generate [n_tokens] [--fused-kv] [--shared-prefix]
- *                         [--sample] [--preempt] [--faults]
+ *                         [--sample] [--preempt] [--faults] [--speculate]
  */
 
 #include <algorithm>
@@ -503,6 +511,85 @@ faultsDemo(SyntheticModel &model)
     return survivors_exact && clean && finished > 0;
 }
 
+/**
+ * --speculate walkthrough: speculative decoding (docs/speculation.md)
+ * on a repetitive prompt the prompt-lookup drafter is good at. The
+ * request first runs plain as the reference, then speculating, stepped
+ * manually so each verification step prints how many draft tokens were
+ * proposed and how long the accepted prefix was. The defining property
+ * is printed last: the speculative run's tokens are bit-identical to
+ * the plain run's — speculation only changed the step count. Returns
+ * true when they match.
+ */
+bool
+speculateDemo(SyntheticModel &model)
+{
+    ServeRequest request; // period-3 repetitive prompt: lookup heaven
+    const int pattern[3] = {7, 11, 3};
+    for (int t = 0; t < 12; ++t)
+        request.promptTokens.push_back(pattern[t % 3]);
+    request.maxNewTokens = 24;
+
+    ServeRequest spec = request;
+    spec.speculation.drafter = DrafterKind::PromptLookup;
+    spec.speculation.maxDraft = 4;
+
+    std::printf("\n== --speculate: %s drafter, maxDraft %d, %zu-token "
+                "repetitive prompt, %d-token budget ==\n",
+                drafterKindName(spec.speculation.drafter),
+                spec.speculation.maxDraft, request.promptTokens.size(),
+                request.maxNewTokens);
+
+    auto makeOptions = [] {
+        ServeSessionOptions o;
+        o.scheduler.vocabSize = 256;
+        return o;
+    };
+
+    // Plain reference: one emitted token per scheduler step.
+    ServeSession plain(model, makeOptions());
+    const int plain_id = plain.submit(request);
+    plain.drain();
+    const ServeResult &ref = *plain.result(plain_id);
+
+    ServeSession session(model, makeOptions());
+    const int id = session.submit(spec);
+    const SchedulerStats &st = session.scheduler().stats();
+    long long drafted_seen = 0, accepted_seen = 0, emitted_seen = 0;
+    int step_no = 0;
+    while (session.state(id) != RequestState::Finished && step_no < 64) {
+        session.step();
+        ++step_no;
+        const long long drafted = st.draftedTokens - drafted_seen;
+        const long long accepted = st.acceptedDraftTokens - accepted_seen;
+        const long long emitted = st.decodedTokens - emitted_seen;
+        drafted_seen = st.draftedTokens;
+        accepted_seen = st.acceptedDraftTokens;
+        emitted_seen = st.decodedTokens;
+        std::printf("step %2d: drafted %lld, accepted prefix %lld, "
+                    "emitted %lld token%s%s\n",
+                    step_no, drafted, accepted, emitted,
+                    emitted == 1 ? "" : "s",
+                    step_no == 1 ? "  (prefill, no draft yet)" : "");
+    }
+    const ServeResult &result = *session.result(id);
+    const long long drafted = result.metrics.draftedTokens;
+    const long long accepted = result.metrics.acceptedDraftTokens;
+    std::printf("summary: %zu tokens in %d steps (plain took %zu); "
+                "%lld of %lld draft tokens accepted (%.0f%%)\n",
+                result.tokens.size(), step_no, ref.tokens.size(),
+                accepted, drafted,
+                drafted > 0 ? 100.0 * double(accepted) / double(drafted)
+                            : 0.0);
+    const bool identical =
+        result.state == RequestState::Finished && result.tokens == ref.tokens;
+    std::printf("speculative tokens vs plain run: %s\n",
+                identical ? "IDENTICAL (verification only accepts what "
+                            "the model would emit)"
+                          : "MISMATCH — this is a bug");
+    return identical;
+}
+
 /** `proj_flops` is the analytic FLOP count of the run's weight
  *  projections; divided by the measured projection phase time it gives
  *  the achieved GEMM MFLOP/s on the kernel arm in use. */
@@ -531,6 +618,7 @@ run(int argc, char **argv)
     bool sample = false;
     bool preempt = false;
     bool faults = false;
+    bool speculate = false;
     int n_tokens = 20;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--fused-kv") == 0) {
@@ -543,12 +631,14 @@ run(int argc, char **argv)
             preempt = true;
         } else if (std::strcmp(argv[i], "--faults") == 0) {
             faults = true;
+        } else if (std::strcmp(argv[i], "--speculate") == 0) {
+            speculate = true;
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr,
                          "unknown option '%s'\n"
                          "usage: %s [n_tokens] [--fused-kv] "
                          "[--shared-prefix] [--sample] [--preempt] "
-                         "[--faults]\n"
+                         "[--faults] [--speculate]\n"
                          "  n_tokens         tokens to generate per arm "
                          "(default 20)\n"
                          "  --fused-kv       accepted for compatibility; "
@@ -560,7 +650,9 @@ run(int argc, char **argv)
                          "  --preempt        mid-decode preemption "
                          "walkthrough (freeze/park/resume)\n"
                          "  --faults         failure-containment "
-                         "walkthrough (seeded fault plan, shedding)\n",
+                         "walkthrough (seeded fault plan, shedding)\n"
+                         "  --speculate      speculative-decoding "
+                         "walkthrough (draft, verify, accept)\n",
                          argv[i], argv[0]);
             return 2;
         } else {
@@ -683,7 +775,11 @@ run(int argc, char **argv)
     bool faults_ok = true;
     if (faults)
         faults_ok = faultsDemo(model);
-    return exact && shared_ok && sample_ok && preempt_ok && faults_ok
+    bool speculate_ok = true;
+    if (speculate)
+        speculate_ok = speculateDemo(model);
+    return exact && shared_ok && sample_ok && preempt_ok && faults_ok &&
+            speculate_ok
         ? 0
         : 1;
 }

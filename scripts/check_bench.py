@@ -54,6 +54,11 @@ recorded correctness field regresses:
     fault_churn.refcounts_consistent   every failed request returned all
         its KV blocks and undrawn reservation: the pool settles to zero
         after the faulted run drains
+    spec_decode.spec_decode_bitexact   every speculative run's tokens
+        (both drafters, every k, all three KV arms) are bit-identical
+        to the plain run's — the accept-only-what-the-model-would-emit
+        verification contract (docs/speculation.md); acceptance rates
+        and speedups are recorded, never gated (workload-dependent)
 
 Perf numbers (tokens/s, GFLOP/s) are recorded but never gated here — they
 vary with the runner; correctness must not.
@@ -245,6 +250,36 @@ def check_decode(path):
                   "(recorded, not gated)")
         print(f"check_bench: {path}: fault_churn survivors bit-exact "
               f"under plan \"{churn['plan']}\", accounting settled")
+    # .get-guarded: baselines predating speculative decoding lack it.
+    spec = doc.get("spec_decode")
+    if spec is not None:
+        if spec["spec_decode_bitexact"] is not True:
+            fail(f"{path}: spec_decode.spec_decode_bitexact is "
+                 f"{spec['spec_decode_bitexact']} (a speculative run "
+                 "emitted tokens the plain run would not have — the "
+                 "verify loop accepted a draft token the model "
+                 "disagrees with)")
+        for mode in ("fp32", "tender", "tender_fused"):
+            arm = spec[mode]
+            for drafter in ("prompt_lookup", "draft_model"):
+                for k in (2, 4, 8):
+                    point = arm[drafter][f"k_{k}"]
+                    # Presence is the gate; acceptance and speedup are
+                    # workload- and runner-dependent, recorded only.
+                    for field in ("tokens_per_s", "acceptance", "speedup"):
+                        if field not in point:
+                            fail(f"{path}: spec_decode.{mode}.{drafter}."
+                                 f"k_{k}.{field} missing")
+            best_pl = max(arm["prompt_lookup"][f"k_{k}"]["speedup"]
+                          for k in (2, 4, 8))
+            print(f"check_bench: {path}: spec_decode.{mode} plain "
+                  f"{arm['plain_tokens_per_s']:.0f} tok/s, best "
+                  f"prompt-lookup speedup {best_pl:.2f}x (recorded, "
+                  "not gated)")
+        print(f"check_bench: {path}: spec_decode tokens bit-exact vs "
+              f"plain in every arm; best prompt-lookup speedup "
+              f"{spec['best_prompt_lookup_speedup']:.2f}x "
+              f"({spec['best_arm']}, k={spec['best_k']})")
     fused_ratio = doc["fused_over_dequant_tokens_ratio"]
     mq = doc.get("mq_panels")
     if mq is not None:
@@ -291,6 +326,15 @@ def iter_tokens_per_s(doc):
         point = doc.get("fault_churn", {}).get(mode)
         if point is not None:
             yield f"fault_churn.{mode}", point["survivor_tokens_per_s"]
+    for mode in ("fp32", "tender", "tender_fused"):
+        arm = doc.get("spec_decode", {}).get(mode)
+        if arm is None:
+            continue
+        yield f"spec_decode.{mode}.plain", arm["plain_tokens_per_s"]
+        for drafter in ("prompt_lookup", "draft_model"):
+            for k, point in arm.get(drafter, {}).items():
+                yield (f"spec_decode.{mode}.{drafter}.{k}",
+                       point["tokens_per_s"])
 
 
 def compare_baseline(doc, baseline_path):

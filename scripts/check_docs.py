@@ -40,6 +40,7 @@ OPTION_STRUCTS = {
     # members are invisible to the field regex, which is fine — they are
     # callbacks, not tunables).
     "ServeRequest": "src/serve/request.h",
+    "SpeculationParams": "src/runtime/draft.h",
 }
 
 MARKDOWN_FILES = ["README.md", "ROADMAP.md", "CHANGES.md"]

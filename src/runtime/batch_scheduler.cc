@@ -15,7 +15,8 @@ namespace {
 GenResult
 makeResult(int id, std::vector<int> tokens, int steps, FinishReason reason,
            FailureReason failure = FailureReason::None,
-           std::string detail = {})
+           std::string detail = {}, int64_t drafted = 0,
+           int64_t accepted_drafts = 0)
 {
     GenResult r;
     r.id = id;
@@ -24,6 +25,8 @@ makeResult(int id, std::vector<int> tokens, int steps, FinishReason reason,
     r.reason = reason;
     r.failure = failure;
     r.failureDetail = std::move(detail);
+    r.draftedTokens = drafted;
+    r.acceptedDraftTokens = accepted_drafts;
     return r;
 }
 
@@ -95,6 +98,17 @@ BatchScheduler::submit(const GenRequest &request)
                    "a request needs a non-empty prompt");
     TENDER_REQUIRE(request.maxNewTokens > 0,
                    "a request must generate at least one token");
+    // A quantizing scheme's activation chunk scales depend on the rows a
+    // projection call sees, so a multi-row verification step would change
+    // this request's (and nobody else's) projection numerics vs plain
+    // single-row decode — the same non-row-locality that bars the prefix
+    // cache. Speculation guarantees bit-identical tokens, so it cannot
+    // run under a scheme.
+    TENDER_REQUIRE(request.speculation.drafter == DrafterKind::None ||
+                   !options_.decode.scheme,
+                   "speculative decoding cannot run with a quantizing"
+                   " GemmScheme: multi-row verification steps would shift"
+                   " the scheme's row-chunk scales and change tokens");
     // Front-door load shedding: reject new work the moment the queue is
     // at its bound, rather than letting latency grow without limit.
     // Internal re-queues (preemption's push_front in preemptVictim) do
@@ -124,7 +138,9 @@ BatchScheduler::cancel(int id)
         // parked blocks live on as an ordinary evictable cache entry.
         pool_->noteUnpark(it->parkedBlocks);
         finished_.push_back(makeResult(id, std::move(it->generated),
-                                       it->steps, FinishReason::Cancelled));
+                                       it->steps, FinishReason::Cancelled,
+                                       FailureReason::None, {}, it->drafted,
+                                       it->acceptedDrafts));
         pending_.erase(it);
         ++stats_.cancelled;
         return true;
@@ -133,7 +149,9 @@ BatchScheduler::cancel(int id)
         if (it->request.id != id)
             continue;
         finished_.push_back(makeResult(id, std::move(it->generated),
-                                       it->steps, FinishReason::Cancelled));
+                                       it->steps, FinishReason::Cancelled,
+                                       FailureReason::None, {}, it->drafted,
+                                       it->acceptedDrafts));
         // Erasing the Active destroys its KVCache, which hands every
         // held block and any undrawn reservation back to the pool.
         active_.erase(it);
@@ -157,7 +175,8 @@ BatchScheduler::failRequest(int id, FailureReason reason,
         pool_->noteUnpark(it->parkedBlocks);
         finished_.push_back(makeResult(id, std::move(it->generated),
                                        it->steps, FinishReason::Failed,
-                                       reason, detail));
+                                       reason, detail, it->drafted,
+                                       it->acceptedDrafts));
         pending_.erase(it);
         ++stats_.failed;
         if (reason == FailureReason::DeadlineExceeded)
@@ -169,7 +188,8 @@ BatchScheduler::failRequest(int id, FailureReason reason,
             continue;
         finished_.push_back(makeResult(id, std::move(it->generated),
                                        it->steps, FinishReason::Failed,
-                                       reason, detail));
+                                       reason, detail, it->drafted,
+                                       it->acceptedDrafts));
         // Erasing the Active destroys its KVCache, returning every held
         // block and any undrawn reservation to the pool.
         active_.erase(it);
@@ -284,9 +304,16 @@ BatchScheduler::tryAdmit(size_t index)
         ++stats_.resumes;
         stats_.resumedRowsReused += m.rows;
     }
+    // A fresh drafter at every (re-)admission: drafts are a pure function
+    // of the token sequence, so a resumed request's drafter re-proposes
+    // exactly what the uninterrupted run's would have (the ModelDrafter
+    // just re-feeds the whole sequence once instead of incrementally).
+    std::unique_ptr<Drafter> drafter = makeDrafter(
+        p.request.speculation, options_.vocabSize, options_.vocabSeed);
     Active a{std::move(p.request), std::move(cache),
              vocab_.embedAll(first_segment), true, std::move(p.generated),
-             p.steps, p.preemptions, resume, std::move(replay)};
+             p.steps, p.preemptions, resume, std::move(replay),
+             std::move(drafter), {}, p.drafted, p.acceptedDrafts};
     pending_.erase(pending_.begin() + index);
     if (a.request.onAdmit)
         a.request.onAdmit();
@@ -413,8 +440,12 @@ BatchScheduler::preemptVictim()
     pool_->notePark(parked);
     if (a.request.onPreempt)
         a.request.onPreempt();
+    // a.pendingDraft (drafts staged for the step that will now never run)
+    // dies with the Active: the drafts were never fed, so the parked
+    // entry holds only verified rows and resume re-drafts from scratch.
     pending_.push_front({std::move(a.request), std::move(a.generated),
-                         a.steps, a.preemptions + 1, parked});
+                         a.steps, a.preemptions + 1, parked, a.drafted,
+                         a.acceptedDrafts});
     // Erasing the Active destroys its KVCache: every private block and
     // any undrawn reservation return to the pool. The parked blocks live
     // on under the cache entry's refs (and stay LRU-evictable — a resume
@@ -455,7 +486,8 @@ BatchScheduler::step()
         for (int r = 0; r < t; ++r)
             std::copy(a.nextInput.rowPtr(r), a.nextInput.rowPtr(r) + d,
                       x.rowPtr(row + r));
-        segments.push_back({&a.cache, row, t, a.cache.length()});
+        segments.push_back(
+            {&a.cache, row, t, a.cache.length(), !a.pendingDraft.empty()});
         row += t;
         if (a.prefilling)
             stats_.prefillRows += t;
@@ -492,7 +524,7 @@ BatchScheduler::step()
             finished_.push_back(makeResult(
                 a.request.id, std::move(a.generated), a.steps,
                 FinishReason::Failed, a.cache.failReason(),
-                a.cache.failDetail()));
+                a.cache.failDetail(), a.drafted, a.acceptedDrafts));
             ++stats_.retired;
             ++stats_.failed;
             continue;
@@ -509,7 +541,18 @@ BatchScheduler::step()
             continue;
         }
         const DecodeSegment &seg = segments[i];
-        const int last_row = seg.row0 + seg.rows - 1;
+        // Speculative verify (docs/speculation.md): when drafts were
+        // stacked into this step, the segment's rows are [last emitted
+        // token, d_1 .. d_k] and row i's hidden state is exactly what
+        // plain decode would have produced after emitting d_1..d_i — so
+        // reading row i with the same decoder (argmax or the request's
+        // sampling hook at the same position, since `generated` grows
+        // between reads) yields the plain-decode token stream. Accept
+        // drafts while they match it; the first mismatch row carries the
+        // correction token and everything after it is dead weight that
+        // truncateRows() pops before the next step. n_draft == 0 is the
+        // plain single-row readout.
+        const int n_draft = int(a.pendingDraft.size());
         // Containment boundary, part 2: the request's own hooks — decode
         // override and streaming onToken — run on the scheduler thread,
         // so an exception from either is caught here and fails only this
@@ -518,19 +561,44 @@ BatchScheduler::step()
         FailureReason hook_fail = FailureReason::None;
         std::string hook_detail;
         bool keep_going = true;
+        int accepted = 0;
+        if (n_draft > 0) {
+            ++stats_.specSteps;
+            stats_.draftedTokens += n_draft;
+            a.drafted += n_draft;
+        }
         try {
-            const int token = a.request.decode
-                ? a.request.decode(hidden, last_row, kernels())
-                : vocab_.argmaxToken(hidden, last_row, kernels());
-            TENDER_CHECK_MSG(token >= 0 && token < vocab_.size(),
-                             "request " << a.request.id
-                             << " decode hook returned out-of-vocab token "
-                             << token);
-            a.generated.push_back(token);
-            ++a.steps;
-            ++stats_.decodedTokens;
-            keep_going =
-                a.request.onToken ? a.request.onToken(token) : true;
+            for (int v = 0; v <= n_draft && keep_going; ++v) {
+                const int read_row = seg.row0 + seg.rows - 1 - n_draft + v;
+                const int token = a.request.decode
+                    ? a.request.decode(hidden, read_row, kernels())
+                    : vocab_.argmaxToken(hidden, read_row, kernels());
+                TENDER_CHECK_MSG(
+                    token >= 0 && token < vocab_.size(),
+                    "request " << a.request.id
+                    << " decode hook returned out-of-vocab token "
+                    << token);
+                a.generated.push_back(token);
+                if (v == 0)
+                    ++a.steps;
+                ++stats_.decodedTokens;
+                keep_going =
+                    a.request.onToken ? a.request.onToken(token) : true;
+                if (v < n_draft && token == a.pendingDraft[size_t(v)]) {
+                    ++accepted;
+                    // Defensive: the draft-length cap (k <= remaining-1)
+                    // means the budget can only fill at the bonus row,
+                    // but never read past it if a hook shrank the run.
+                    if (int(a.generated.size()) >=
+                        a.request.maxNewTokens)
+                        break;
+                    continue;
+                }
+                // Mismatch (correction emitted) or the bonus row after a
+                // fully accepted draft: either way this is the last live
+                // token this step.
+                break;
+            }
         } catch (const RequestFault &fault) {
             hook_fail = fault.reason();
             hook_detail = fault.what();
@@ -538,10 +606,13 @@ BatchScheduler::step()
             hook_fail = FailureReason::CallbackError;
             hook_detail = std::string("request hook threw: ") + e.what();
         }
+        stats_.acceptedDraftTokens += accepted;
+        a.acceptedDrafts += accepted;
         if (hook_fail != FailureReason::None) {
             finished_.push_back(makeResult(
                 a.request.id, std::move(a.generated), a.steps,
-                FinishReason::Failed, hook_fail, std::move(hook_detail)));
+                FinishReason::Failed, hook_fail, std::move(hook_detail),
+                a.drafted, a.acceptedDrafts));
             ++stats_.retired;
             ++stats_.failed;
             continue;
@@ -561,16 +632,77 @@ BatchScheduler::step()
                 keep_going ? FinishReason::Length : FinishReason::Stopped;
             if (!keep_going)
                 ++stats_.stoppedEarly;
-            finished_.push_back(
-                makeResult(a.request.id, a.generated, a.steps, reason));
+            finished_.push_back(makeResult(
+                a.request.id, a.generated, a.steps, reason,
+                FailureReason::None, {}, a.drafted, a.acceptedDrafts));
             ++stats_.retired;
         } else {
-            a.nextInput = vocab_.embed(a.generated.back());
+            // Rejection rollback: pop the rows fed for rejected drafts so
+            // the cache length returns to the plain-decode invariant
+            // prompt + generated - 1 (the correction token emitted at the
+            // mismatch row has not had its own row fed yet — it is the
+            // next step's f_0, exactly as in plain decode).
+            if (n_draft > accepted)
+                a.cache.truncateRows(n_draft - accepted);
+            stageNextInput(a);
             still_active.push_back(std::move(a));
         }
     }
     active_ = std::move(still_active);
     return !active_.empty() || !pending_.empty();
+}
+
+void
+BatchScheduler::stageNextInput(Active &a)
+{
+    a.pendingDraft.clear();
+    if (a.drafter) {
+        // Draft-length cap, part 1: k <= remaining - 1 keeps the verify
+        // step's transient KV peak within the admission reservation
+        // (prompt + maxNewTokens - 1 rows): feeding 1 + k rows on top of
+        // length prompt + generated - 1 peaks at prompt + generated + k,
+        // which the cap bounds by prompt + maxNewTokens - 1 exactly.
+        const int remaining =
+            a.request.maxNewTokens - int(a.generated.size());
+        int k = std::min(a.request.speculation.maxDraft, remaining - 1);
+        // Draft-length cap, part 2 (quantized caches only): no draft row
+        // may complete a row chunk — a completed chunk freezes, and
+        // KVCache::truncateRows never reopens frozen chunks. With the
+        // next step's first row landing at offset (length + 1) % chunk
+        // of its chunk, at most chunk - 1 - offset draft rows fit before
+        // the boundary. f_0 (the verified last token's row) MAY freeze a
+        // chunk; it is never truncated.
+        if (a.cache.config().mode == KVCacheMode::TenderQuantized) {
+            const int chunk = a.cache.config().tender.rowChunk;
+            const int offset = (a.cache.length() + 1) % chunk;
+            k = std::min(k, chunk - 1 - offset);
+        }
+        if (k > 0) {
+            std::vector<int> tokens = a.request.promptTokens;
+            tokens.insert(tokens.end(), a.generated.begin(),
+                          a.generated.end());
+            a.pendingDraft = a.drafter->draft(tokens, k);
+            TENDER_CHECK_MSG(int(a.pendingDraft.size()) <= k,
+                             "drafter " << a.drafter->name()
+                             << " returned " << a.pendingDraft.size()
+                             << " tokens for a cap of " << k);
+            for (const int t : a.pendingDraft)
+                TENDER_CHECK_MSG(t >= 0 && t < vocab_.size(),
+                                 "drafter " << a.drafter->name()
+                                 << " proposed out-of-vocab token " << t);
+        }
+        if (a.pendingDraft.empty())
+            ++stats_.specFallbackSteps;
+    }
+    if (a.pendingDraft.empty()) {
+        a.nextInput = vocab_.embed(a.generated.back());
+        return;
+    }
+    std::vector<int> fed;
+    fed.reserve(1 + a.pendingDraft.size());
+    fed.push_back(a.generated.back());
+    fed.insert(fed.end(), a.pendingDraft.begin(), a.pendingDraft.end());
+    a.nextInput = vocab_.embedAll(fed);
 }
 
 std::vector<GenResult>

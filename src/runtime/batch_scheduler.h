@@ -93,6 +93,7 @@
 #include <vector>
 
 #include "runtime/decode_engine.h"
+#include "runtime/draft.h"
 #include "runtime/prefix_cache.h"
 
 namespace tender {
@@ -151,6 +152,13 @@ struct GenRequest
      *  mid-decode and returned to the queue (decoding -> preempted). Its
      *  next onAdmit call is the resume. */
     std::function<void()> onPreempt = nullptr;
+    /** Speculative decoding (docs/speculation.md): with a drafter
+     *  selected, the scheduler stacks drafted tokens into multi-row
+     *  verification steps and accepts the longest prefix agreeing with
+     *  this request's own readout — emitted tokens are bit-identical to
+     *  plain decode, only the step count changes. Incompatible with
+     *  DecodeOptions::scheme (rejected at submit). */
+    SpeculationParams speculation;
 };
 
 /** One finished request. */
@@ -167,6 +175,13 @@ struct GenResult
     FailureReason failure = FailureReason::None;
     /** Human-readable fault detail for Failed results ("" otherwise). */
     std::string failureDetail;
+    /** Draft tokens this request's verification steps fed (0 unless the
+     *  request speculated; see GenRequest::speculation). */
+    int64_t draftedTokens = 0;
+    /** Drafted tokens accepted — emitted because they matched the
+     *  request's own readout at their position. acceptedDraftTokens /
+     *  draftedTokens is the request's acceptance rate. */
+    int64_t acceptedDraftTokens = 0;
 };
 
 struct SchedulerOptions
@@ -255,6 +270,18 @@ struct SchedulerStats
      *  mismatch); the admission fell back to cold prefill, so tokens are
      *  unaffected — only reuse is lost. */
     int64_t integrityFallbacks = 0;
+    /** Speculative verification steps run (a speculating request's step
+     *  that fed at least one draft row). */
+    int64_t specSteps = 0;
+    /** Draft rows fed across all verification steps. */
+    int64_t draftedTokens = 0;
+    /** Drafted tokens accepted (emitted); acceptedDraftTokens /
+     *  draftedTokens is the fleet acceptance rate. */
+    int64_t acceptedDraftTokens = 0;
+    /** Steps where a speculating request fell back to a plain single-row
+     *  step (drafter proposed nothing, draft budget exhausted, or the
+     *  quantized open-chunk cap left no room). */
+    int64_t specFallbackSteps = 0;
 };
 
 class BatchScheduler
@@ -320,6 +347,8 @@ class BatchScheduler
         int steps = 0;              ///< scheduler iterations already spent
         int preemptions = 0;        ///< times frozen (anti-thrash bound)
         size_t parkedBlocks = 0;    ///< pool blocks parked for this freeze
+        int64_t drafted = 0;        ///< draft rows fed before preemption
+        int64_t acceptedDrafts = 0; ///< drafts accepted before preemption
     };
 
     struct Active
@@ -339,6 +368,16 @@ class BatchScheduler
          *  the open quantized chunk as scaled over the rows present at
          *  its own step's end — see tryAdmit. */
         std::deque<int> replay;
+        /** Draft proposer (null = not speculating). Rebuilt fresh at
+         *  every (re-)admission: drafts are a pure function of the token
+         *  sequence, so a resume proposes exactly what the uninterrupted
+         *  run would have. */
+        std::unique_ptr<Drafter> drafter;
+        /** Draft tokens stacked into the step currently in flight
+         *  (empty = this step is a plain single-row or prefill step). */
+        std::vector<int> pendingDraft;
+        int64_t drafted = 0;        ///< draft rows fed so far (metrics)
+        int64_t acceptedDrafts = 0; ///< drafts accepted so far (metrics)
     };
 
     const KernelContext &kernels() const;
@@ -359,6 +398,13 @@ class BatchScheduler
      *  Interactive overtaking, then (with maxPreemptions > 0) preemption
      *  of running Batch requests for still-waiting Interactive ones. */
     void admit();
+
+    /** Stage `a`'s next step input: the last generated token's embedding
+     *  plus — when speculating — proposed draft rows, capped so the
+     *  transient KV rows stay inside the admission reservation and, in
+     *  quantized mode, inside the open staging chunk (rollback never
+     *  reopens a frozen chunk). Fills a.pendingDraft accordingly. */
+    void stageNextInput(Active &a);
 
     SyntheticModel &model_;
     SchedulerOptions options_;

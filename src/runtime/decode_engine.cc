@@ -329,12 +329,26 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
     const Matrix xv = project(ln1, w.wv);
     timer.accumulate(&DecodePhaseTimes::projectionsUs);
 
+    // Speculative verification segments over a quantized cache must
+    // replay single-row *step grouping* — row r's attention reads the
+    // open chunk requantized over the rows present at its own step's end
+    // — so they are excluded from the bulk append/history/attention
+    // fan-outs below and handled row by row afterwards. Fp32 caches are
+    // grouping-invariant, so speculative fp32 segments keep the bulk
+    // path.
+    const auto rowSequential = [](const DecodeSegment &seg) {
+        return seg.speculative &&
+            seg.cache->config().mode == KVCacheMode::TenderQuantized;
+    };
+
     // Per-segment K/V appends (requantization in quantized caches) are
     // independent — each task touches only its own cache.
     kc.parallelFor(0, int64_t(segments.size()), 1,
                    [&](int64_t s0, int64_t s1) {
         for (int64_t si = s0; si < s1; ++si) {
             const DecodeSegment &seg = segments[size_t(si)];
+            if (rowSequential(seg))
+                continue;
             seg.cache->appendRows(layer, xk, xv, seg.row0, seg.rows);
         }
     });
@@ -369,7 +383,7 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
             const DecodeSegment &seg =
                 segments[size_t(t) / size_t(kv_heads)];
             const int kvh = int(t % int64_t(kv_heads));
-            if (seg.cache->failed())
+            if (seg.cache->failed() || rowSequential(seg))
                 continue;
             HeadHistory &hh = hist[size_t(t)];
             if (step.fusedQuantKv &&
@@ -402,7 +416,7 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
                 const size_t si = size_t(t) / size_t(kv_heads);
                 const DecodeSegment &seg = segments[si];
                 const int kvh = int(t % int64_t(kv_heads));
-                if (seg.cache->failed())
+                if (seg.cache->failed() || rowSequential(seg))
                     continue;
                 const HeadHistory &hh =
                     hist[si * size_t(kv_heads) + size_t(kvh)];
@@ -439,7 +453,7 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
             for (int64_t t = t0; t < t1; ++t) {
                 const size_t si = size_t(t) / size_t(config.nHeads);
                 const DecodeSegment &seg = segments[si];
-                if (seg.cache->failed())
+                if (seg.cache->failed() || rowSequential(seg))
                     continue;
                 const int h = int(t % int64_t(config.nHeads));
                 const int kvh = kvHeadOf(h, config.nHeads, config.kvHeads);
@@ -459,6 +473,91 @@ decodeBlockForward(const Matrix &x, int layer, const BlockWeights &w,
         });
     }
     timer.accumulate(&DecodePhaseTimes::attentionUs);
+
+    // Row-sequential handling of speculative quantized segments: append
+    // row r, gather its histories, run its attention — then move to row
+    // r+1. That interleave is exactly the arithmetic of the plain
+    // single-row steps the verification must match bit for bit: the open
+    // chunk row r's attention reads is requantized over rows <= r, never
+    // over later draft rows. Only append/history/attention go row by
+    // row; the projections above already covered these rows (row-local,
+    // so batching them is exact). The inner fan-outs parallelize across
+    // kv heads with disjoint output tiles, preserving worker-count
+    // bit-reproducibility.
+    for (const DecodeSegment &seg : segments) {
+        if (!rowSequential(seg))
+            continue;
+        const int group = config.nHeads / kv_heads;
+        for (int r = 0; r < seg.rows && !seg.cache->failed(); ++r) {
+            timer.mark();
+            seg.cache->appendRows(layer, xk, xv, seg.row0 + r, 1);
+            timer.accumulate(&DecodePhaseTimes::appendUs);
+            if (seg.cache->failed())
+                break; // containment: same skip as the bulk fan-outs
+            const int pos = seg.pos0 + r;
+            std::vector<HeadHistory> rh(static_cast<size_t>(kv_heads));
+            kc.parallelFor(0, int64_t(kv_heads), 1,
+                           [&](int64_t h0, int64_t h1) {
+                for (int64_t kvh = h0; kvh < h1; ++kvh) {
+                    HeadHistory &hh = rh[size_t(kvh)];
+                    if (step.fusedQuantKv) {
+                        hh.kCodes = seg.cache->keyView(layer, int(kvh));
+                        hh.vCodes = seg.cache->valueView(layer, int(kvh));
+                        hh.fused = true;
+                    } else {
+                        hh.k = seg.cache->keys(layer, int(kvh));
+                        hh.v = seg.cache->values(layer, int(kvh));
+                    }
+                }
+            });
+            timer.accumulate(&DecodePhaseTimes::historyUs);
+            if (step.mqAttentionPanels) {
+                kc.parallelFor(0, int64_t(kv_heads), 1,
+                               [&](int64_t h0, int64_t h1) {
+                    for (int64_t t = h0; t < h1; ++t) {
+                        const int kvh = int(t);
+                        const HeadHistory &hh = rh[size_t(kvh)];
+                        Matrix qp(group, dh);
+                        for (int g = 0; g < group; ++g) {
+                            const float *src = xq.rowPtr(seg.row0 + r) +
+                                (kvh * group + g) * dh;
+                            std::copy(src, src + dh, qp.rowPtr(g));
+                        }
+                        const Matrix out = hh.fused
+                            ? attentionFusedQuantPanel(qp, group, hh.kCodes,
+                                                       hh.vCodes, pos, kc)
+                            : attentionPanelIncremental(qp, group, hh.k,
+                                                        hh.v, pos, kc);
+                        for (int g = 0; g < group; ++g)
+                            for (int c = 0; c < dh; ++c)
+                                attn(seg.row0 + r,
+                                     (kvh * group + g) * dh + c) = out(g, c);
+                    }
+                });
+            } else {
+                kc.parallelFor(0, int64_t(config.nHeads), 1,
+                               [&](int64_t h0, int64_t h1) {
+                    for (int64_t t = h0; t < h1; ++t) {
+                        const int h = int(t);
+                        const int kvh =
+                            kvHeadOf(h, config.nHeads, config.kvHeads);
+                        const HeadHistory &hh = rh[size_t(kvh)];
+                        const Matrix qh = headSlice(
+                            xq.rowSlice(seg.row0 + r, seg.row0 + r + 1), h,
+                            dh);
+                        const Matrix out = hh.fused
+                            ? attentionHeadFusedQuant(qh, hh.kCodes,
+                                                      hh.vCodes, pos, kc)
+                            : attentionHeadIncremental(qh, hh.k, hh.v, pos,
+                                                       &kc);
+                        for (int c = 0; c < dh; ++c)
+                            attn(seg.row0 + r, h * dh + c) = out(0, c);
+                    }
+                });
+            }
+            timer.accumulate(&DecodePhaseTimes::attentionUs);
+        }
+    }
 
     const Matrix xo = kc.axpby(1.f, project(attn, w.wo), 1.f, x);
     const Matrix ln2 = kc.layerNorm(xo, w.ln2Gain, w.ln2Bias);

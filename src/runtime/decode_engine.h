@@ -53,6 +53,16 @@ struct DecodeSegment
     int row0 = 0; ///< first row of this segment in the stacked input
     int rows = 0; ///< new tokens this step (prompt length at admission)
     int pos0 = 0; ///< absolute position of the first new token
+    /** Speculative verification step (docs/speculation.md): the rows are
+     *  a last-emitted token plus stacked draft tokens whose logits must
+     *  equal plain single-row decode bit for bit. For a TenderQuantized
+     *  cache that means replaying single-row *step grouping* — a row's
+     *  attention reads the open chunk requantized over the rows present
+     *  at its own step's end — so decodeBlockForward appends and attends
+     *  such a segment one row at a time (projections stay batched; they
+     *  are row-local). Fp32 caches are grouping-invariant, so the flag
+     *  changes nothing for them. */
+    bool speculative = false;
 };
 
 /**

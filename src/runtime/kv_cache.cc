@@ -301,7 +301,11 @@ KVCache::appendStore(Store &store, const Matrix &rows, int row0, int row1,
             ensureBlocks(store, tok / blockTokens_);
             if (tok / blockTokens_ == store.sharedTailBlock)
                 cowTailBlock(store);
-            float *dst = pool_->fp32Rows(store.blocks.back()) +
+            // Indexed, not blocks.back(): after truncateRows the table
+            // keeps its trailing blocks, so the write target may not be
+            // the last allocated block.
+            float *dst =
+                pool_->fp32Rows(store.blocks[size_t(tok / blockTokens_)]) +
                 size_t(tok % blockTokens_) * size_t(dh);
             const float *src = rows.rowPtr(r) + c0;
             std::copy(src, src + dh, dst);
@@ -460,6 +464,83 @@ KVCache::requantizeOpenChunk(Store &store)
 }
 
 void
+KVCache::truncateRows(int n)
+{
+    TENDER_REQUIRE(!failed(),
+                   "truncateRows on a failed cache (its stores may be"
+                   " uneven; the request must retire instead)");
+    TENDER_CHECK(n >= 0 && n <= length_);
+    if (n == 0)
+        return;
+    // Only between steps: every layer must hold the same rows, or the
+    // pop would desynchronize the per-layer step bookkeeping.
+    for (size_t l = 0; l < layerLength_.size(); ++l)
+        TENDER_CHECK_MSG(layerLength_[l] == length_,
+                         "truncateRows mid-step: layer " << l << " holds "
+                         << layerLength_[l] << " rows, cache length is "
+                         << length_);
+    const int dh = headDim_;
+    if (config_.mode == KVCacheMode::TenderQuantized) {
+        // Frozen chunks are never reopened: their codes may be published
+        // to the prefix cache, COW-shared, or parked for a preempted
+        // request, and a reopen would rewrite pages other readers hold.
+        // The scheduler caps each step's draft length so rejected rows
+        // always stay inside the open staging chunk.
+        const int staged = length_ % config_.tender.rowChunk;
+        TENDER_REQUIRE(n <= staged,
+                       "truncateRows(" << n << ") would cross the open-"
+                       "chunk boundary (" << staged << " staged rows):"
+                       " frozen chunks are never reopened");
+    }
+    for (Store &store : stores_) {
+        if (config_.mode == KVCacheMode::Fp32) {
+            // Pop the row count only. The rows' pages stay allocated to
+            // this cache: releasing them could hand them to a concurrent
+            // admission, and the re-append would then violate the
+            // reservation-gated "appends mid-decode never fail" contract.
+            // A later append overwrites the stale payload in place.
+            store.rows -= n;
+            continue;
+        }
+        const int surviving = int(store.staging.size()) / dh - n;
+        TENDER_CHECK(surviving >= 0);
+        store.staging.resize(size_t(surviving) * size_t(dh));
+        store.rows -= n;
+        // Rebuild the per-channel envelopes over the survivors by rescan.
+        // Min/max is order-independent, so the rescan equals the
+        // incremental envelopes of a cache that never staged the popped
+        // rows — and the open slot's metadata is a pure function of the
+        // envelopes, so the full requantize below reproduces that cache's
+        // storage bit for bit.
+        store.openMin.assign(size_t(dh),
+                             std::numeric_limits<float>::infinity());
+        store.openMax.assign(size_t(dh),
+                             -std::numeric_limits<float>::infinity());
+        std::fill(store.openChanged.begin(), store.openChanged.end(),
+                  uint8_t{0});
+        for (int r = 0; r < surviving; ++r) {
+            const float *src = store.staging.data() + size_t(r) * size_t(dh);
+            for (int c = 0; c < dh; ++c) {
+                store.openMin[size_t(c)] =
+                    std::min(store.openMin[size_t(c)], src[c]);
+                store.openMax[size_t(c)] =
+                    std::max(store.openMax[size_t(c)], src[c]);
+            }
+        }
+        store.openTmax = 0.f;
+        store.openSlotRows = 0; // force the full-rebuild requantize path
+        if (surviving > 0)
+            requantizeOpenChunk(store);
+        // surviving == 0: the open slot's stale codes are unreachable
+        // (reads stop at the frozen rows) and the next append rebuilds
+        // the slot from fresh staging.
+    }
+    for (size_t l = 0; l < layerLength_.size(); ++l)
+        layerLength_[l] -= n;
+    length_ -= n;
+}
+
+void
 KVCache::append(int layer, const Matrix &k_rows, const Matrix &v_rows)
 {
     appendRows(layer, k_rows, v_rows, 0, k_rows.rows());
@@ -497,8 +578,12 @@ KVCache::appendRowsImpl(int layer, const Matrix &k, const Matrix &v,
     TENDER_CHECK(v.cols() == model_.kvHeads * headDim_);
     // Either the first layer of a new step (advancing length) or a later
     // layer catching up to it; anything else is a double/missed append.
+    // Catch-up may be partial: a speculative verification step appends a
+    // lagging layer's rows one at a time (decode_engine.cc's row-
+    // sequential path), so a layer may trail length_ by more than t —
+    // but never overshoot it.
     TENDER_CHECK_MSG(layerLength_[size_t(layer)] == length_ ||
-                     layerLength_[size_t(layer)] + t == length_,
+                     layerLength_[size_t(layer)] + t <= length_,
                      "KVCache::append: layer " << layer
                      << " out of step (layer length "
                      << layerLength_[size_t(layer)] << ", cache length "

@@ -267,6 +267,28 @@ class KVCache
      */
     void adoptPrefix(const std::vector<std::vector<int>> &blocks, int rows);
 
+    /**
+     * Pop the last `n` appended rows from every store — speculative
+     * decoding's rejection rollback (docs/speculation.md). Only legal
+     * between steps (every layer at the same length) on a healthy cache.
+     *
+     * Fp32: row counts drop; the rows' pages stay allocated to this cache
+     * (releasing them could let a concurrent admission claim them, and
+     * re-appending must never fail under the reservation-gated admission
+     * contract), so a later append simply overwrites them in place.
+     *
+     * TenderQuantized: `n` must stay within the open staging chunk —
+     * frozen chunks are never reopened (their codes may be published,
+     * COW-shared, or parked; the scheduler caps drafts so rollback never
+     * reaches a chunk boundary). The surviving staged rows' per-channel
+     * min/max envelopes are rebuilt by rescan (min/max is order-
+     * independent, so this equals the incremental envelopes bit for bit)
+     * and the open slot is requantized from scratch over the survivors —
+     * bit-identical to a cache that never appended the popped rows
+     * (tests/test_speculation.cc).
+     */
+    void truncateRows(int n);
+
     /** Return every block (and any undrawn reservation) to the pool and
      *  reset to empty. Called by the destructor; idempotent. */
     void releaseAll();

@@ -117,6 +117,12 @@ struct ServeRequest
      *  sequence is never half-emitted to the client. */
     std::vector<std::vector<int>> stopSequences;
     SamplingParams sampling;
+    /** Speculative decoding (docs/speculation.md): drafter choice and
+     *  draft length. Tokens are bit-identical to the non-speculating run
+     *  — for sampled requests too, since the verify loop reads the same
+     *  seeded sampler at the same positions — so this knob trades compute
+     *  shape for latency, never output. Default off. */
+    SpeculationParams speculation;
     Priority priority = Priority::Batch;
     /** Optional deadline, microseconds from submit. Checked while the
      *  request is waiting (Queued or Preempted): a request still
@@ -138,6 +144,12 @@ struct RequestMetrics
     std::vector<double> interTokenUs; ///< gap before each later token
     int preemptions = 0;    ///< times this request was frozen mid-decode
     double parkedUs = 0.0;  ///< total wall time spent in Preempted
+    /** Draft tokens stacked into this request's verification steps
+     *  (docs/speculation.md); 0 unless ServeRequest::speculation is on. */
+    int64_t draftedTokens = 0;
+    /** Drafted tokens accepted — each one a decode step the request did
+     *  not have to run. acceptance = acceptedDraftTokens/draftedTokens. */
+    int64_t acceptedDraftTokens = 0;
 };
 
 /** One retired request: tokens (stop sequence truncated away), terminal

@@ -223,6 +223,17 @@ ServeSession::submit(const ServeRequest &request)
         fail(track, "deadlineUs must be non-negative (0 = none)");
         return id;
     }
+    if (request.speculation.drafter != DrafterKind::None) {
+        if (options_.scheduler.decode.scheme) {
+            fail(track, "speculative decoding cannot run with a "
+                        "quantizing GemmScheme (docs/speculation.md)");
+            return id;
+        }
+        if (request.speculation.maxDraft <= 0) {
+            fail(track, "speculation.maxDraft must be positive");
+            return id;
+        }
+    }
     const size_t cap = options_.scheduler.kvPoolBlocks;
     if (cap > 0) {
         const int max_tokens =
@@ -240,6 +251,7 @@ ServeSession::submit(const ServeRequest &request)
     gen.promptTokens = request.promptTokens;
     gen.maxNewTokens = request.maxNewTokens;
     gen.priority = request.priority;
+    gen.speculation = request.speculation;
     Track *t = &track; // stable address (owned by tracks_)
     gen.decode = [this, t](const Matrix &hidden, int row,
                            const KernelContext &kc) {
@@ -335,6 +347,10 @@ ServeSession::collectFinished()
             break;
         }
         result.state = track.state;
+        // Speculation counters live in the scheduler (it runs the verify
+        // loop); fold them into the request's metrics at retirement.
+        track.metrics.draftedTokens = r.draftedTokens;
+        track.metrics.acceptedDraftTokens = r.acceptedDraftTokens;
         result.metrics = track.metrics;
         results_[r.id] = std::move(result);
         undrained_.push_back(r.id);
@@ -435,6 +451,8 @@ ServeSession::latency(Priority priority) const
         ++stats.requests;
         stats.tokens += int64_t(track.generated.size());
         stats.preemptions += track.metrics.preemptions;
+        stats.draftedTokens += track.metrics.draftedTokens;
+        stats.acceptedDraftTokens += track.metrics.acceptedDraftTokens;
         ttft.push_back(track.metrics.ttftUs);
         itl.insert(itl.end(), track.metrics.interTokenUs.begin(),
                    track.metrics.interTokenUs.end());

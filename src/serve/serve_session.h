@@ -89,6 +89,12 @@ struct LatencyStats
     /** Requests that retired Failed for any other reason (validation,
      *  contained mid-flight fault, throwing callback). */
     int failed = 0;
+    /** Draft tokens stacked into verification steps across those
+     *  requests (0 when none ran speculatively; docs/speculation.md). */
+    int64_t draftedTokens = 0;
+    /** Drafted tokens accepted — the class's aggregate acceptance rate
+     *  is acceptedDraftTokens / draftedTokens. */
+    int64_t acceptedDraftTokens = 0;
 };
 
 class ServeSession
